@@ -1,0 +1,11 @@
+"""Section 4.5: the query-explanation case study."""
+
+
+def test_case_query_explanation(reproduce):
+    result = reproduce("case45")
+    summary = {row["Model"]: row for row in result.data["summary"]}
+    # GPT4 explains most faithfully; Gemini degrades most (section 4.5).
+    assert summary["GPT4"]["overlapF1"] == max(
+        row["overlapF1"] for row in summary.values()
+    )
+    assert summary["Gemini"]["flawed%"] > summary["GPT4"]["flawed%"]

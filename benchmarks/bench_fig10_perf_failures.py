@@ -1,0 +1,11 @@
+"""Figure 10: MistralAI performance_pred failures vs word/column counts."""
+
+
+def test_fig10_perf_failures(reproduce):
+    result = reproduce("fig10")
+    word = result.data["word_count"]
+    # FP queries are much longer than TN queries (paper Fig 10a).
+    tn_avg, tn_count = word["TN"]
+    fp_avg, fp_count = word["FP"]
+    assert fp_count >= 10
+    assert fp_avg > tn_avg

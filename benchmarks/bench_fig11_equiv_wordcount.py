@@ -1,0 +1,11 @@
+"""Figure 11: word_count vs query_equiv failures."""
+
+
+def test_fig11_equiv_wordcount(reproduce):
+    result = reproduce("fig11")
+    panel = result.data["gpt35/sdss"]
+    tp_avg, tp_count = panel["TP"]
+    fp_avg, fp_count = panel["FP"]
+    assert fp_count > 0
+    # FP pairs come from longer queries (paper Fig 11a).
+    assert fp_avg > tp_avg

@@ -1,0 +1,10 @@
+"""Figure 12: predicate_count vs query_equiv failures."""
+
+
+def test_fig12_equiv_predicates(reproduce):
+    result = reproduce("fig12")
+    # Join-Order FPs concentrate in predicate-heavy queries (paper 4.4).
+    panel = result.data["mistral/join_order"]
+    fp_avg, fp_count = panel["FP"]
+    assert fp_count > 0
+    assert fp_avg > 8

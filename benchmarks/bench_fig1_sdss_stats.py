@@ -1,0 +1,11 @@
+"""Figure 1: SDSS property histograms."""
+
+
+def test_fig1_sdss_stats(reproduce):
+    result = reproduce("fig1")
+    word = result.data["word_count"]
+    # The paper's bimodal SDSS shape: short queries + a 90-120 hump.
+    assert word["1-30"] > 90
+    assert word["90-120"] > 60
+    assert word["90-120"] > word["60-90"]
+    assert result.data["query_type"]["SELECT"] == 251

@@ -1,0 +1,9 @@
+"""Figure 2: SQLShare property histograms."""
+
+
+def test_fig2_sqlshare_stats(reproduce):
+    result = reproduce("fig2")
+    word = result.data["word_count"]
+    assert word["1-30"] > 2 * word["30-60"]  # short queries dominate
+    nest = result.data["nestedness"]
+    assert nest["0"] == 211

@@ -1,0 +1,9 @@
+"""Figure 3: Join-Order property histograms."""
+
+
+def test_fig3_joinorder_stats(reproduce):
+    result = reproduce("fig3")
+    predicates = result.data["predicate_count"]
+    assert predicates["10+"] > predicates["7-10"]  # join monsters dominate
+    functions = result.data["function_count"]
+    assert functions["0"] >= 30  # the CREATE DDL class has no functions

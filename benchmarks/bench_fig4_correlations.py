@@ -1,0 +1,9 @@
+"""Figure 4: pairwise Pearson correlations per workload."""
+
+
+def test_fig4_correlations(reproduce):
+    result = reproduce("fig4")
+    sdss_strong = {(a, b) for a, b, _ in result.data["sdss"]["strong"]}
+    # The paper's universal pairs (section 2.1).
+    assert ("char_count", "word_count") in sdss_strong
+    assert ("table_count", "join_count") in sdss_strong

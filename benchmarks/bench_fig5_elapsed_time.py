@@ -1,0 +1,12 @@
+"""Figure 5: elapsed-time distribution of sampled SDSS queries."""
+
+
+def test_fig5_elapsed_time(reproduce):
+    result = reproduce("fig5")
+    hist = result.data["histogram"]
+    total = sum(hist.values())
+    assert total == 285
+    assert hist["0-100"] / total > 0.7          # paper: 244/285
+    assert hist["500+"] >= 15                   # paper: 41
+    valley = hist["200-300"] + hist["300-400"] + hist["400-500"]
+    assert valley < 25                          # paper: empty valley

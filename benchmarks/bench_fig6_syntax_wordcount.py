@@ -1,0 +1,11 @@
+"""Figure 6: word_count distribution across outcomes (Llama3/Gemini, SDSS)."""
+
+
+def test_fig6_syntax_wordcount(reproduce):
+    result = reproduce("fig6")
+    for model in ("llama3", "gemini"):
+        cells = result.data[model]
+        tp_avg, _, tp_count = cells["TP"]
+        fn_avg, _, fn_count = cells["FN"]
+        assert tp_count > 0 and fn_count > 0
+        assert fn_avg > tp_avg  # missed errors live in longer queries

@@ -1,0 +1,15 @@
+"""Figure 7: FN share by syntax-error type, per model and workload."""
+
+
+def test_fig7_syntax_type_fn(reproduce):
+    result = reproduce("fig7")
+    shares = result.data["shares"]
+    miss_rates = result.data["miss_rates"]
+    # SDSS: type mismatches are the hardest types (paper Fig 7a).
+    sdss = shares["gpt35/sdss"]
+    mismatch = sdss["nested-mismatch"] + sdss["condition-mismatch"]
+    assert mismatch >= 0.3
+    # SQLShare: ambiguous aliases are the hardest class (paper Fig 7b);
+    # the per-type miss rate is the support-independent reading.
+    sqlshare = miss_rates["gemini/sqlshare"]
+    assert sqlshare["alias-ambiguous"] == max(sqlshare.values())

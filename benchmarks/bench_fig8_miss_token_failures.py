@@ -1,0 +1,13 @@
+"""Figure 8: miss_token failures vs syntactic properties (SQLShare)."""
+
+
+def test_fig8_miss_token_failures(reproduce):
+    result = reproduce("fig8")
+    # FN averages exceed TP averages for each analysed property.
+    rising = 0
+    for panel, cells in result.data.items():
+        tp_avg, tp_count = cells["TP"]
+        fn_avg, fn_count = cells["FN"]
+        if fn_count >= 3 and fn_avg > tp_avg:
+            rising += 1
+    assert rising >= 2, result.data

@@ -1,0 +1,12 @@
+"""Figure 9: FN share by missing-token type, per model and workload."""
+
+
+def test_fig9_miss_token_type_fn(reproduce):
+    result = reproduce("fig9")
+    shares = result.data["shares"]
+    # SDSS: keywords are the most-missed token type (paper Fig 9a).
+    sdss = shares["gpt35/sdss"]
+    assert sdss["keyword"] == max(sdss.values())
+    # SQLShare: aliases/tables dominate (paper Fig 9b).
+    sqlshare = shares["gemini/sqlshare"]
+    assert sqlshare["alias"] + sqlshare["table"] >= 0.3

@@ -1,0 +1,7 @@
+"""Table 1: the skill-to-SQL-task mapping."""
+
+
+def test_table1_skill_map(reproduce):
+    result = reproduce("table1")
+    assert "Recognition" in result.text
+    assert "Coherence" in result.text

@@ -1,0 +1,25 @@
+"""Table 3: syntax_error and syntax_error_type accuracy."""
+
+
+def _f1(rows, model, workload):
+    for row in rows:
+        if row["Model"] == model:
+            return row[f"{workload}.F1"]
+    raise KeyError(model)
+
+
+def test_table3_syntax_error(reproduce):
+    result = reproduce("table3")
+    binary = result.data["binary"]
+    for workload in ("sdss", "sqlshare", "join_order"):
+        scores = {row["Model"]: row[f"{workload}.F1"] for row in binary}
+        assert scores["GPT4"] == max(scores.values())          # GPT4 wins
+        assert scores["GPT4"] - scores["Gemini"] > 0.1          # Gemini trails
+    # Conservative detection: precision >= recall for most cells.
+    conservative = sum(
+        1
+        for row in binary
+        for workload in ("sdss", "sqlshare", "join_order")
+        if row[f"{workload}.Prec"] >= row[f"{workload}.Rec"] - 0.02
+    )
+    assert conservative >= 12  # of 15 cells

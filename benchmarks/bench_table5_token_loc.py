@@ -1,0 +1,14 @@
+"""Table 5: miss_token_loc MAE and hit rate."""
+
+
+def test_table5_token_loc(reproduce):
+    result = reproduce("table5")
+    rows = {row["Model"]: row for row in result.data["rows"]}
+    for workload in ("sdss", "sqlshare", "join_order"):
+        # GPT4 has the lowest MAE and the highest hit rate (paper).
+        maes = {model: row[f"{workload}.MAE"] for model, row in rows.items()}
+        hit_rates = {model: row[f"{workload}.HR"] for model, row in rows.items()}
+        assert maes["GPT4"] == min(maes.values())
+        assert hit_rates["GPT4"] == max(hit_rates.values())
+        # Most models land an exact hit at least ~30% of the time.
+        assert sum(1 for hr in hit_rates.values() if hr >= 0.25) >= 4

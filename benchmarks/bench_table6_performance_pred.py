@@ -1,0 +1,15 @@
+"""Table 6: performance_pred accuracy (SDSS)."""
+
+
+def test_table6_performance_pred(reproduce):
+    result = reproduce("table6")
+    rows = {row["Model"]: row for row in result.data["rows"]}
+    scores = {model: row["sdss.F1"] for model, row in rows.items()}
+    assert scores["GPT4"] == max(scores.values())
+    # Positive bias: recall >= precision for most models (section 4.3).
+    optimistic = sum(
+        1 for row in rows.values() if row["sdss.Rec"] >= row["sdss.Prec"] - 0.02
+    )
+    assert optimistic >= 4
+    # MistralAI's precision collapse (paper: 0.47).
+    assert rows["MistralAI"]["sdss.Prec"] < 0.6

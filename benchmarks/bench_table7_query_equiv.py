@@ -1,0 +1,15 @@
+"""Table 7: query_equiv and query_equiv_type accuracy."""
+
+
+def test_table7_query_equiv(reproduce):
+    result = reproduce("table7")
+    binary = result.data["binary"]
+    for workload in ("sdss", "sqlshare", "join_order"):
+        scores = {row["Model"]: row[f"{workload}.F1"] for row in binary}
+        assert scores["GPT4"] == max(scores.values())
+        # Very high recall everywhere: models rarely miss equivalence.
+        recalls = {row["Model"]: row[f"{workload}.Rec"] for row in binary}
+        assert min(recalls.values()) > 0.8
+    # Join-Order is the hardest workload (longest queries).
+    gpt4 = next(row for row in binary if row["Model"] == "GPT4")
+    assert gpt4["join_order.Prec"] <= gpt4["sqlshare.Prec"]

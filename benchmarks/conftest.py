@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact through the experiment
+registry, timed with pytest-benchmark, and prints/saves the same rows or
+series the paper reports (under ``results/``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.evalfw.runner import ExperimentRunner
+from repro.experiments import run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared runner so workloads/datasets are generated once."""
+    return ExperimentRunner(seed=0)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an artifact report and persist it under results/."""
+
+    def _emit(result) -> None:
+        print(f"\n=== {result.title} ===\n{result.text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.artifact}.txt").write_text(
+            f"{result.title}\n\n{result.text}\n"
+        )
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Print an ablation report and persist it under results/."""
+
+    def _save(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture()
+def reproduce(benchmark, runner, emit):
+    """Run one artifact exactly once under the benchmark timer."""
+
+    def _reproduce(artifact: str):
+        result = benchmark.pedantic(
+            run_experiment, args=(artifact, runner), rounds=1, iterations=1
+        )
+        emit(result)
+        return result
+
+    return _reproduce

@@ -1,0 +1,42 @@
+"""Query explanation case study (paper section 4.5, Listing 3).
+
+Asks every model to explain the paper's Q15-Q18 Spider queries, compares
+against the gold descriptions, and shows the characteristic failure
+modes: context loss, detail dropping and superlative inversion.
+
+Run:  python examples/explain_spider.py
+"""
+
+from repro.llm import MODEL_PROFILES, SimulatedLLM
+from repro.sql.parser import try_parse
+from repro.tasks import explanation_overlap_f1
+from repro.workloads import CASE_STUDY_QUERIES
+
+
+def main() -> None:
+    for index, (schema, sql, gold) in enumerate(CASE_STUDY_QUERIES, start=15):
+        print(f"=== Q{index} ({schema}) ===")
+        print("SQL :", sql[:110] + ("..." if len(sql) > 110 else ""))
+        print("gold:", gold)
+        statement = try_parse(sql)
+        for profile in MODEL_PROFILES:
+            model = SimulatedLLM(profile)
+            response = model.answer_explanation(f"case-q{index}", sql, statement)
+            score = explanation_overlap_f1(gold, response.text)
+            flaw_note = (
+                f"  [{', '.join(response.metadata['flaws'])}]"
+                if response.metadata["flaws"]
+                else ""
+            )
+            print(f"  {profile.display_name:10s} ({score:.2f}) {response.text}{flaw_note}")
+        print()
+
+    print(
+        "Flaws mirror the paper's findings: weaker models reduce queries\n"
+        "to bare counts (context loss, Q15/Q16), drop selected attributes\n"
+        "(Q17), or invert ORDER BY superlatives (Q18)."
+    )
+
+
+if __name__ == "__main__":
+    main()

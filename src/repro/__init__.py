@@ -1,0 +1,21 @@
+"""repro — reproduction of "Evaluating SQL Understanding in Large Language
+Models" (EDBT 2025).
+
+The package provides:
+
+* :mod:`repro.sql` — SQL lexer/parser/AST/renderer + syntactic properties;
+* :mod:`repro.schema`, :mod:`repro.data` — schema catalogs and seeded
+  SQLite instances;
+* :mod:`repro.analysis` — the semantic analyzer used as ground-truth oracle;
+* :mod:`repro.workloads` — SDSS / SQLShare / Join-Order / Spider generators;
+* :mod:`repro.corrupt` — syntax-error injection and token removal;
+* :mod:`repro.equivalence` — equivalence transforms and execution checking;
+* :mod:`repro.perf` — the runtime cost model behind performance_pred;
+* :mod:`repro.llm`, :mod:`repro.prompts`, :mod:`repro.parsing` — simulated
+  models, task prompts and response post-processing;
+* :mod:`repro.tasks`, :mod:`repro.evalfw` — task datasets, metrics and the
+  experiment runner;
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""Semantic analysis: name resolution, typing, violations, complexity."""
+
+from repro.analysis.complexity import complexity_score, property_complexity
+from repro.analysis.semantics import (
+    AGGR_ATTR,
+    AGGR_HAVING,
+    ALIAS_AMBIGUOUS,
+    ALIAS_UNDEFINED,
+    CONDITION_MISMATCH,
+    NESTED_MISMATCH,
+    PAPER_ERROR_TYPES,
+    UNKNOWN_COLUMN,
+    UNKNOWN_TABLE,
+    SemanticAnalyzer,
+    Violation,
+    paper_violations,
+)
+
+__all__ = [
+    "SemanticAnalyzer",
+    "Violation",
+    "paper_violations",
+    "PAPER_ERROR_TYPES",
+    "AGGR_ATTR",
+    "AGGR_HAVING",
+    "NESTED_MISMATCH",
+    "CONDITION_MISMATCH",
+    "ALIAS_UNDEFINED",
+    "ALIAS_AMBIGUOUS",
+    "UNKNOWN_TABLE",
+    "UNKNOWN_COLUMN",
+    "complexity_score",
+    "property_complexity",
+]

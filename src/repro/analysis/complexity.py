@@ -1,0 +1,53 @@
+"""Query complexity scoring.
+
+The paper's failure analysis repeatedly ties model errors to syntactic
+complexity — mainly ``word_count``, then ``predicate_count``,
+``table_count`` and ``nestedness`` (Figures 6, 8, 10, 11, 12).  The
+simulated models consume a single normalised score combining those
+drivers so that *their* failures correlate with the same properties.
+"""
+
+from __future__ import annotations
+
+from repro.sql.properties import QueryProperties
+
+#: Per-property normalisation ceilings, chosen from the upper ranges of
+#: Figures 1-3 so typical workload queries map into [0, 1].
+_CEILINGS: dict[str, float] = {
+    "word_count": 150.0,
+    "table_count": 10.0,
+    "join_count": 10.0,
+    "predicate_count": 20.0,
+    "nestedness": 3.0,
+    "column_count": 12.0,
+    "function_count": 8.0,
+}
+
+#: Relative importance; word_count dominates (the paper's strongest signal).
+_WEIGHTS: dict[str, float] = {
+    "word_count": 0.40,
+    "table_count": 0.15,
+    "join_count": 0.10,
+    "predicate_count": 0.15,
+    "nestedness": 0.12,
+    "column_count": 0.04,
+    "function_count": 0.04,
+}
+
+
+def complexity_score(props: QueryProperties) -> float:
+    """Normalised complexity in [0, 1]; ~0.15 for trivial, >0.6 for gnarly."""
+    total = 0.0
+    values = props.as_dict()
+    for name, weight in _WEIGHTS.items():
+        ceiling = _CEILINGS[name]
+        total += weight * min(values[name] / ceiling, 1.0)
+    return min(total, 1.0)
+
+
+def property_complexity(props: QueryProperties, name: str) -> float:
+    """Normalised single-property complexity in [0, 1]."""
+    ceiling = _CEILINGS.get(name)
+    if ceiling is None:
+        raise KeyError(f"no ceiling for property {name!r}")
+    return min(props.value(name) / ceiling, 1.0)

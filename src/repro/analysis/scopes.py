@@ -1,0 +1,163 @@
+"""Name-resolution scopes for the semantic analyzer.
+
+A :class:`Scope` models what one SELECT block can see: its FROM sources
+(base tables, derived tables, CTEs), plus everything visible in enclosing
+blocks (for correlated subqueries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.schema.model import ColType, Schema, Table
+from repro.sql import nodes as n
+
+
+@dataclass
+class Source:
+    """One FROM-clause source visible inside a scope.
+
+    ``label`` is the name a qualifier must use (the alias when present,
+    else the table/CTE name).  ``table`` is set for base tables;
+    ``columns`` carries best-effort output columns for derived tables
+    and CTEs (type None when unknown).
+    """
+
+    label: str
+    table: Optional[Table] = None
+    columns: dict[str, Optional[ColType]] = field(default_factory=dict)
+
+    def column_type(self, name: str) -> Optional[ColType]:
+        if self.table is not None:
+            column = self.table.column(name)
+            return column.col_type if column is not None else None
+        return self.columns.get(name.lower())
+
+    def has_column(self, name: str) -> bool:
+        if self.table is not None:
+            return self.table.has_column(name)
+        return name.lower() in self.columns
+
+    def all_columns(self) -> list[str]:
+        if self.table is not None:
+            return self.table.column_names
+        return list(self.columns)
+
+
+@dataclass
+class Scope:
+    """Visibility context for one SELECT block."""
+
+    sources: list[Source] = field(default_factory=list)
+    parent: Optional["Scope"] = None
+
+    def find_source(self, label: str) -> Optional[Source]:
+        """Resolve a qualifier, walking outward through parent scopes."""
+        lowered = label.lower()
+        for source in self.sources:
+            if source.label.lower() == lowered:
+                return source
+        if self.parent is not None:
+            return self.parent.find_source(label)
+        return None
+
+    def sources_with_column(self, column_name: str) -> list[Source]:
+        """Sources *in this scope only* that expose *column_name*.
+
+        Ambiguity is judged per-scope: an unqualified column matching two
+        sources of the same SELECT is ambiguous, but one matching a local
+        source and an outer source is not (local wins, as in SQL).
+        """
+        return [s for s in self.sources if s.has_column(column_name)]
+
+    def resolve_column(
+        self, column_name: str
+    ) -> tuple[Optional[Source], Optional[ColType]]:
+        """Find the source for an unqualified column, searching outward."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            matches = scope.sources_with_column(column_name)
+            if matches:
+                return matches[0], matches[0].column_type(column_name)
+            scope = scope.parent
+        return None, None
+
+
+def build_sources(
+    schema: Schema,
+    from_items: list[n.TableRef],
+    cte_columns: dict[str, dict[str, Optional[ColType]]],
+) -> list[Source]:
+    """Flatten a FROM clause into Source entries.
+
+    ``cte_columns`` maps visible CTE names to their output columns; CTE
+    references become column-backed sources rather than base tables.
+    """
+    sources: list[Source] = []
+
+    def add(ref: n.TableRef) -> None:
+        if isinstance(ref, n.NamedTable):
+            label = ref.alias or ref.name
+            lowered = ref.name.lower()
+            if lowered in cte_columns:
+                sources.append(Source(label=label, columns=cte_columns[lowered]))
+                return
+            sources.append(Source(label=label, table=schema.table(ref.name)))
+        elif isinstance(ref, n.DerivedTable):
+            sources.append(
+                Source(
+                    label=ref.alias,
+                    columns=derive_output_columns(schema, ref.query, cte_columns),
+                )
+            )
+        elif isinstance(ref, n.Join):
+            add(ref.left)
+            add(ref.right)
+
+    for item in from_items:
+        add(item)
+    return sources
+
+
+def derive_output_columns(
+    schema: Schema,
+    query: n.Query,
+    cte_columns: dict[str, dict[str, Optional[ColType]]],
+) -> dict[str, Optional[ColType]]:
+    """Best-effort output column map of a subquery or CTE body."""
+    visible = dict(cte_columns)
+    for cte in query.ctes:
+        visible[cte.name.lower()] = derive_output_columns(schema, cte.query, visible)
+    body = query.body
+    while isinstance(body, n.Compound):
+        body = body.left
+    inner_sources = build_sources(schema, body.from_items, visible)
+    columns: dict[str, Optional[ColType]] = {}
+    for item in body.items:
+        if isinstance(item.expr, n.Star):
+            for source in inner_sources:
+                if item.expr.table and source.label.lower() != item.expr.table.lower():
+                    continue
+                for name in source.all_columns():
+                    columns[name.lower()] = source.column_type(name)
+            continue
+        name = item.alias
+        if name is None and isinstance(item.expr, n.ColumnRef):
+            name = item.expr.name
+        if name is None:
+            continue
+        col_type: Optional[ColType] = None
+        if isinstance(item.expr, n.ColumnRef):
+            if item.expr.table:
+                for source in inner_sources:
+                    if source.label.lower() == item.expr.table.lower():
+                        col_type = source.column_type(item.expr.name)
+                        break
+            else:
+                for source in inner_sources:
+                    if source.has_column(item.expr.name):
+                        col_type = source.column_type(item.expr.name)
+                        break
+        columns[name.lower()] = col_type
+    return columns

@@ -1,0 +1,157 @@
+"""Expression type inference for the semantic analyzer.
+
+Inference is deliberately conservative: ``None`` means "unknown", and the
+analyzer never reports a condition-mismatch unless both sides have known,
+provably incompatible types.  That keeps the oracle free of false
+positives on clean workload queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.schema.model import ColType
+from repro.sql import nodes as n
+from repro.sql.keywords import AGGREGATE_FUNCTIONS
+
+#: Known scalar function result types.
+_FUNCTION_RESULTS: dict[str, ColType] = {
+    "ABS": ColType.FLOAT,
+    "ROUND": ColType.FLOAT,
+    "FLOOR": ColType.FLOAT,
+    "CEILING": ColType.FLOAT,
+    "SQRT": ColType.FLOAT,
+    "POWER": ColType.FLOAT,
+    "LOG": ColType.FLOAT,
+    "LOG10": ColType.FLOAT,
+    "EXP": ColType.FLOAT,
+    "SIN": ColType.FLOAT,
+    "COS": ColType.FLOAT,
+    "TAN": ColType.FLOAT,
+    "RADIANS": ColType.FLOAT,
+    "DEGREES": ColType.FLOAT,
+    "SIGN": ColType.INT,
+    "LEN": ColType.INT,
+    "LENGTH": ColType.INT,
+    "CHARINDEX": ColType.INT,
+    "DATEDIFF": ColType.INT,
+    "UPPER": ColType.TEXT,
+    "LOWER": ColType.TEXT,
+    "LTRIM": ColType.TEXT,
+    "RTRIM": ColType.TEXT,
+    "TRIM": ColType.TEXT,
+    "SUBSTRING": ColType.TEXT,
+    "SUBSTR": ColType.TEXT,
+    "REPLACE": ColType.TEXT,
+    "CONCAT": ColType.TEXT,
+    "STR": ColType.TEXT,
+    "GETDATE": ColType.DATE,
+    "YEAR": ColType.INT,
+    "MONTH": ColType.INT,
+    "DAY": ColType.INT,
+}
+
+#: Resolver signature: a ColumnRef to its (possibly unknown) column type.
+ColumnResolver = Callable[[n.ColumnRef], Optional[ColType]]
+
+
+def literal_type(literal: n.Literal) -> Optional[ColType]:
+    if literal.kind == "number":
+        if isinstance(literal.value, int):
+            return ColType.INT
+        return ColType.FLOAT
+    if literal.kind == "string":
+        return ColType.TEXT
+    if literal.kind == "boolean":
+        return ColType.BOOL
+    return None  # NULL compares with anything
+
+
+def _cast_type(type_name: str) -> Optional[ColType]:
+    base = type_name.split("(")[0].upper()
+    if base in ("INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "BIT"):
+        return ColType.INT
+    if base in ("FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC"):
+        return ColType.FLOAT
+    if base in ("VARCHAR", "NVARCHAR", "CHAR", "TEXT"):
+        return ColType.TEXT
+    if base in ("DATE", "DATETIME", "TIME"):
+        return ColType.DATE
+    if base == "BOOLEAN":
+        return ColType.BOOL
+    return None
+
+
+def infer_type(expr: n.Expr, resolve: ColumnResolver) -> Optional[ColType]:
+    """Infer the value type of *expr* (``None`` when unknown)."""
+    if isinstance(expr, n.Literal):
+        return literal_type(expr)
+    if isinstance(expr, n.ColumnRef):
+        return resolve(expr)
+    if isinstance(expr, n.Cast):
+        return _cast_type(expr.type_name)
+    if isinstance(expr, n.Unary):
+        if expr.op in ("-", "+"):
+            inner = infer_type(expr.operand, resolve)
+            return inner if inner is not None and inner.is_numeric else inner
+        return ColType.BOOL
+    if isinstance(expr, n.Binary):
+        if expr.op in ("AND", "OR") or expr.op in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            return ColType.BOOL
+        if expr.op == "||":
+            return ColType.TEXT
+        left = infer_type(expr.left, resolve)
+        right = infer_type(expr.right, resolve)
+        if left is ColType.FLOAT or right is ColType.FLOAT or expr.op == "/":
+            return ColType.FLOAT
+        if left is ColType.INT and right is ColType.INT:
+            return ColType.INT
+        if left is None or right is None:
+            return None
+        return ColType.FLOAT
+    if isinstance(expr, n.FuncCall):
+        upper = expr.name.upper()
+        if upper == "COUNT":
+            return ColType.INT
+        if upper in AGGREGATE_FUNCTIONS:
+            if expr.args:
+                arg = infer_type(expr.args[0], resolve)
+                return arg if arg is not None else ColType.FLOAT
+            return ColType.FLOAT
+        if upper in ("COALESCE", "ISNULL", "IFNULL", "NULLIF"):
+            for arg in expr.args:
+                inferred = infer_type(arg, resolve)
+                if inferred is not None:
+                    return inferred
+            return None
+        if upper in _FUNCTION_RESULTS:
+            return _FUNCTION_RESULTS[upper]
+        if expr.schema:  # SDSS dbo.f* UDFs are numeric
+            return ColType.FLOAT
+        return None
+    if isinstance(expr, n.Case):
+        for _, result in expr.whens:
+            inferred = infer_type(result, resolve)
+            if inferred is not None:
+                return inferred
+        if expr.default is not None:
+            return infer_type(expr.default, resolve)
+        return None
+    if isinstance(
+        expr, (n.Between, n.InList, n.InSubquery, n.Exists, n.Like, n.IsNull)
+    ):
+        return ColType.BOOL
+    if isinstance(expr, n.ScalarSubquery):
+        return None  # handled separately by the cardinality check
+    if isinstance(expr, (n.Variable, n.Star)):
+        return None
+    return None
+
+
+def types_comparable(
+    left: Optional[ColType], right: Optional[ColType]
+) -> bool:
+    """True unless both types are known and provably incompatible."""
+    if left is None or right is None:
+        return True
+    return left.compatible_with(right)

@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro`` / ``repro-sql``.
+
+Subcommands:
+
+* ``list`` — show all reproducible artifacts;
+* ``run <artifact> [...]`` — run one or more artifact reproductions
+  (``all`` runs everything) and print their reports;
+* ``workloads`` — print the Table 2 overview for all four workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.evalfw.runner import ExperimentRunner
+from repro.experiments.registry import ARTIFACT_IDS, EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sql",
+        description=(
+            "Reproduction of 'Evaluating SQL Understanding in Large "
+            "Language Models' (EDBT 2025)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generation seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible artifacts")
+
+    run_parser = subparsers.add_parser("run", help="run artifact reproductions")
+    run_parser.add_argument(
+        "artifacts",
+        nargs="+",
+        help=f"artifact ids ({', '.join(ARTIFACT_IDS)}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write one .txt report per artifact",
+    )
+
+    subparsers.add_parser("workloads", help="print the Table 2 overview")
+
+    export_parser = subparsers.add_parser(
+        "export", help="export the labeled benchmark datasets to JSON"
+    )
+    export_parser.add_argument(
+        "--out", type=Path, default=Path("benchmark_data"), help="output directory"
+    )
+    export_parser.add_argument(
+        "--tasks", nargs="*", default=None, help="restrict to these tasks"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for artifact, (description, _) in EXPERIMENTS.items():
+            print(f"{artifact:8s} {description}")
+        return 0
+    if args.command == "workloads":
+        from repro.evalfw.report import render_table
+        from repro.workloads import load_workload, workload_stats
+
+        rows = [
+            workload_stats(load_workload(name, args.seed)).as_row()
+            for name in ("sdss", "sqlshare", "join_order", "spider")
+        ]
+        print(render_table(rows, "Table 2: Workload statistics overview"))
+        return 0
+    if args.command == "export":
+        from repro.tasks.export import export_benchmark
+
+        written = export_benchmark(args.out, seed=args.seed, tasks=args.tasks)
+        for path in written:
+            print(path)
+        print(f"exported {len(written)} dataset files to {args.out}")
+        return 0
+    if args.command == "run":
+        wanted = list(args.artifacts)
+        if wanted == ["all"]:
+            wanted = list(ARTIFACT_IDS)
+        unknown = [a for a in wanted if a not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        runner = ExperimentRunner(seed=args.seed)
+        for artifact in wanted:
+            result = run_experiment(artifact, runner)
+            print(f"\n=== {result.title} ===\n")
+            print(result.text)
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{artifact}.txt").write_text(
+                    f"{result.title}\n\n{result.text}\n"
+                )
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

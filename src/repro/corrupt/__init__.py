@@ -1,0 +1,37 @@
+"""Corruption engine: syntax-error injection and missing-token removal."""
+
+from repro.corrupt.missing_tokens import (
+    ALIAS,
+    COLUMN,
+    COMPARISON,
+    KEYWORD,
+    TABLE,
+    TOKEN_TYPES,
+    VALUE,
+    TokenRemoval,
+    applicable_token_types,
+    remove_token,
+)
+from repro.corrupt.syntax_errors import (
+    ERROR_TYPES,
+    SyntaxCorruption,
+    applicable_error_types,
+    inject_syntax_error,
+)
+
+__all__ = [
+    "ERROR_TYPES",
+    "SyntaxCorruption",
+    "applicable_error_types",
+    "inject_syntax_error",
+    "TOKEN_TYPES",
+    "KEYWORD",
+    "TABLE",
+    "COLUMN",
+    "VALUE",
+    "ALIAS",
+    "COMPARISON",
+    "TokenRemoval",
+    "applicable_token_types",
+    "remove_token",
+]

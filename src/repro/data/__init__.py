@@ -1,0 +1,18 @@
+"""Synthetic data generation and SQLite-backed execution."""
+
+from repro.data.generator import GeneratedInstance, RowGenerator
+from repro.data.sqlite_backend import (
+    ExecutionError,
+    QueryResult,
+    SqliteDatabase,
+    results_equal,
+)
+
+__all__ = [
+    "GeneratedInstance",
+    "RowGenerator",
+    "ExecutionError",
+    "QueryResult",
+    "SqliteDatabase",
+    "results_equal",
+]

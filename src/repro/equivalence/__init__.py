@@ -1,0 +1,26 @@
+"""Equivalence engine: transforms, counter-transforms, checker, pairs."""
+
+from repro.equivalence.checker import EquivalenceChecker
+from repro.equivalence.counter_transforms import (
+    NON_EQUIVALENCE_TYPES,
+    NonEquivalentRewrite,
+    apply_non_equivalence_transform,
+)
+from repro.equivalence.pairs import QueryPair, generate_equivalence_pairs
+from repro.equivalence.transforms import (
+    EQUIVALENCE_TYPES,
+    EquivalentRewrite,
+    apply_equivalence_transform,
+)
+
+__all__ = [
+    "EquivalenceChecker",
+    "EQUIVALENCE_TYPES",
+    "NON_EQUIVALENCE_TYPES",
+    "EquivalentRewrite",
+    "NonEquivalentRewrite",
+    "apply_equivalence_transform",
+    "apply_non_equivalence_transform",
+    "QueryPair",
+    "generate_equivalence_pairs",
+]

@@ -1,0 +1,89 @@
+"""Execution-based equivalence checking.
+
+The ground-truth oracle for query_equiv: two queries are judged
+equivalent when they return the same bag of rows on every generated
+database instance.  This is sound for non-equivalence (a witness instance
+proves inequivalence) and sharp in practice for equivalence when checked
+over several diverse instances — the standard testing approach when
+formal equivalence proving is out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.sqlite_backend import ExecutionError, SqliteDatabase, results_equal
+from repro.schema.model import Schema
+from repro.sql import nodes as n
+from repro.sql.parser import try_parse
+from repro.sql.render import SQLITE, render
+
+#: Default instance seeds; diversity across instances is what gives the
+#: bag-comparison oracle its discriminating power.
+DEFAULT_SEEDS: tuple[int, ...] = (11, 23, 57)
+
+
+class EquivalenceChecker:
+    """Caches generated instances per schema and compares query results."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        seeds: tuple[int, ...] = DEFAULT_SEEDS,
+        rows_per_table: int = 80,
+        dangling_fraction: float = 0.08,
+    ) -> None:
+        self.schema = schema
+        self.seeds = seeds
+        self.rows_per_table = rows_per_table
+        self.dangling_fraction = dangling_fraction
+        self._databases: list[SqliteDatabase] | None = None
+
+    @property
+    def databases(self) -> list[SqliteDatabase]:
+        if self._databases is None:
+            self._databases = [
+                SqliteDatabase.from_schema(
+                    self.schema,
+                    seed=seed,
+                    rows_per_table=self.rows_per_table,
+                    dangling_fraction=self.dangling_fraction,
+                )
+                for seed in self.seeds
+            ]
+        return self._databases
+
+    def close(self) -> None:
+        if self._databases is not None:
+            for database in self._databases:
+                database.close()
+            self._databases = None
+
+    def _to_sqlite_sql(self, text: str) -> Optional[str]:
+        statement = try_parse(text)
+        if statement is None or not isinstance(statement, n.SelectStatement):
+            return None
+        return render(statement, SQLITE)
+
+    def verdict(self, first_text: str, second_text: str) -> Optional[bool]:
+        """True = same results everywhere; False = witness found; None =
+        undecidable (parse or execution failure)."""
+        first_sql = self._to_sqlite_sql(first_text)
+        second_sql = self._to_sqlite_sql(second_text)
+        if first_sql is None or second_sql is None:
+            return None
+        for database in self.databases:
+            try:
+                first_result = database.execute(first_sql)
+                second_result = database.execute(second_sql)
+            except ExecutionError:
+                return None
+            if not results_equal(first_result, second_result):
+                return False
+        return True
+
+    def __enter__(self) -> "EquivalenceChecker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,67 @@
+"""Evaluation framework: metrics, confusion analysis, runner, reports."""
+
+from repro.evalfw.confusion import (
+    FN,
+    FP,
+    OUTCOMES,
+    TN,
+    TP,
+    group_by_outcome,
+    outcome,
+    outcome_of,
+)
+from repro.evalfw.failure_analysis import (
+    OutcomeStats,
+    PropertyBreakdown,
+    TypeFailureProfile,
+    property_breakdown,
+    type_failure_profile,
+)
+from repro.evalfw.metrics import (
+    BinaryMetrics,
+    LocationMetrics,
+    WeightedMetrics,
+    binary_metrics,
+    location_metrics,
+    mean,
+    median,
+    weighted_metrics,
+)
+from repro.evalfw.report import (
+    render_breakdown,
+    render_histogram,
+    render_matrix,
+    render_table,
+)
+from repro.evalfw.runner import CellResult, ExperimentRunner, metrics_table
+
+__all__ = [
+    "binary_metrics",
+    "weighted_metrics",
+    "location_metrics",
+    "BinaryMetrics",
+    "WeightedMetrics",
+    "LocationMetrics",
+    "mean",
+    "median",
+    "outcome",
+    "outcome_of",
+    "group_by_outcome",
+    "OUTCOMES",
+    "TP",
+    "TN",
+    "FP",
+    "FN",
+    "property_breakdown",
+    "type_failure_profile",
+    "PropertyBreakdown",
+    "OutcomeStats",
+    "TypeFailureProfile",
+    "ExperimentRunner",
+    "CellResult",
+    "metrics_table",
+    "render_table",
+    "render_histogram",
+    "render_matrix",
+    "render_breakdown",
+]

@@ -1,0 +1,107 @@
+"""Failure analysis: property-vs-outcome breakdowns and FN composition.
+
+Reproduces the analytical figures of section 4:
+
+* Figures 6, 8, 10, 11, 12 — for a syntactic property, the average /
+  median / count per confusion cell (:func:`property_breakdown`);
+* Figures 7, 9 — the share of false negatives contributed by each error
+  or token type (:func:`fn_composition`), plus the per-type miss rate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.evalfw.confusion import FN, OUTCOMES, group_by_outcome
+from repro.evalfw.metrics import mean, median
+from repro.tasks.base import ModelAnswer, TaskInstance
+
+
+@dataclass
+class OutcomeStats:
+    """Distribution of one property within one confusion cell."""
+
+    outcome: str
+    count: int
+    average: float
+    median: float
+    values: list[float] = field(default_factory=list)
+
+
+@dataclass
+class PropertyBreakdown:
+    """Figure 6/8/10-12 payload: per-cell stats of one property."""
+
+    property_name: str
+    cells: dict[str, OutcomeStats]
+
+    def cell(self, name: str) -> OutcomeStats:
+        return self.cells[name]
+
+    def positives_trend(self) -> float:
+        """FN average minus TP average (positive => misses skew complex)."""
+        return self.cells[FN].average - self.cells["TP"].average
+
+
+def property_breakdown(
+    instances: list[TaskInstance],
+    answers: list[ModelAnswer],
+    property_name: str,
+) -> PropertyBreakdown:
+    """Per-outcome stats of a syntactic property."""
+    groups = group_by_outcome(instances, answers)
+    cells = {}
+    for cell_name in OUTCOMES:
+        values = [
+            float(instance.props.value(property_name))
+            for instance in groups[cell_name]
+        ]
+        cells[cell_name] = OutcomeStats(
+            outcome=cell_name,
+            count=len(values),
+            average=round(mean(values), 2),
+            median=round(median(values), 2),
+            values=values,
+        )
+    return PropertyBreakdown(property_name=property_name, cells=cells)
+
+
+@dataclass
+class TypeFailureProfile:
+    """Figure 7/9 payload for one model on one workload."""
+
+    fn_share: dict[str, float]  # share of all FNs carried by each type
+    miss_rate: dict[str, float]  # FN_type / positives_type
+    fn_total: int
+
+
+def type_failure_profile(
+    instances: list[TaskInstance],
+    answers: list[ModelAnswer],
+    all_types: tuple[str, ...],
+) -> TypeFailureProfile:
+    """How false negatives distribute over ground-truth types."""
+    groups = group_by_outcome(instances, answers)
+    fn_types = Counter(
+        instance.label_type
+        for instance in groups[FN]
+        if instance.label_type is not None
+    )
+    positives = Counter(
+        instance.label_type
+        for instance in instances
+        if instance.is_positive and instance.label_type is not None
+    )
+    fn_total = sum(fn_types.values())
+    fn_share = {
+        t: round(fn_types.get(t, 0) / fn_total, 4) if fn_total else 0.0
+        for t in all_types
+    }
+    miss_rate = {
+        t: round(fn_types.get(t, 0) / positives[t], 4) if positives.get(t) else 0.0
+        for t in all_types
+    }
+    return TypeFailureProfile(
+        fn_share=fn_share, miss_rate=miss_rate, fn_total=fn_total
+    )

@@ -1,0 +1,178 @@
+"""Evaluation metrics.
+
+Binary precision/recall/F1 (Tables 3, 4, 6, 7), class-weighted
+precision/recall/F1 for the multi-class ``*_type`` tasks (weights
+proportional to class support, matching the paper's "weighted accuracy"),
+and MAE / hit rate for miss_token_loc (Table 5).
+
+Unextractable predictions (None) count as wrong — the automated half of
+the paper's post-processing pipeline; there is no manual rescue pass here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Precision / recall / F1 plus the confusion counts behind them."""
+
+    precision: float
+    recall: float
+    f1: float
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def binary_metrics(
+    truths: Sequence[bool], predictions: Sequence[Optional[bool]]
+) -> BinaryMetrics:
+    """Compute binary metrics; None predictions are counted as incorrect."""
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    tp = tn = fp = fn = 0
+    for truth, prediction in zip(truths, predictions):
+        effective = prediction if prediction is not None else (not truth)
+        if truth and effective:
+            tp += 1
+        elif truth and not effective:
+            fn += 1
+        elif not truth and effective:
+            fp += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return BinaryMetrics(
+        precision=round(precision, 4),
+        recall=round(recall, 4),
+        f1=round(f1, 4),
+        tp=tp,
+        tn=tn,
+        fp=fp,
+        fn=fn,
+    )
+
+
+@dataclass(frozen=True)
+class WeightedMetrics:
+    """Support-weighted multi-class precision / recall / F1."""
+
+    precision: float
+    recall: float
+    f1: float
+    per_class: dict[str, BinaryMetrics]
+    support: dict[str, int]
+
+
+def weighted_metrics(
+    truths: Sequence[Optional[str]], predictions: Sequence[Optional[str]]
+) -> WeightedMetrics:
+    """One-vs-rest metrics per class, averaged with support weights.
+
+    Classes are taken from the ground-truth labels; None truths are
+    skipped (they carry no class).  A None prediction simply matches no
+    class.
+    """
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    labeled = [
+        (truth, prediction)
+        for truth, prediction in zip(truths, predictions)
+        if truth is not None
+    ]
+    support = Counter(truth for truth, _ in labeled)
+    per_class: dict[str, BinaryMetrics] = {}
+    total = sum(support.values())
+    avg_precision = avg_recall = avg_f1 = 0.0
+    for cls, count in sorted(support.items()):
+        cls_truths = [truth == cls for truth, _ in labeled]
+        cls_predictions = [prediction == cls for _, prediction in labeled]
+        metrics = binary_metrics(cls_truths, cls_predictions)
+        per_class[cls] = metrics
+        weight = count / total
+        avg_precision += weight * metrics.precision
+        avg_recall += weight * metrics.recall
+        avg_f1 += weight * metrics.f1
+    return WeightedMetrics(
+        precision=round(avg_precision, 4),
+        recall=round(avg_recall, 4),
+        f1=round(avg_f1, 4),
+        per_class=per_class,
+        support=dict(support),
+    )
+
+
+@dataclass(frozen=True)
+class LocationMetrics:
+    """MAE and hit rate for position prediction (Table 5)."""
+
+    mae: float
+    hit_rate: float
+    evaluated: int
+
+
+def location_metrics(
+    truths: Sequence[Optional[int]], predictions: Sequence[Optional[int]]
+) -> LocationMetrics:
+    """MAE over extracted positions; misses count a default penalty.
+
+    Pairs whose ground truth is None (intact queries) are skipped.  A
+    missing prediction counts as a miss with an error equal to the mean
+    true position (roughly "pointed nowhere").
+    """
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    pairs = [
+        (truth, prediction)
+        for truth, prediction in zip(truths, predictions)
+        if truth is not None
+    ]
+    if not pairs:
+        return LocationMetrics(mae=0.0, hit_rate=0.0, evaluated=0)
+    mean_truth = sum(truth for truth, _ in pairs) / len(pairs)
+    errors = []
+    hits = 0
+    for truth, prediction in pairs:
+        if prediction is None:
+            errors.append(mean_truth)
+            continue
+        errors.append(abs(prediction - truth))
+        if prediction == truth:
+            hits += 1
+    return LocationMetrics(
+        mae=round(sum(errors) / len(errors), 2),
+        hit_rate=round(hits / len(pairs), 4),
+        evaluated=len(pairs),
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2

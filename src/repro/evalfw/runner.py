@@ -1,0 +1,168 @@
+"""Experiment runner: models x workloads x tasks.
+
+``ExperimentRunner`` caches workloads and task datasets, runs every model
+over every instance through the real prompt/response/extraction path,
+and exposes the evaluated grids the paper's tables are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.evalfw.metrics import (
+    BinaryMetrics,
+    LocationMetrics,
+    WeightedMetrics,
+    binary_metrics,
+    location_metrics,
+    weighted_metrics,
+)
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import PromptTemplate
+from repro.tasks.base import ModelAnswer, TaskDataset
+from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
+from repro.workloads import load_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class CellResult:
+    """One (model, task, workload) evaluation cell."""
+
+    model: str
+    task: str
+    workload: str
+    dataset: TaskDataset
+    answers: list[ModelAnswer]
+
+    @property
+    def binary(self) -> BinaryMetrics:
+        truths = [bool(i.label) for i in self.dataset.instances]
+        predictions = [a.predicted for a in self.answers]
+        return binary_metrics(truths, predictions)
+
+    @property
+    def typed(self) -> WeightedMetrics:
+        truths = [i.label_type for i in self.dataset.instances]
+        predictions = [a.predicted_type for a in self.answers]
+        return weighted_metrics(truths, predictions)
+
+    @property
+    def location(self) -> LocationMetrics:
+        truths = [i.position for i in self.dataset.instances]
+        predictions = [a.predicted_position for a in self.answers]
+        return location_metrics(truths, predictions)
+
+
+class ExperimentRunner:
+    """Caches workloads/datasets and evaluates models over them."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        models: tuple[ModelProfile, ...] = MODEL_PROFILES,
+        max_instances: Optional[int] = None,
+    ) -> None:
+        self.seed = seed
+        self.models = models
+        self.max_instances = max_instances
+        self._workloads: dict[str, Workload] = {}
+        self._datasets: dict[tuple[str, str], TaskDataset] = {}
+        self._clients = {profile.name: SimulatedLLM(profile) for profile in models}
+
+    # -- caching ---------------------------------------------------------------
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            self._workloads[name] = load_workload(name, self.seed)
+        return self._workloads[name]
+
+    def dataset(self, task: str, workload_name: str) -> TaskDataset:
+        key = (task, workload_name)
+        if key not in self._datasets:
+            self._datasets[key] = build_dataset(
+                task,
+                self.workload(workload_name),
+                seed=self.seed,
+                max_instances=self.max_instances,
+            )
+        return self._datasets[key]
+
+    def client(self, model_name: str) -> SimulatedLLM:
+        return self._clients[model_name]
+
+    # -- evaluation --------------------------------------------------------------
+
+    def run_cell(
+        self,
+        model_name: str,
+        task: str,
+        workload_name: str,
+        prompt: Optional[PromptTemplate] = None,
+    ) -> CellResult:
+        """Evaluate one model on one (task, workload) dataset."""
+        dataset = self.dataset(task, workload_name)
+        client = self.client(model_name)
+        answers = [
+            ask(task, client, instance, prompt) for instance in dataset.instances
+        ]
+        return CellResult(
+            model=model_name,
+            task=task,
+            workload=workload_name,
+            dataset=dataset,
+            answers=answers,
+        )
+
+    def run_task(
+        self, task: str, workloads: Optional[tuple[str, ...]] = None
+    ) -> dict[tuple[str, str], CellResult]:
+        """Evaluate all models on all of a task's workloads."""
+        names = workloads or TASK_WORKLOADS[task]
+        grid: dict[tuple[str, str], CellResult] = {}
+        for profile in self.models:
+            for workload_name in names:
+                grid[(profile.name, workload_name)] = self.run_cell(
+                    profile.name, task, workload_name
+                )
+        return grid
+
+
+def metrics_table(
+    grid: dict[tuple[str, str], CellResult],
+    kind: str = "binary",
+) -> list[dict[str, object]]:
+    """Flatten a grid into printable rows (model x workload metrics).
+
+    ``kind`` selects ``binary`` (P/R/F1), ``typed`` (weighted P/R/F1) or
+    ``location`` (MAE / hit rate).
+    """
+    rows: list[dict[str, object]] = []
+    by_model: dict[str, dict[str, CellResult]] = {}
+    for (model, workload), cell in grid.items():
+        by_model.setdefault(model, {})[workload] = cell
+    for profile in MODEL_PROFILES:
+        if profile.name not in by_model:
+            continue
+        row: dict[str, object] = {"Model": profile.display_name}
+        for workload, cell in by_model[profile.name].items():
+            if kind == "binary":
+                metrics = cell.binary
+                row[f"{workload}.Prec"] = metrics.precision
+                row[f"{workload}.Rec"] = metrics.recall
+                row[f"{workload}.F1"] = metrics.f1
+            elif kind == "typed":
+                metrics = cell.typed
+                row[f"{workload}.Prec"] = metrics.precision
+                row[f"{workload}.Rec"] = metrics.recall
+                row[f"{workload}.F1"] = metrics.f1
+            elif kind == "location":
+                metrics = cell.location
+                row[f"{workload}.MAE"] = metrics.mae
+                row[f"{workload}.HR"] = metrics.hit_rate
+            else:
+                raise ValueError(f"unknown metrics kind {kind!r}")
+        rows.append(row)
+    return rows

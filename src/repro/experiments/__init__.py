@@ -1,0 +1,17 @@
+"""Experiment registry: one entry per paper table and figure."""
+
+from repro.experiments.artifacts import ExperimentResult
+from repro.experiments.registry import (
+    ARTIFACT_IDS,
+    EXPERIMENTS,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "ARTIFACT_IDS",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,33 @@
+"""Client-facing LLM types.
+
+The reproduction talks to models through the same narrow interface the
+paper used: a prompt goes in, verbose natural-language text comes out,
+and the response-processing pipeline (:mod:`repro.parsing`) extracts
+labels.  ``SimulatedLLM`` is the offline stand-in for the five hosted
+models; anything implementing :class:`ModelClient` can be swapped in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass
+class LLMResponse:
+    """One model response."""
+
+    text: str
+    model: str
+    prompt: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class ModelClient(Protocol):
+    """The minimal surface the evaluation framework needs."""
+
+    name: str
+
+    def complete(self, prompt: str) -> LLMResponse:
+        """Free-form completion (used by prompt tuning mock experiments)."""
+        ...

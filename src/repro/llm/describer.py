@@ -1,0 +1,210 @@
+"""AST-to-English query description.
+
+The faithful core of the simulated models' query_exp behaviour: walks a
+parsed SELECT and produces an accurate one-sentence description.  Model
+profiles then corrupt it through their
+:class:`~repro.llm.profiles.ExplanationStyle` flaws (section 4.5):
+detail-dropping, superlative inversion, and context loss.
+"""
+
+from __future__ import annotations
+
+from repro.sql import nodes as n
+from repro.sql.render import render
+
+
+def describe_statement(statement: n.Statement) -> str:
+    """An accurate English description of a SELECT statement."""
+    if not isinstance(statement, n.SelectStatement):
+        return f"Executes a {n.statement_type(statement)} statement."
+    return describe_query(statement.query)
+
+
+def describe_query(query: n.Query) -> str:
+    body = query.body
+    if isinstance(body, n.Compound):
+        left = describe_body(body.left)
+        right = describe_body(body.right)
+        connector = {
+            "UNION": "combined with",
+            "INTERSECT": "that also appear in",
+            "EXCEPT": "excluding",
+        }[body.op]
+        return f"{left} {connector} the rows of: {right.lower()}"
+    text = describe_body(body)
+    if query.ctes:
+        names = ", ".join(cte.name for cte in query.ctes)
+        text += f" (using intermediate result {names})"
+    return text
+
+
+def describe_body(core: n.QueryBody) -> str:
+    if isinstance(core, n.Compound):
+        return describe_query(n.Query(body=core))
+    parts: list[str] = []
+    parts.append(_describe_selection(core))
+    tables = _describe_sources(core)
+    if tables:
+        parts.append(f"from {tables}")
+    if core.where is not None:
+        parts.append(f"where {_describe_condition(core.where)}")
+    if core.group_by:
+        grouped = ", ".join(_expr_phrase(g) for g in core.group_by)
+        parts.append(f"for each {grouped}")
+    if core.having is not None:
+        parts.append(f"keeping groups where {_describe_condition(core.having)}")
+    ordering = _describe_ordering(core)
+    if ordering:
+        parts.append(ordering)
+    limit = core.top if core.top is not None else core.limit
+    if limit == 1 and core.order_by:
+        pass  # folded into the superlative phrase by _describe_ordering
+    elif limit is not None:
+        parts.append(f"returning at most {limit} rows")
+    sentence = " ".join(parts)
+    return sentence[0].upper() + sentence[1:] + "."
+
+
+def _describe_selection(core: n.SelectCore) -> str:
+    names = []
+    for item in core.items:
+        names.append(_expr_phrase(item.expr, alias=item.alias))
+    if len(names) == 1:
+        head = names[0]
+    else:
+        head = ", ".join(names[:-1]) + " and " + names[-1]
+    quantifier = "the distinct " if core.distinct else "the "
+    return f"find {quantifier}{head}"
+
+
+def _describe_sources(core: n.SelectCore) -> str:
+    phrases = []
+    for ref in core.from_items:
+        phrases.append(_source_phrase(ref))
+    return ", ".join(phrases)
+
+
+def _source_phrase(ref: n.TableRef) -> str:
+    if isinstance(ref, n.NamedTable):
+        return ref.name
+    if isinstance(ref, n.DerivedTable):
+        return f"a subquery ({describe_query(ref.query).rstrip('.')})"
+    if isinstance(ref, n.Join):
+        left = _source_phrase(ref.left)
+        right = _source_phrase(ref.right)
+        joiner = {
+            "INNER": "joined with",
+            "LEFT": "left-joined with",
+            "RIGHT": "right-joined with",
+            "FULL": "fully joined with",
+            "CROSS": "crossed with",
+        }[ref.kind]
+        phrase = f"{left} {joiner} {right}"
+        if ref.condition is not None:
+            phrase += f" on {_describe_condition(ref.condition)}"
+        return phrase
+    return "an unknown source"
+
+
+def _describe_ordering(core: n.SelectCore) -> str:
+    if not core.order_by:
+        return ""
+    limit = core.top if core.top is not None else core.limit
+    first = core.order_by[0]
+    direction = first.direction or "ASC"
+    subject = _expr_phrase(first.expr)
+    if limit == 1:
+        superlative = "lowest" if direction == "ASC" else "highest"
+        return f"for the row with the {superlative} {subject}"
+    adverb = "ascending" if direction == "ASC" else "descending"
+    extra = ""
+    if len(core.order_by) > 1:
+        extra = " (then by " + ", ".join(
+            _expr_phrase(item.expr) for item in core.order_by[1:]
+        ) + ")"
+    return f"ordered by {adverb} {subject}{extra}"
+
+
+def _expr_phrase(expr: n.Expr, alias: str | None = None) -> str:
+    if isinstance(expr, n.Star):
+        return "all columns" if expr.table is None else f"all {expr.table} columns"
+    if isinstance(expr, n.ColumnRef):
+        return expr.name
+    if isinstance(expr, n.FuncCall):
+        name = expr.name.upper()
+        arg = _expr_phrase(expr.args[0]) if expr.args else ""
+        mapping = {
+            "COUNT": f"number of {arg}" if arg not in ("all columns", "") else "number of rows",
+            "AVG": f"average {arg}",
+            "SUM": f"total {arg}",
+            "MIN": f"minimum {arg}",
+            "MAX": f"maximum {arg}",
+        }
+        if name in mapping:
+            phrase = mapping[name]
+            if expr.distinct:
+                phrase = phrase.replace("number of", "number of distinct")
+            return phrase
+        return render(expr)
+    if isinstance(expr, n.Literal):
+        return render(expr)
+    if alias:
+        return alias
+    return render(expr)
+
+
+def _describe_condition(expr: n.Expr) -> str:
+    if isinstance(expr, n.Binary):
+        if expr.op == "AND":
+            return (
+                f"{_describe_condition(expr.left)} and "
+                f"{_describe_condition(expr.right)}"
+            )
+        if expr.op == "OR":
+            return (
+                f"{_describe_condition(expr.left)} or "
+                f"{_describe_condition(expr.right)}"
+            )
+        op_words = {
+            "=": "equals",
+            "<>": "differs from",
+            "!=": "differs from",
+            ">": "is greater than",
+            "<": "is less than",
+            ">=": "is at least",
+            "<=": "is at most",
+        }
+        if expr.op in op_words:
+            return (
+                f"{_expr_phrase(expr.left)} {op_words[expr.op]} "
+                f"{_expr_phrase(expr.right)}"
+            )
+        return render(expr)
+    if isinstance(expr, n.Between):
+        verb = "is not between" if expr.negated else "is between"
+        return (
+            f"{_expr_phrase(expr.expr)} {verb} {_expr_phrase(expr.low)} "
+            f"and {_expr_phrase(expr.high)}"
+        )
+    if isinstance(expr, n.InList):
+        verb = "is not one of" if expr.negated else "is one of"
+        items = ", ".join(_expr_phrase(item) for item in expr.items)
+        return f"{_expr_phrase(expr.expr)} {verb} {items}"
+    if isinstance(expr, n.InSubquery):
+        verb = "does not appear" if expr.negated else "appears"
+        return (
+            f"{_expr_phrase(expr.expr)} {verb} in the result of a subquery "
+            f"({describe_query(expr.query).rstrip('.')})"
+        )
+    if isinstance(expr, n.Exists):
+        verb = "no matching row exists" if expr.negated else "a matching row exists"
+        return f"{verb} in a subquery ({describe_query(expr.query).rstrip('.')})"
+    if isinstance(expr, n.Like):
+        verb = "does not match" if expr.negated else "matches"
+        return f"{_expr_phrase(expr.expr)} {verb} pattern {_expr_phrase(expr.pattern)}"
+    if isinstance(expr, n.IsNull):
+        verb = "is not null" if expr.negated else "is null"
+        return f"{_expr_phrase(expr.expr)} {verb}"
+    if isinstance(expr, n.Unary) and expr.op == "NOT":
+        return f"not ({_describe_condition(expr.operand)})"
+    return render(expr)

@@ -1,0 +1,142 @@
+"""Per-workload type-difficulty tables.
+
+The paper finds that *which* error/token types models miss depends on the
+dataset, not the model (sections 4.1-4.2):
+
+* SDSS: type mismatches (nested-mismatch, condition-mismatch) are the
+  hardest syntax errors (Fig 7a); missing *keywords* dominate FNs (Fig 9a).
+* SQLShare: ambiguous aliases are hardest (Fig 7b) — many schemas, many
+  aliases; missing aliases and tables dominate FNs (Fig 9b).
+* Join-Order: nested-mismatch hardest (Fig 7c); no token type stands out
+  (Fig 9c).
+
+Values are additive recall penalties applied on positive instances of the
+given type; 0.0 means no extra difficulty.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import JOIN_ORDER, SDSS, SQLSHARE
+
+#: syntax_error recall penalty per (workload, error type) — Figure 7.
+SYNTAX_TYPE_DIFFICULTY: dict[str, dict[str, float]] = {
+    SDSS: {
+        "aggr-attr": 0.00,
+        "aggr-having": 0.02,
+        "nested-mismatch": 0.18,
+        "condition-mismatch": 0.14,
+        "alias-undefined": 0.03,
+        "alias-ambiguous": 0.03,
+    },
+    SQLSHARE: {
+        "aggr-attr": 0.02,
+        "aggr-having": 0.03,
+        "nested-mismatch": 0.06,
+        "condition-mismatch": 0.05,
+        "alias-undefined": 0.05,
+        "alias-ambiguous": 0.15,
+    },
+    JOIN_ORDER: {
+        "aggr-attr": 0.02,
+        "aggr-having": 0.04,
+        "nested-mismatch": 0.17,
+        "condition-mismatch": 0.08,
+        "alias-undefined": 0.03,
+        "alias-ambiguous": 0.05,
+    },
+}
+
+#: miss_token recall penalty per (workload, token type) — Figure 9.
+TOKEN_TYPE_DIFFICULTY: dict[str, dict[str, float]] = {
+    SDSS: {
+        "keyword": 0.10,
+        "column": 0.02,
+        "table": 0.02,
+        "value": 0.03,
+        "alias": 0.03,
+        "comparison": 0.04,
+    },
+    SQLSHARE: {
+        "keyword": 0.03,
+        "column": 0.03,
+        "table": 0.10,
+        "value": 0.02,
+        "alias": 0.12,
+        "comparison": 0.04,
+    },
+    JOIN_ORDER: {
+        "keyword": 0.03,
+        "column": 0.03,
+        "table": 0.03,
+        "value": 0.03,
+        "alias": 0.03,
+        "comparison": 0.03,
+    },
+}
+
+#: query_equiv difficulty: FP propensity per non-equivalence type.
+#: Section 4.4: models mostly fail on modified conditions — value changes
+#: and logical-operator flips — i.e. numeric/logical reasoning gaps.
+EQUIV_TYPE_DIFFICULTY: dict[str, float] = {
+    "value-change": 0.30,
+    "logical-conditions": 0.22,
+    "comparison-op": 0.18,
+    "change-join-condition": 0.12,
+    "agg-function": 0.08,
+    "drop-condition": 0.10,
+    "column-swap": 0.03,
+    "distinct-change": 0.14,
+}
+
+#: Confusable neighbours for multi-class predictions: when a model gets
+#: the type wrong it usually picks something adjacent, not uniform noise.
+SYNTAX_TYPE_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "aggr-attr": ("aggr-having",),
+    "aggr-having": ("aggr-attr",),
+    "nested-mismatch": ("condition-mismatch",),
+    "condition-mismatch": ("nested-mismatch", "aggr-having"),
+    "alias-undefined": ("alias-ambiguous",),
+    "alias-ambiguous": ("alias-undefined",),
+}
+
+TOKEN_TYPE_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "keyword": ("comparison",),
+    "table": ("column", "alias"),
+    "column": ("table", "alias"),
+    "value": ("comparison",),
+    "alias": ("column", "table"),
+    "comparison": ("keyword", "value"),
+}
+
+EQUIV_TYPE_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "swap-subqueries": ("join-nested", "nested-join"),
+    "join-nested": ("nested-join", "swap-subqueries"),
+    "nested-join": ("join-nested",),
+    "cte": ("join-nested",),
+    "reorder-conditions": ("comparison-flip",),
+    "between-split": ("in-expansion", "reorder-conditions"),
+    "in-expansion": ("between-split",),
+    "join-commute": ("alias-rename", "reorder-conditions"),
+    "alias-rename": ("join-commute",),
+    "comparison-flip": ("reorder-conditions",),
+    "agg-function": ("value-change",),
+    "change-join-condition": ("logical-conditions",),
+    "logical-conditions": ("comparison-op", "change-join-condition"),
+    "value-change": ("comparison-op",),
+    "comparison-op": ("value-change", "logical-conditions"),
+    "drop-condition": ("logical-conditions",),
+    "column-swap": ("value-change",),
+    "distinct-change": ("drop-condition",),
+}
+
+
+def syntax_penalty(workload: str, error_type: str) -> float:
+    return SYNTAX_TYPE_DIFFICULTY.get(workload, {}).get(error_type, 0.05)
+
+
+def token_penalty(workload: str, token_type: str) -> float:
+    return TOKEN_TYPE_DIFFICULTY.get(workload, {}).get(token_type, 0.04)
+
+
+def equivalence_fp_boost(pair_type: str) -> float:
+    return EQUIV_TYPE_DIFFICULTY.get(pair_type, 0.10)

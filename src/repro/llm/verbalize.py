@@ -1,0 +1,139 @@
+"""Verbose response generation.
+
+Real LLMs "often produce lengthy and verbose responses that require
+careful extraction of relevant information" (section 3.4).  The
+verbalizer wraps each simulated answer in model-flavoured prose drawn
+from several phrasing families, so :mod:`repro.parsing` has realistic
+material to extract labels from.
+"""
+
+from __future__ import annotations
+
+import random
+
+_YES_OPENERS = (
+    "Yes.",
+    "Yes, it does.",
+    "Answer: yes.",
+    "Indeed, yes —",
+    "Yes —",
+)
+_NO_OPENERS = (
+    "No.",
+    "No, it does not.",
+    "Answer: no.",
+    "No —",
+    "I don't believe so; no.",
+)
+_HEDGES = (
+    "Looking at the query,",
+    "After examining the statement,",
+    "Based on the SQL provided,",
+    "From the structure of the query,",
+)
+_FILLER = (
+    "Let me walk through the clauses to explain my reasoning.",
+    "The overall structure otherwise follows standard SQL conventions.",
+    "Note that formatting and capitalization do not affect this judgement.",
+    "This assessment assumes the schema implied by the table names.",
+)
+
+
+def yes_no_response(
+    answer: bool,
+    rng: random.Random,
+    verbosity: float,
+    elaboration: str = "",
+) -> str:
+    """A yes/no answer wrapped in prose; label first, chatter after."""
+    parts: list[str] = []
+    if rng.random() < verbosity * 0.6:
+        parts.append(rng.choice(_HEDGES))
+    parts.append(rng.choice(_YES_OPENERS if answer else _NO_OPENERS))
+    if elaboration:
+        parts.append(elaboration)
+    if rng.random() < verbosity:
+        parts.append(rng.choice(_FILLER))
+    return " ".join(parts)
+
+
+def typed_response(
+    answer: bool,
+    type_label: str | None,
+    type_kind: str,
+    rng: random.Random,
+    verbosity: float,
+    extra: str = "",
+) -> str:
+    """Yes/no plus a categorical label (`type_kind` names the category)."""
+    elaboration = ""
+    if answer and type_label is not None:
+        templates = (
+            f"The {type_kind} is '{type_label}'.",
+            f"This looks like a '{type_label}' {type_kind}.",
+            f"I would classify the {type_kind} as {type_label}.",
+        )
+        elaboration = rng.choice(templates)
+    if extra:
+        elaboration = f"{elaboration} {extra}".strip()
+    return yes_no_response(answer, rng, verbosity, elaboration)
+
+
+def token_response(
+    missing: bool,
+    token_type: str | None,
+    token: str | None,
+    position: int | None,
+    rng: random.Random,
+    verbosity: float,
+) -> str:
+    """The compound miss_token answer format of section 3.4."""
+    if not missing:
+        return yes_no_response(False, rng, verbosity)
+    parts = [rng.choice(_YES_OPENERS), "There is a missing word."]
+    if token_type is not None:
+        parts.append(f"The type of the missing word is '{token_type}'.")
+    if token is not None:
+        parts.append(f"The missing word is likely '{token}'.")
+    if position is not None:
+        parts.append(f"It is missing at word position {position}.")
+    if rng.random() < verbosity:
+        parts.append(rng.choice(_FILLER))
+    return " ".join(parts)
+
+
+def runtime_response(costly: bool, rng: random.Random, verbosity: float) -> str:
+    """performance_pred answer with the typical explanatory tail."""
+    reason_costly = (
+        "The multiple joins and predicates suggest a heavy execution plan.",
+        "Scanning several tables with these filters is likely slow.",
+        "The nesting and join structure point to a long runtime.",
+    )
+    reason_cheap = (
+        "It touches a single table with selective filters.",
+        "The query is simple and should use indexes effectively.",
+        "Few predicates and a small projection keep this fast.",
+    )
+    elaboration = rng.choice(reason_costly if costly else reason_cheap)
+    return yes_no_response(costly, rng, verbosity, elaboration)
+
+
+def equivalence_response(
+    equivalent: bool,
+    pair_type: str | None,
+    rng: random.Random,
+    verbosity: float,
+) -> str:
+    """query_equiv answer; mentions the rewrite kind when judged equivalent."""
+    if equivalent:
+        extra = ""
+        if pair_type is not None:
+            extra = (
+                f"The second query is a '{pair_type}' rewriting of the first, "
+                "so both produce the same results."
+            )
+        return yes_no_response(True, rng, verbosity, extra)
+    extra = ""
+    if pair_type is not None:
+        extra = f"They differ: this is a '{pair_type}' modification."
+    return yes_no_response(False, rng, verbosity, extra)

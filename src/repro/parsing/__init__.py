@@ -1,0 +1,17 @@
+"""Response post-processing: label extraction from verbose model output."""
+
+from repro.parsing.extract import (
+    extract_equivalence,
+    extract_label,
+    extract_missing_word,
+    extract_position,
+    extract_yes_no,
+)
+
+__all__ = [
+    "extract_yes_no",
+    "extract_label",
+    "extract_position",
+    "extract_missing_word",
+    "extract_equivalence",
+]

@@ -1,0 +1,133 @@
+"""Response post-processing (paper section 3.4, "Handling LLM Output").
+
+LLM responses are verbose; labels must be extracted by pattern matching.
+These extractors implement the paper's "automated scripts" side: they
+detect the common response shapes and pull out yes/no answers, claimed
+types, and word positions.  Anything the patterns cannot resolve returns
+None — the caller decides the fallback (the paper used manual checks;
+the evaluation framework scores unresolved answers as incorrect).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+_NEGATIVE_PATTERNS = (
+    re.compile(r"^\s*(?:answer\s*:\s*)?no\b", re.IGNORECASE),
+    re.compile(r"\banswer\s*:\s*no\b", re.IGNORECASE),
+    re.compile(r"\bno,?\s+(?:it|the query|they|there)\b", re.IGNORECASE),
+    re.compile(r"\bi don'?t believe so\b", re.IGNORECASE),
+    re.compile(r"\bnot\s+equivalent\b", re.IGNORECASE),
+    re.compile(r"\bno\s+(?:syntax\s+)?errors?\b", re.IGNORECASE),
+    re.compile(r"\bno\s+missing\b", re.IGNORECASE),
+)
+
+_POSITIVE_PATTERNS = (
+    re.compile(r"^\s*(?:answer\s*:\s*)?(?:indeed,?\s+)?yes\b", re.IGNORECASE),
+    re.compile(r"\banswer\s*:\s*yes\b", re.IGNORECASE),
+    re.compile(r"(?:^|[,.]\s+)(?:indeed,?\s+)?yes\b[\s,—-]", re.IGNORECASE),
+    re.compile(r"\byes,?\s+(?:it|the query|they|there)\b", re.IGNORECASE),
+    re.compile(r"\bthey\s+are\s+equivalent\b", re.IGNORECASE),
+    re.compile(r"\bthere\s+is\s+a\s+missing\b", re.IGNORECASE),
+    re.compile(r"\bcontains?\s+(?:a\s+)?(?:syntax\s+)?error\b", re.IGNORECASE),
+)
+
+
+def extract_yes_no(text: str) -> Optional[bool]:
+    """Pull the leading yes/no judgement out of a verbose response.
+
+    Scans sentence-initial answers first, then falls back to phrase-level
+    cues.  Returns None when neither polarity can be established.
+    """
+    if not text:
+        return None
+    for pattern in _NEGATIVE_PATTERNS:
+        if pattern.search(text):
+            return False
+    for pattern in _POSITIVE_PATTERNS:
+        if pattern.search(text):
+            return True
+    # Last resort: a bare token near the start.
+    head = text[:40].lower()
+    if re.search(r"\byes\b", head):
+        return True
+    if re.search(r"\bno\b", head):
+        return False
+    return None
+
+
+def extract_label(text: str, labels: Sequence[str]) -> Optional[str]:
+    """Find which of *labels* the response claims.
+
+    Prefers quoted mentions ('aggr-attr') over bare substring hits, and
+    earlier mentions over later ones.
+    """
+    if not text:
+        return None
+    lowered = text.lower()
+    best: tuple[int, str] | None = None
+    for label in labels:
+        target = label.lower()
+        for pattern in (f"'{target}'", f'"{target}"'):
+            index = lowered.find(pattern)
+            if index >= 0 and (best is None or index < best[0]):
+                best = (index, label)
+    if best is not None:
+        return best[1]
+    for label in labels:
+        index = lowered.find(label.lower())
+        if index >= 0 and (best is None or index < best[0]):
+            best = (index, label)
+    return best[1] if best else None
+
+
+_POSITION_PATTERNS = (
+    re.compile(r"word\s+position\s+(\d+)", re.IGNORECASE),
+    re.compile(r"position\s+(?:is\s+)?(\d+)", re.IGNORECASE),
+    re.compile(r"at\s+word\s+(\d+)", re.IGNORECASE),
+    re.compile(r"(\d+)(?:st|nd|rd|th)\s+word", re.IGNORECASE),
+)
+
+
+def extract_position(text: str) -> Optional[int]:
+    """Pull a word-position integer out of a response."""
+    if not text:
+        return None
+    for pattern in _POSITION_PATTERNS:
+        match = pattern.search(text)
+        if match:
+            return int(match.group(1))
+    return None
+
+
+#: "The missing word is likely 'X'" — but not "the type of the missing
+#: word is 'keyword'", hence the lookbehind.
+_QUOTED_WORD = re.compile(
+    r"(?<!of\sthe\s)missing\s+word\s+is\s+(?:likely\s+)?'([^']+)'",
+    re.IGNORECASE,
+)
+
+
+def extract_missing_word(text: str) -> Optional[str]:
+    """Pull the claimed missing word (quoted) out of a response."""
+    if not text:
+        return None
+    match = _QUOTED_WORD.search(text)
+    if match:
+        return match.group(1)
+    return None
+
+
+def extract_equivalence(text: str) -> Optional[bool]:
+    """Equivalence judgement; same polarity logic as yes/no."""
+    if not text:
+        return None
+    if re.search(r"\bnot\s+equivalent\b|\bthey\s+differ\b", text, re.IGNORECASE):
+        return False
+    if re.search(r"\bequivalent\b|\bsame\s+results\b", text, re.IGNORECASE):
+        verdict = extract_yes_no(text)
+        if verdict is not None:
+            return verdict
+        return True
+    return extract_yes_no(text)

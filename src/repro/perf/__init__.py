@@ -1,0 +1,17 @@
+"""Performance substrate: SDSS runtime simulation and cost labeling."""
+
+from repro.perf.cost_model import (
+    HIGH_COST_THRESHOLD_MS,
+    PAPER_COSTLY_FRACTION,
+    base_cost_ms,
+    is_high_cost,
+    simulate_elapsed_ms,
+)
+
+__all__ = [
+    "HIGH_COST_THRESHOLD_MS",
+    "PAPER_COSTLY_FRACTION",
+    "base_cost_ms",
+    "is_high_cost",
+    "simulate_elapsed_ms",
+]

@@ -1,0 +1,65 @@
+"""Analytical runtime cost model for SDSS queries.
+
+The paper's performance_pred task uses ground-truth elapsed times from the
+SDSS query log; Figure 5 shows a strongly bimodal distribution — 244 of
+285 sampled queries finish under 100 ms and 41 take 500+ ms — and the
+paper labels queries above 200 ms as "high cost".
+
+Without the proprietary log we synthesise elapsed times with a cost model
+whose drivers match the paper's observations: joins, nesting, predicate
+volume and scanned-table width push queries over the knee, with a heavy
+tail for the expensive class and measurement noise everywhere.  The model
+reproduces the Figure 5 histogram shape and gives performance_pred a
+learnable-but-imperfect signal, exactly the role the real log played.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.sql.properties import QueryProperties
+
+#: The paper's cost threshold (section 3.2): > 200 ms means high cost.
+HIGH_COST_THRESHOLD_MS = 200.0
+
+#: Target share of costly queries in the SDSS sample (41 / 285, Figure 5).
+PAPER_COSTLY_FRACTION = 41 / 285
+
+
+def base_cost_ms(props: QueryProperties) -> float:
+    """Deterministic part of the cost model (milliseconds).
+
+    Cheap queries (single table, few predicates) land well under 100 ms.
+    The exponential join/nesting terms create the bimodal gap: queries
+    combining several joins with deep nesting or very wide scans jump
+    past 500 ms, mirroring Figure 5's empty 100-500 ms valley.
+    """
+    cost = 4.0
+    cost += 0.05 * props.word_count
+    cost += 5.0 * props.table_count
+    cost += 2.0 * props.predicate_count
+    cost += 1.0 * props.column_count
+    cost += 1.0 * props.function_count
+    # Joins and nesting interact multiplicatively — the expensive class.
+    join_pressure = props.join_count + 1.6 * props.nestedness
+    if join_pressure >= 3:
+        cost += 90.0 * math.pow(1.9, min(join_pressure - 2, 5))
+    if props.aggregate and props.table_count >= 2:
+        cost += 60.0
+    return cost
+
+
+def simulate_elapsed_ms(props: QueryProperties, rng: random.Random) -> float:
+    """Base cost perturbed by multiplicative log-normal noise."""
+    noise = math.exp(rng.gauss(0.0, 0.28))
+    elapsed = base_cost_ms(props) * noise
+    # Occasional server-side hiccups give even cheap queries a thin tail.
+    if rng.random() < 0.012:
+        elapsed += rng.uniform(300.0, 900.0)
+    return round(elapsed, 2)
+
+
+def is_high_cost(elapsed_ms: float) -> bool:
+    """The paper's labeling rule: > 200 ms is the positive (costly) class."""
+    return elapsed_ms > HIGH_COST_THRESHOLD_MS

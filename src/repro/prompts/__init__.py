@@ -1,0 +1,38 @@
+"""Prompt templates and the tuning harness."""
+
+from repro.prompts.fewshot import (
+    FewShotPrompt,
+    build_few_shot_prompt,
+    dynamic_prompt_table,
+    format_example,
+)
+from repro.prompts.templates import (
+    MISS_TOKEN,
+    PERFORMANCE_PRED,
+    QUERY_EQUIV,
+    QUERY_EXP,
+    SYNTAX_ERROR,
+    TASK_NAMES,
+    PromptTemplate,
+    prompt_for,
+    variants_for,
+)
+from repro.prompts.tuning import TuningResult, tune_prompt
+
+__all__ = [
+    "PromptTemplate",
+    "prompt_for",
+    "variants_for",
+    "TASK_NAMES",
+    "SYNTAX_ERROR",
+    "MISS_TOKEN",
+    "QUERY_EQUIV",
+    "PERFORMANCE_PRED",
+    "QUERY_EXP",
+    "TuningResult",
+    "tune_prompt",
+    "FewShotPrompt",
+    "build_few_shot_prompt",
+    "dynamic_prompt_table",
+    "format_example",
+]

@@ -1,0 +1,169 @@
+"""Task prompts (paper section 3.4).
+
+The default templates are the paper's tuned prompts, verbatim.  Each task
+also ships *untuned* variants with lower ``quality``; the tuning harness
+(:mod:`repro.prompts.tuning`) runs mock experiments to pick the best one,
+reproducing the paper's two-step prompt-engineering process.  Simulated
+models multiply their competence by the chosen prompt's quality, so
+tuning has a measurable effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SYNTAX_ERROR = "syntax_error"
+MISS_TOKEN = "miss_token"
+QUERY_EQUIV = "query_equiv"
+PERFORMANCE_PRED = "performance_pred"
+QUERY_EXP = "query_exp"
+
+TASK_NAMES: tuple[str, ...] = (
+    SYNTAX_ERROR,
+    MISS_TOKEN,
+    QUERY_EQUIV,
+    PERFORMANCE_PRED,
+    QUERY_EXP,
+)
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """One prompt variant for a task.
+
+    ``quality`` in (0, 1] models how well the phrasing guides the model;
+    the paper's tuned prompts sit at 1.0.
+    """
+
+    task: str
+    name: str
+    text: str
+    quality: float = 1.0
+
+    def render(self, **payload: str) -> str:
+        return self.text.format(**payload)
+
+
+#: The paper's tuned prompts, quoted from section 3.4.
+TUNED_PROMPTS: dict[str, PromptTemplate] = {
+    SYNTAX_ERROR: PromptTemplate(
+        task=SYNTAX_ERROR,
+        name="tuned",
+        text=(
+            "Does the following query contain any syntax errors? "
+            "If so, explain the error. {query}"
+        ),
+        quality=1.0,
+    ),
+    MISS_TOKEN: PromptTemplate(
+        task=MISS_TOKEN,
+        name="tuned",
+        text=(
+            "Does the following query have any syntax errors? (yes/no) "
+            "If yes, is there a missing word? (yes/no) "
+            "If yes, what is the type of the missing word? "
+            "If yes, what is the missing word? "
+            "If yes, what is the position of the missing word? "
+            "(Provide the word count position where the word is missing.) "
+            "{query}"
+        ),
+        quality=1.0,
+    ),
+    QUERY_EQUIV: PromptTemplate(
+        task=QUERY_EQUIV,
+        name="tuned",
+        text=(
+            "Are the following two queries equivalent (do they produce the "
+            "same results on the same database schema)? "
+            "If yes, why are they equivalent? {query_1} {query_2}"
+        ),
+        quality=1.0,
+    ),
+    PERFORMANCE_PRED: PromptTemplate(
+        task=PERFORMANCE_PRED,
+        name="tuned",
+        text="Does the following query take longer than usual to run? {query}",
+        quality=1.0,
+    ),
+    QUERY_EXP: PromptTemplate(
+        task=QUERY_EXP,
+        name="tuned",
+        text="Provide a single statement describing this query: {query}",
+        quality=1.0,
+    ),
+}
+
+#: Weaker variants the tuning harness must reject.
+VARIANT_PROMPTS: dict[str, list[PromptTemplate]] = {
+    SYNTAX_ERROR: [
+        TUNED_PROMPTS[SYNTAX_ERROR],
+        PromptTemplate(
+            task=SYNTAX_ERROR,
+            name="terse",
+            text="Any errors here? {query}",
+            quality=0.88,
+        ),
+        PromptTemplate(
+            task=SYNTAX_ERROR,
+            name="rambling",
+            text=(
+                "Please review the following SQL carefully, considering all "
+                "aspects of style, performance and correctness, and share "
+                "your thoughts: {query}"
+            ),
+            quality=0.92,
+        ),
+    ],
+    MISS_TOKEN: [
+        TUNED_PROMPTS[MISS_TOKEN],
+        PromptTemplate(
+            task=MISS_TOKEN,
+            name="terse",
+            text="Is a word missing? {query}",
+            quality=0.90,
+        ),
+    ],
+    QUERY_EQUIV: [
+        TUNED_PROMPTS[QUERY_EQUIV],
+        PromptTemplate(
+            task=QUERY_EQUIV,
+            name="terse",
+            text="Same results? {query_1} {query_2}",
+            quality=0.9,
+        ),
+    ],
+    PERFORMANCE_PRED: [
+        TUNED_PROMPTS[PERFORMANCE_PRED],
+        PromptTemplate(
+            task=PERFORMANCE_PRED,
+            name="terse",
+            text="Fast or slow? {query}",
+            quality=0.9,
+        ),
+    ],
+    QUERY_EXP: [
+        TUNED_PROMPTS[QUERY_EXP],
+        PromptTemplate(
+            task=QUERY_EXP,
+            name="terse",
+            text="Explain: {query}",
+            quality=0.93,
+        ),
+    ],
+}
+
+
+def prompt_for(task: str) -> PromptTemplate:
+    """The tuned prompt for a task."""
+    try:
+        return TUNED_PROMPTS[task]
+    except KeyError:
+        raise KeyError(f"unknown task {task!r}") from None
+
+
+def variants_for(task: str) -> list[PromptTemplate]:
+    """All prompt variants (tuned first) for a task."""
+    try:
+        return list(VARIANT_PROMPTS[task])
+    except KeyError:
+        raise KeyError(f"unknown task {task!r}") from None

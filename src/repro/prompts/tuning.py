@@ -1,0 +1,59 @@
+"""Prompt-tuning harness (paper section 3.4, "Prompt Tuning").
+
+The paper's process: (1) generate and refine prompt candidates, then
+(2) run *mock experiments* on a small labeled subset and keep the top
+performer.  ``tune_prompt`` reproduces step (2): it scores each variant
+by accuracy on a trial set and returns the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.prompts.templates import PromptTemplate, variants_for
+
+#: A trial evaluates one (variant, instance) and returns 1.0 when the
+#: extracted label matched ground truth, else 0.0.
+TrialFn = Callable[[PromptTemplate, object], float]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one mock-experiment sweep."""
+
+    task: str
+    best: PromptTemplate
+    scores: dict[str, float]
+
+    def ranking(self) -> list[tuple[str, float]]:
+        return sorted(self.scores.items(), key=lambda item: -item[1])
+
+
+def tune_prompt(
+    task: str,
+    trial_instances: Sequence[object],
+    run_trial: TrialFn,
+) -> TuningResult:
+    """Score each variant over *trial_instances*; return the best.
+
+    Ties break toward the earlier variant in the candidate list (the
+    manually refined ones come first, as in the paper's workflow).
+    """
+    variants = variants_for(task)
+    if not trial_instances:
+        raise ValueError("prompt tuning needs at least one trial instance")
+    scores: dict[str, float] = {}
+    best: PromptTemplate | None = None
+    best_score = -1.0
+    for variant in variants:
+        total = 0.0
+        for instance in trial_instances:
+            total += run_trial(variant, instance)
+        score = total / len(trial_instances)
+        scores[variant.name] = round(score, 4)
+        if score > best_score:
+            best = variant
+            best_score = score
+    assert best is not None
+    return TuningResult(task=task, best=best, scores=scores)

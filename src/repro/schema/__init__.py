@@ -1,0 +1,39 @@
+"""Schema catalogs for the four workloads."""
+
+from repro.schema.imdb import IMDB_SCHEMA, build_imdb_schema
+from repro.schema.model import (
+    ColType,
+    Column,
+    ForeignKey,
+    Schema,
+    Table,
+    ValueSpec,
+    date_col,
+    float_col,
+    int_col,
+    text_col,
+)
+from repro.schema.sdss import SDSS_SCHEMA, build_sdss_schema
+from repro.schema.spider import SPIDER_SCHEMAS, build_spider_schemas
+from repro.schema.sqlshare import SQLSHARE_SCHEMAS, build_sqlshare_schemas
+
+__all__ = [
+    "ColType",
+    "Column",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "ValueSpec",
+    "int_col",
+    "float_col",
+    "text_col",
+    "date_col",
+    "SDSS_SCHEMA",
+    "IMDB_SCHEMA",
+    "SQLSHARE_SCHEMAS",
+    "SPIDER_SCHEMAS",
+    "build_sdss_schema",
+    "build_imdb_schema",
+    "build_sqlshare_schemas",
+    "build_spider_schemas",
+]

@@ -1,0 +1,205 @@
+"""Relational schema model.
+
+Schemas serve three purposes in the reproduction:
+
+* the workload generators draw tables/columns from them;
+* the semantic analyzer resolves names and types against them;
+* the SQLite backend materialises them with synthetic rows for
+  execution-based equivalence checking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class ColType(enum.Enum):
+    """Abstract column types used for type-compatibility checking."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    DATE = "DATE"
+    BOOL = "BOOL"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColType.INT, ColType.FLOAT)
+
+    def compatible_with(self, other: "ColType") -> bool:
+        """Loose comparability: numerics inter-compare; otherwise exact."""
+        if self.is_numeric and other.is_numeric:
+            return True
+        return self is other
+
+    @property
+    def sqlite_affinity(self) -> str:
+        return {
+            ColType.INT: "INTEGER",
+            ColType.FLOAT: "REAL",
+            ColType.TEXT: "TEXT",
+            ColType.DATE: "TEXT",
+            ColType.BOOL: "INTEGER",
+        }[self]
+
+
+@dataclass(frozen=True)
+class ValueSpec:
+    """How to synthesise values for a column.
+
+    ``kind`` selects the generator: ``int_range``, ``float_range``,
+    ``choice``, ``serial``, ``text``, ``date_range``.  ``low``/``high``
+    bound numeric generators; ``choices`` feeds categorical ones.
+    """
+
+    kind: str = "int_range"
+    low: float = 0
+    high: float = 1000
+    choices: tuple = ()
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition."""
+
+    name: str
+    col_type: ColType
+    nullable: bool = True
+    primary_key: bool = False
+    spec: Optional[ValueSpec] = None
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class Table:
+    """A table definition."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {column.name.lower(): column for column in self.columns}
+
+    def column(self, name: str) -> Optional[Column]:
+        """Case-insensitive column lookup."""
+        return self._by_name.get(name.lower())
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> list[Column]:
+        return [column for column in self.columns if column.primary_key]
+
+    def numeric_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.col_type.is_numeric]
+
+    def text_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.col_type is ColType.TEXT]
+
+
+@dataclass
+class Schema:
+    """A named collection of tables."""
+
+    name: str
+    tables: list[Table] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self._by_name = {table.name.lower(): table for table in self.tables}
+
+    def table(self, name: str) -> Optional[Table]:
+        """Case-insensitive table lookup."""
+        return self._by_name.get(name.lower())
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    @property
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.tables]
+
+    def columns_named(self, column_name: str) -> list[tuple[Table, Column]]:
+        """All (table, column) pairs whose column matches *column_name*.
+
+        Used by the analyzer to detect ambiguous column references and by
+        the corruption engine to *create* them.
+        """
+        matches = []
+        for table in self.tables:
+            column = table.column(column_name)
+            if column is not None:
+                matches.append((table, column))
+        return matches
+
+    def shared_column_names(self) -> list[str]:
+        """Column names appearing in two or more tables (ambiguity fodder)."""
+        seen: dict[str, int] = {}
+        for table in self.tables:
+            for column in table.columns:
+                key = column.name.lower()
+                seen[key] = seen.get(key, 0) + 1
+        return sorted(name for name, count in seen.items() if count > 1)
+
+    def iter_columns(self) -> Iterator[tuple[Table, Column]]:
+        for table in self.tables:
+            for column in table.columns:
+                yield table, column
+
+    def join_edges(self) -> list[tuple[str, str, str, str]]:
+        """All FK join edges as (table, column, ref_table, ref_column)."""
+        edges = []
+        for table in self.tables:
+            for fk in table.foreign_keys:
+                edges.append((table.name, fk.column, fk.ref_table, fk.ref_column))
+        return edges
+
+
+def int_col(
+    name: str,
+    low: int = 0,
+    high: int = 1_000_000,
+    primary_key: bool = False,
+    nullable: bool = True,
+) -> Column:
+    """Shorthand for an INT column with a range spec."""
+    spec = ValueSpec(kind="serial" if primary_key else "int_range", low=low, high=high)
+    return Column(
+        name,
+        ColType.INT,
+        nullable=nullable and not primary_key,
+        primary_key=primary_key,
+        spec=spec,
+    )
+
+
+def float_col(name: str, low: float = 0.0, high: float = 1000.0) -> Column:
+    """Shorthand for a FLOAT column with a range spec."""
+    return Column(name, ColType.FLOAT, spec=ValueSpec("float_range", low, high))
+
+
+def text_col(name: str, choices: tuple = ()) -> Column:
+    """Shorthand for a TEXT column, categorical when *choices* is given."""
+    spec = ValueSpec("choice", choices=choices) if choices else ValueSpec("text")
+    return Column(name, ColType.TEXT, spec=spec)
+
+
+def date_col(name: str) -> Column:
+    """Shorthand for a DATE column."""
+    return Column(name, ColType.DATE, spec=ValueSpec("date_range", 2000, 2024))

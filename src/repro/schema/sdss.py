@@ -1,0 +1,138 @@
+"""SDSS SkyServer schema (the subset the query workload touches).
+
+Column names and value ranges follow the public SDSS DR catalog closely
+enough that queries from the paper's listings (plate/mjd/fiberid/z on
+SpecObj, objid/ra/dec/run on PhotoObj, ``dbo.`` UDFs) resolve here.
+``ra``/``dec`` deliberately appear in several tables because the
+alias-ambiguous error injector needs genuinely ambiguous column names.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import (
+    ColType,
+    Column,
+    ForeignKey,
+    Schema,
+    Table,
+    ValueSpec,
+    float_col,
+    int_col,
+    text_col,
+)
+
+
+def build_sdss_schema() -> Schema:
+    """Construct the SDSS schema used by the SDSS workload generator."""
+    spec_obj = Table(
+        name="SpecObj",
+        columns=[
+            int_col("specobjid", primary_key=True),
+            int_col("bestobjid", low=1_000, high=9_000_000),
+            int_col("plate", low=266, high=12_000),
+            int_col("mjd", low=50_000, high=60_500),
+            int_col("fiberid", low=1, high=1_000),
+            float_col("z", 0.0, 7.0),
+            float_col("zErr", 0.0, 0.01),
+            float_col("ra", 0.0, 360.0),
+            float_col("dec", -90.0, 90.0),
+            float_col("velDisp", 0.0, 850.0),
+            text_col("class", ("GALAXY", "STAR", "QSO")),
+            text_col("subclass", ("AGN", "STARFORMING", "BROADLINE", "O", "B", "A")),
+            int_col("zWarning", low=0, high=16),
+        ],
+        foreign_keys=[ForeignKey("bestobjid", "PhotoObj", "objid")],
+    )
+    photo_obj = Table(
+        name="PhotoObj",
+        columns=[
+            int_col("objid", primary_key=True, low=1_000, high=9_000_000),
+            float_col("ra", 0.0, 360.0),
+            float_col("dec", -90.0, 90.0),
+            int_col("run", low=94, high=8_162),
+            int_col("rerun", low=301, high=301),
+            int_col("camcol", low=1, high=6),
+            int_col("field", low=11, high=1_000),
+            int_col("type", low=0, high=9),
+            float_col("u", 12.0, 26.0),
+            float_col("g", 12.0, 26.0),
+            float_col("r", 12.0, 26.0),
+            float_col("i", 12.0, 26.0),
+            float_col("petroRad_r", 0.0, 60.0),
+            float_col("modelMag_r", 12.0, 26.0),
+            Column("clean", ColType.INT, spec=ValueSpec("int_range", 0, 1)),
+        ],
+    )
+    photo_tag = Table(
+        name="PhotoTag",
+        columns=[
+            int_col("objid", primary_key=True, low=1_000, high=9_000_000),
+            float_col("ra", 0.0, 360.0),
+            float_col("dec", -90.0, 90.0),
+            int_col("type", low=0, high=9),
+            float_col("psfMag_r", 12.0, 26.0),
+            float_col("extinction_r", 0.0, 2.0),
+        ],
+        foreign_keys=[ForeignKey("objid", "PhotoObj", "objid")],
+    )
+    field = Table(
+        name="Field",
+        columns=[
+            int_col("fieldid", primary_key=True),
+            int_col("run", low=94, high=8_162),
+            int_col("camcol", low=1, high=6),
+            int_col("field", low=11, high=1_000),
+            int_col("mjd", low=50_000, high=60_500),
+            float_col("ra", 0.0, 360.0),
+            float_col("dec", -90.0, 90.0),
+            float_col("score", 0.0, 1.0),
+        ],
+    )
+    spec_line = Table(
+        name="SpecLine",
+        columns=[
+            int_col("speclineid", primary_key=True),
+            int_col("specobjid", low=0, high=1_000_000),
+            float_col("wave", 3_800.0, 9_200.0),
+            float_col("waveErr", 0.0, 2.0),
+            float_col("ew", -100.0, 400.0),
+            float_col("height", 0.0, 900.0),
+            text_col("lineName", ("H_alpha", "H_beta", "OIII", "NII", "MgII")),
+        ],
+        foreign_keys=[ForeignKey("specobjid", "SpecObj", "specobjid")],
+    )
+    neighbors = Table(
+        name="Neighbors",
+        columns=[
+            int_col("objid", low=1_000, high=9_000_000),
+            int_col("neighborObjid", low=1_000, high=9_000_000),
+            float_col("distance", 0.0, 30.0),
+            int_col("neighborType", low=0, high=9),
+        ],
+        foreign_keys=[
+            ForeignKey("objid", "PhotoObj", "objid"),
+            ForeignKey("neighborObjid", "PhotoObj", "objid"),
+        ],
+    )
+    galaxy = Table(
+        name="Galaxy",
+        columns=[
+            int_col("objid", primary_key=True, low=1_000, high=9_000_000),
+            float_col("ra", 0.0, 360.0),
+            float_col("dec", -90.0, 90.0),
+            float_col("petroR50_r", 0.0, 30.0),
+            float_col("petroR90_r", 0.0, 60.0),
+            float_col("expAB_r", 0.0, 1.0),
+            Column("fracDeV_r", ColType.FLOAT, spec=ValueSpec("float_range", 0, 1)),
+        ],
+        foreign_keys=[ForeignKey("objid", "PhotoObj", "objid")],
+    )
+    return Schema(
+        name="sdss",
+        tables=[spec_obj, photo_obj, photo_tag, field, spec_line, neighbors, galaxy],
+        description="Sloan Digital Sky Survey SkyServer subset",
+    )
+
+
+#: Module-level singleton; schemas are immutable in practice.
+SDSS_SCHEMA = build_sdss_schema()

@@ -1,0 +1,282 @@
+"""Spider-style cross-domain schemas for the query-explanation task.
+
+Spider [Yu et al., EMNLP 2018] spans many small databases.  The paper's
+case study (section 4.5) quotes queries over ``tryout``/``college``,
+``Transcript_Cnt``, ``concert``/``stadium`` and ``CARS_DATA``/``CAR_NAMES``
+— those four databases are modelled here verbatim (Q15-Q18), plus two
+more common Spider domains to widen the explanation workload.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import (
+    ForeignKey,
+    Schema,
+    Table,
+    float_col,
+    int_col,
+    text_col,
+)
+
+
+def build_soccer_schema() -> Schema:
+    """The Spider 'soccer_1' database (Q15: tryout counts per college)."""
+    return Schema(
+        name="soccer_tryout",
+        description="College soccer tryouts",
+        tables=[
+            Table(
+                name="college",
+                columns=[
+                    text_col("cName", ("LSU", "ASU", "OU", "FSU", "UW")),
+                    text_col("state", ("LA", "AZ", "OK", "FL", "WA")),
+                    int_col("enr", low=5_000, high=60_000),
+                ],
+            ),
+            Table(
+                name="player",
+                columns=[
+                    int_col("pID", primary_key=True),
+                    text_col("pName"),
+                    text_col("yCard", ("yes", "no")),
+                    int_col("HS", low=500, high=2_000),
+                ],
+            ),
+            Table(
+                name="tryout",
+                columns=[
+                    int_col("pID"),
+                    text_col("cName", ("LSU", "ASU", "OU", "FSU", "UW")),
+                    text_col("pPos", ("goalie", "mid", "striker", "defender")),
+                    text_col("decision", ("yes", "no")),
+                ],
+                foreign_keys=[ForeignKey("pID", "player", "pID")],
+            ),
+        ],
+    )
+
+
+def build_transcripts_schema() -> Schema:
+    """The Spider 'student_transcripts' fragment behind Q16."""
+    return Schema(
+        name="student_transcripts",
+        description="Course enrollments appearing on transcripts",
+        tables=[
+            Table(
+                name="Transcripts",
+                columns=[
+                    int_col("transcript_id", primary_key=True),
+                    text_col("transcript_date"),
+                ],
+            ),
+            Table(
+                name="Student_Enrolment_Courses",
+                columns=[
+                    int_col("student_course_id", primary_key=True),
+                    int_col("course_id", low=1, high=200),
+                    int_col("student_enrolment_id", low=1, high=2_000),
+                ],
+            ),
+            Table(
+                name="Transcript_Cnt",
+                columns=[
+                    int_col("transcript_id"),
+                    int_col("student_course_id"),
+                ],
+                foreign_keys=[
+                    ForeignKey("transcript_id", "Transcripts", "transcript_id"),
+                    ForeignKey(
+                        "student_course_id",
+                        "Student_Enrolment_Courses",
+                        "student_course_id",
+                    ),
+                ],
+            ),
+        ],
+    )
+
+
+def build_concert_schema() -> Schema:
+    """The Spider 'concert_singer' database (Q17)."""
+    return Schema(
+        name="concert_singer",
+        description="Concerts held at stadiums",
+        tables=[
+            Table(
+                name="stadium",
+                columns=[
+                    int_col("stadium_id", primary_key=True),
+                    text_col("name"),
+                    text_col("loc", ("Glasgow", "Ayr", "Dumfries", "Stirling")),
+                    int_col("capacity", low=2_000, high=60_000),
+                    int_col("average", low=500, high=20_000),
+                ],
+            ),
+            Table(
+                name="singer",
+                columns=[
+                    int_col("singer_id", primary_key=True),
+                    text_col("name"),
+                    text_col("country", ("US", "UK", "France", "Netherlands")),
+                    int_col("age", low=18, high=70),
+                ],
+            ),
+            Table(
+                name="concert",
+                columns=[
+                    int_col("concert_id", primary_key=True),
+                    text_col("concert_name"),
+                    text_col("theme", ("Free choice", "Party", "Bigger", "Wide")),
+                    int_col("stadium_id"),
+                    int_col("Year", low=2010, high=2024),
+                ],
+                foreign_keys=[ForeignKey("stadium_id", "stadium", "stadium_id")],
+            ),
+            Table(
+                name="singer_in_concert",
+                columns=[
+                    int_col("concert_id"),
+                    int_col("singer_id"),
+                ],
+                foreign_keys=[
+                    ForeignKey("concert_id", "concert", "concert_id"),
+                    ForeignKey("singer_id", "singer", "singer_id"),
+                ],
+            ),
+        ],
+    )
+
+
+def build_cars_schema() -> Schema:
+    """The Spider 'car_1' database (Q18: slowest Volvo's cylinders)."""
+    return Schema(
+        name="car_1",
+        description="Car makers, models and performance data",
+        tables=[
+            Table(
+                name="CAR_MAKERS",
+                columns=[
+                    int_col("Id", primary_key=True),
+                    text_col("Maker", ("volvo", "ford", "bmw", "toyota", "fiat")),
+                    text_col("FullName"),
+                    text_col("Country", ("sweden", "usa", "germany", "japan")),
+                ],
+            ),
+            Table(
+                name="CAR_NAMES",
+                columns=[
+                    int_col("MakeId", primary_key=True),
+                    text_col("Model", ("volvo", "ford", "bmw", "toyota", "fiat")),
+                    text_col("Make"),
+                ],
+            ),
+            Table(
+                name="CARS_DATA",
+                columns=[
+                    int_col("Id", primary_key=True),
+                    float_col("MPG", 9.0, 47.0),
+                    int_col("Cylinders", low=3, high=8),
+                    float_col("Edispl", 68.0, 455.0),
+                    int_col("Horsepower", low=46, high=230),
+                    int_col("Weight", low=1_600, high=5_200),
+                    float_col("Accelerate", 8.0, 25.0),
+                    int_col("Year", low=1970, high=1982),
+                ],
+                foreign_keys=[ForeignKey("Id", "CAR_NAMES", "MakeId")],
+            ),
+        ],
+    )
+
+
+def build_flights_schema() -> Schema:
+    return Schema(
+        name="flight_2",
+        description="Airlines, airports and flights",
+        tables=[
+            Table(
+                name="airlines",
+                columns=[
+                    int_col("uid", primary_key=True),
+                    text_col("Airline"),
+                    text_col("Abbreviation"),
+                    text_col("Country", ("USA", "Canada", "UK")),
+                ],
+            ),
+            Table(
+                name="airports",
+                columns=[
+                    text_col("City", ("Seattle", "Boston", "Denver", "Chicago")),
+                    text_col("AirportCode", ("SEA", "BOS", "DEN", "ORD")),
+                    text_col("AirportName"),
+                    text_col("Country", ("USA", "Canada", "UK")),
+                ],
+            ),
+            Table(
+                name="flights",
+                columns=[
+                    int_col("Airline"),
+                    int_col("FlightNo", low=1, high=9_999),
+                    text_col("SourceAirport", ("SEA", "BOS", "DEN", "ORD")),
+                    text_col("DestAirport", ("SEA", "BOS", "DEN", "ORD")),
+                ],
+                foreign_keys=[ForeignKey("Airline", "airlines", "uid")],
+            ),
+        ],
+    )
+
+
+def build_world_schema() -> Schema:
+    return Schema(
+        name="world_1",
+        description="Countries, cities and languages",
+        tables=[
+            Table(
+                name="city",
+                columns=[
+                    int_col("ID", primary_key=True),
+                    text_col("Name"),
+                    text_col("CountryCode", ("USA", "NLD", "BRA", "JPN", "IND")),
+                    text_col("District"),
+                    int_col("Population", low=10_000, high=30_000_000),
+                ],
+            ),
+            Table(
+                name="country",
+                columns=[
+                    text_col("Code", ("USA", "NLD", "BRA", "JPN", "IND")),
+                    text_col("Name"),
+                    text_col(
+                        "Continent",
+                        ("North America", "Europe", "South America", "Asia"),
+                    ),
+                    int_col("Population", low=100_000, high=1_400_000_000),
+                    float_col("SurfaceArea", 1_000.0, 17_000_000.0),
+                    float_col("LifeExpectancy", 40.0, 90.0),
+                ],
+            ),
+            Table(
+                name="countrylanguage",
+                columns=[
+                    text_col("CountryCode", ("USA", "NLD", "BRA", "JPN", "IND")),
+                    text_col("Language", ("English", "Dutch", "Portuguese", "Hindi")),
+                    text_col("IsOfficial", ("T", "F")),
+                    float_col("Percentage", 0.0, 100.0),
+                ],
+            ),
+        ],
+    )
+
+
+def build_spider_schemas() -> list[Schema]:
+    """All Spider mini-schemas, in a deterministic order."""
+    return [
+        build_soccer_schema(),
+        build_transcripts_schema(),
+        build_concert_schema(),
+        build_cars_schema(),
+        build_flights_schema(),
+        build_world_schema(),
+    ]
+
+
+SPIDER_SCHEMAS = build_spider_schemas()

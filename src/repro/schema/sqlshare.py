@@ -1,0 +1,214 @@
+"""SQLShare schema catalog.
+
+SQLShare [Halevy et al., CIDR 2014] hosts *many* small user-uploaded
+datasets with independent schemas; its workload therefore spans several
+databases (paper section 2).  The reproduction models five representative
+mini-schemas in the domains that dominated the real platform (earth and
+ocean sciences, biology, sensing, plus generic business/coursework data).
+The workload generator draws each query against one of these schemas.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import (
+    ForeignKey,
+    Schema,
+    Table,
+    date_col,
+    float_col,
+    int_col,
+    text_col,
+)
+
+
+def build_oceanography_schema() -> Schema:
+    return Schema(
+        name="oceanography",
+        description="Ship stations, CTD casts and species observations",
+        tables=[
+            Table(
+                name="stations",
+                columns=[
+                    int_col("station_id", primary_key=True),
+                    float_col("lat", -80.0, 80.0),
+                    float_col("lon", -180.0, 180.0),
+                    float_col("depth_m", 0.0, 6000.0),
+                    text_col("region", ("puget_sound", "north_pacific", "arctic")),
+                ],
+            ),
+            Table(
+                name="casts",
+                columns=[
+                    int_col("cast_id", primary_key=True),
+                    int_col("station_id"),
+                    date_col("cast_date"),
+                    float_col("temperature", -2.0, 30.0),
+                    float_col("salinity", 28.0, 38.0),
+                    float_col("oxygen", 0.0, 12.0),
+                ],
+                foreign_keys=[ForeignKey("station_id", "stations", "station_id")],
+            ),
+            Table(
+                name="species_counts",
+                columns=[
+                    int_col("obs_id", primary_key=True),
+                    int_col("station_id"),
+                    text_col("species", ("copepod", "krill", "diatom", "salmon")),
+                    int_col("count", low=0, high=100_000),
+                ],
+                foreign_keys=[ForeignKey("station_id", "stations", "station_id")],
+            ),
+        ],
+    )
+
+
+def build_genomics_schema() -> Schema:
+    return Schema(
+        name="genomics",
+        description="Gene annotations and expression measurements",
+        tables=[
+            Table(
+                name="genes",
+                columns=[
+                    int_col("gene_id", primary_key=True),
+                    text_col("symbol", ("BRCA1", "TP53", "EGFR", "MYC", "KRAS")),
+                    text_col("chromosome", ("chr1", "chr2", "chr7", "chr17", "chrX")),
+                    int_col("start_pos", low=1, high=250_000_000),
+                    int_col("end_pos", low=1, high=250_000_000),
+                    text_col("strand", ("+", "-")),
+                ],
+            ),
+            Table(
+                name="samples",
+                columns=[
+                    int_col("sample_id", primary_key=True),
+                    text_col("tissue", ("liver", "brain", "lung", "kidney")),
+                    int_col("donor_age", low=18, high=90),
+                ],
+            ),
+            Table(
+                name="expression",
+                columns=[
+                    int_col("expr_id", primary_key=True),
+                    int_col("sample_id"),
+                    int_col("gene_id"),
+                    float_col("tpm", 0.0, 10_000.0),
+                    text_col("condition", ("control", "treated")),
+                ],
+                foreign_keys=[
+                    ForeignKey("sample_id", "samples", "sample_id"),
+                    ForeignKey("gene_id", "genes", "gene_id"),
+                ],
+            ),
+        ],
+    )
+
+
+def build_sensing_schema() -> Schema:
+    return Schema(
+        name="sensing",
+        description="Environmental sensor deployments and readings",
+        tables=[
+            Table(
+                name="sensors",
+                columns=[
+                    int_col("sensor_id", primary_key=True),
+                    text_col("location", ("roof", "lab", "field_a", "field_b")),
+                    text_col("sensor_type", ("temp", "humidity", "co2", "pm25")),
+                ],
+            ),
+            Table(
+                name="readings",
+                columns=[
+                    int_col("reading_id", primary_key=True),
+                    int_col("sensor_id"),
+                    date_col("ts"),
+                    float_col("value", -40.0, 4000.0),
+                    int_col("quality_flag", low=0, high=3),
+                ],
+                foreign_keys=[ForeignKey("sensor_id", "sensors", "sensor_id")],
+            ),
+        ],
+    )
+
+
+def build_sales_schema() -> Schema:
+    return Schema(
+        name="sales",
+        description="Customers, orders and line items",
+        tables=[
+            Table(
+                name="customers",
+                columns=[
+                    int_col("customer_id", primary_key=True),
+                    text_col("name"),
+                    text_col("city", ("seattle", "portland", "vancouver", "boise")),
+                    text_col("segment", ("consumer", "corporate", "home_office")),
+                ],
+            ),
+            Table(
+                name="orders",
+                columns=[
+                    int_col("order_id", primary_key=True),
+                    int_col("customer_id"),
+                    date_col("order_date"),
+                    float_col("total", 1.0, 20_000.0),
+                ],
+                foreign_keys=[ForeignKey("customer_id", "customers", "customer_id")],
+            ),
+            Table(
+                name="order_items",
+                columns=[
+                    int_col("item_id", primary_key=True),
+                    int_col("order_id"),
+                    text_col("product", ("widget", "gadget", "sprocket", "gear")),
+                    int_col("quantity", low=1, high=500),
+                    float_col("price", 0.5, 900.0),
+                ],
+                foreign_keys=[ForeignKey("order_id", "orders", "order_id")],
+            ),
+        ],
+    )
+
+
+def build_coursework_schema() -> Schema:
+    return Schema(
+        name="coursework",
+        description="Students and course enrollments",
+        tables=[
+            Table(
+                name="students",
+                columns=[
+                    int_col("student_id", primary_key=True),
+                    text_col("name"),
+                    text_col("major", ("cs", "bio", "stat", "ece", "math")),
+                    int_col("year", low=1, high=6),
+                ],
+            ),
+            Table(
+                name="enrollments",
+                columns=[
+                    int_col("enroll_id", primary_key=True),
+                    int_col("student_id"),
+                    text_col("course_code", ("CSE414", "BIO180", "STAT311", "CSE544")),
+                    float_col("grade", 0.0, 4.0),
+                    text_col("term", ("WI23", "SP23", "AU23", "WI24")),
+                ],
+                foreign_keys=[ForeignKey("student_id", "students", "student_id")],
+            ),
+        ],
+    )
+
+
+def build_sqlshare_schemas() -> list[Schema]:
+    """All SQLShare mini-schemas, in a deterministic order."""
+    return [
+        build_oceanography_schema(),
+        build_genomics_schema(),
+        build_sensing_schema(),
+        build_sales_schema(),
+        build_coursework_schema(),
+    ]
+
+
+SQLSHARE_SCHEMAS = build_sqlshare_schemas()

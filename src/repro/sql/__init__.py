@@ -1,0 +1,35 @@
+"""SQL substrate: lexer, parser, AST, renderer and property extraction."""
+
+from repro.sql import nodes
+from repro.sql.errors import LexError, ParseError, RenderError, SqlError
+from repro.sql.lexer import char_count, tokenize, word_count
+from repro.sql.parser import parse_query, parse_script, parse_statement, try_parse
+from repro.sql.properties import (
+    PROPERTY_NAMES,
+    QueryProperties,
+    extract_properties,
+    extract_statement_properties,
+)
+from repro.sql.render import SQLITE, TSQL, render
+
+__all__ = [
+    "nodes",
+    "LexError",
+    "ParseError",
+    "RenderError",
+    "SqlError",
+    "tokenize",
+    "word_count",
+    "char_count",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "try_parse",
+    "PROPERTY_NAMES",
+    "QueryProperties",
+    "extract_properties",
+    "extract_statement_properties",
+    "render",
+    "TSQL",
+    "SQLITE",
+]

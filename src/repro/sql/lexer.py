@@ -1,0 +1,216 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`~repro.sql.tokens.Token`.  Comments are
+skipped.  Each token records both its character offset and the index of
+the whitespace-delimited *word* it starts in, because the paper's
+miss_token_loc task measures positions in words (section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.sql.errors import LexError
+from repro.sql.keywords import KEYWORDS
+from repro.sql.tokens import Token, TokenKind
+
+_OPERATOR_STARTS = set("+-*/%=<>!|")
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "||"}
+_PUNCT = set("(),.;")
+
+
+def _word_indexes(text: str) -> list[int]:
+    """Map each character offset to the index of the word it belongs to.
+
+    A "word" is a maximal run of non-whitespace characters; whitespace
+    positions map to the index of the *next* word.  This matches how a
+    person counts word positions when told "the missing word is at word
+    position N".
+    """
+    indexes = [0] * (len(text) + 1)
+    word = 0
+    in_word = False
+    for offset, char in enumerate(text):
+        if char.isspace():
+            if in_word:
+                word += 1
+                in_word = False
+            indexes[offset] = word
+        else:
+            in_word = True
+            indexes[offset] = word
+    indexes[len(text)] = word + (1 if in_word else 0)
+    return indexes
+
+
+class Lexer:
+    """Single-pass scanner over a SQL string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.length = len(text)
+        self.pos = 0
+        self._words = _word_indexes(text)
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input and return tokens ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= self.length:
+            return Token(TokenKind.EOF, "", self.pos, self._words[self.pos], self.pos)
+        start = self.pos
+        char = self.text[start]
+        if char.isdigit() or (char == "." and self._peek_is_digit(start + 1)):
+            return self._read_number(start)
+        if char == "'" or char == '"':
+            return self._read_string(start, char)
+        if char == "[":
+            return self._read_bracket_ident(start)
+        if char == "@":
+            return self._read_variable(start)
+        if char == "_" or char.isalpha():
+            return self._read_word(start)
+        if char in _OPERATOR_STARTS:
+            return self._read_operator(start)
+        if char in _PUNCT:
+            self.pos = start + 1
+            return Token(TokenKind.PUNCT, char, start, self._words[start], start + 1)
+        raise LexError(f"unexpected character {char!r}", start)
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (``--`` line and ``/* */`` block)."""
+        while self.pos < self.length:
+            char = self.text[self.pos]
+            if char.isspace():
+                self.pos += 1
+                continue
+            if char == "-" and self._peek(self.pos + 1) == "-":
+                newline = self.text.find("\n", self.pos)
+                self.pos = self.length if newline < 0 else newline + 1
+                continue
+            if char == "/" and self._peek(self.pos + 1) == "*":
+                close = self.text.find("*/", self.pos + 2)
+                if close < 0:
+                    raise LexError("unterminated block comment", self.pos)
+                self.pos = close + 2
+                continue
+            return
+
+    def _peek(self, offset: int) -> str:
+        return self.text[offset] if offset < self.length else ""
+
+    def _peek_is_digit(self, offset: int) -> bool:
+        return offset < self.length and self.text[offset].isdigit()
+
+    def _read_number(self, start: int) -> Token:
+        pos = start
+        seen_dot = False
+        seen_exp = False
+        while pos < self.length:
+            char = self.text[pos]
+            if char.isdigit():
+                pos += 1
+            elif char == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                pos += 1
+            elif char in "eE" and not seen_exp and pos > start:
+                nxt = self._peek(pos + 1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek_is_digit(pos + 2)):
+                    seen_exp = True
+                    pos += 2 if nxt in "+-" else 1
+                    continue
+                break
+            else:
+                break
+        self.pos = pos
+        return Token(
+            TokenKind.NUMBER, self.text[start:pos], start, self._words[start], pos
+        )
+
+    def _read_string(self, start: int, quote: str) -> Token:
+        pos = start + 1
+        parts: list[str] = []
+        while pos < self.length:
+            char = self.text[pos]
+            if char == quote:
+                if self._peek(pos + 1) == quote:  # doubled quote escape
+                    parts.append(quote)
+                    pos += 2
+                    continue
+                self.pos = pos + 1
+                return Token(
+                    TokenKind.STRING, "".join(parts), start, self._words[start], pos + 1
+                )
+            parts.append(char)
+            pos += 1
+        raise LexError("unterminated string literal", start)
+
+    def _read_bracket_ident(self, start: int) -> Token:
+        """Read a T-SQL ``[bracketed identifier]``."""
+        close = self.text.find("]", start + 1)
+        if close < 0:
+            raise LexError("unterminated bracketed identifier", start)
+        self.pos = close + 1
+        return Token(
+            TokenKind.IDENT,
+            self.text[start + 1 : close],
+            start,
+            self._words[start],
+            close + 1,
+        )
+
+    def _read_variable(self, start: int) -> Token:
+        pos = start + 1
+        while pos < self.length and (
+            self.text[pos].isalnum() or self.text[pos] == "_"
+        ):
+            pos += 1
+        if pos == start + 1:
+            raise LexError("dangling '@'", start)
+        self.pos = pos
+        return Token(
+            TokenKind.VARIABLE, self.text[start:pos], start, self._words[start], pos
+        )
+
+    def _read_word(self, start: int) -> Token:
+        pos = start
+        while pos < self.length and (
+            self.text[pos].isalnum() or self.text[pos] == "_"
+        ):
+            pos += 1
+        self.pos = pos
+        raw = self.text[start:pos]
+        upper = raw.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, start, self._words[start], pos)
+        return Token(TokenKind.IDENT, raw, start, self._words[start], pos)
+
+    def _read_operator(self, start: int) -> Token:
+        two = self.text[start : start + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            self.pos = start + 2
+            return Token(TokenKind.OPERATOR, two, start, self._words[start], start + 2)
+        self.pos = start + 1
+        return Token(
+            TokenKind.OPERATOR, self.text[start], start, self._words[start], start + 1
+        )
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, returning a token list terminated by EOF."""
+    return Lexer(text).tokenize()
+
+
+def word_count(text: str) -> int:
+    """Number of whitespace-delimited words (paper property word_count)."""
+    return len(text.split())
+
+
+def char_count(text: str) -> int:
+    """Number of characters (paper property char_count)."""
+    return len(text)

@@ -1,0 +1,455 @@
+"""Typed AST for the SQL dialect used across the paper's workloads.
+
+Every node is a plain dataclass with structural equality, which the test
+suite leans on for parse/render round-trip checks.  ``walk`` provides
+generic pre-order traversal for property extraction and transforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional, Union
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (dataclass fields, recursing into lists)."""
+        for f in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+                    elif isinstance(item, tuple):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                yield sub
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal over *node* and all descendants."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Marker base class for expressions."""
+
+
+@dataclass(eq=True)
+class Literal(Expr):
+    """A literal constant.
+
+    ``kind`` is one of ``"number"``, ``"string"``, ``"null"``, ``"boolean"``.
+    Numbers keep their source spelling in ``text`` so rendering is lossless.
+    """
+
+    value: Union[int, float, str, bool, None]
+    kind: str
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            if self.kind == "string":
+                self.text = str(self.value)
+            elif self.kind == "null":
+                self.text = "NULL"
+            else:
+                self.text = str(self.value)
+
+
+@dataclass(eq=True)
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified: ``table.column``."""
+
+    name: str
+    table: Optional[str] = None
+
+
+@dataclass(eq=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(eq=True)
+class Variable(Expr):
+    """A T-SQL session variable such as ``@maxZ``."""
+
+    name: str  # includes the leading '@'
+
+
+@dataclass(eq=True)
+class FuncCall(Expr):
+    """A function application, possibly schema-qualified (``dbo.fX(...)``)."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    distinct: bool = False
+    schema: Optional[str] = None
+
+
+@dataclass(eq=True)
+class Unary(Expr):
+    """Unary operator application: ``-x``, ``+x`` or ``NOT x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(eq=True)
+class Binary(Expr):
+    """Binary operator application (arithmetic, comparison, AND/OR)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(eq=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class InList(Expr):
+    """``expr [NOT] IN (item, ...)``."""
+
+    expr: Expr
+    items: list[Expr] = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    expr: Expr
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(eq=True)
+class Case(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Optional[Expr]
+    whens: list[tuple[Expr, Expr]] = field(default_factory=list)
+    default: Optional[Expr] = None
+
+
+@dataclass(eq=True)
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a scalar expression."""
+
+    query: "Query"
+
+
+@dataclass(eq=True)
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    expr: Expr
+    type_name: str
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef(Node):
+    """Marker base class for FROM-clause items."""
+
+
+@dataclass(eq=True)
+class NamedTable(TableRef):
+    """A base table or CTE reference, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+    schema: Optional[str] = None
+
+
+@dataclass(eq=True)
+class DerivedTable(TableRef):
+    """A parenthesised subquery in FROM, with an alias."""
+
+    query: "Query"
+    alias: str = ""
+
+
+@dataclass(eq=True)
+class Join(TableRef):
+    """An explicit join.  ``kind`` in INNER/LEFT/RIGHT/FULL/CROSS."""
+
+    left: TableRef
+    right: TableRef
+    kind: str = "INNER"
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class SelectItem(Node):
+    """One element of a select list."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(eq=True)
+class OrderItem(Node):
+    """One element of an ORDER BY list."""
+
+    expr: Expr
+    direction: Optional[str] = None  # "ASC" | "DESC" | None
+
+
+@dataclass(eq=True)
+class SelectCore(Node):
+    """A single SELECT block (no set operators, no WITH)."""
+
+    items: list[SelectItem] = field(default_factory=list)
+    from_items: list[TableRef] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    top: Optional[int] = None  # T-SQL SELECT TOP n
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(eq=True)
+class Compound(Node):
+    """Two query bodies combined by UNION [ALL] / INTERSECT / EXCEPT."""
+
+    op: str
+    left: "QueryBody"
+    right: "QueryBody"
+    all: bool = False
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+QueryBody = Union[SelectCore, Compound]
+
+
+@dataclass(eq=True)
+class CommonTableExpr(Node):
+    """One CTE in a WITH clause."""
+
+    name: str
+    query: "Query"
+    columns: list[str] = field(default_factory=list)
+
+
+@dataclass(eq=True)
+class Query(Node):
+    """A full query expression: optional CTEs plus a body."""
+
+    body: QueryBody
+    ctes: list[CommonTableExpr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Marker base class for top-level statements."""
+
+
+@dataclass(eq=True)
+class SelectStatement(Statement):
+    """A top-level query."""
+
+    query: Query
+
+
+@dataclass(eq=True)
+class ColumnDef(Node):
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+    default: Optional[Expr] = None
+
+
+@dataclass(eq=True)
+class CreateTable(Statement):
+    """``CREATE TABLE name (cols)`` or ``CREATE TABLE name AS SELECT``."""
+
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    as_query: Optional[Query] = None
+    schema: Optional[str] = None
+
+
+@dataclass(eq=True)
+class CreateView(Statement):
+    """``CREATE VIEW name AS SELECT ...``."""
+
+    name: str
+    query: Query
+
+
+@dataclass(eq=True)
+class Insert(Statement):
+    """``INSERT INTO t [(cols)] VALUES (...)[, ...]`` or ``... SELECT``."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Expr]] = field(default_factory=list)
+    query: Optional[Query] = None
+
+    def children(self) -> Iterator[Node]:
+        for row in self.rows:
+            yield from row
+        if self.query is not None:
+            yield self.query
+
+
+@dataclass(eq=True)
+class Update(Statement):
+    """``UPDATE t SET col = expr [, ...] [WHERE ...]``."""
+
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+    def children(self) -> Iterator[Node]:
+        for _, expr in self.assignments:
+            yield expr
+        if self.where is not None:
+            yield self.where
+
+
+@dataclass(eq=True)
+class Delete(Statement):
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(eq=True)
+class DropTable(Statement):
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(eq=True)
+class Declare(Statement):
+    """T-SQL ``DECLARE @name TYPE``."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(eq=True)
+class SetVariable(Statement):
+    """T-SQL ``SET @name = expr``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(eq=True)
+class ExecProcedure(Statement):
+    """T-SQL ``EXEC proc arg, ...``."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    schema: Optional[str] = None
+
+
+@dataclass(eq=True)
+class Waitfor(Statement):
+    """T-SQL ``WAITFOR DELAY 'hh:mm:ss'``."""
+
+    delay: str
+
+
+@dataclass(eq=True)
+class Script(Node):
+    """A sequence of statements separated by semicolons."""
+
+    statements: list[Statement] = field(default_factory=list)
+
+
+def statement_type(stmt: Statement) -> str:
+    """The paper's ``query_type`` label for a statement (SELECT, CREATE...)."""
+    mapping = {
+        SelectStatement: "SELECT",
+        CreateTable: "CREATE",
+        CreateView: "CREATE",
+        Insert: "INSERT",
+        Update: "UPDATE",
+        Delete: "DELETE",
+        DropTable: "DROP",
+        Declare: "DECLARE",
+        SetVariable: "SET",
+        ExecProcedure: "EXEC",
+        Waitfor: "WAITFOR",
+    }
+    for node_type, label in mapping.items():
+        if isinstance(stmt, node_type):
+            if isinstance(stmt, SelectStatement) and stmt.query.ctes:
+                return "WITH"
+            return label
+    raise TypeError(f"unknown statement type: {type(stmt).__name__}")

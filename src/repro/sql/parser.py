@@ -1,0 +1,717 @@
+"""Recursive-descent SQL parser.
+
+Covers the dialect blend used by the paper's four workloads: ANSI/SQLite
+SELECT (joins, subqueries, CTEs, set operators, GROUP BY / HAVING /
+ORDER BY / LIMIT), plus the T-SQL constructs seen in SDSS and SQLShare
+logs (``SELECT TOP``, ``DECLARE @x`` / ``SET @x`` / ``EXEC`` /
+``WAITFOR DELAY``) and basic DML/DDL.
+
+The parser is deliberately *syntactic only*: queries carrying any of the
+paper's six "syntax error" types (which are semantic violations such as
+undefined aliases or aggregation misuse) parse fine here and are flagged
+by :mod:`repro.analysis.semantics` instead.
+"""
+
+from __future__ import annotations
+
+from repro.sql import nodes as n
+from repro.sql.errors import ParseError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+_JOIN_KINDS = {"INNER", "LEFT", "RIGHT", "FULL", "CROSS"}
+
+
+class Parser:
+    """Parses a token stream into the AST of :mod:`repro.sql.nodes`."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message, token.position, token.value)
+
+    def _at_keyword(self, *names: str) -> bool:
+        return self.current.is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._at_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self._at_keyword(name):
+            raise self._error(f"expected keyword {name}")
+        return self._advance()
+
+    def _at_punct(self, value: str) -> bool:
+        return self.current.kind is TokenKind.PUNCT and self.current.value == value
+
+    def _accept_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> Token:
+        if not self._at_punct(value):
+            raise self._error(f"expected {value!r}")
+        return self._advance()
+
+    def _at_operator(self, *values: str) -> bool:
+        return (
+            self.current.kind is TokenKind.OPERATOR and self.current.value in values
+        )
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.value
+        # Non-reserved words used as identifiers (column named "year" etc.)
+        if token.kind is TokenKind.KEYWORD and token.value in (
+            "YEAR",
+            "KEY",
+            "INDEX",
+            "DELAY",
+        ):
+            self._advance()
+            return token.value
+        raise self._error(f"expected {what}")
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_script(self) -> n.Script:
+        """Parse one or more ';'-separated statements."""
+        statements = [self.parse_statement()]
+        while self._accept_punct(";"):
+            if self.current.kind is TokenKind.EOF:
+                break
+            statements.append(self.parse_statement())
+        if self.current.kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input")
+        return n.Script(statements)
+
+    def parse_statement(self) -> n.Statement:
+        """Parse a single statement."""
+        token = self.current
+        if token.is_keyword("SELECT", "WITH"):
+            return n.SelectStatement(self.parse_query())
+        if token.is_keyword("CREATE"):
+            return self._parse_create()
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self._parse_update()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("DROP"):
+            return self._parse_drop()
+        if token.is_keyword("DECLARE"):
+            return self._parse_declare()
+        if token.is_keyword("SET"):
+            return self._parse_set_variable()
+        if token.is_keyword("EXEC", "EXECUTE"):
+            return self._parse_exec()
+        if token.is_keyword("WAITFOR"):
+            return self._parse_waitfor()
+        raise self._error("expected a statement")
+
+    # -- queries ------------------------------------------------------------
+
+    def parse_query(self) -> n.Query:
+        """Parse ``[WITH ...] body [ORDER BY ...] [LIMIT ...]``."""
+        ctes: list[n.CommonTableExpr] = []
+        if self._accept_keyword("WITH"):
+            ctes.append(self._parse_cte())
+            while self._accept_punct(","):
+                ctes.append(self._parse_cte())
+        body = self._parse_query_body()
+        return n.Query(body=body, ctes=ctes)
+
+    def _parse_cte(self) -> n.CommonTableExpr:
+        name = self._expect_ident("CTE name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_ident("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_ident("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("AS")
+        self._expect_punct("(")
+        query = self.parse_query()
+        self._expect_punct(")")
+        return n.CommonTableExpr(name=name, query=query, columns=columns)
+
+    def _parse_query_body(self) -> n.QueryBody:
+        left: n.QueryBody = self._parse_select_core()
+        while self._at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self._advance().value
+            is_all = self._accept_keyword("ALL")
+            right = self._parse_select_core()
+            left = n.Compound(op=op, left=left, right=right, all=is_all)
+        # Trailing ORDER BY / LIMIT attach to the outermost body.
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit()
+        if isinstance(left, n.Compound):
+            left.order_by = order_by
+            left.limit = limit
+        else:
+            if order_by:
+                left.order_by = order_by
+            left.limit = limit
+            left.offset = offset
+        return left
+
+    def _parse_select_core(self) -> n.SelectCore:
+        self._expect_keyword("SELECT")
+        core = n.SelectCore()
+        if self._accept_keyword("DISTINCT"):
+            core.distinct = True
+        else:
+            self._accept_keyword("ALL")
+        if self._accept_keyword("TOP"):
+            token = self.current
+            if token.kind is not TokenKind.NUMBER:
+                raise self._error("expected a number after TOP")
+            self._advance()
+            core.top = int(float(token.value))
+        core.items.append(self._parse_select_item())
+        while self._accept_punct(","):
+            core.items.append(self._parse_select_item())
+        if self._accept_keyword("FROM"):
+            core.from_items.append(self._parse_table_ref())
+            while self._accept_punct(","):
+                core.from_items.append(self._parse_table_ref())
+        if self._accept_keyword("WHERE"):
+            core.where = self.parse_expr()
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            core.group_by.append(self.parse_expr())
+            while self._accept_punct(","):
+                core.group_by.append(self.parse_expr())
+        if self._accept_keyword("HAVING"):
+            core.having = self.parse_expr()
+        return core
+
+    def _parse_order_by(self) -> list[n.OrderItem]:
+        if not self._at_keyword("ORDER"):
+            return []
+        self._advance()
+        self._expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> n.OrderItem:
+        expr = self.parse_expr()
+        direction = None
+        if self._accept_keyword("ASC"):
+            direction = "ASC"
+        elif self._accept_keyword("DESC"):
+            direction = "DESC"
+        return n.OrderItem(expr=expr, direction=direction)
+
+    def _parse_limit(self) -> tuple[int | None, int | None]:
+        if not self._accept_keyword("LIMIT"):
+            return None, None
+        token = self.current
+        if token.kind is not TokenKind.NUMBER:
+            raise self._error("expected a number after LIMIT")
+        self._advance()
+        limit = int(float(token.value))
+        offset = None
+        if self._accept_keyword("OFFSET"):
+            offset_token = self.current
+            if offset_token.kind is not TokenKind.NUMBER:
+                raise self._error("expected a number after OFFSET")
+            self._advance()
+            offset = int(float(offset_token.value))
+        return limit, offset
+
+    def _parse_select_item(self) -> n.SelectItem:
+        if self._at_operator("*"):
+            self._advance()
+            return n.SelectItem(expr=n.Star())
+        # table.* — requires two-token lookahead
+        if (
+            self.current.kind is TokenKind.IDENT
+            and self._peek().kind is TokenKind.PUNCT
+            and self._peek().value == "."
+            and self._peek(2).kind is TokenKind.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            table = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return n.SelectItem(expr=n.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self._advance().value
+        return n.SelectItem(expr=expr, alias=alias)
+
+    # -- FROM clause --------------------------------------------------------
+
+    def _parse_table_ref(self) -> n.TableRef:
+        left = self._parse_table_primary()
+        while True:
+            kind = self._peek_join_kind()
+            if kind is None:
+                return left
+            right = self._parse_table_primary()
+            condition = None
+            if self._accept_keyword("ON"):
+                condition = self.parse_expr()
+            left = n.Join(left=left, right=right, kind=kind, condition=condition)
+
+    def _peek_join_kind(self) -> str | None:
+        """Consume join keywords if present and return the join kind."""
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        for kind in _JOIN_KINDS - {"INNER"}:
+            if self._at_keyword(kind):
+                self._advance()
+                if kind in ("LEFT", "RIGHT", "FULL"):
+                    self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                return kind
+        if self._at_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            return "INNER"
+        return None
+
+    def _parse_table_primary(self) -> n.TableRef:
+        if self._at_punct("("):
+            self._advance()
+            if self._at_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._expect_ident("derived table alias")
+                return n.DerivedTable(query=query, alias=alias)
+            # Parenthesised join tree.
+            inner = self._parse_table_ref()
+            self._expect_punct(")")
+            return inner
+        schema, name = self._parse_qualified_name()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("table alias")
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self._advance().value
+        return n.NamedTable(name=name, alias=alias, schema=schema)
+
+    def _parse_qualified_name(self) -> tuple[str | None, str]:
+        """Parse ``[schema.]name`` (multi-part prefixes are joined)."""
+        parts = [self._expect_ident("table name")]
+        while (
+            self._at_punct(".")
+            and self._peek().kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+        ):
+            self._advance()
+            parts.append(self._expect_ident("name part"))
+        if len(parts) == 1:
+            return None, parts[0]
+        return ".".join(parts[:-1]), parts[-1]
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> n.Expr:
+        """Parse a full boolean-valued expression."""
+        return self._parse_or()
+
+    def _parse_or(self) -> n.Expr:
+        left = self._parse_and()
+        while self._at_keyword("OR"):
+            self._advance()
+            left = n.Binary(op="OR", left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> n.Expr:
+        left = self._parse_not()
+        while self._at_keyword("AND"):
+            self._advance()
+            left = n.Binary(op="AND", left=left, right=self._parse_not())
+        return left
+
+    def _parse_not(self) -> n.Expr:
+        if self._accept_keyword("NOT"):
+            return n.Unary(op="NOT", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> n.Expr:
+        left = self._parse_additive()
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            return n.Binary(op=op, left=left, right=self._parse_additive())
+        if self._at_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return n.IsNull(expr=left, negated=negated)
+        negated = False
+        if self._at_keyword("NOT") and self._peek().is_keyword(
+            "BETWEEN", "IN", "LIKE"
+        ):
+            self._advance()
+            negated = True
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return n.Between(expr=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("LIKE"):
+            return n.Like(expr=left, pattern=self._parse_additive(), negated=negated)
+        return left
+
+    def _parse_in_tail(self, left: n.Expr, negated: bool) -> n.Expr:
+        self._expect_punct("(")
+        if self._at_keyword("SELECT", "WITH"):
+            query = self.parse_query()
+            self._expect_punct(")")
+            return n.InSubquery(expr=left, query=query, negated=negated)
+        items = [self.parse_expr()]
+        while self._accept_punct(","):
+            items.append(self.parse_expr())
+        self._expect_punct(")")
+        return n.InList(expr=left, items=items, negated=negated)
+
+    def _parse_additive(self) -> n.Expr:
+        left = self._parse_multiplicative()
+        while self._at_operator("+", "-", "||"):
+            op = self._advance().value
+            left = n.Binary(op=op, left=left, right=self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> n.Expr:
+        left = self._parse_unary()
+        while self._at_operator("*", "/", "%"):
+            op = self._advance().value
+            left = n.Binary(op=op, left=left, right=self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> n.Expr:
+        if self._at_operator("-", "+"):
+            op = self._advance().value
+            return n.Unary(op=op, operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> n.Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text.lower()) else int(text)
+            return n.Literal(value=value, kind="number", text=text)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return n.Literal(value=token.value, kind="string", text=token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return n.Literal(value=None, kind="null", text="NULL")
+        if token.is_keyword("TRUE", "FALSE"):
+            self._advance()
+            return n.Literal(
+                value=token.value == "TRUE", kind="boolean", text=token.value
+            )
+        if token.kind is TokenKind.VARIABLE:
+            self._advance()
+            return n.Variable(name=token.value)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            query = self.parse_query()
+            self._expect_punct(")")
+            return n.Exists(query=query)
+        if self._at_punct("("):
+            self._advance()
+            if self._at_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self._expect_punct(")")
+                return n.ScalarSubquery(query=query)
+            expr = self.parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENT or (
+            token.kind is TokenKind.KEYWORD
+            and token.value in ("YEAR", "KEY", "INDEX", "LEFT", "RIGHT")
+            and self._peek().value == "("
+        ):
+            return self._parse_name_or_call()
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> n.Expr:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._at_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: list[tuple[n.Expr, n.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self._expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self._expect_keyword("END")
+        return n.Case(operand=operand, whens=whens, default=default)
+
+    def _parse_cast(self) -> n.Expr:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        expr = self.parse_expr()
+        self._expect_keyword("AS")
+        type_name = self._parse_type_name()
+        self._expect_punct(")")
+        return n.Cast(expr=expr, type_name=type_name)
+
+    def _parse_type_name(self) -> str:
+        name = self._expect_ident("type name").upper()
+        if self._accept_punct("("):
+            parts = []
+            token = self.current
+            if token.kind is not TokenKind.NUMBER:
+                raise self._error("expected a number in type arguments")
+            parts.append(self._advance().value)
+            if self._accept_punct(","):
+                parts.append(self._advance().value)
+            self._expect_punct(")")
+            name = f"{name}({','.join(parts)})"
+        return name
+
+    def _parse_name_or_call(self) -> n.Expr:
+        """Disambiguate column refs, qualified refs, and function calls."""
+        first = self._advance().value
+        parts = [first]
+        while (
+            self._at_punct(".")
+            and self._peek().kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+        ):
+            self._advance()
+            parts.append(self._expect_ident("name part"))
+        if self._at_punct("("):
+            self._advance()
+            name = parts[-1]
+            schema = ".".join(parts[:-1]) or None
+            distinct = False
+            args: list[n.Expr] = []
+            if self._at_operator("*"):
+                self._advance()
+                args.append(n.Star())
+            elif not self._at_punct(")"):
+                distinct = self._accept_keyword("DISTINCT")
+                args.append(self.parse_expr())
+                while self._accept_punct(","):
+                    args.append(self.parse_expr())
+            self._expect_punct(")")
+            return n.FuncCall(name=name, args=args, distinct=distinct, schema=schema)
+        if len(parts) == 1:
+            return n.ColumnRef(name=parts[0])
+        # table.column (a longer prefix folds into the table qualifier)
+        return n.ColumnRef(name=parts[-1], table=".".join(parts[:-1]))
+
+    # -- non-SELECT statements ----------------------------------------------
+
+    def _parse_create(self) -> n.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("VIEW"):
+            _, name = self._parse_qualified_name()
+            self._expect_keyword("AS")
+            return n.CreateView(name=name, query=self.parse_query())
+        self._expect_keyword("TABLE")
+        schema, name = self._parse_qualified_name()
+        if self._accept_keyword("AS"):
+            return n.CreateTable(name=name, schema=schema, as_query=self.parse_query())
+        self._expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self._accept_punct(","):
+            columns.append(self._parse_column_def())
+        self._expect_punct(")")
+        return n.CreateTable(name=name, schema=schema, columns=columns)
+
+    def _parse_column_def(self) -> n.ColumnDef:
+        name = self._expect_ident("column name")
+        type_name = self._parse_type_name()
+        column = n.ColumnDef(name=name, type_name=type_name)
+        while True:
+            if self._at_keyword("NOT") and self._peek().is_keyword("NULL"):
+                self._advance()
+                self._advance()
+                column.not_null = True
+            elif self._at_keyword("PRIMARY"):
+                self._advance()
+                self._expect_keyword("KEY")
+                column.primary_key = True
+            elif self._accept_keyword("DEFAULT"):
+                column.default = self._parse_primary()
+            else:
+                return column
+
+    def _parse_insert(self) -> n.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        _, table = self._parse_qualified_name()
+        columns: list[str] = []
+        if self._at_punct("(") and not self._peek().is_keyword("SELECT", "WITH"):
+            self._advance()
+            columns.append(self._expect_ident("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_ident("column name"))
+            self._expect_punct(")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._accept_punct(","):
+                rows.append(self._parse_value_row())
+            return n.Insert(table=table, columns=columns, rows=rows)
+        query = self.parse_query()
+        return n.Insert(table=table, columns=columns, query=query)
+
+    def _parse_value_row(self) -> list[n.Expr]:
+        self._expect_punct("(")
+        row = [self.parse_expr()]
+        while self._accept_punct(","):
+            row.append(self.parse_expr())
+        self._expect_punct(")")
+        return row
+
+    def _parse_update(self) -> n.Update:
+        self._expect_keyword("UPDATE")
+        _, table = self._parse_qualified_name()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return n.Update(table=table, assignments=assignments, where=where)
+
+    def _parse_assignment(self) -> tuple[str, n.Expr]:
+        column = self._expect_ident("column name")
+        if not self._at_operator("="):
+            raise self._error("expected '=' in assignment")
+        self._advance()
+        return column, self.parse_expr()
+
+    def _parse_delete(self) -> n.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        _, table = self._parse_qualified_name()
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+        return n.Delete(table=table, where=where)
+
+    def _parse_drop(self) -> n.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._at_keyword("IF"):
+            self._advance()
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        _, name = self._parse_qualified_name()
+        return n.DropTable(name=name, if_exists=if_exists)
+
+    def _parse_declare(self) -> n.Declare:
+        self._expect_keyword("DECLARE")
+        token = self.current
+        if token.kind is not TokenKind.VARIABLE:
+            raise self._error("expected @variable after DECLARE")
+        self._advance()
+        type_name = self._parse_type_name()
+        return n.Declare(name=token.value, type_name=type_name)
+
+    def _parse_set_variable(self) -> n.SetVariable:
+        self._expect_keyword("SET")
+        token = self.current
+        if token.kind is not TokenKind.VARIABLE:
+            raise self._error("expected @variable after SET")
+        self._advance()
+        if not self._at_operator("="):
+            raise self._error("expected '=' after variable")
+        self._advance()
+        return n.SetVariable(name=token.value, value=self.parse_expr())
+
+    def _parse_exec(self) -> n.ExecProcedure:
+        self._advance()  # EXEC or EXECUTE
+        schema, name = self._parse_qualified_name()
+        args: list[n.Expr] = []
+        if self.current.kind not in (TokenKind.EOF,) and not self._at_punct(";"):
+            args.append(self.parse_expr())
+            while self._accept_punct(","):
+                args.append(self.parse_expr())
+        return n.ExecProcedure(name=name, args=args, schema=schema)
+
+    def _parse_waitfor(self) -> n.Waitfor:
+        self._expect_keyword("WAITFOR")
+        self._expect_keyword("DELAY")
+        token = self.current
+        if token.kind is not TokenKind.STRING:
+            raise self._error("expected a delay string")
+        self._advance()
+        return n.Waitfor(delay=token.value)
+
+
+def parse_statement(text: str) -> n.Statement:
+    """Parse a single SQL statement (ignoring one trailing semicolon)."""
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    parser._accept_punct(";")
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input")
+    return statement
+
+
+def parse_script(text: str) -> n.Script:
+    """Parse a ';'-separated script."""
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str) -> n.Query:
+    """Parse a SELECT/WITH query and return its :class:`~repro.sql.nodes.Query`."""
+    statement = parse_statement(text)
+    if not isinstance(statement, n.SelectStatement):
+        raise ParseError("expected a SELECT query", 0, text[:20])
+    return statement.query
+
+
+def try_parse(text: str) -> n.Statement | None:
+    """Parse *text*, returning None instead of raising on failure."""
+    try:
+        return parse_statement(text)
+    except Exception:
+        return None

@@ -1,0 +1,348 @@
+"""Syntactic property extraction (paper section 2.1).
+
+For each query the paper measures: ``char_count``, ``word_count``,
+``query_type``, ``table_count``, ``join_count``, ``column_count``,
+``function_count``, ``predicate_count``, ``nestedness`` and an
+``aggregate`` flag.  These drive the workload statistics (Table 2,
+Figures 1-3), the correlation analysis (Figure 4) and every
+failure-by-property analysis in Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql import nodes as n
+from repro.sql.keywords import AGGREGATE_FUNCTIONS, JOIN_KEYWORDS, STATEMENT_OPENERS
+from repro.sql.lexer import tokenize
+from repro.sql.parser import try_parse
+from repro.sql.tokens import TokenKind
+
+#: Property names in the order the paper's Figure 4 heatmaps use them.
+PROPERTY_NAMES: tuple[str, ...] = (
+    "char_count",
+    "word_count",
+    "table_count",
+    "join_count",
+    "column_count",
+    "function_count",
+    "predicate_count",
+    "nestedness",
+)
+
+
+@dataclass
+class QueryProperties:
+    """The measured syntactic properties of one SQL query."""
+
+    char_count: int = 0
+    word_count: int = 0
+    query_type: str = "SELECT"
+    table_count: int = 0
+    join_count: int = 0
+    column_count: int = 0
+    function_count: int = 0
+    predicate_count: int = 0
+    nestedness: int = 0
+    aggregate: bool = False
+
+    def as_dict(self) -> dict[str, float]:
+        """Numeric view used by correlation and failure analyses."""
+        return {
+            "char_count": self.char_count,
+            "word_count": self.word_count,
+            "table_count": self.table_count,
+            "join_count": self.join_count,
+            "column_count": self.column_count,
+            "function_count": self.function_count,
+            "predicate_count": self.predicate_count,
+            "nestedness": self.nestedness,
+        }
+
+    def value(self, name: str) -> float:
+        """Look up a numeric property by its paper name."""
+        return self.as_dict()[name]
+
+
+@dataclass
+class _Accumulator:
+    tables: set[str] = field(default_factory=set)
+    cte_names: set[str] = field(default_factory=set)
+    explicit_joins: int = 0
+    implicit_joins: int = 0
+    functions: int = 0
+    predicates: int = 0
+    max_depth: int = 0
+    aggregate: bool = False
+
+
+def extract_properties(text: str) -> QueryProperties:
+    """Measure *text*.  Parses when possible, falls back to token scans.
+
+    The fallback matters because corrupted queries (missing tokens) may not
+    parse, yet the evaluation framework still needs rough size properties.
+    """
+    statement = try_parse(text)
+    if statement is None:
+        return _properties_from_tokens(text)
+    props = _properties_from_ast(statement)
+    props.char_count = len(text)
+    props.word_count = len(text.split())
+    return props
+
+
+def extract_statement_properties(statement: n.Statement, text: str) -> QueryProperties:
+    """Measure an already-parsed statement (avoids reparsing)."""
+    props = _properties_from_ast(statement)
+    props.char_count = len(text)
+    props.word_count = len(text.split())
+    return props
+
+
+# ---------------------------------------------------------------------------
+# AST-based measurement
+# ---------------------------------------------------------------------------
+
+
+def _properties_from_ast(statement: n.Statement) -> QueryProperties:
+    acc = _Accumulator()
+    _collect_statement(statement, acc, depth=0)
+    props = QueryProperties(
+        query_type=n.statement_type(statement),
+        table_count=len(acc.tables),
+        join_count=acc.explicit_joins + acc.implicit_joins,
+        column_count=_select_column_count(statement),
+        function_count=acc.functions,
+        predicate_count=acc.predicates,
+        nestedness=acc.max_depth,
+        aggregate=acc.aggregate,
+    )
+    return props
+
+
+def _collect_statement(statement: n.Statement, acc: _Accumulator, depth: int) -> None:
+    if isinstance(statement, n.SelectStatement):
+        _collect_query(statement.query, acc, depth)
+    elif isinstance(statement, n.CreateTable):
+        acc.tables.add(statement.name.lower())
+        if statement.as_query is not None:
+            _collect_query(statement.as_query, acc, depth)
+    elif isinstance(statement, n.CreateView):
+        _collect_query(statement.query, acc, depth)
+    elif isinstance(statement, n.Insert):
+        acc.tables.add(statement.table.lower())
+        for row in statement.rows:
+            for expr in row:
+                _collect_expr(expr, acc, depth)
+        if statement.query is not None:
+            _collect_query(statement.query, acc, depth)
+    elif isinstance(statement, n.Update):
+        acc.tables.add(statement.table.lower())
+        for _, expr in statement.assignments:
+            _collect_expr(expr, acc, depth)
+        if statement.where is not None:
+            acc.predicates += _count_leaf_predicates(statement.where)
+            _collect_expr(statement.where, acc, depth)
+    elif isinstance(statement, n.Delete):
+        acc.tables.add(statement.table.lower())
+        if statement.where is not None:
+            acc.predicates += _count_leaf_predicates(statement.where)
+            _collect_expr(statement.where, acc, depth)
+    elif isinstance(statement, n.DropTable):
+        acc.tables.add(statement.name.lower())
+    elif isinstance(statement, (n.Declare, n.Waitfor)):
+        pass
+    elif isinstance(statement, n.SetVariable):
+        _collect_expr(statement.value, acc, depth)
+    elif isinstance(statement, n.ExecProcedure):
+        for arg in statement.args:
+            _collect_expr(arg, acc, depth)
+
+
+def _collect_query(query: n.Query, acc: _Accumulator, depth: int) -> None:
+    for cte in query.ctes:
+        acc.cte_names.add(cte.name.lower())
+        _collect_query(cte.query, acc, depth + 1)
+    _collect_body(query.body, acc, depth)
+
+
+def _collect_body(body: n.QueryBody, acc: _Accumulator, depth: int) -> None:
+    if isinstance(body, n.Compound):
+        _collect_body(body.left, acc, depth)
+        _collect_body(body.right, acc, depth)
+        for item in body.order_by:
+            _collect_expr(item.expr, acc, depth)
+        return
+    _collect_select_core(body, acc, depth)
+
+
+def _collect_select_core(core: n.SelectCore, acc: _Accumulator, depth: int) -> None:
+    acc.max_depth = max(acc.max_depth, depth)
+    for item in core.items:
+        _collect_expr(item.expr, acc, depth)
+    comma_sources = 0
+    for ref in core.from_items:
+        comma_sources += 1
+        _collect_table_ref(ref, acc, depth)
+    if core.where is not None:
+        acc.predicates += _count_leaf_predicates(core.where)
+        _collect_expr(core.where, acc, depth)
+        if comma_sources > 1:
+            acc.implicit_joins += _count_implicit_joins(core.where)
+    if core.having is not None:
+        acc.predicates += _count_leaf_predicates(core.having)
+        _collect_expr(core.having, acc, depth)
+    for expr in core.group_by:
+        _collect_expr(expr, acc, depth)
+    for item in core.order_by:
+        _collect_expr(item.expr, acc, depth)
+
+
+def _collect_table_ref(ref: n.TableRef, acc: _Accumulator, depth: int) -> None:
+    if isinstance(ref, n.NamedTable):
+        if ref.name.lower() not in acc.cte_names:
+            acc.tables.add(ref.name.lower())
+    elif isinstance(ref, n.DerivedTable):
+        _collect_query(ref.query, acc, depth + 1)
+    elif isinstance(ref, n.Join):
+        acc.explicit_joins += 1
+        _collect_table_ref(ref.left, acc, depth)
+        _collect_table_ref(ref.right, acc, depth)
+        if ref.condition is not None:
+            _collect_expr(ref.condition, acc, depth)
+
+
+def _collect_expr(expr: n.Expr, acc: _Accumulator, depth: int) -> None:
+    if isinstance(expr, n.FuncCall):
+        acc.functions += 1
+        if expr.name.upper() in AGGREGATE_FUNCTIONS:
+            acc.aggregate = True
+        for arg in expr.args:
+            _collect_expr(arg, acc, depth)
+    elif isinstance(expr, (n.ScalarSubquery, n.Exists)):
+        _collect_query(expr.query, acc, depth + 1)
+    elif isinstance(expr, n.InSubquery):
+        _collect_expr(expr.expr, acc, depth)
+        _collect_query(expr.query, acc, depth + 1)
+    else:
+        for child in expr.children():
+            if isinstance(child, n.Query):
+                _collect_query(child, acc, depth + 1)
+            elif isinstance(child, n.Expr):
+                _collect_expr(child, acc, depth)
+
+
+def _count_leaf_predicates(expr: n.Expr) -> int:
+    """Count atomic boolean conditions in a WHERE/HAVING tree."""
+    if isinstance(expr, n.Binary) and expr.op in ("AND", "OR"):
+        return _count_leaf_predicates(expr.left) + _count_leaf_predicates(expr.right)
+    if isinstance(expr, n.Unary) and expr.op == "NOT":
+        return _count_leaf_predicates(expr.operand)
+    return 1
+
+
+def _count_implicit_joins(where: n.Expr) -> int:
+    """Count equality conditions linking columns of two different sources."""
+    count = 0
+    stack = [where]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, n.Binary):
+            if expr.op in ("AND", "OR"):
+                stack.append(expr.left)
+                stack.append(expr.right)
+            elif (
+                expr.op == "="
+                and isinstance(expr.left, n.ColumnRef)
+                and isinstance(expr.right, n.ColumnRef)
+                and expr.left.table is not None
+                and expr.right.table is not None
+                and expr.left.table.lower() != expr.right.table.lower()
+            ):
+                count += 1
+        elif isinstance(expr, n.Unary) and expr.op == "NOT":
+            stack.append(expr.operand)
+    return count
+
+
+def _select_column_count(statement: n.Statement) -> int:
+    """Distinct columns referenced in the outermost SELECT clause."""
+    query: n.Query | None = None
+    if isinstance(statement, n.SelectStatement):
+        query = statement.query
+    elif isinstance(statement, n.CreateView):
+        query = statement.query
+    elif isinstance(statement, n.CreateTable):
+        query = statement.as_query
+    if query is None:
+        return 0
+    body = query.body
+    while isinstance(body, n.Compound):
+        body = body.left
+    names: set[str] = set()
+    for item in body.items:
+        for node in n.walk(item.expr):
+            if isinstance(node, n.ColumnRef):
+                names.add(node.name.lower())
+            elif isinstance(node, n.Star):
+                names.add("*")
+    return len(names)
+
+
+# ---------------------------------------------------------------------------
+# Token-based fallback for unparseable (corrupted) text
+# ---------------------------------------------------------------------------
+
+
+def _properties_from_tokens(text: str) -> QueryProperties:
+    props = QueryProperties(char_count=len(text), word_count=len(text.split()))
+    try:
+        tokens = tokenize(text)
+    except Exception:
+        props.query_type = _guess_query_type(text)
+        return props
+    props.query_type = _guess_query_type(text)
+    seen_from = False
+    for index, token in enumerate(tokens):
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "FROM":
+                seen_from = True
+            elif token.value == "JOIN":
+                props.join_count += 1
+            elif token.value in ("AND", "OR"):
+                props.predicate_count += 1
+            elif token.value == "WHERE":
+                props.predicate_count += 1
+            elif token.value == "SELECT" and index > 0:
+                props.nestedness = max(props.nestedness, 1)
+            elif token.value in AGGREGATE_FUNCTIONS:
+                props.aggregate = True
+        elif token.kind is TokenKind.IDENT:
+            if token.value.upper() in AGGREGATE_FUNCTIONS:
+                next_token = tokens[index + 1] if index + 1 < len(tokens) else None
+                if next_token is not None and next_token.value == "(":
+                    props.aggregate = True
+                    props.function_count += 1
+            if seen_from and props.table_count == 0:
+                props.table_count = 1
+    return props
+
+
+def _guess_query_type(text: str) -> str:
+    for word in text.split():
+        upper = word.upper().strip("(;")
+        if upper in STATEMENT_OPENERS:
+            return "EXEC" if upper == "EXECUTE" else upper
+    return "SELECT"
+
+
+def has_explicit_join(text: str) -> bool:
+    """Quick token-level check for explicit join keywords."""
+    try:
+        tokens = tokenize(text)
+    except Exception:
+        return False
+    return any(
+        token.kind is TokenKind.KEYWORD and token.value in JOIN_KEYWORDS
+        for token in tokens
+    )

@@ -1,0 +1,49 @@
+"""Token model shared by the lexer and parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    VARIABLE = "variable"  # T-SQL @name
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: Lexical category.
+        value: Canonical text.  Keywords are upper-cased; identifiers keep
+            their original spelling; strings keep their quotes stripped.
+        position: Character offset of the first character in the source.
+        word_index: Zero-based index of the whitespace-delimited word the
+            token starts in.  The miss_token_loc task reports positions as
+            word counts (paper section 3.4), so the lexer tracks this.
+        end: Character offset one past the last character (for splicing
+            tokens out of the source, as the missing-token injector does).
+    """
+
+    kind: TokenKind
+    value: str
+    position: int = 0
+    word_index: int = 0
+    end: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}:{self.value!r}@{self.position}"

@@ -1,0 +1,55 @@
+"""Task layer: dataset builders and model-interaction functions."""
+
+from repro.tasks.base import (
+    MISS_TOKEN,
+    PERFORMANCE_PRED,
+    PRIMARY_TASKS,
+    QUERY_EQUIV,
+    QUERY_EXP,
+    SECONDARY_TASKS,
+    SYNTAX_ERROR,
+    ModelAnswer,
+    TaskDataset,
+    TaskInstance,
+)
+from repro.tasks.equivalence import ask_query_equiv, build_query_equiv_dataset
+from repro.tasks.explanation import (
+    ask_query_exp,
+    build_query_exp_dataset,
+    explanation_overlap_f1,
+)
+from repro.tasks.miss_token import ask_miss_token, build_miss_token_dataset
+from repro.tasks.performance import ask_performance_pred, build_performance_dataset
+from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
+from repro.tasks.skills import SKILL_TASK_MAP, render_skill_table, skill_marks
+from repro.tasks.syntax_error import ask_syntax_error, build_syntax_error_dataset
+
+__all__ = [
+    "TaskInstance",
+    "TaskDataset",
+    "ModelAnswer",
+    "PRIMARY_TASKS",
+    "SECONDARY_TASKS",
+    "SYNTAX_ERROR",
+    "MISS_TOKEN",
+    "QUERY_EQUIV",
+    "PERFORMANCE_PRED",
+    "QUERY_EXP",
+    "TASK_WORKLOADS",
+    "build_dataset",
+    "ask",
+    "build_syntax_error_dataset",
+    "ask_syntax_error",
+    "build_miss_token_dataset",
+    "ask_miss_token",
+    "build_query_equiv_dataset",
+    "ask_query_equiv",
+    "build_performance_dataset",
+    "ask_performance_pred",
+    "build_query_exp_dataset",
+    "ask_query_exp",
+    "explanation_overlap_f1",
+    "SKILL_TASK_MAP",
+    "skill_marks",
+    "render_skill_table",
+]

@@ -1,0 +1,105 @@
+"""Task data model.
+
+A :class:`TaskInstance` is one labeled example of one SQL task; a
+:class:`TaskDataset` is the labeled set for one (task, workload) cell of
+the paper's evaluation grid.  :class:`ModelAnswer` is what the pipeline
+extracts from a model's verbose response — predictions only ever come
+from parsing the response *text*, never from simulation metadata, so the
+full prompt → response → post-processing path of section 3.4 is always
+exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.properties import QueryProperties
+
+SYNTAX_ERROR = "syntax_error"
+MISS_TOKEN = "miss_token"
+QUERY_EQUIV = "query_equiv"
+PERFORMANCE_PRED = "performance_pred"
+QUERY_EXP = "query_exp"
+
+PRIMARY_TASKS: tuple[str, ...] = (
+    SYNTAX_ERROR,
+    MISS_TOKEN,
+    QUERY_EQUIV,
+    PERFORMANCE_PRED,
+    QUERY_EXP,
+)
+
+#: Secondary (derived) tasks of section 3.1.2: same datasets, different
+#: extraction/metric.
+SECONDARY_TASKS: tuple[str, ...] = (
+    "syntax_error_type",
+    "miss_token_type",
+    "miss_token_loc",
+    "query_equiv_type",
+)
+
+
+@dataclass
+class TaskInstance:
+    """One labeled example."""
+
+    instance_id: str
+    task: str
+    workload: str
+    schema_name: str
+    payload: dict[str, str]
+    label: Optional[bool] = None
+    label_type: Optional[str] = None
+    position: Optional[int] = None
+    removed_token: Optional[str] = None
+    gold_text: str = ""
+    source_query_id: str = ""
+    props: QueryProperties = field(default_factory=QueryProperties)
+    detail: str = ""
+
+    @property
+    def is_positive(self) -> bool:
+        return bool(self.label)
+
+
+@dataclass
+class TaskDataset:
+    """All instances for one (task, workload) cell."""
+
+    task: str
+    workload: str
+    instances: list[TaskInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)
+
+    @property
+    def positives(self) -> list[TaskInstance]:
+        return [i for i in self.instances if i.is_positive]
+
+    @property
+    def negatives(self) -> list[TaskInstance]:
+        return [i for i in self.instances if not i.is_positive]
+
+    def types_present(self) -> list[str]:
+        return sorted(
+            {i.label_type for i in self.instances if i.label_type is not None}
+        )
+
+
+@dataclass
+class ModelAnswer:
+    """Labels extracted from one model response."""
+
+    instance_id: str
+    model: str
+    response_text: str
+    predicted: Optional[bool] = None
+    predicted_type: Optional[str] = None
+    predicted_position: Optional[int] = None
+    explanation: str = ""
+    flaws: tuple[str, ...] = ()

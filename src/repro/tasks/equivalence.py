@@ -1,0 +1,74 @@
+"""query_equiv and query_equiv_type tasks (sections 3.1-3.2, 4.4)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.equivalence.counter_transforms import NON_EQUIVALENCE_TYPES
+from repro.equivalence.pairs import generate_equivalence_pairs
+from repro.equivalence.transforms import EQUIVALENCE_TYPES
+from repro.llm.simulated import SimulatedLLM
+from repro.parsing import extract_equivalence, extract_label
+from repro.prompts.templates import QUERY_EQUIV as PROMPT_KEY
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.sql.properties import extract_properties
+from repro.tasks.base import QUERY_EQUIV, ModelAnswer, TaskDataset, TaskInstance
+from repro.workloads.base import Workload
+
+ALL_PAIR_TYPES: tuple[str, ...] = EQUIVALENCE_TYPES + NON_EQUIVALENCE_TYPES
+
+
+def build_query_equiv_dataset(
+    workload: Workload,
+    seed: int = 0,
+    max_pairs: Optional[int] = None,
+    verify: bool = True,
+) -> TaskDataset:
+    """Build the labeled pair dataset via verified transforms."""
+    dataset = TaskDataset(task=QUERY_EQUIV, workload=workload.name)
+    pairs = generate_equivalence_pairs(
+        workload, seed=seed, max_pairs=max_pairs, verify=verify
+    )
+    for pair in pairs:
+        props = extract_properties(pair.first_text)
+        dataset.instances.append(
+            TaskInstance(
+                instance_id=pair.pair_id,
+                task=QUERY_EQUIV,
+                workload=workload.name,
+                schema_name=pair.schema_name,
+                payload={"query_1": pair.first_text, "query_2": pair.second_text},
+                label=pair.equivalent,
+                label_type=pair.pair_type,
+                source_query_id=pair.source_query_id,
+                props=props,
+                detail=pair.detail,
+            )
+        )
+    return dataset
+
+
+def ask_query_equiv(
+    model: SimulatedLLM,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+) -> ModelAnswer:
+    """Prompt the model with both queries and post-process the response."""
+    template = prompt or prompt_for(PROMPT_KEY)
+    response = model.answer_equivalence(
+        instance.instance_id,
+        instance.payload["query_1"],
+        instance.payload["query_2"],
+        instance.workload,
+        instance.props,
+        truth_equivalent=bool(instance.label),
+        truth_pair_type=instance.label_type,
+        prompt_quality=template.quality,
+    )
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model.name,
+        response_text=response.text,
+        predicted=extract_equivalence(response.text),
+        predicted_type=extract_label(response.text, ALL_PAIR_TYPES),
+    )

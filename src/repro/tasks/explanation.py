@@ -1,0 +1,92 @@
+"""query_exp task (sections 3.1.3, 4.5).
+
+Spider-only and qualitative in the paper: model explanations are compared
+against gold descriptions.  The reproduction scores explanations with a
+token-overlap F1 (for aggregate trends) and keeps the per-response flaw
+annotations for the section 4.5 case study.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import QUERY_EXP as PROMPT_KEY
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.tasks.base import QUERY_EXP, ModelAnswer, TaskDataset, TaskInstance
+from repro.workloads.base import Workload
+
+_STOPWORDS = frozenset(
+    "the a an of for in on to and or with from where by is are that "
+    "this find show list each every".split()
+)
+
+
+def build_query_exp_dataset(workload: Workload) -> TaskDataset:
+    """One instance per Spider query, gold description attached."""
+    dataset = TaskDataset(task=QUERY_EXP, workload=workload.name)
+    for query in workload.queries:
+        dataset.instances.append(
+            TaskInstance(
+                instance_id=f"{query.query_id}-exp",
+                task=QUERY_EXP,
+                workload=workload.name,
+                schema_name=query.schema_name,
+                payload={"query": query.text},
+                gold_text=query.description,
+                source_query_id=query.query_id,
+                props=query.properties,
+            )
+        )
+    return dataset
+
+
+def ask_query_exp(
+    model: SimulatedLLM,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+    statement=None,
+) -> ModelAnswer:
+    """Prompt the model for an explanation."""
+    template = prompt or prompt_for(PROMPT_KEY)
+    if statement is None:
+        from repro.sql.parser import try_parse
+
+        statement = try_parse(instance.payload["query"])
+    response = model.answer_explanation(
+        instance.instance_id,
+        instance.payload["query"],
+        statement,
+        prompt_quality=template.quality,
+    )
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model.name,
+        response_text=response.text,
+        explanation=response.text,
+        flaws=tuple(response.metadata.get("flaws", ())),
+    )
+
+
+def _tokens(text: str) -> set[str]:
+    words = re.findall(r"[a-z0-9_]+", text.lower())
+    return {w for w in words if w not in _STOPWORDS and len(w) > 1}
+
+
+def explanation_overlap_f1(gold: str, explanation: str) -> float:
+    """Token-overlap F1 between gold description and model explanation.
+
+    A crude but monotone proxy for explanation fidelity: detail-dropping
+    lowers recall, hallucinated content lowers precision.
+    """
+    gold_tokens = _tokens(gold)
+    pred_tokens = _tokens(explanation)
+    if not gold_tokens or not pred_tokens:
+        return 0.0
+    overlap = len(gold_tokens & pred_tokens)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred_tokens)
+    recall = overlap / len(gold_tokens)
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,118 @@
+"""Benchmark dataset export.
+
+The paper releases its task-driven labeled datasets publicly (section 1,
+"Our SQL task-driven data benchmark is publicly available").  This module
+serialises any :class:`~repro.tasks.base.TaskDataset` to JSON so the
+reproduction's datasets can be shipped, diffed, and reloaded without
+rerunning generation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.sql.properties import QueryProperties
+from repro.tasks.base import TaskDataset, TaskInstance
+
+#: Format version written into every export for forward compatibility.
+EXPORT_VERSION = 1
+
+
+def dataset_to_dict(dataset: TaskDataset) -> dict:
+    """A JSON-serialisable view of a dataset."""
+    return {
+        "version": EXPORT_VERSION,
+        "task": dataset.task,
+        "workload": dataset.workload,
+        "size": len(dataset),
+        "instances": [_instance_to_dict(instance) for instance in dataset],
+    }
+
+
+def _instance_to_dict(instance: TaskInstance) -> dict:
+    record = {
+        "instance_id": instance.instance_id,
+        "task": instance.task,
+        "workload": instance.workload,
+        "schema_name": instance.schema_name,
+        "payload": dict(instance.payload),
+        "label": instance.label,
+        "label_type": instance.label_type,
+        "position": instance.position,
+        "removed_token": instance.removed_token,
+        "gold_text": instance.gold_text,
+        "source_query_id": instance.source_query_id,
+        "detail": instance.detail,
+        "properties": asdict(instance.props),
+    }
+    return record
+
+
+def dataset_from_dict(payload: dict) -> TaskDataset:
+    """Reload a dataset exported by :func:`dataset_to_dict`."""
+    if payload.get("version") != EXPORT_VERSION:
+        raise ValueError(
+            f"unsupported export version {payload.get('version')!r}"
+        )
+    dataset = TaskDataset(task=payload["task"], workload=payload["workload"])
+    for record in payload["instances"]:
+        properties = QueryProperties(**record.pop("properties"))
+        dataset.instances.append(
+            TaskInstance(
+                instance_id=record["instance_id"],
+                task=record["task"],
+                workload=record["workload"],
+                schema_name=record["schema_name"],
+                payload=dict(record["payload"]),
+                label=record["label"],
+                label_type=record["label_type"],
+                position=record["position"],
+                removed_token=record["removed_token"],
+                gold_text=record["gold_text"],
+                source_query_id=record["source_query_id"],
+                detail=record["detail"],
+                props=properties,
+            )
+        )
+    return dataset
+
+
+def export_dataset(dataset: TaskDataset, path: Path) -> Path:
+    """Write one dataset to ``path`` (JSON, UTF-8, stable key order)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(dataset_to_dict(dataset), indent=1, sort_keys=True)
+    )
+    return path
+
+
+def load_dataset(path: Path) -> TaskDataset:
+    """Reload a dataset written by :func:`export_dataset`."""
+    return dataset_from_dict(json.loads(path.read_text()))
+
+
+def export_benchmark(
+    out_dir: Path,
+    seed: int = 0,
+    tasks: Iterable[str] | None = None,
+) -> list[Path]:
+    """Export the full labeled benchmark (all tasks x their workloads)."""
+    from repro.tasks.registry import TASK_WORKLOADS, build_dataset
+    from repro.workloads import load_workload
+
+    written: list[Path] = []
+    workload_cache: dict[str, object] = {}
+    for task, workload_names in TASK_WORKLOADS.items():
+        if tasks is not None and task not in tasks:
+            continue
+        for name in workload_names:
+            if name not in workload_cache:
+                workload_cache[name] = load_workload(name, seed)
+            dataset = build_dataset(task, workload_cache[name], seed=seed)
+            written.append(
+                export_dataset(dataset, out_dir / f"{task}__{name}.json")
+            )
+    return written

@@ -1,0 +1,84 @@
+"""miss_token, miss_token_type and miss_token_loc tasks (sections 3.1-3.2, 4.2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corrupt.missing_tokens import TOKEN_TYPES, remove_token
+from repro.llm.simulated import SimulatedLLM
+from repro.parsing import extract_label, extract_position, extract_yes_no
+from repro.prompts.templates import MISS_TOKEN as PROMPT_KEY
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.tasks.base import MISS_TOKEN, ModelAnswer, TaskDataset, TaskInstance
+from repro.util import derive_rng
+from repro.workloads.base import Workload
+
+#: Share of instances left intact (the negative class).
+INTACT_FRACTION = 0.3
+
+
+def build_miss_token_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
+    """Remove one token from a random ~70% of queries; keep the rest intact."""
+    dataset = TaskDataset(task=MISS_TOKEN, workload=workload.name)
+    for query in workload.queries:
+        rng = derive_rng("miss-token-dataset", seed, query.query_id)
+        corrupt = rng.random() >= INTACT_FRACTION
+        removal = remove_token(query.text, rng) if corrupt else None
+        if removal is not None:
+            dataset.instances.append(
+                TaskInstance(
+                    instance_id=f"{query.query_id}-tok",
+                    task=MISS_TOKEN,
+                    workload=workload.name,
+                    schema_name=query.schema_name,
+                    payload={"query": removal.text},
+                    label=True,
+                    label_type=removal.token_type,
+                    position=removal.position,
+                    removed_token=removal.removed,
+                    source_query_id=query.query_id,
+                    props=query.properties,
+                )
+            )
+        else:
+            dataset.instances.append(
+                TaskInstance(
+                    instance_id=f"{query.query_id}-tok",
+                    task=MISS_TOKEN,
+                    workload=workload.name,
+                    schema_name=query.schema_name,
+                    payload={"query": query.text},
+                    label=False,
+                    source_query_id=query.query_id,
+                    props=query.properties,
+                )
+            )
+    return dataset
+
+
+def ask_miss_token(
+    model: SimulatedLLM,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+) -> ModelAnswer:
+    """Prompt the model and post-process its compound response."""
+    template = prompt or prompt_for(PROMPT_KEY)
+    response = model.answer_miss_token(
+        instance.instance_id,
+        instance.payload["query"],
+        instance.workload,
+        instance.props,
+        truth_missing=bool(instance.label),
+        truth_token_type=instance.label_type,
+        truth_token=instance.removed_token,
+        truth_position=instance.position,
+        prompt_quality=template.quality,
+    )
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model.name,
+        response_text=response.text,
+        predicted=extract_yes_no(response.text),
+        predicted_type=extract_label(response.text, TOKEN_TYPES),
+        predicted_position=extract_position(response.text),
+    )

@@ -1,0 +1,66 @@
+"""performance_pred task (sections 3.1-3.2, 4.3).
+
+Only SDSS carries runtime ground truth; queries above 200 ms form the
+positive (costly) class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.llm.simulated import SimulatedLLM
+from repro.parsing import extract_yes_no
+from repro.perf.cost_model import is_high_cost
+from repro.prompts.templates import PERFORMANCE_PRED as PROMPT_KEY
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.tasks.base import (
+    PERFORMANCE_PRED,
+    ModelAnswer,
+    TaskDataset,
+    TaskInstance,
+)
+from repro.workloads.base import Workload
+
+
+def build_performance_dataset(workload: Workload) -> TaskDataset:
+    """Label every logged query as costly (>200 ms) or cheap."""
+    dataset = TaskDataset(task=PERFORMANCE_PRED, workload=workload.name)
+    for query in workload.queries:
+        if query.elapsed_ms is None:
+            continue
+        dataset.instances.append(
+            TaskInstance(
+                instance_id=f"{query.query_id}-perf",
+                task=PERFORMANCE_PRED,
+                workload=workload.name,
+                schema_name=query.schema_name,
+                payload={"query": query.text},
+                label=is_high_cost(query.elapsed_ms),
+                source_query_id=query.query_id,
+                props=query.properties,
+                detail=f"elapsed_ms={query.elapsed_ms}",
+            )
+        )
+    return dataset
+
+
+def ask_performance_pred(
+    model: SimulatedLLM,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+) -> ModelAnswer:
+    """Prompt the model and extract its costly/cheap judgement."""
+    template = prompt or prompt_for(PROMPT_KEY)
+    response = model.answer_performance(
+        instance.instance_id,
+        instance.payload["query"],
+        instance.props,
+        truth_costly=bool(instance.label),
+        prompt_quality=template.quality,
+    )
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model.name,
+        response_text=response.text,
+        predicted=extract_yes_no(response.text),
+    )

@@ -1,0 +1,68 @@
+"""Task registry: builders and ask-functions keyed by task name."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.tasks.base import (
+    MISS_TOKEN,
+    PERFORMANCE_PRED,
+    PRIMARY_TASKS,
+    QUERY_EQUIV,
+    QUERY_EXP,
+    SYNTAX_ERROR,
+    TaskDataset,
+)
+from repro.tasks.equivalence import ask_query_equiv, build_query_equiv_dataset
+from repro.tasks.explanation import ask_query_exp, build_query_exp_dataset
+from repro.tasks.miss_token import ask_miss_token, build_miss_token_dataset
+from repro.tasks.performance import ask_performance_pred, build_performance_dataset
+from repro.tasks.syntax_error import ask_syntax_error, build_syntax_error_dataset
+from repro.workloads.base import Workload
+
+#: Which workloads each task evaluates on (Table 2 usage note + section 3.2).
+TASK_WORKLOADS: dict[str, tuple[str, ...]] = {
+    SYNTAX_ERROR: ("sdss", "sqlshare", "join_order"),
+    MISS_TOKEN: ("sdss", "sqlshare", "join_order"),
+    QUERY_EQUIV: ("sdss", "sqlshare", "join_order"),
+    PERFORMANCE_PRED: ("sdss",),
+    QUERY_EXP: ("spider",),
+}
+
+ASK_FUNCTIONS: dict[str, Callable] = {
+    SYNTAX_ERROR: ask_syntax_error,
+    MISS_TOKEN: ask_miss_token,
+    QUERY_EQUIV: ask_query_equiv,
+    PERFORMANCE_PRED: ask_performance_pred,
+    QUERY_EXP: ask_query_exp,
+}
+
+
+def build_dataset(
+    task: str, workload: Workload, seed: int = 0, max_instances: Optional[int] = None
+) -> TaskDataset:
+    """Build the labeled dataset for one (task, workload) cell."""
+    if task == SYNTAX_ERROR:
+        dataset = build_syntax_error_dataset(workload, seed)
+    elif task == MISS_TOKEN:
+        dataset = build_miss_token_dataset(workload, seed)
+    elif task == QUERY_EQUIV:
+        dataset = build_query_equiv_dataset(workload, seed, max_pairs=max_instances)
+    elif task == PERFORMANCE_PRED:
+        dataset = build_performance_dataset(workload)
+    elif task == QUERY_EXP:
+        dataset = build_query_exp_dataset(workload)
+    else:
+        raise KeyError(f"unknown task {task!r}; expected one of {PRIMARY_TASKS}")
+    if max_instances is not None and task != QUERY_EQUIV:
+        dataset.instances = dataset.instances[:max_instances]
+    return dataset
+
+
+def ask(task: str, model, instance, prompt=None):
+    """Dispatch to the task's ask-function."""
+    try:
+        fn = ASK_FUNCTIONS[task]
+    except KeyError:
+        raise KeyError(f"unknown task {task!r}") from None
+    return fn(model, instance, prompt)

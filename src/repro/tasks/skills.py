@@ -1,0 +1,64 @@
+"""Skill-to-task mapping (paper Table 1).
+
+The paper grades each SQL task by which understanding skills it probes —
+recognition, semantics, context, coherence — on a 1-3 scale (one to
+three check marks).
+"""
+
+from __future__ import annotations
+
+RECOGNITION = "Recognition"
+SEMANTICS = "Semantics"
+CONTEXT = "Context"
+COHERENCE = "Coherence"
+
+SKILLS: tuple[str, ...] = (RECOGNITION, SEMANTICS, CONTEXT, COHERENCE)
+
+#: Table 1, verbatim: skill -> task -> check-mark count.
+SKILL_TASK_MAP: dict[str, dict[str, int]] = {
+    RECOGNITION: {
+        "syntax_error": 3,
+        "miss_token": 1,
+        "performance_pred": 1,
+        "query_equiv": 0,
+        "query_exp": 2,
+    },
+    SEMANTICS: {
+        "syntax_error": 3,
+        "miss_token": 1,
+        "performance_pred": 1,
+        "query_equiv": 0,
+        "query_exp": 2,
+    },
+    CONTEXT: {
+        "syntax_error": 3,
+        "miss_token": 1,
+        "performance_pred": 2,
+        "query_equiv": 1,
+        "query_exp": 2,
+    },
+    COHERENCE: {
+        "syntax_error": 3,
+        "miss_token": 1,
+        "performance_pred": 2,
+        "query_equiv": 1,
+        "query_exp": 2,
+    },
+}
+
+
+def skill_marks(skill: str, task: str) -> int:
+    """Check-mark count for (skill, task); 0 when unmapped."""
+    return SKILL_TASK_MAP.get(skill, {}).get(task, 0)
+
+
+def render_skill_table() -> list[dict[str, object]]:
+    """Table 1 as printable rows."""
+    rows = []
+    tasks = ("syntax_error", "miss_token", "performance_pred", "query_equiv", "query_exp")
+    for skill in SKILLS:
+        row: dict[str, object] = {"Skill": skill}
+        for task in tasks:
+            row[task] = "✓" * skill_marks(skill, task) or "-"
+        rows.append(row)
+    return rows

@@ -1,0 +1,101 @@
+"""syntax_error and syntax_error_type tasks (sections 3.1.1, 3.2, 4.1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corrupt.syntax_errors import ERROR_TYPES, inject_syntax_error
+from repro.llm.simulated import SimulatedLLM
+from repro.parsing import extract_label, extract_yes_no
+from repro.prompts.templates import SYNTAX_ERROR as PROMPT_KEY
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.tasks.base import SYNTAX_ERROR, ModelAnswer, TaskDataset, TaskInstance
+from repro.util import derive_rng
+from repro.workloads.base import Workload
+
+#: Share of instances left uncorrupted ("error-free" class, section 3.2).
+ERROR_FREE_FRACTION = 0.3
+
+#: Per-workload injection weights: SQLShare's many small schemas make
+#: alias errors endemic (Figure 7b shows them dominating FNs there).
+TYPE_WEIGHTS: dict[str, dict[str, float]] = {
+    "sqlshare": {"alias-ambiguous": 3.0, "alias-undefined": 1.5},
+}
+
+
+def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
+    """Inject errors into a random ~70% of queries; leave the rest clean.
+
+    The error type for each corrupted query is drawn uniformly from the
+    types applicable to that query, mirroring the paper's generation.
+    """
+    dataset = TaskDataset(task=SYNTAX_ERROR, workload=workload.name)
+    for query in workload.queries:
+        statement = query.statement
+        if statement is None:
+            continue
+        rng = derive_rng("syntax-error-dataset", seed, query.query_id)
+        make_error = rng.random() >= ERROR_FREE_FRACTION
+        corruption = None
+        if make_error:
+            corruption = inject_syntax_error(
+                statement,
+                workload.schema_for(query),
+                rng,
+                type_weights=TYPE_WEIGHTS.get(workload.name),
+            )
+        if corruption is not None:
+            dataset.instances.append(
+                TaskInstance(
+                    instance_id=f"{query.query_id}-syn",
+                    task=SYNTAX_ERROR,
+                    workload=workload.name,
+                    schema_name=query.schema_name,
+                    payload={"query": corruption.text},
+                    label=True,
+                    label_type=corruption.error_type,
+                    source_query_id=query.query_id,
+                    props=query.properties,
+                    detail=corruption.detail,
+                )
+            )
+        else:
+            dataset.instances.append(
+                TaskInstance(
+                    instance_id=f"{query.query_id}-syn",
+                    task=SYNTAX_ERROR,
+                    workload=workload.name,
+                    schema_name=query.schema_name,
+                    payload={"query": query.text},
+                    label=False,
+                    label_type=None,
+                    source_query_id=query.query_id,
+                    props=query.properties,
+                )
+            )
+    return dataset
+
+
+def ask_syntax_error(
+    model: SimulatedLLM,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+) -> ModelAnswer:
+    """Prompt the model and post-process its verbose response."""
+    template = prompt or prompt_for(PROMPT_KEY)
+    response = model.answer_syntax_error(
+        instance.instance_id,
+        instance.payload["query"],
+        instance.workload,
+        instance.props,
+        truth_has_error=bool(instance.label),
+        truth_error_type=instance.label_type,
+        prompt_quality=template.quality,
+    )
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model.name,
+        response_text=response.text,
+        predicted=extract_yes_no(response.text),
+        predicted_type=extract_label(response.text, ERROR_TYPES),
+    )

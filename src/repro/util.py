@@ -1,0 +1,22 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(*parts) -> int:
+    """Derive a stable 64-bit seed from arbitrary hashable parts.
+
+    Uses SHA-256 over the string rendering so results are stable across
+    Python processes (unlike built-in ``hash``, which is salted).
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(*parts) -> random.Random:
+    """A ``random.Random`` seeded deterministically from *parts*."""
+    return random.Random(derive_seed(*parts))

@@ -1,0 +1,80 @@
+"""Workload generators and statistics for the four paper datasets."""
+
+from repro.workloads.base import (
+    DISPLAY_NAMES,
+    JOIN_ORDER,
+    ORIGINAL_SIZES,
+    SAMPLED_SIZES,
+    SDSS,
+    SPIDER,
+    SQLSHARE,
+    WORKLOAD_NAMES,
+    Workload,
+    WorkloadQuery,
+)
+from repro.workloads.join_order import generate_join_order
+from repro.workloads.sdss import generate_sdss
+from repro.workloads.spider import CASE_STUDY_QUERIES, generate_spider
+from repro.workloads.sqlshare import generate_sqlshare
+from repro.workloads.statistics import (
+    CorrelationMatrix,
+    Histogram,
+    WorkloadStats,
+    correlation_matrix,
+    figure_histograms,
+    pearson,
+    query_type_histogram,
+    workload_stats,
+)
+
+_GENERATORS = {
+    SDSS: generate_sdss,
+    SQLSHARE: generate_sqlshare,
+    JOIN_ORDER: generate_join_order,
+    SPIDER: generate_spider,
+}
+
+
+def load_workload(name: str, seed: int = 0) -> Workload:
+    """Generate the named workload (``sdss``/``sqlshare``/``join_order``/``spider``)."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(_GENERATORS)}"
+        ) from None
+    return generator(seed)
+
+
+def load_all_workloads(seed: int = 0) -> dict[str, Workload]:
+    """Generate all four workloads keyed by name."""
+    return {name: load_workload(name, seed) for name in WORKLOAD_NAMES}
+
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "WORKLOAD_NAMES",
+    "DISPLAY_NAMES",
+    "ORIGINAL_SIZES",
+    "SAMPLED_SIZES",
+    "SDSS",
+    "SQLSHARE",
+    "JOIN_ORDER",
+    "SPIDER",
+    "generate_sdss",
+    "generate_sqlshare",
+    "generate_join_order",
+    "generate_spider",
+    "CASE_STUDY_QUERIES",
+    "load_workload",
+    "load_all_workloads",
+    "workload_stats",
+    "figure_histograms",
+    "query_type_histogram",
+    "correlation_matrix",
+    "pearson",
+    "Histogram",
+    "WorkloadStats",
+    "CorrelationMatrix",
+]

@@ -1,0 +1,117 @@
+"""Workload data model.
+
+A workload is a list of :class:`WorkloadQuery` plus the schema catalog its
+queries run against, mirroring the paper's four datasets (Table 2): each
+query carries its SQL text, the schema it targets, measured syntactic
+properties, and — for SDSS — the elapsed-time log entry that the
+performance-prediction task consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.schema.model import Schema
+from repro.sql import nodes
+from repro.sql.parser import try_parse
+from repro.sql.properties import QueryProperties, extract_statement_properties
+
+SDSS = "sdss"
+SQLSHARE = "sqlshare"
+JOIN_ORDER = "join_order"
+SPIDER = "spider"
+
+WORKLOAD_NAMES: tuple[str, ...] = (SDSS, SQLSHARE, JOIN_ORDER, SPIDER)
+
+#: Paper display names (Table 2 rows).
+DISPLAY_NAMES: dict[str, str] = {
+    SDSS: "SDSS",
+    SQLSHARE: "SQLShare",
+    JOIN_ORDER: "Join-Order",
+    SPIDER: "Spider",
+}
+
+#: "Original" workload sizes reported in Table 2.
+ORIGINAL_SIZES: dict[str, int] = {
+    SDSS: 5_081_188,
+    SQLSHARE: 9_623,
+    JOIN_ORDER: 157,
+    SPIDER: 4_486,
+}
+
+#: Sampled dataset sizes used throughout the paper (Table 2).
+SAMPLED_SIZES: dict[str, int] = {
+    SDSS: 285,
+    SQLSHARE: 250,
+    JOIN_ORDER: 157,
+    SPIDER: 200,
+}
+
+
+@dataclass
+class WorkloadQuery:
+    """One sampled query with its measurements and provenance."""
+
+    query_id: str
+    text: str
+    workload: str
+    schema_name: str
+    description: str = ""  # gold natural-language description (Spider)
+    elapsed_ms: Optional[float] = None  # runtime log entry (SDSS)
+    archetype: str = ""  # generator-internal label, useful for analysis
+    _statement: Optional[nodes.Statement] = field(default=None, repr=False)
+    _properties: Optional[QueryProperties] = field(default=None, repr=False)
+
+    @property
+    def statement(self) -> Optional[nodes.Statement]:
+        """The parsed AST (None when the text does not parse)."""
+        if self._statement is None:
+            self._statement = try_parse(self.text)
+        return self._statement
+
+    @property
+    def properties(self) -> QueryProperties:
+        """Measured syntactic properties (computed once, cached)."""
+        if self._properties is None:
+            statement = self.statement
+            if statement is not None:
+                self._properties = extract_statement_properties(
+                    statement, self.text
+                )
+            else:
+                from repro.sql.properties import extract_properties
+
+                self._properties = extract_properties(self.text)
+        return self._properties
+
+
+@dataclass
+class Workload:
+    """A named collection of sampled queries plus their schemas."""
+
+    name: str
+    queries: list[WorkloadQuery] = field(default_factory=list)
+    schemas: dict[str, Schema] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def schema_for(self, query: WorkloadQuery) -> Schema:
+        """The schema a given query runs against."""
+        return self.schemas[query.schema_name]
+
+    def select_queries(self) -> list[WorkloadQuery]:
+        """Queries whose statement is a plain or WITH SELECT."""
+        return [
+            q
+            for q in self.queries
+            if q.properties.query_type in ("SELECT", "WITH")
+        ]
+
+    @property
+    def display_name(self) -> str:
+        return DISPLAY_NAMES.get(self.name, self.name)

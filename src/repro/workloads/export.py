@@ -1,0 +1,80 @@
+"""Workload serialisation.
+
+Alongside the labeled task datasets (:mod:`repro.tasks.export`), the
+paper's public benchmark also contains the sampled queries themselves.
+This module writes/reads a workload's queries — text, schema, archetype,
+runtime log entry and measured properties — as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.workloads.base import Workload, WorkloadQuery
+
+EXPORT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """A JSON-serialisable view of a workload (schemas by reference)."""
+    return {
+        "version": EXPORT_VERSION,
+        "name": workload.name,
+        "size": len(workload),
+        "schemas": sorted(workload.schemas),
+        "queries": [
+            {
+                "query_id": query.query_id,
+                "text": query.text,
+                "schema_name": query.schema_name,
+                "description": query.description,
+                "elapsed_ms": query.elapsed_ms,
+                "archetype": query.archetype,
+                "properties": asdict(query.properties),
+            }
+            for query in workload
+        ],
+    }
+
+
+def export_workload(workload: Workload, path: Path) -> Path:
+    """Write one workload's queries to ``path``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(workload_to_dict(workload), indent=1, sort_keys=True))
+    return path
+
+
+def workload_from_dict(payload: dict) -> Workload:
+    """Reload queries from an export (schemas are rebuilt from catalogs).
+
+    Schema objects are not serialised — they are code, rebuilt by name
+    from the catalog, which keeps exports small and forward-compatible.
+    """
+    if payload.get("version") != EXPORT_VERSION:
+        raise ValueError(f"unsupported export version {payload.get('version')!r}")
+    from repro.workloads import load_workload
+
+    template = load_workload(payload["name"], seed=0)
+    workload = Workload(name=payload["name"], schemas=template.schemas)
+    from repro.sql.properties import QueryProperties
+
+    for record in payload["queries"]:
+        query = WorkloadQuery(
+            query_id=record["query_id"],
+            text=record["text"],
+            workload=payload["name"],
+            schema_name=record["schema_name"],
+            description=record["description"],
+            elapsed_ms=record["elapsed_ms"],
+            archetype=record["archetype"],
+        )
+        query._properties = QueryProperties(**record["properties"])
+        workload.queries.append(query)
+    return workload
+
+
+def load_workload_file(path: Path) -> Workload:
+    """Reload a workload written by :func:`export_workload`."""
+    return workload_from_dict(json.loads(path.read_text()))

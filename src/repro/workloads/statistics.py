@@ -1,0 +1,242 @@
+"""Workload statistics: Table 2, Figures 1-3 histograms, Figure 4 correlations.
+
+Buckets replicate the paper's figure axes exactly, so benchmark output is
+directly comparable with the published histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sql.properties import PROPERTY_NAMES
+from repro.workloads.base import JOIN_ORDER, SDSS, SPIDER, SQLSHARE, Workload
+
+#: Word-count buckets used in Figures 1b/2b/3a.
+WORD_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("1-30", 1, 30),
+    ("30-60", 30, 60),
+    ("60-90", 60, 90),
+    ("90-120", 90, 120),
+    ("120+", 120, math.inf),
+)
+
+
+def bucket_label(value: float, buckets) -> str:
+    """Assign *value* to the first bucket whose [low, high) contains it."""
+    for label, low, high in buckets:
+        if low <= value < high:
+            return label
+    return buckets[-1][0]
+
+
+def discrete_buckets(maximum: int) -> tuple[tuple[str, float, float], ...]:
+    """Buckets 0, 1, ..., maximum-1, maximum+ (e.g. Fig 1c table counts)."""
+    buckets = [(str(v), v, v + 1) for v in range(maximum)]
+    buckets.append((f"{maximum}+", maximum, math.inf))
+    return tuple(buckets)
+
+
+#: Predicate-count buckets of Figure 3c (Join-Order only).
+JOIN_ORDER_PREDICATE_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("0-1", 0, 2),
+    ("2-6", 2, 7),
+    ("7-10", 7, 11),
+    ("10+", 11, math.inf),
+)
+
+
+@dataclass
+class Histogram:
+    """Ordered bucket counts for one property."""
+
+    property_name: str
+    labels: list[str]
+    counts: list[int]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(zip(self.labels, self.counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+def histogram(
+    workload: Workload, property_name: str, buckets
+) -> Histogram:
+    """Bucketed counts of a syntactic property over a workload."""
+    counter: Counter[str] = Counter()
+    for query in workload:
+        value = query.properties.value(property_name)
+        counter[bucket_label(value, buckets)] += 1
+    labels = [label for label, _, _ in buckets]
+    return Histogram(
+        property_name=property_name,
+        labels=labels,
+        counts=[counter.get(label, 0) for label in labels],
+    )
+
+
+def query_type_histogram(workload: Workload) -> Histogram:
+    """Counts per query_type, most frequent first (Figs 1a/2a)."""
+    counter = Counter(query.properties.query_type for query in workload)
+    ordered = counter.most_common()
+    return Histogram(
+        property_name="query_type",
+        labels=[label for label, _ in ordered],
+        counts=[count for _, count in ordered],
+    )
+
+
+@dataclass
+class WorkloadStats:
+    """One row of Table 2."""
+
+    name: str
+    sampled: int
+    select_count: int
+    create_count: int
+    aggregate_yes: int
+    aggregate_no: int
+    nestedness: dict[int, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "workload": self.name,
+            "sampled": self.sampled,
+            "SELECT": self.select_count,
+            "CREATE": self.create_count,
+            "agg_yes": self.aggregate_yes,
+            "agg_no": self.aggregate_no,
+            "nest_0": self.nestedness.get(0, 0),
+            "nest_1+": sum(v for k, v in self.nestedness.items() if k >= 1),
+        }
+
+
+def workload_stats(workload: Workload) -> WorkloadStats:
+    """Compute the Table 2 row for one workload."""
+    select_count = 0
+    create_count = 0
+    aggregate_yes = 0
+    nestedness: Counter[int] = Counter()
+    for query in workload:
+        props = query.properties
+        if props.query_type in ("SELECT", "WITH"):
+            select_count += 1
+        elif props.query_type == "CREATE":
+            create_count += 1
+        if props.aggregate:
+            aggregate_yes += 1
+        nestedness[props.nestedness] += 1
+    return WorkloadStats(
+        name=workload.display_name,
+        sampled=len(workload),
+        select_count=select_count,
+        create_count=create_count,
+        aggregate_yes=aggregate_yes,
+        aggregate_no=len(workload) - aggregate_yes,
+        nestedness=dict(nestedness),
+    )
+
+
+def figure_histograms(workload: Workload) -> dict[str, Histogram]:
+    """All histograms from the workload's figure (Fig 1, 2 or 3)."""
+    result: dict[str, Histogram] = {}
+    if workload.name in (SDSS, SQLSHARE):
+        result["query_type"] = query_type_histogram(workload)
+        result["word_count"] = histogram(workload, "word_count", WORD_BUCKETS)
+        result["table_count"] = histogram(
+            workload, "table_count", discrete_buckets(6)
+        )
+        result["predicate_count"] = histogram(
+            workload, "predicate_count", discrete_buckets(7)
+        )
+        maximum = 6 if workload.name == SDSS else 5
+        result["nestedness"] = histogram(
+            workload, "nestedness", discrete_buckets(maximum)
+        )
+    elif workload.name == JOIN_ORDER:
+        result["word_count"] = histogram(workload, "word_count", WORD_BUCKETS)
+        result["table_count"] = histogram(
+            workload, "table_count", discrete_buckets(9)
+        )
+        result["predicate_count"] = histogram(
+            workload, "predicate_count", JOIN_ORDER_PREDICATE_BUCKETS
+        )
+        result["function_count"] = histogram(
+            workload, "function_count", discrete_buckets(4)
+        )
+    elif workload.name == SPIDER:
+        result["query_type"] = query_type_histogram(workload)
+        result["word_count"] = histogram(workload, "word_count", WORD_BUCKETS)
+        result["nestedness"] = histogram(
+            workload, "nestedness", discrete_buckets(2)
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Pearson correlations (Figure 4)
+# ---------------------------------------------------------------------------
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    count = len(xs)
+    if count < 2:
+        return 0.0
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass
+class CorrelationMatrix:
+    """Pairwise Pearson coefficients over syntactic properties."""
+
+    properties: list[str]
+    values: list[list[float]]
+
+    def get(self, first: str, second: str) -> float:
+        i = self.properties.index(first)
+        j = self.properties.index(second)
+        return self.values[i][j]
+
+    def strong_pairs(self, threshold: float = 0.7) -> list[tuple[str, str, float]]:
+        """Property pairs above the paper's 0.7 strong-correlation threshold."""
+        pairs = []
+        for i, first in enumerate(self.properties):
+            for j in range(i + 1, len(self.properties)):
+                value = self.values[i][j]
+                if abs(value) >= threshold:
+                    pairs.append((first, self.properties[j], value))
+        return sorted(pairs, key=lambda item: -abs(item[2]))
+
+
+def correlation_matrix(
+    workload: Workload, properties: tuple[str, ...] = PROPERTY_NAMES
+) -> CorrelationMatrix:
+    """Figure 4: pairwise Pearson correlations of query properties."""
+    series: dict[str, list[float]] = {name: [] for name in properties}
+    for query in workload:
+        values = query.properties.as_dict()
+        for name in properties:
+            series[name].append(values[name])
+    names = list(properties)
+    values = [
+        [
+            1.0 if i == j else round(pearson(series[a], series[b]), 2)
+            for j, b in enumerate(names)
+        ]
+        for i, a in enumerate(names)
+    ]
+    return CorrelationMatrix(properties=names, values=values)

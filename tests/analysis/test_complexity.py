@@ -1,0 +1,58 @@
+"""Complexity-score tests."""
+
+import pytest
+
+from repro.analysis import complexity_score, property_complexity
+from repro.sql.properties import QueryProperties, extract_properties
+
+
+def props(**kwargs):
+    return QueryProperties(**kwargs)
+
+
+class TestComplexityScore:
+    def test_bounds(self):
+        assert complexity_score(props()) == 0.0
+        huge = props(
+            word_count=10_000,
+            table_count=50,
+            join_count=50,
+            predicate_count=100,
+            nestedness=9,
+            column_count=40,
+            function_count=30,
+        )
+        assert complexity_score(huge) == 1.0
+
+    def test_monotone_in_word_count(self):
+        short = props(word_count=10)
+        long = props(word_count=100)
+        assert complexity_score(long) > complexity_score(short)
+
+    def test_monotone_in_nestedness(self):
+        flat = props(word_count=50)
+        nested = props(word_count=50, nestedness=3)
+        assert complexity_score(nested) > complexity_score(flat)
+
+    def test_real_queries_ordered(self):
+        simple = extract_properties("SELECT plate FROM SpecObj")
+        complex_ = extract_properties(
+            "SELECT s.plate, s.mjd, p.ra, p.dec FROM SpecObj AS s "
+            "JOIN PhotoObj AS p ON s.bestobjid = p.objid "
+            "WHERE s.z > 0.5 AND p.ra > 100 AND p.dec < 30 AND s.plate IN "
+            "(SELECT plate FROM SpecObj WHERE mjd > 55000)"
+        )
+        assert complexity_score(complex_) > complexity_score(simple)
+
+
+class TestPropertyComplexity:
+    def test_normalised(self):
+        assert property_complexity(props(word_count=150), "word_count") == 1.0
+        assert property_complexity(props(word_count=75), "word_count") == 0.5
+
+    def test_capped_at_one(self):
+        assert property_complexity(props(word_count=500), "word_count") == 1.0
+
+    def test_unknown_property_raises(self):
+        with pytest.raises(KeyError):
+            property_complexity(props(), "char_count")

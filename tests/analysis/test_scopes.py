@@ -1,0 +1,100 @@
+"""Scope and output-column derivation tests."""
+
+from repro.analysis.scopes import Scope, Source, build_sources, derive_output_columns
+from repro.schema import SDSS_SCHEMA
+from repro.schema.model import ColType
+from repro.sql.parser import parse_query
+
+
+class TestSource:
+    def test_base_table_columns(self):
+        source = Source(label="s", table=SDSS_SCHEMA.table("SpecObj"))
+        assert source.has_column("plate")
+        assert source.column_type("z") is ColType.FLOAT
+        assert not source.has_column("nope")
+
+    def test_derived_columns(self):
+        source = Source(label="d", columns={"x": ColType.INT, "y": None})
+        assert source.has_column("X".lower())
+        assert source.column_type("x") is ColType.INT
+        assert source.column_type("y") is None
+
+
+class TestScopeResolution:
+    def test_local_before_parent(self):
+        parent = Scope(
+            sources=[Source(label="outer", columns={"shared": ColType.TEXT})]
+        )
+        child = Scope(
+            sources=[Source(label="inner", columns={"shared": ColType.INT})],
+            parent=parent,
+        )
+        source, col_type = child.resolve_column("shared")
+        assert source.label == "inner"
+        assert col_type is ColType.INT
+
+    def test_find_source_walks_outward(self):
+        parent = Scope(sources=[Source(label="p", columns={})])
+        child = Scope(sources=[], parent=parent)
+        assert child.find_source("p") is not None
+        assert child.find_source("q") is None
+
+    def test_ambiguity_is_local_only(self):
+        parent = Scope(sources=[Source(label="o", columns={"ra": None})])
+        child = Scope(
+            sources=[Source(label="a", columns={"ra": None})], parent=parent
+        )
+        # only one LOCAL source has 'ra' -> not ambiguous
+        assert len(child.sources_with_column("ra")) == 1
+
+
+class TestBuildSources:
+    def test_join_flattened(self):
+        query = parse_query(
+            "SELECT 1 FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid"
+        )
+        sources = build_sources(SDSS_SCHEMA, query.body.from_items, {})
+        assert [source.label for source in sources] == ["s", "p"]
+
+    def test_cte_reference_uses_cte_columns(self):
+        cte_columns = {"hz": {"plate": ColType.INT}}
+        query = parse_query("SELECT plate FROM hz")
+        sources = build_sources(SDSS_SCHEMA, query.body.from_items, cte_columns)
+        assert sources[0].column_type("plate") is ColType.INT
+
+
+class TestDeriveOutputColumns:
+    def test_named_columns(self):
+        query = parse_query("SELECT plate, mjd FROM SpecObj")
+        columns = derive_output_columns(SDSS_SCHEMA, query, {})
+        assert columns["plate"] is ColType.INT
+        assert columns["mjd"] is ColType.INT
+
+    def test_aliases_win(self):
+        query = parse_query("SELECT plate AS p FROM SpecObj")
+        columns = derive_output_columns(SDSS_SCHEMA, query, {})
+        assert "p" in columns
+
+    def test_star_expands_all(self):
+        query = parse_query("SELECT * FROM SpecObj")
+        columns = derive_output_columns(SDSS_SCHEMA, query, {})
+        assert "plate" in columns
+        assert "z" in columns
+        assert columns["z"] is ColType.FLOAT
+
+    def test_qualified_star(self):
+        query = parse_query(
+            "SELECT s.* FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid"
+        )
+        columns = derive_output_columns(SDSS_SCHEMA, query, {})
+        assert "plate" in columns
+        assert "run" not in columns  # PhotoObj columns excluded
+
+    def test_nested_cte_chain(self):
+        query = parse_query(
+            "WITH a AS (SELECT plate FROM SpecObj), "
+            "b AS (SELECT plate FROM a) SELECT plate FROM b"
+        )
+        columns = derive_output_columns(SDSS_SCHEMA, query, {})
+        assert columns["plate"] is ColType.INT

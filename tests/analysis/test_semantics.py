@@ -1,0 +1,331 @@
+"""Semantic analyzer tests, anchored on the paper's Listing 1 examples."""
+
+import pytest
+
+from repro.analysis import (
+    AGGR_ATTR,
+    AGGR_HAVING,
+    ALIAS_AMBIGUOUS,
+    ALIAS_UNDEFINED,
+    CONDITION_MISMATCH,
+    NESTED_MISMATCH,
+    UNKNOWN_COLUMN,
+    UNKNOWN_TABLE,
+    SemanticAnalyzer,
+    paper_violations,
+)
+from repro.schema import SDSS_SCHEMA
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SemanticAnalyzer(SDSS_SCHEMA)
+
+
+def codes(analyzer, sql):
+    return {v.code for v in analyzer.analyze(parse_statement(sql))}
+
+
+class TestPaperListing1:
+    """The six example queries from Listing 1, verbatim."""
+
+    def test_q1_aggr_attr(self, analyzer):
+        sql = (
+            "SELECT plate, mjd, COUNT(*), AVG(z) "
+            "FROM SpecObj WHERE z > 0.5"
+        )
+        assert AGGR_ATTR in codes(analyzer, sql)
+
+    def test_q2_aggr_having(self, analyzer):
+        sql = (
+            "SELECT plate, COUNT(*) AS NumSpectra "
+            "FROM SpecObj GROUP BY plate HAVING z > 0.5"
+        )
+        assert AGGR_HAVING in codes(analyzer, sql)
+
+    def test_q3_nested_mismatch(self, analyzer):
+        sql = (
+            "SELECT p.ra, p.dec, s.z "
+            "FROM PhotoObj AS p JOIN SpecObj AS s "
+            "ON s.bestobjid = (SELECT bestobjid FROM SpecObj)"
+        )
+        assert NESTED_MISMATCH in codes(analyzer, sql)
+
+    def test_q4_condition_mismatch(self, analyzer):
+        sql = "SELECT plate, mjd, fiberid FROM SpecObj WHERE z = 'high'"
+        assert CONDITION_MISMATCH in codes(analyzer, sql)
+
+    def test_q5_alias_undefined(self, analyzer):
+        sql = (
+            "SELECT s.plate, s.mjd, z "
+            "FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = photoobj.bestobjid"
+        )
+        assert ALIAS_UNDEFINED in codes(analyzer, sql)
+
+    def test_q6_alias_ambiguous(self, analyzer):
+        # 'ra' exists in both SpecObj and PhotoObj.
+        sql = (
+            "SELECT plate, ra FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid WHERE ra > 100"
+        )
+        assert ALIAS_AMBIGUOUS in codes(analyzer, sql)
+
+
+class TestCleanQueries:
+    """Clean queries must produce zero paper violations (no false alarms)."""
+
+    CLEAN = [
+        "SELECT plate, mjd FROM SpecObj WHERE z > 0.5",
+        "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate",
+        "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate HAVING COUNT(*) > 3",
+        "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+        "SELECT s.ra, p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+        "SELECT plate FROM SpecObj WHERE z > (SELECT AVG(z) FROM SpecObj)",
+        "SELECT plate FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj)",
+        "SELECT plate FROM SpecObj WHERE class = 'QSO'",
+        "SELECT plate FROM SpecObj WHERE z BETWEEN 0.5 AND 1.0",
+        "SELECT plate FROM SpecObj WHERE class LIKE 'Q%'",
+        "SELECT COUNT(*) FROM SpecObj",
+        "SELECT plate, AVG(z) AS meanz FROM SpecObj GROUP BY plate ORDER BY meanz DESC",
+        "SELECT TOP 10 plate, z FROM SpecObj ORDER BY z DESC",
+        "WITH hz AS (SELECT plate, mjd FROM SpecObj WHERE z > 0.5) "
+        "SELECT plate, mjd FROM hz",
+        "SELECT x.plate FROM (SELECT plate FROM SpecObj WHERE z > 1) AS x",
+        "SELECT plate FROM SpecObj WHERE EXISTS "
+        "(SELECT 1 FROM PhotoObj WHERE objid = bestobjid)",
+        "SELECT plate FROM SpecObj WHERE z = (SELECT MAX(z) FROM SpecObj)",
+        "SELECT plate FROM SpecObj WHERE bestobjid = "
+        "(SELECT TOP 1 objid FROM PhotoObj ORDER BY ra)",
+        "SELECT class, COUNT(*), AVG(z) FROM SpecObj GROUP BY class "
+        "HAVING AVG(z) > 0.1",
+        "SELECT plate + 1 FROM SpecObj",
+        "SELECT CAST(plate AS VARCHAR(10)) FROM SpecObj WHERE "
+        "CAST(plate AS VARCHAR(10)) LIKE '1%'",
+    ]
+
+    @pytest.mark.parametrize("sql", CLEAN)
+    def test_no_paper_violations(self, analyzer, sql):
+        violations = paper_violations(analyzer.analyze(parse_statement(sql)))
+        assert violations == [], violations
+
+
+class TestAggregation:
+    def test_bare_column_with_aggregate_no_group_by(self, analyzer):
+        assert AGGR_ATTR in codes(analyzer, "SELECT plate, MAX(z) FROM SpecObj")
+
+    def test_column_not_in_group_by(self, analyzer):
+        sql = "SELECT plate, mjd, COUNT(*) FROM SpecObj GROUP BY plate"
+        assert AGGR_ATTR in codes(analyzer, sql)
+
+    def test_aggregate_inside_expression_is_fine(self, analyzer):
+        sql = "SELECT ROUND(AVG(z), 2) FROM SpecObj"
+        assert AGGR_ATTR not in codes(analyzer, sql)
+
+    def test_group_expr_matched_by_render(self, analyzer):
+        sql = "SELECT plate + 1, COUNT(*) FROM SpecObj GROUP BY plate + 1"
+        assert AGGR_ATTR not in codes(analyzer, sql)
+
+    def test_having_with_aggregate_ok(self, analyzer):
+        sql = (
+            "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate "
+            "HAVING MAX(z) > 1"
+        )
+        assert AGGR_HAVING not in codes(analyzer, sql)
+
+    def test_having_on_grouped_column_ok(self, analyzer):
+        sql = "SELECT plate FROM SpecObj GROUP BY plate HAVING plate > 1000"
+        assert AGGR_HAVING not in codes(analyzer, sql)
+
+    def test_having_mixed_condition_flagged(self, analyzer):
+        sql = (
+            "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate "
+            "HAVING COUNT(*) > 2 AND z > 0.5"
+        )
+        assert AGGR_HAVING in codes(analyzer, sql)
+
+
+class TestNestedMismatch:
+    def test_multi_row_subquery_in_equality(self, analyzer):
+        sql = "SELECT plate FROM SpecObj WHERE bestobjid = (SELECT objid FROM PhotoObj)"
+        assert NESTED_MISMATCH in codes(analyzer, sql)
+
+    def test_aggregate_subquery_is_single_row(self, analyzer):
+        sql = "SELECT plate FROM SpecObj WHERE z > (SELECT AVG(z) FROM SpecObj)"
+        assert NESTED_MISMATCH not in codes(analyzer, sql)
+
+    def test_limit_one_subquery_is_single_row(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj WHERE bestobjid = "
+            "(SELECT objid FROM PhotoObj ORDER BY ra LIMIT 1)"
+        )
+        assert NESTED_MISMATCH not in codes(analyzer, sql)
+
+    def test_grouped_aggregate_subquery_multi_row(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj WHERE z = "
+            "(SELECT AVG(z) FROM SpecObj GROUP BY plate)"
+        )
+        assert NESTED_MISMATCH in codes(analyzer, sql)
+
+    def test_multi_column_scalar_subquery(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj WHERE bestobjid = "
+            "(SELECT TOP 1 objid, ra FROM PhotoObj)"
+        )
+        assert NESTED_MISMATCH in codes(analyzer, sql)
+
+    def test_multi_column_in_subquery(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj WHERE bestobjid IN "
+            "(SELECT objid, ra FROM PhotoObj)"
+        )
+        assert NESTED_MISMATCH in codes(analyzer, sql)
+
+    def test_in_subquery_single_column_ok(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj WHERE bestobjid IN "
+            "(SELECT objid FROM PhotoObj)"
+        )
+        assert NESTED_MISMATCH not in codes(analyzer, sql)
+
+
+class TestConditionMismatch:
+    def test_numeric_vs_string(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE z = 'high'"
+        )
+
+    def test_string_vs_numeric_reversed(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE 'high' = z"
+        )
+
+    def test_text_column_vs_number(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE class > 5"
+        )
+
+    def test_between_with_text_bounds(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE z BETWEEN 'a' AND 'b'"
+        )
+
+    def test_in_list_type_mismatch(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE z IN ('x', 'y')"
+        )
+
+    def test_like_on_numeric_column(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE z LIKE '0.5%'"
+        )
+
+    def test_int_float_comparison_fine(self, analyzer):
+        assert CONDITION_MISMATCH not in codes(
+            analyzer, "SELECT plate FROM SpecObj WHERE plate > 0.5"
+        )
+
+    def test_join_condition_mismatch_detected(self, analyzer):
+        sql = (
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.class = p.objid"
+        )
+        assert CONDITION_MISMATCH in codes(analyzer, sql)
+
+
+class TestAliases:
+    def test_undefined_alias_in_select(self, analyzer):
+        assert ALIAS_UNDEFINED in codes(
+            analyzer, "SELECT q.plate FROM SpecObj AS s"
+        )
+
+    def test_undefined_alias_in_where(self, analyzer):
+        assert ALIAS_UNDEFINED in codes(
+            analyzer, "SELECT plate FROM SpecObj AS s WHERE q.z > 1"
+        )
+
+    def test_table_name_not_usable_after_aliasing(self, analyzer):
+        # Standard SQL hides the base name once aliased.
+        assert ALIAS_UNDEFINED in codes(
+            analyzer, "SELECT SpecObj.plate FROM SpecObj AS s"
+        )
+
+    def test_ambiguous_only_with_multiple_sources(self, analyzer):
+        assert ALIAS_AMBIGUOUS not in codes(
+            analyzer, "SELECT ra FROM SpecObj"
+        )
+
+    def test_ambiguous_in_where(self, analyzer):
+        sql = (
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid WHERE dec > 10"
+        )
+        assert ALIAS_AMBIGUOUS in codes(analyzer, sql)
+
+    def test_qualified_reference_not_ambiguous(self, analyzer):
+        sql = (
+            "SELECT s.ra FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid"
+        )
+        assert ALIAS_AMBIGUOUS not in codes(analyzer, sql)
+
+    def test_correlated_subquery_sees_outer_alias(self, analyzer):
+        sql = (
+            "SELECT plate FROM SpecObj AS s WHERE EXISTS "
+            "(SELECT 1 FROM PhotoObj AS p WHERE p.objid = s.bestobjid)"
+        )
+        assert ALIAS_UNDEFINED not in codes(analyzer, sql)
+
+
+class TestUnknownNames:
+    def test_unknown_table(self, analyzer):
+        assert UNKNOWN_TABLE in codes(analyzer, "SELECT x FROM NoSuchTable")
+
+    def test_unknown_table_does_not_cascade(self, analyzer):
+        # Columns of the unknown table must not generate noise.
+        result = codes(analyzer, "SELECT x, y FROM NoSuchTable WHERE x > 1")
+        assert UNKNOWN_COLUMN not in result
+
+    def test_unknown_column(self, analyzer):
+        assert UNKNOWN_COLUMN in codes(
+            analyzer, "SELECT nonexistent FROM SpecObj"
+        )
+
+    def test_unknown_qualified_column(self, analyzer):
+        assert UNKNOWN_COLUMN in codes(
+            analyzer, "SELECT s.nonexistent FROM SpecObj AS s"
+        )
+
+    def test_unknown_codes_excluded_from_paper_set(self, analyzer):
+        violations = analyzer.analyze(parse_statement("SELECT x FROM NoSuchTable"))
+        assert paper_violations(violations) == []
+
+
+class TestOtherStatements:
+    def test_create_view_analyzed(self, analyzer):
+        sql = "CREATE VIEW v AS SELECT plate, MAX(z) FROM SpecObj"
+        assert AGGR_ATTR in codes(analyzer, sql)
+
+    def test_update_unknown_column(self, analyzer):
+        assert UNKNOWN_COLUMN in codes(
+            analyzer, "UPDATE SpecObj SET nope = 1 WHERE plate = 5"
+        )
+
+    def test_insert_arity_mismatch(self, analyzer):
+        assert CONDITION_MISMATCH in codes(
+            analyzer, "INSERT INTO SpecObj (plate, mjd) VALUES (1, 2, 3)"
+        )
+
+    def test_declare_has_no_violations(self, analyzer):
+        assert codes(analyzer, "DECLARE @z FLOAT") == set()
+
+    def test_analyze_sql_tolerates_parse_failure(self, analyzer):
+        assert analyzer.analyze_sql("SELECT FROM WHERE") == []
+
+    def test_is_clean(self, analyzer):
+        assert analyzer.is_clean(parse_statement("SELECT plate FROM SpecObj"))
+        assert not analyzer.is_clean(
+            parse_statement("SELECT plate, MAX(z) FROM SpecObj")
+        )

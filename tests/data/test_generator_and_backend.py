@@ -1,0 +1,140 @@
+"""Tests for row generation and the SQLite execution backend."""
+
+import pytest
+
+from repro.data import (
+    ExecutionError,
+    QueryResult,
+    RowGenerator,
+    SqliteDatabase,
+    results_equal,
+)
+from repro.schema import IMDB_SCHEMA, SDSS_SCHEMA, SQLSHARE_SCHEMAS
+
+
+class TestRowGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = RowGenerator(7).generate(SDSS_SCHEMA, rows_per_table=20)
+        second = RowGenerator(7).generate(SDSS_SCHEMA, rows_per_table=20)
+        assert first.rows == second.rows
+
+    def test_different_seeds_differ(self):
+        first = RowGenerator(1).generate(SDSS_SCHEMA, rows_per_table=20)
+        second = RowGenerator(2).generate(SDSS_SCHEMA, rows_per_table=20)
+        assert first.rows != second.rows
+
+    def test_row_counts(self):
+        instance = RowGenerator(0).generate(SDSS_SCHEMA, rows_per_table=25)
+        assert len(instance.table_rows("SpecObj")) == 25
+
+    def test_lookup_tables_get_one_row_per_key(self):
+        instance = RowGenerator(0).generate(IMDB_SCHEMA, rows_per_table=50)
+        # kind_type has serial pk over [1, 5] -> exactly 5 rows
+        assert len(instance.table_rows("kind_type")) == 5
+
+    def test_primary_keys_unique(self):
+        instance = RowGenerator(0).generate(SDSS_SCHEMA, rows_per_table=40)
+        rows = instance.table_rows("SpecObj")
+        pks = [row[0] for row in rows]  # specobjid is first column
+        assert len(set(pks)) == len(pks)
+
+    def test_foreign_keys_reference_parents(self):
+        instance = RowGenerator(3).generate(SDSS_SCHEMA, rows_per_table=30)
+        photo_ids = {row[0] for row in instance.table_rows("PhotoObj")}
+        spec_rows = instance.table_rows("SpecObj")
+        bestobjid_index = SDSS_SCHEMA.table("SpecObj").column_names.index("bestobjid")
+        for row in spec_rows:
+            assert row[bestobjid_index] in photo_ids
+
+    def test_value_ranges_respected(self):
+        instance = RowGenerator(5).generate(SDSS_SCHEMA, rows_per_table=50)
+        table = SDSS_SCHEMA.table("SpecObj")
+        z_index = table.column_names.index("z")
+        for row in instance.table_rows("SpecObj"):
+            assert 0.0 <= row[z_index] <= 7.0
+
+    def test_categorical_values_from_choices(self):
+        instance = RowGenerator(5).generate(SDSS_SCHEMA, rows_per_table=50)
+        table = SDSS_SCHEMA.table("SpecObj")
+        class_index = table.column_names.index("class")
+        for row in instance.table_rows("SpecObj"):
+            assert row[class_index] in ("GALAXY", "STAR", "QSO")
+
+
+class TestSqliteDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        with SqliteDatabase.from_schema(SDSS_SCHEMA, seed=11) as database:
+            yield database
+
+    def test_tables_created(self, db):
+        result = db.execute("SELECT name FROM sqlite_master WHERE type = 'table'")
+        names = {row[0].lower() for row in result.rows}
+        assert "specobj" in names
+        assert "photoobj" in names
+
+    def test_simple_select(self, db):
+        result = db.execute("SELECT plate, mjd FROM SpecObj WHERE z > 0.5")
+        assert result.columns == ["plate", "mjd"]
+
+    def test_join_returns_rows(self, db):
+        result = db.execute(
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid"
+        )
+        assert result.row_count > 0  # FK consistency guarantees matches
+
+    def test_custom_functions(self, db):
+        result = db.execute("SELECT POWER(2, 10), SQRT(16.0), LOG(100.0)")
+        assert result.rows[0] == (1024.0, 4.0, 2.0)
+
+    def test_execution_error(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT nope FROM nowhere")
+
+    def test_execute_statement_renders_sqlite(self, db):
+        from repro.sql.parser import parse_statement
+
+        stmt = parse_statement("SELECT TOP 3 plate FROM SpecObj ORDER BY z DESC")
+        result = db.execute_statement(stmt)
+        assert result.row_count == 3
+
+    def test_sqlshare_schemas_all_load(self):
+        for schema in SQLSHARE_SCHEMAS:
+            with SqliteDatabase.from_schema(schema, seed=1, rows_per_table=10) as db:
+                for table in schema.tables:
+                    result = db.execute(f'SELECT COUNT(*) FROM "{table.name}"')
+                    assert result.rows[0][0] > 0
+
+
+class TestResultsEqual:
+    def test_equal_multisets_unordered(self):
+        first = QueryResult(columns=["a"], rows=[(1,), (2,), (2,)])
+        second = QueryResult(columns=["a"], rows=[(2,), (1,), (2,)])
+        assert results_equal(first, second)
+
+    def test_multiset_multiplicity_matters(self):
+        first = QueryResult(columns=["a"], rows=[(1,), (2,)])
+        second = QueryResult(columns=["a"], rows=[(1,), (2,), (2,)])
+        assert not results_equal(first, second)
+
+    def test_ordered_comparison(self):
+        first = QueryResult(columns=["a"], rows=[(1,), (2,)])
+        second = QueryResult(columns=["a"], rows=[(2,), (1,)])
+        assert not results_equal(first, second, ordered=True)
+        assert results_equal(first, second, ordered=False)
+
+    def test_column_names_ignored(self):
+        first = QueryResult(columns=["a"], rows=[(1,)])
+        second = QueryResult(columns=["b"], rows=[(1,)])
+        assert results_equal(first, second)
+
+    def test_column_arity_matters(self):
+        first = QueryResult(columns=["a"], rows=[])
+        second = QueryResult(columns=["a", "b"], rows=[])
+        assert not results_equal(first, second)
+
+    def test_float_rounding_tolerance(self):
+        first = QueryResult(columns=["a"], rows=[(0.1 + 0.2,)])
+        second = QueryResult(columns=["a"], rows=[(0.3,)])
+        assert results_equal(first, second)

@@ -1,0 +1,50 @@
+"""Step-budget tests: the executor must abort runaway queries."""
+
+import pytest
+
+from repro.data import ExecutionError, SqliteDatabase
+from repro.schema import IMDB_SCHEMA, SDSS_SCHEMA
+
+
+class TestStepBudget:
+    def test_runaway_cross_join_aborts(self):
+        db = SqliteDatabase.from_schema(
+            IMDB_SCHEMA, seed=0, rows_per_table=200, step_budget=2
+        )
+        try:
+            runaway = (
+                "SELECT COUNT(*) FROM movie_info, movie_companies, cast_info, "
+                "movie_keyword, person_info"
+            )
+            with pytest.raises(ExecutionError):
+                db.execute(runaway)
+        finally:
+            db.close()
+
+    def test_normal_queries_unaffected(self):
+        db = SqliteDatabase.from_schema(
+            SDSS_SCHEMA, seed=0, rows_per_table=60, step_budget=200
+        )
+        try:
+            result = db.execute("SELECT COUNT(*) FROM SpecObj WHERE z > 0.5")
+            assert result.rows[0][0] >= 0
+            # Budget resets per query: many sequential queries all succeed.
+            for _ in range(5):
+                db.execute("SELECT plate FROM SpecObj LIMIT 5")
+        finally:
+            db.close()
+
+    def test_budget_failure_does_not_poison_connection(self):
+        db = SqliteDatabase.from_schema(
+            IMDB_SCHEMA, seed=0, rows_per_table=200, step_budget=2
+        )
+        try:
+            with pytest.raises(ExecutionError):
+                db.execute(
+                    "SELECT COUNT(*) FROM movie_info, cast_info, person_info, "
+                    "movie_keyword"
+                )
+            result = db.execute("SELECT COUNT(*) FROM title")
+            assert result.rows[0][0] > 0
+        finally:
+            db.close()

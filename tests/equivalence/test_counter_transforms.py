@@ -1,0 +1,112 @@
+"""Non-equivalence transform tests: rewrites observably change results."""
+
+import random
+
+import pytest
+
+from repro.equivalence import (
+    NON_EQUIVALENCE_TYPES,
+    EquivalenceChecker,
+    apply_non_equivalence_transform,
+)
+from repro.schema import SDSS_SCHEMA
+from repro.sql.parser import parse_statement, try_parse
+
+QUERIES = {
+    "aggregated": "SELECT plate, AVG(z) FROM SpecObj GROUP BY plate",
+    "joined": (
+        "SELECT s.plate, s.mjd FROM SpecObj AS s JOIN PhotoObj AS p "
+        "ON s.bestobjid = p.objid WHERE s.z > 0.5"
+    ),
+    "conjunctive": (
+        "SELECT plate, mjd, fiberid FROM SpecObj WHERE z > 0.5 AND ra > 180"
+    ),
+    "valued": "SELECT plate, mjd, fiberid FROM SpecObj WHERE z > 0.5",
+    "projected": "SELECT plate, mjd FROM SpecObj WHERE z > 2",
+    "duplicated": "SELECT camcol FROM PhotoObj WHERE ra > 10",
+}
+
+
+@pytest.fixture(scope="module")
+def checker():
+    with EquivalenceChecker(SDSS_SCHEMA, rows_per_table=60) as chk:
+        yield chk
+
+
+def apply(query_name, pair_type, seed=0):
+    statement = parse_statement(QUERIES[query_name])
+    return apply_non_equivalence_transform(
+        statement, SDSS_SCHEMA, random.Random(seed), pair_type=pair_type
+    )
+
+
+CASES = [
+    ("aggregated", "agg-function"),
+    ("joined", "change-join-condition"),
+    ("conjunctive", "logical-conditions"),
+    ("valued", "value-change"),
+    ("valued", "comparison-op"),
+    ("conjunctive", "drop-condition"),
+    ("projected", "column-swap"),
+    ("duplicated", "distinct-change"),
+]
+
+
+class TestCounterTransformsChangeResults:
+    @pytest.mark.parametrize("query_name,pair_type", CASES)
+    def test_rewrite_differs_on_some_instance(self, checker, query_name, pair_type):
+        rewrite = apply(query_name, pair_type)
+        assert rewrite is not None, (query_name, pair_type)
+        assert try_parse(rewrite.text) is not None, rewrite.text
+        verdict = checker.verdict(rewrite.original_text, rewrite.text)
+        assert verdict is False, (rewrite.text, verdict)
+
+    @pytest.mark.parametrize("pair_type", NON_EQUIVALENCE_TYPES)
+    def test_every_type_reachable(self, pair_type):
+        applied = any(apply(name, pair_type, seed=5) is not None for name in QUERIES)
+        assert applied, pair_type
+
+
+class TestCounterTransformShapes:
+    def test_agg_function_swaps_paper_example(self):
+        # Q11: AVG -> SUM
+        rewrite = apply("aggregated", "agg-function")
+        assert "SUM(z)" in rewrite.text
+        assert "AVG(z)" in rewrite.original_text
+
+    def test_join_condition_changes_kind(self):
+        rewrite = apply("joined", "change-join-condition")
+        assert "LEFT JOIN" in rewrite.text
+
+    def test_logical_flips_and_to_or(self):
+        rewrite = apply("conjunctive", "logical-conditions")
+        assert " OR " in rewrite.text
+
+    def test_value_change_rescales_literal(self):
+        rewrite = apply("valued", "value-change")
+        assert "0.5" in rewrite.original_text
+        assert "0.5 " not in rewrite.text + " "
+
+    def test_drop_condition_removes_a_conjunct(self):
+        rewrite = apply("conjunctive", "drop-condition")
+        assert rewrite.text.count("AND") < rewrite.original_text.count("AND") + 1
+
+    def test_distinct_toggle(self):
+        rewrite = apply("duplicated", "distinct-change")
+        assert "DISTINCT" in rewrite.text
+
+    def test_unknown_type_raises(self):
+        statement = parse_statement(QUERIES["valued"])
+        with pytest.raises(KeyError):
+            apply_non_equivalence_transform(
+                statement, SDSS_SCHEMA, random.Random(0), pair_type="chaos"
+            )
+
+    def test_inapplicable_returns_none(self):
+        statement = parse_statement("SELECT plate FROM SpecObj")
+        assert (
+            apply_non_equivalence_transform(
+                statement, SDSS_SCHEMA, random.Random(0), pair_type="agg-function"
+            )
+            is None
+        )

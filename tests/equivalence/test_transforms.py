@@ -1,0 +1,149 @@
+"""Equivalence transform tests: every rewrite is execution-verified."""
+
+import random
+
+import pytest
+
+from repro.equivalence import (
+    EQUIVALENCE_TYPES,
+    EquivalenceChecker,
+    apply_equivalence_transform,
+)
+from repro.schema import SDSS_SCHEMA
+from repro.sql.parser import parse_statement, try_parse
+
+QUERIES = {
+    "filtered": "SELECT plate, mjd FROM SpecObj WHERE z > 0.5 AND mjd > 55000",
+    "joined": (
+        "SELECT s.plate, s.mjd FROM SpecObj AS s JOIN PhotoObj AS p "
+        "ON s.bestobjid = p.objid WHERE s.z > 0.5"
+    ),
+    "nested": (
+        "SELECT plate, mjd FROM SpecObj WHERE bestobjid IN "
+        "(SELECT objid FROM PhotoObj WHERE ra > 180)"
+    ),
+    "between": "SELECT plate FROM SpecObj WHERE z BETWEEN 0.4 AND 1.2",
+    "inlist": "SELECT plate FROM SpecObj WHERE zWarning IN (0, 4, 16)",
+    "grouped": (
+        "SELECT plate, COUNT(*) AS n FROM SpecObj WHERE z > 0.1 "
+        "GROUP BY plate"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def checker():
+    with EquivalenceChecker(SDSS_SCHEMA, rows_per_table=60) as chk:
+        yield chk
+
+
+def apply(query_name, pair_type, seed=0):
+    statement = parse_statement(QUERIES[query_name])
+    return apply_equivalence_transform(
+        statement, SDSS_SCHEMA, random.Random(seed), pair_type=pair_type
+    )
+
+
+EXPECTED_APPLICABLE = [
+    ("filtered", "reorder-conditions"),
+    ("filtered", "cte"),
+    ("filtered", "between-split"),  # none present -> handled below
+    ("filtered", "comparison-flip"),
+    ("joined", "join-nested"),
+    ("joined", "join-commute"),
+    ("joined", "alias-rename"),
+    ("joined", "cte"),
+    ("nested", "nested-join"),
+    ("nested", "swap-subqueries"),
+    ("nested", "cte"),
+    ("between", "between-split"),
+    ("inlist", "in-expansion"),
+    ("grouped", "cte"),
+    ("grouped", "comparison-flip"),
+]
+
+
+class TestTransformsVerifiedByExecution:
+    @pytest.mark.parametrize("query_name,pair_type", EXPECTED_APPLICABLE)
+    def test_rewrite_is_equivalent_on_instances(
+        self, checker, query_name, pair_type
+    ):
+        rewrite = apply(query_name, pair_type)
+        if rewrite is None:
+            pytest.skip(f"{pair_type} not applicable to {query_name}")
+        assert rewrite.text != rewrite.original_text
+        assert try_parse(rewrite.text) is not None, rewrite.text
+        assert checker.verdict(rewrite.original_text, rewrite.text) is True, (
+            rewrite.text
+        )
+
+    @pytest.mark.parametrize("pair_type", EQUIVALENCE_TYPES)
+    def test_each_type_applicable_somewhere(self, checker, pair_type):
+        for query_name in QUERIES:
+            rewrite = apply(query_name, pair_type, seed=3)
+            if rewrite is not None:
+                assert checker.verdict(
+                    rewrite.original_text, rewrite.text
+                ) is True, (pair_type, rewrite.text)
+                return
+        pytest.fail(f"{pair_type} applied to no test query")
+
+
+class TestTransformShapes:
+    def test_reorder_changes_text_not_semantics(self):
+        rewrite = apply("filtered", "reorder-conditions")
+        assert "AND" in rewrite.text
+        assert sorted(rewrite.text.split()) == sorted(rewrite.original_text.split())
+
+    def test_cte_wraps_with_clause(self):
+        rewrite = apply("filtered", "cte")
+        assert rewrite.text.startswith("WITH")
+        assert "SELECT * FROM" in rewrite.text
+
+    def test_join_nested_introduces_subquery(self):
+        rewrite = apply("joined", "join-nested")
+        assert "IN (SELECT" in rewrite.text
+        assert "JOIN" not in rewrite.text
+
+    def test_nested_join_removes_membership(self):
+        rewrite = apply("nested", "nested-join")
+        assert "JOIN" in rewrite.text
+        assert "IN (SELECT" not in rewrite.text
+
+    def test_swap_subqueries_uses_exists(self):
+        rewrite = apply("nested", "swap-subqueries")
+        assert "EXISTS" in rewrite.text
+
+    def test_between_split_uses_two_comparisons(self):
+        rewrite = apply("between", "between-split")
+        assert "BETWEEN" not in rewrite.text
+        assert ">=" in rewrite.text and "<=" in rewrite.text
+
+    def test_in_expansion_uses_or_chain(self):
+        rewrite = apply("inlist", "in-expansion")
+        assert " OR " in rewrite.text
+        assert "IN (" not in rewrite.text
+
+    def test_alias_rename_keeps_structure(self):
+        rewrite = apply("joined", "alias-rename")
+        assert rewrite.text.count("JOIN") == rewrite.original_text.count("JOIN")
+
+    def test_unknown_type_raises(self):
+        statement = parse_statement(QUERIES["filtered"])
+        with pytest.raises(KeyError):
+            apply_equivalence_transform(
+                statement, SDSS_SCHEMA, random.Random(0), pair_type="magic"
+            )
+
+    def test_inapplicable_returns_none(self):
+        statement = parse_statement("SELECT plate FROM SpecObj")
+        result = apply_equivalence_transform(
+            statement, SDSS_SCHEMA, random.Random(0), pair_type="between-split"
+        )
+        assert result is None
+
+    def test_original_not_mutated(self):
+        statement = parse_statement(QUERIES["joined"])
+        before = str(statement)
+        apply_equivalence_transform(statement, SDSS_SCHEMA, random.Random(0))
+        assert str(statement) == before

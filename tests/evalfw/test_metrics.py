@@ -1,0 +1,117 @@
+"""Metric tests with hand-computed values."""
+
+import pytest
+
+from repro.evalfw import (
+    binary_metrics,
+    location_metrics,
+    mean,
+    median,
+    weighted_metrics,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        metrics = binary_metrics([True, False, True], [True, False, True])
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_hand_computed(self):
+        # TP=2, FN=1, FP=1, TN=1 -> P=2/3, R=2/3, F1=2/3
+        truths = [True, True, True, False, False]
+        preds = [True, True, False, True, False]
+        metrics = binary_metrics(truths, preds)
+        assert metrics.tp == 2
+        assert metrics.fn == 1
+        assert metrics.fp == 1
+        assert metrics.tn == 1
+        assert metrics.precision == pytest.approx(2 / 3, abs=1e-3)
+        assert metrics.recall == pytest.approx(2 / 3, abs=1e-3)
+        assert metrics.f1 == pytest.approx(2 / 3, abs=1e-3)
+
+    def test_none_prediction_counts_as_wrong(self):
+        # None = unextractable = wrong in both directions.
+        metrics = binary_metrics([True, False], [None, None])
+        assert metrics.fn == 1
+        assert metrics.fp == 1
+
+    def test_zero_division_guards(self):
+        metrics = binary_metrics([False, False], [False, False])
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binary_metrics([True], [True, False])
+
+
+class TestWeightedMetrics:
+    def test_single_class_perfect(self):
+        metrics = weighted_metrics(["a", "a"], ["a", "a"])
+        assert metrics.f1 == 1.0
+
+    def test_hand_computed_two_classes(self):
+        # class a: support 2, predictions catch 1 -> P(a)=1.0, R(a)=0.5
+        # class b: support 2, predictions: one correct + one falsely claimed
+        truths = ["a", "a", "b", "b"]
+        preds = ["a", "b", "b", None]
+        metrics = weighted_metrics(truths, preds)
+        # per-class a: TP=1 FN=1 FP=0 -> P=1, R=.5, F1=.667
+        assert metrics.per_class["a"].recall == 0.5
+        # per-class b: TP=1 FN=1 FP=1 -> P=.5, R=.5, F1=.5
+        assert metrics.per_class["b"].precision == 0.5
+        # weighted (equal support): P=.75, R=.5
+        assert metrics.precision == pytest.approx(0.75, abs=1e-3)
+        assert metrics.recall == pytest.approx(0.5, abs=1e-3)
+
+    def test_none_truths_skipped(self):
+        metrics = weighted_metrics([None, "a", None], ["b", "a", "c"])
+        assert metrics.support == {"a": 1}
+        assert metrics.f1 == 1.0
+
+    def test_reduces_to_binary_for_balanced_two_class(self):
+        truths = ["pos", "neg"] * 10
+        preds = ["pos", "neg"] * 10
+        metrics = weighted_metrics(truths, preds)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+
+class TestLocationMetrics:
+    def test_exact_hits(self):
+        metrics = location_metrics([3, 5], [3, 5])
+        assert metrics.mae == 0.0
+        assert metrics.hit_rate == 1.0
+        assert metrics.evaluated == 2
+
+    def test_hand_computed_mae(self):
+        metrics = location_metrics([10, 20], [12, 15])
+        assert metrics.mae == pytest.approx(3.5)
+        assert metrics.hit_rate == 0.0
+
+    def test_none_truths_skipped(self):
+        metrics = location_metrics([None, 4], [7, 4])
+        assert metrics.evaluated == 1
+        assert metrics.hit_rate == 1.0
+
+    def test_missing_prediction_penalised(self):
+        metrics = location_metrics([10], [None])
+        assert metrics.mae == 10.0  # mean truth used as penalty
+
+    def test_empty(self):
+        metrics = location_metrics([None], [None])
+        assert metrics.evaluated == 0
+
+
+class TestStatsHelpers:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        assert median([]) == 0.0

@@ -1,0 +1,94 @@
+"""Property-based metric invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evalfw import binary_metrics, location_metrics, weighted_metrics
+
+bools = st.booleans()
+predictions = st.one_of(st.none(), st.booleans())
+pairs = st.lists(st.tuples(bools, predictions), min_size=1, max_size=60)
+
+
+@given(pairs)
+def test_binary_counts_partition_the_data(data):
+    truths = [t for t, _ in data]
+    preds = [p for _, p in data]
+    metrics = binary_metrics(truths, preds)
+    assert metrics.tp + metrics.tn + metrics.fp + metrics.fn == len(data)
+
+
+@given(pairs)
+def test_binary_metrics_bounded(data):
+    truths = [t for t, _ in data]
+    preds = [p for _, p in data]
+    metrics = binary_metrics(truths, preds)
+    for value in (metrics.precision, metrics.recall, metrics.f1, metrics.accuracy):
+        assert 0.0 <= value <= 1.0
+
+
+@given(pairs)
+def test_f1_is_harmonic_mean_bound(data):
+    truths = [t for t, _ in data]
+    preds = [p for _, p in data]
+    metrics = binary_metrics(truths, preds)
+    assert metrics.f1 <= max(metrics.precision, metrics.recall) + 1e-9
+    if metrics.precision > 0 and metrics.recall > 0:
+        assert metrics.f1 >= min(metrics.precision, metrics.recall) - 1e-9
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_perfect_predictions_score_one(truths):
+    metrics = binary_metrics(truths, truths)
+    assert metrics.accuracy == 1.0
+    if any(truths):
+        assert metrics.f1 == 1.0
+
+
+labels = st.sampled_from(["a", "b", "c"])
+label_pairs = st.lists(
+    st.tuples(labels, st.one_of(st.none(), labels)), min_size=1, max_size=60
+)
+
+
+@given(label_pairs)
+def test_weighted_metrics_bounded(data):
+    truths = [t for t, _ in data]
+    preds = [p for _, p in data]
+    metrics = weighted_metrics(truths, preds)
+    for value in (metrics.precision, metrics.recall, metrics.f1):
+        assert 0.0 <= value <= 1.0
+    assert sum(metrics.support.values()) == len(data)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=60))
+def test_weighted_perfect_predictions(truths):
+    metrics = weighted_metrics(truths, truths)
+    assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+
+positions = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=200)),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=200)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(positions)
+def test_location_metrics_bounded(data):
+    truths = [t for t, _ in data]
+    preds = [p for _, p in data]
+    metrics = location_metrics(truths, preds)
+    assert metrics.mae >= 0.0
+    assert 0.0 <= metrics.hit_rate <= 1.0
+    assert metrics.evaluated == sum(1 for t in truths if t is not None)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=60))
+def test_location_exact_predictions(truths):
+    metrics = location_metrics(truths, truths)
+    assert metrics.mae == 0.0
+    assert metrics.hit_rate == 1.0

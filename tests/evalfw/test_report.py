@@ -1,0 +1,74 @@
+"""ASCII report rendering tests."""
+
+from repro.evalfw.report import (
+    render_breakdown,
+    render_histogram,
+    render_matrix,
+    render_table,
+)
+from repro.workloads.statistics import CorrelationMatrix, Histogram
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        rows = [
+            {"Model": "GPT4", "F1": 0.97},
+            {"Model": "Gemini", "F1": 0.6512},
+        ]
+        text = render_table(rows, "demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Model" in lines[1] and "F1" in lines[1]
+        assert "0.97" in text
+        assert "0.65" in text  # floats formatted to 2 decimals
+
+    def test_empty_rows(self):
+        assert "(empty)" in render_table([], "demo")
+        assert render_table([]) == "(empty)"
+
+    def test_missing_cells_rendered_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert "3" in text
+
+
+class TestRenderHistogram:
+    def test_bars_scale_to_peak(self):
+        hist = Histogram(property_name="x", labels=["a", "b"], counts=[10, 5])
+        text = render_histogram(hist, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_zero_count_no_bar(self):
+        hist = Histogram(property_name="x", labels=["a", "b"], counts=[4, 0])
+        text = render_histogram(hist)
+        assert text.splitlines()[2].rstrip().endswith("0")
+
+
+class TestRenderMatrix:
+    def test_symmetric_grid(self):
+        matrix = CorrelationMatrix(
+            properties=["char_count", "word_count"],
+            values=[[1.0, 0.9], [0.9, 1.0]],
+        )
+        text = render_matrix(matrix, "demo")
+        assert "char" in text
+        assert "0.90" in text
+        assert text.splitlines()[0] == "demo"
+
+
+class TestRenderBreakdown:
+    def test_all_cells_listed(self):
+        from repro.evalfw.failure_analysis import OutcomeStats, PropertyBreakdown
+
+        breakdown = PropertyBreakdown(
+            property_name="word_count",
+            cells={
+                name: OutcomeStats(outcome=name, count=i, average=2.0 * i, median=i)
+                for i, name in enumerate(("TP", "TN", "FP", "FN"))
+            },
+        )
+        text = render_breakdown(breakdown)
+        for name in ("TP", "TN", "FP", "FN"):
+            assert name in text

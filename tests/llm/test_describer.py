@@ -1,0 +1,115 @@
+"""Tests for the AST-to-English describer."""
+
+from repro.llm import describe_statement
+from repro.sql.parser import parse_statement
+
+
+def describe(sql):
+    return describe_statement(parse_statement(sql))
+
+
+class TestBasicDescriptions:
+    def test_simple_select(self):
+        text = describe("SELECT plate FROM SpecObj")
+        assert text == "Find the plate from SpecObj."
+
+    def test_filter_described(self):
+        text = describe("SELECT plate FROM SpecObj WHERE z > 0.5")
+        assert "z is greater than 0.5" in text
+
+    def test_multiple_columns_use_and(self):
+        text = describe("SELECT plate, mjd, z FROM SpecObj")
+        assert "plate, mjd and z" in text
+
+    def test_star(self):
+        assert "all columns" in describe("SELECT * FROM SpecObj")
+
+    def test_distinct(self):
+        assert "distinct" in describe("SELECT DISTINCT plate FROM SpecObj")
+
+    def test_aggregates_worded(self):
+        text = describe("SELECT COUNT(*), AVG(z), MAX(mjd) FROM SpecObj")
+        assert "number of rows" in text
+        assert "average z" in text
+        assert "maximum mjd" in text
+
+    def test_group_by(self):
+        text = describe("SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate")
+        assert "for each plate" in text
+
+    def test_having(self):
+        text = describe(
+            "SELECT plate, COUNT(*) FROM SpecObj GROUP BY plate "
+            "HAVING COUNT(*) > 5"
+        )
+        assert "keeping groups where" in text
+
+    def test_join_condition(self):
+        text = describe(
+            "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p "
+            "ON s.bestobjid = p.objid"
+        )
+        assert "joined with" in text
+        assert "bestobjid equals objid" in text
+
+    def test_order_and_limit(self):
+        text = describe("SELECT plate FROM SpecObj ORDER BY z DESC LIMIT 10")
+        assert "descending z" in text
+        assert "at most 10 rows" in text
+
+
+class TestSuperlatives:
+    def test_order_limit_one_asc_is_lowest(self):
+        # The Q18 pattern: ORDER BY ... ASC LIMIT 1 means "lowest".
+        text = describe(
+            "SELECT Cylinders FROM CARS_DATA ORDER BY Accelerate ASC LIMIT 1"
+        )
+        assert "lowest Accelerate" in text
+
+    def test_order_limit_one_desc_is_highest(self):
+        text = describe(
+            "SELECT plate FROM SpecObj ORDER BY z DESC LIMIT 1"
+        )
+        assert "highest z" in text
+
+
+class TestComplexShapes:
+    def test_in_subquery_described(self):
+        text = describe(
+            "SELECT plate FROM SpecObj WHERE bestobjid IN "
+            "(SELECT objid FROM PhotoObj WHERE ra > 180)"
+        )
+        assert "appears in the result of a subquery" in text
+        assert "PhotoObj" in text
+
+    def test_intersect_described(self):
+        text = describe(
+            "SELECT name FROM stadium WHERE capacity > 1 INTERSECT "
+            "SELECT name FROM stadium WHERE average > 2"
+        )
+        assert "also appear in" in text
+
+    def test_between_described(self):
+        text = describe("SELECT plate FROM SpecObj WHERE z BETWEEN 1 AND 2")
+        assert "is between 1 and 2" in text
+
+    def test_cte_mentioned(self):
+        text = describe(
+            "WITH hz AS (SELECT plate FROM SpecObj) SELECT plate FROM hz"
+        )
+        assert "intermediate result hz" in text
+
+    def test_not_in_list(self):
+        text = describe("SELECT plate FROM SpecObj WHERE camcol NOT IN (1, 2)")
+        assert "is not one of 1, 2" in text
+
+    def test_exists_described(self):
+        text = describe(
+            "SELECT plate FROM SpecObj WHERE EXISTS "
+            "(SELECT 1 FROM PhotoObj WHERE objid = bestobjid)"
+        )
+        assert "a matching row exists" in text
+
+    def test_non_select_statement(self):
+        text = describe_statement(parse_statement("DROP TABLE t"))
+        assert "DROP" in text

@@ -1,0 +1,224 @@
+"""Simulated LLM tests: determinism, calibration direction, flaw injection."""
+
+import pytest
+
+from repro.llm import MODEL_PROFILES, SimulatedLLM, get_profile
+from repro.sql.parser import parse_statement
+from repro.sql.properties import extract_properties
+
+SIMPLE = "SELECT plate FROM SpecObj WHERE z > 0.5"
+COMPLEX = (
+    "SELECT s.plate, s.mjd, s.z, s.ra, s.dec, p.objid, p.run, p.camcol, "
+    "p.field, p.u, p.g, p.r, p.i FROM SpecObj AS s JOIN PhotoObj AS p ON "
+    "s.bestobjid = p.objid JOIN PhotoTag AS t ON p.objid = t.objid WHERE "
+    "s.z > 0.5 AND p.ra BETWEEN 100 AND 200 AND p.dec < 30 AND s.plate > "
+    "1000 AND p.run = 752 AND t.psfMag_r < 20 AND s.mjd > 52000 ORDER BY "
+    "s.z DESC"
+)
+
+
+def props(sql):
+    return extract_properties(sql)
+
+
+def detection_rate(model, sql, truth=True, n=300):
+    llm = SimulatedLLM(model)
+    hits = 0
+    for index in range(n):
+        response = llm.answer_syntax_error(
+            f"inst-{index}", sql, "sdss", props(sql), truth, "aggr-attr"
+        )
+        if response.metadata["says_error"]:
+            hits += 1
+    return hits / n
+
+
+class TestRegistry:
+    def test_five_models(self):
+        assert len(MODEL_PROFILES) == 5
+        names = [p.display_name for p in MODEL_PROFILES]
+        assert names == ["GPT4", "GPT3.5", "Llama3", "MistralAI", "Gemini"]
+
+    def test_lookup_by_any_name(self):
+        assert get_profile("gpt4").display_name == "GPT4"
+        assert get_profile("GPT3.5").name == "gpt35"
+        assert get_profile("MistralAI").name == "mistral"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("claude")
+
+    def test_every_profile_covers_all_families(self):
+        from repro.llm.profiles import TASK_FAMILIES
+
+        for profile in MODEL_PROFILES:
+            for family in TASK_FAMILIES:
+                assert profile.skill(family) is not None
+
+
+class TestDeterminism:
+    def test_same_instance_same_answer(self):
+        first = SimulatedLLM("gpt4").answer_syntax_error(
+            "q-1", SIMPLE, "sdss", props(SIMPLE), True, "aggr-attr"
+        )
+        second = SimulatedLLM("gpt4").answer_syntax_error(
+            "q-1", SIMPLE, "sdss", props(SIMPLE), True, "aggr-attr"
+        )
+        assert first.text == second.text
+
+    def test_different_instances_vary(self):
+        llm = SimulatedLLM("gemini")
+        answers = {
+            llm.answer_syntax_error(
+                f"q-{i}", SIMPLE, "sdss", props(SIMPLE), True, "aggr-attr"
+            ).metadata["says_error"]
+            for i in range(60)
+        }
+        assert answers == {True, False}  # Gemini misses some errors
+
+    def test_models_differ_on_same_instance_set(self):
+        strong = detection_rate("gpt4", SIMPLE, n=120)
+        weak = detection_rate("gemini", SIMPLE, n=120)
+        assert strong > weak
+
+
+class TestCalibrationDirections:
+    def test_gpt4_detects_more_than_others(self):
+        rates = {m.name: detection_rate(m.name, SIMPLE, n=200) for m in MODEL_PROFILES}
+        assert rates["gpt4"] == max(rates.values())
+
+    def test_complex_queries_fail_more(self):
+        for model in ("llama3", "gemini"):
+            easy = detection_rate(model, SIMPLE, n=250)
+            hard = detection_rate(model, COMPLEX, n=250)
+            assert hard < easy, model
+
+    def test_false_alarm_rate_low_for_detection(self):
+        llm = SimulatedLLM("gpt4")
+        false_alarms = sum(
+            llm.answer_syntax_error(
+                f"clean-{i}", SIMPLE, "sdss", props(SIMPLE), False, None
+            ).metadata["says_error"]
+            for i in range(300)
+        )
+        assert false_alarms / 300 < 0.10
+
+    def test_performance_pred_positive_bias(self):
+        """Complex-but-cheap queries draw false 'costly' calls (Fig 10)."""
+        llm = SimulatedLLM("mistral")
+        fp = sum(
+            llm.answer_performance(
+                f"perf-{i}", COMPLEX, props(COMPLEX), truth_costly=False
+            ).metadata["says_costly"]
+            for i in range(300)
+        )
+        fp_simple = sum(
+            llm.answer_performance(
+                f"perfs-{i}", SIMPLE, props(SIMPLE), truth_costly=False
+            ).metadata["says_costly"]
+            for i in range(300)
+        )
+        assert fp > fp_simple
+        assert fp / 300 > 0.15
+
+    def test_equivalence_high_recall(self):
+        llm = SimulatedLLM("gpt35")
+        said = sum(
+            llm.answer_equivalence(
+                f"eq-{i}", SIMPLE, SIMPLE, "sdss", props(SIMPLE), True, "cte"
+            ).metadata["says_equivalent"]
+            for i in range(200)
+        )
+        assert said / 200 > 0.9
+
+    def test_equivalence_value_change_fools_models(self):
+        llm = SimulatedLLM("gemini")
+        fooled_value = sum(
+            llm.answer_equivalence(
+                f"vc-{i}", COMPLEX, COMPLEX, "sdss", props(COMPLEX),
+                False, "value-change",
+            ).metadata["says_equivalent"]
+            for i in range(300)
+        )
+        fooled_swap = sum(
+            llm.answer_equivalence(
+                f"cs-{i}", COMPLEX, COMPLEX, "sdss", props(COMPLEX),
+                False, "column-swap",
+            ).metadata["says_equivalent"]
+            for i in range(300)
+        )
+        assert fooled_value > fooled_swap
+
+    def test_prompt_quality_lowers_accuracy(self):
+        strong = sum(
+            SimulatedLLM("llama3").answer_syntax_error(
+                f"pq-{i}", SIMPLE, "sdss", props(SIMPLE), True, "aggr-attr",
+                prompt_quality=1.0,
+            ).metadata["says_error"]
+            for i in range(300)
+        )
+        weak = sum(
+            SimulatedLLM("llama3").answer_syntax_error(
+                f"pq-{i}", SIMPLE, "sdss", props(SIMPLE), True, "aggr-attr",
+                prompt_quality=0.6,
+            ).metadata["says_error"]
+            for i in range(300)
+        )
+        assert weak < strong
+
+
+class TestLocationPrediction:
+    def test_gpt4_hits_more_exact_positions(self):
+        def hit_rate(model):
+            llm = SimulatedLLM(model)
+            hits = 0
+            for i in range(300):
+                response = llm.answer_miss_token(
+                    f"loc-{i}", SIMPLE, "sdss", props(SIMPLE),
+                    True, "keyword", "FROM", 2,
+                )
+                if response.metadata["claimed_position"] == 2:
+                    hits += 1
+            return hits / 300
+
+        assert hit_rate("gpt4") > hit_rate("gemini") + 0.1
+
+    def test_position_clamped_to_query(self):
+        llm = SimulatedLLM("gemini")
+        wc = props(SIMPLE).word_count
+        for i in range(100):
+            response = llm.answer_miss_token(
+                f"clamp-{i}", SIMPLE, "sdss", props(SIMPLE),
+                True, "value", "0.5", wc - 1,
+            )
+            claimed = response.metadata["claimed_position"]
+            if claimed is not None:
+                assert 0 <= claimed < wc
+
+
+class TestExplanation:
+    def test_accurate_base_description(self):
+        llm = SimulatedLLM("gpt4")
+        statement = parse_statement(SIMPLE)
+        response = llm.answer_explanation("exp-accurate-1", SIMPLE, statement)
+        assert "plate" in response.text
+        assert "SpecObj" in response.text
+
+    def test_gemini_loses_context_more(self):
+        statement = parse_statement(SIMPLE)
+
+        def flaw_rate(model):
+            llm = SimulatedLLM(model)
+            flawed = 0
+            for i in range(200):
+                response = llm.answer_explanation(f"exp-{i}", SIMPLE, statement)
+                if response.metadata["flaws"]:
+                    flawed += 1
+            return flawed / 200
+
+        assert flaw_rate("gemini") > flaw_rate("gpt4")
+
+    def test_unparseable_statement_handled(self):
+        llm = SimulatedLLM("gpt4")
+        response = llm.answer_explanation("exp-x", "SELECT FROM", None)
+        assert response.metadata["flaws"] == ["unparseable"]

@@ -1,0 +1,95 @@
+"""Direct verbalizer tests (response-shape contract)."""
+
+import random
+
+from repro.llm import verbalize
+
+
+class TestYesNoResponse:
+    def test_yes_phrases_contain_yes(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            text = verbalize.yes_no_response(True, rng, verbosity=1.0)
+            assert "yes" in text.lower()
+
+    def test_no_phrases_contain_no(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            text = verbalize.yes_no_response(False, rng, verbosity=1.0)
+            assert "no" in text.lower()
+
+    def test_elaboration_included(self):
+        text = verbalize.yes_no_response(
+            True, random.Random(1), verbosity=0.0, elaboration="Because reasons."
+        )
+        assert "Because reasons." in text
+
+    def test_verbosity_lengthens_responses(self):
+        terse = [
+            len(verbalize.yes_no_response(True, random.Random(i), verbosity=0.0))
+            for i in range(40)
+        ]
+        chatty = [
+            len(verbalize.yes_no_response(True, random.Random(i), verbosity=1.0))
+            for i in range(40)
+        ]
+        assert sum(chatty) > sum(terse)
+
+
+class TestTypedResponse:
+    def test_type_quoted_for_positive(self):
+        text = verbalize.typed_response(
+            True, "aggr-attr", "syntax error", random.Random(2), 0.5
+        )
+        assert "aggr-attr" in text
+
+    def test_no_type_for_negative(self):
+        text = verbalize.typed_response(
+            False, None, "syntax error", random.Random(2), 0.5
+        )
+        assert "aggr" not in text
+
+
+class TestTokenResponse:
+    def test_full_answer_structure(self):
+        text = verbalize.token_response(
+            True, "keyword", "FROM", 4, random.Random(3), 0.5
+        )
+        assert "missing" in text.lower()
+        assert "'keyword'" in text
+        assert "'FROM'" in text
+        assert "position 4" in text
+
+    def test_partial_fields_optional(self):
+        text = verbalize.token_response(True, None, None, None, random.Random(3), 0.0)
+        assert "missing word" in text.lower()
+        assert "position" not in text.lower()
+
+    def test_negative_is_plain_no(self):
+        text = verbalize.token_response(False, None, None, None, random.Random(3), 0.0)
+        assert "no" in text.lower()
+
+
+class TestRuntimeAndEquivalence:
+    def test_costly_gets_heavy_reasoning(self):
+        text = verbalize.runtime_response(True, random.Random(4), 0.0)
+        assert any(
+            phrase in text.lower()
+            for phrase in ("slow", "heavy", "long runtime", "joins")
+        )
+
+    def test_cheap_gets_light_reasoning(self):
+        text = verbalize.runtime_response(False, random.Random(4), 0.0)
+        assert any(
+            phrase in text.lower() for phrase in ("fast", "simple", "selective")
+        )
+
+    def test_equivalence_mentions_rewrite_type(self):
+        text = verbalize.equivalence_response(True, "cte", random.Random(5), 0.0)
+        assert "'cte'" in text
+
+    def test_non_equivalence_mentions_difference(self):
+        text = verbalize.equivalence_response(
+            False, "value-change", random.Random(5), 0.0
+        )
+        assert "value-change" in text

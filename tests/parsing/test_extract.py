@@ -1,0 +1,122 @@
+"""Label-extraction tests over the verbalizer's output space."""
+
+import random
+
+import pytest
+
+from repro.llm import verbalize
+from repro.parsing import (
+    extract_equivalence,
+    extract_label,
+    extract_missing_word,
+    extract_position,
+    extract_yes_no,
+)
+
+
+class TestYesNo:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Yes.", True),
+            ("Yes, it does.", True),
+            ("Answer: yes.", True),
+            ("Indeed, yes — there is a problem.", True),
+            ("No.", False),
+            ("No, it does not.", False),
+            ("Answer: no.", False),
+            ("I don't believe so; no.", False),
+            ("Based on the SQL provided, Yes, it does.", True),
+            ("After examining the statement, No, it does not.", False),
+            ("The query contains a syntax error near GROUP BY.", True),
+            ("There are no syntax errors in this query.", False),
+            ("", None),
+            ("The weather is nice.", None),
+        ],
+    )
+    def test_extraction(self, text, expected):
+        assert extract_yes_no(text) is expected
+
+    def test_all_verbalizer_outputs_parse(self):
+        rng = random.Random(0)
+        for index in range(300):
+            answer = index % 2 == 0
+            text = verbalize.yes_no_response(answer, rng, verbosity=0.9)
+            assert extract_yes_no(text) is answer, text
+
+
+class TestLabels:
+    LABELS = ["aggr-attr", "aggr-having", "nested-mismatch", "alias-undefined"]
+
+    def test_quoted_label_preferred(self):
+        text = "This is a 'aggr-having' syntax error, not aggr-attr."
+        assert extract_label(text, self.LABELS) == "aggr-having"
+
+    def test_bare_label_found(self):
+        text = "I would classify it as nested-mismatch."
+        assert extract_label(text, self.LABELS) == "nested-mismatch"
+
+    def test_earliest_mention_wins(self):
+        text = "alias-undefined — definitely not aggr-attr."
+        assert extract_label(text, self.LABELS) == "alias-undefined"
+
+    def test_no_label(self):
+        assert extract_label("nothing relevant here", self.LABELS) is None
+
+    def test_typed_responses_round_trip(self):
+        rng = random.Random(1)
+        for index in range(200):
+            label = self.LABELS[index % len(self.LABELS)]
+            text = verbalize.typed_response(
+                True, label, "syntax error", rng, verbosity=0.8
+            )
+            assert extract_label(text, self.LABELS) == label, text
+
+
+class TestPositions:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("It is missing at word position 7.", 7),
+            ("The position is 12.", 12),
+            ("missing at word 3", 3),
+            ("the 5th word is missing", 5),
+            ("no numbers here", None),
+        ],
+    )
+    def test_extraction(self, text, expected):
+        assert extract_position(text) == expected
+
+    def test_token_responses_round_trip(self):
+        rng = random.Random(2)
+        for position in range(0, 40, 3):
+            text = verbalize.token_response(
+                True, "keyword", "FROM", position, rng, verbosity=0.5
+            )
+            assert extract_position(text) == position, text
+            assert extract_missing_word(text) == "FROM"
+
+
+class TestEquivalence:
+    def test_equivalent_positive(self):
+        rng = random.Random(3)
+        text = verbalize.equivalence_response(True, "cte", rng, 0.5)
+        assert extract_equivalence(text) is True
+
+    def test_not_equivalent(self):
+        rng = random.Random(3)
+        text = verbalize.equivalence_response(False, "value-change", rng, 0.5)
+        assert extract_equivalence(text) is False
+
+    def test_phrase_only(self):
+        assert extract_equivalence("These queries are not equivalent.") is False
+        assert extract_equivalence("They are equivalent.") is True
+
+    def test_round_trip_bulk(self):
+        rng = random.Random(4)
+        for index in range(200):
+            answer = index % 2 == 0
+            text = verbalize.equivalence_response(
+                answer, "reorder-conditions" if answer else "value-change", rng, 0.9
+            )
+            assert extract_equivalence(text) is answer, text

@@ -1,0 +1,91 @@
+"""Cost model tests: the Figure 5 bimodal runtime distribution."""
+
+import random
+
+import pytest
+
+from repro.perf import (
+    HIGH_COST_THRESHOLD_MS,
+    base_cost_ms,
+    is_high_cost,
+    simulate_elapsed_ms,
+)
+from repro.sql.properties import QueryProperties
+from repro.workloads import load_workload
+
+
+def props(**kwargs) -> QueryProperties:
+    return QueryProperties(**kwargs)
+
+
+class TestBaseCost:
+    def test_trivial_query_is_cheap(self):
+        cheap = props(word_count=10, table_count=1, predicate_count=1, column_count=2)
+        assert base_cost_ms(cheap) < 100
+
+    def test_join_heavy_query_is_expensive(self):
+        heavy = props(
+            word_count=150,
+            table_count=8,
+            join_count=7,
+            predicate_count=15,
+            column_count=5,
+            nestedness=2,
+        )
+        assert base_cost_ms(heavy) > HIGH_COST_THRESHOLD_MS
+
+    def test_cost_monotone_in_joins(self):
+        costs = [
+            base_cost_ms(props(word_count=50, table_count=j + 1, join_count=j))
+            for j in range(8)
+        ]
+        assert costs == sorted(costs)
+
+    def test_nesting_raises_cost(self):
+        flat = props(word_count=80, table_count=2, join_count=1)
+        nested = props(word_count=80, table_count=2, join_count=1, nestedness=3)
+        assert base_cost_ms(nested) > base_cost_ms(flat)
+
+
+class TestSimulation:
+    def test_deterministic_under_seeded_rng(self):
+        p = props(word_count=40, table_count=2, join_count=1, predicate_count=3)
+        first = simulate_elapsed_ms(p, random.Random(5))
+        second = simulate_elapsed_ms(p, random.Random(5))
+        assert first == second
+
+    def test_noise_varies_by_rng_state(self):
+        p = props(word_count=40, table_count=2, join_count=1, predicate_count=3)
+        rng = random.Random(5)
+        values = {simulate_elapsed_ms(p, rng) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_threshold_rule(self):
+        assert is_high_cost(200.1)
+        assert not is_high_cost(200.0)
+        assert not is_high_cost(3.0)
+
+
+class TestFigure5Shape:
+    """The sampled SDSS runtimes must reproduce Figure 5's bimodality."""
+
+    @pytest.fixture(scope="class")
+    def elapsed(self):
+        return [q.elapsed_ms for q in load_workload("sdss", seed=0)]
+
+    def test_majority_fast(self, elapsed):
+        fast = sum(1 for e in elapsed if e < 100)
+        assert fast / len(elapsed) > 0.70  # paper: 244/285 = 0.86
+
+    def test_costly_tail_exists(self, elapsed):
+        slow = sum(1 for e in elapsed if e >= 500)
+        assert slow >= 15  # paper: 41 at 500+
+
+    def test_valley_between_modes(self, elapsed):
+        """Figure 5 shows an empty 100-500 ms valley; allow a thin one."""
+        middle = sum(1 for e in elapsed if 150 <= e < 450)
+        assert middle / len(elapsed) < 0.12
+
+    def test_costly_class_fraction(self, elapsed):
+        costly = sum(1 for e in elapsed if is_high_cost(e))
+        assert 0.08 <= costly / len(elapsed) <= 0.22  # paper: 41/285 = 0.144

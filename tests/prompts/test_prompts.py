@@ -1,0 +1,101 @@
+"""Prompt template and tuning-harness tests (paper section 3.4)."""
+
+import pytest
+
+from repro.llm import SimulatedLLM
+from repro.parsing import extract_yes_no
+from repro.prompts import (
+    TASK_NAMES,
+    PromptTemplate,
+    prompt_for,
+    tune_prompt,
+    variants_for,
+)
+from repro.sql.properties import extract_properties
+
+
+class TestTemplates:
+    def test_all_tasks_have_tuned_prompts(self):
+        for task in TASK_NAMES:
+            template = prompt_for(task)
+            assert template.quality == 1.0
+            assert template.name == "tuned"
+
+    def test_paper_prompt_wording(self):
+        assert prompt_for("syntax_error").text.startswith(
+            "Does the following query contain any syntax errors?"
+        )
+        assert "take longer than usual" in prompt_for("performance_pred").text
+        assert "single statement describing" in prompt_for("query_exp").text
+
+    def test_render_substitutes_payload(self):
+        rendered = prompt_for("syntax_error").render(query="SELECT 1")
+        assert rendered.endswith("SELECT 1")
+
+    def test_equiv_prompt_takes_two_queries(self):
+        rendered = prompt_for("query_equiv").render(
+            query_1="SELECT 1", query_2="SELECT 2"
+        )
+        assert "SELECT 1" in rendered
+        assert "SELECT 2" in rendered
+
+    def test_variants_include_tuned_first(self):
+        for task in TASK_NAMES:
+            variants = variants_for(task)
+            assert variants[0].name == "tuned"
+            assert len(variants) >= 2
+
+    def test_variant_quality_below_tuned(self):
+        for task in TASK_NAMES:
+            tuned, *rest = variants_for(task)
+            for variant in rest:
+                assert variant.quality < tuned.quality
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            prompt_for("text_to_sql")
+        with pytest.raises(KeyError):
+            variants_for("text_to_sql")
+
+
+class TestTuning:
+    """Mock experiments must select the tuned prompt (section 3.4 step 2)."""
+
+    def _trial_instances(self, count=40):
+        sql = "SELECT plate, COUNT(*) FROM SpecObj WHERE z > 0.5"
+        props = extract_properties(sql)
+        return [(f"tune-{i}", sql, props) for i in range(count)]
+
+    def test_tuning_prefers_higher_quality_prompt(self):
+        model = SimulatedLLM("llama3")
+
+        def run_trial(variant: PromptTemplate, instance) -> float:
+            instance_id, sql, props = instance
+            response = model.answer_syntax_error(
+                f"{variant.name}-{instance_id}",
+                sql,
+                "sdss",
+                props,
+                truth_has_error=True,
+                truth_error_type="aggr-attr",
+                prompt_quality=variant.quality,
+            )
+            return 1.0 if extract_yes_no(response.text) is True else 0.0
+
+        result = tune_prompt("syntax_error", self._trial_instances(60), run_trial)
+        assert result.best.name == "tuned"
+        ranking = result.ranking()
+        assert ranking[0][0] == "tuned"
+        assert ranking[0][1] >= ranking[-1][1]
+
+    def test_tuning_requires_instances(self):
+        with pytest.raises(ValueError):
+            tune_prompt("syntax_error", [], lambda variant, instance: 1.0)
+
+    def test_scores_recorded_per_variant(self):
+        result = tune_prompt(
+            "performance_pred",
+            [object()],
+            lambda variant, instance: variant.quality,  # proxy score
+        )
+        assert set(result.scores) == {v.name for v in variants_for("performance_pred")}

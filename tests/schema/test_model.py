@@ -1,0 +1,151 @@
+"""Unit tests for the schema model and catalogs."""
+
+from repro.schema import (
+    IMDB_SCHEMA,
+    SDSS_SCHEMA,
+    SPIDER_SCHEMAS,
+    SQLSHARE_SCHEMAS,
+    ColType,
+    Schema,
+    Table,
+    float_col,
+    int_col,
+    text_col,
+)
+
+
+class TestColType:
+    def test_numeric_compatibility(self):
+        assert ColType.INT.compatible_with(ColType.FLOAT)
+        assert ColType.FLOAT.compatible_with(ColType.INT)
+
+    def test_text_incompatible_with_numeric(self):
+        assert not ColType.TEXT.compatible_with(ColType.INT)
+        assert not ColType.FLOAT.compatible_with(ColType.TEXT)
+
+    def test_exact_match(self):
+        assert ColType.TEXT.compatible_with(ColType.TEXT)
+        assert ColType.DATE.compatible_with(ColType.DATE)
+
+    def test_sqlite_affinity(self):
+        assert ColType.INT.sqlite_affinity == "INTEGER"
+        assert ColType.FLOAT.sqlite_affinity == "REAL"
+        assert ColType.TEXT.sqlite_affinity == "TEXT"
+
+
+class TestTableLookups:
+    def test_column_lookup_case_insensitive(self):
+        table = SDSS_SCHEMA.table("specobj")
+        assert table is not None
+        assert table.column("PLATE") is not None
+        assert table.column("plate") is not None
+
+    def test_missing_column_is_none(self):
+        assert SDSS_SCHEMA.table("SpecObj").column("nope") is None
+
+    def test_primary_key_columns(self):
+        table = SDSS_SCHEMA.table("SpecObj")
+        assert [c.name for c in table.primary_key_columns] == ["specobjid"]
+
+    def test_numeric_and_text_partitions(self):
+        table = SDSS_SCHEMA.table("SpecObj")
+        numeric = {c.name for c in table.numeric_columns()}
+        text = {c.name for c in table.text_columns()}
+        assert "z" in numeric
+        assert "class" in text
+        assert numeric.isdisjoint(text)
+
+
+class TestSchemaLookups:
+    def test_table_lookup_case_insensitive(self):
+        assert SDSS_SCHEMA.table("PHOTOOBJ") is not None
+
+    def test_columns_named_finds_ambiguous(self):
+        matches = SDSS_SCHEMA.columns_named("ra")
+        assert len(matches) >= 3  # SpecObj, PhotoObj, Field at least
+
+    def test_shared_column_names_nonempty(self):
+        shared = SDSS_SCHEMA.shared_column_names()
+        assert "ra" in shared
+        assert "dec" in shared
+
+    def test_join_edges(self):
+        edges = SDSS_SCHEMA.join_edges()
+        assert ("SpecObj", "bestobjid", "PhotoObj", "objid") in edges
+
+
+class TestCatalogs:
+    def test_sdss_has_paper_tables(self):
+        for name in ("SpecObj", "PhotoObj", "Field", "Neighbors"):
+            assert SDSS_SCHEMA.has_table(name)
+
+    def test_imdb_has_job_tables(self):
+        for name in (
+            "title",
+            "movie_companies",
+            "company_name",
+            "cast_info",
+            "movie_keyword",
+            "keyword",
+            "movie_info",
+            "info_type",
+        ):
+            assert IMDB_SCHEMA.has_table(name)
+
+    def test_imdb_size_supports_many_joins(self):
+        # Figure 3b shows queries with 9+ tables; the schema must allow it.
+        assert len(IMDB_SCHEMA.tables) >= 15
+
+    def test_imdb_shared_ids_are_ambiguous(self):
+        assert "id" in IMDB_SCHEMA.shared_column_names()
+
+    def test_sqlshare_has_multiple_schemas(self):
+        assert len(SQLSHARE_SCHEMAS) >= 5
+        names = {schema.name for schema in SQLSHARE_SCHEMAS}
+        assert len(names) == len(SQLSHARE_SCHEMAS)
+
+    def test_spider_includes_case_study_databases(self):
+        names = {schema.name for schema in SPIDER_SCHEMAS}
+        assert {"soccer_tryout", "student_transcripts", "concert_singer", "car_1"} <= names
+
+    def test_spider_case_study_columns(self):
+        by_name = {schema.name: schema for schema in SPIDER_SCHEMAS}
+        assert by_name["soccer_tryout"].table("tryout").has_column("cName")
+        assert by_name["student_transcripts"].table("Transcript_Cnt").has_column(
+            "student_course_id"
+        )
+        assert by_name["concert_singer"].table("stadium").has_column("loc")
+        assert by_name["car_1"].table("CARS_DATA").has_column("Accelerate")
+
+    def test_every_fk_resolves(self):
+        all_schemas = [SDSS_SCHEMA, IMDB_SCHEMA, *SQLSHARE_SCHEMAS, *SPIDER_SCHEMAS]
+        for schema in all_schemas:
+            for table in schema.tables:
+                for fk in table.foreign_keys:
+                    assert table.has_column(fk.column), (schema.name, fk)
+                    ref = schema.table(fk.ref_table)
+                    assert ref is not None, (schema.name, fk)
+                    assert ref.has_column(fk.ref_column), (schema.name, fk)
+
+
+class TestHelpers:
+    def test_int_col_primary_key_not_nullable(self):
+        column = int_col("id", primary_key=True)
+        assert column.primary_key
+        assert not column.nullable
+
+    def test_float_col_spec(self):
+        column = float_col("z", 0.0, 7.0)
+        assert column.spec.kind == "float_range"
+        assert column.spec.high == 7.0
+
+    def test_text_col_choices(self):
+        column = text_col("class", ("A", "B"))
+        assert column.spec.kind == "choice"
+
+    def test_schema_iter_columns(self):
+        schema = Schema(
+            name="s",
+            tables=[Table(name="t", columns=[int_col("a"), int_col("b")])],
+        )
+        assert len(list(schema.iter_columns())) == 2

@@ -1,0 +1,192 @@
+"""Property-based round-trip tests for the SQL substrate.
+
+Strategy: generate random ASTs, render them, and check that the rendered
+text parses and re-renders to a fixed point.  String fixed-point (rather
+than AST equality) is the right invariant because the renderer
+canonicalises associativity of AND/OR chains.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import nodes as n
+from repro.sql.parser import parse_statement
+from repro.sql.render import render
+
+_NAMES = st.sampled_from(
+    ["plate", "mjd", "z", "ra", "dec", "objid", "fiberid", "name", "run"]
+)
+_TABLES = st.sampled_from(["SpecObj", "PhotoObj", "Star", "Galaxy", "Field"])
+_ALIASES = st.sampled_from(["s", "p", "t1", "t2", "g"])
+_COMPARISONS = st.sampled_from(["=", "<>", "<", ">", "<=", ">="])
+_FUNCTIONS = st.sampled_from(["AVG", "COUNT", "MIN", "MAX", "ROUND", "ABS"])
+
+
+def _literals() -> st.SearchStrategy:
+    numbers = st.integers(min_value=0, max_value=10_000).map(
+        lambda v: n.Literal(value=v, kind="number", text=str(v))
+    )
+    floats = st.floats(
+        min_value=0.001, max_value=999.0, allow_nan=False, allow_infinity=False
+    ).map(lambda v: n.Literal(value=round(v, 3), kind="number", text=str(round(v, 3))))
+    strings = st.sampled_from(["high", "low", "M31", "x'y"]).map(
+        lambda v: n.Literal(value=v, kind="string", text=v)
+    )
+    null = st.just(n.Literal(value=None, kind="null", text="NULL"))
+    return st.one_of(numbers, floats, strings, null)
+
+
+def _column_refs() -> st.SearchStrategy:
+    return st.one_of(
+        _NAMES.map(lambda name: n.ColumnRef(name=name)),
+        st.tuples(_ALIASES, _NAMES).map(
+            lambda pair: n.ColumnRef(name=pair[1], table=pair[0])
+        ),
+    )
+
+
+def _value_exprs(depth: int = 2) -> st.SearchStrategy:
+    base = st.one_of(_literals(), _column_refs())
+    if depth <= 0:
+        return base
+    inner = _value_exprs(depth - 1)
+    arithmetic = st.tuples(
+        st.sampled_from(["+", "-", "*", "/"]), inner, inner
+    ).map(lambda t: n.Binary(op=t[0], left=t[1], right=t[2]))
+    function = st.tuples(_FUNCTIONS, inner).map(
+        lambda t: n.FuncCall(name=t[0], args=[t[1]])
+    )
+    return st.one_of(base, arithmetic, function)
+
+
+def _predicates(depth: int = 2) -> st.SearchStrategy:
+    value = _value_exprs(1)
+    comparison = st.tuples(_COMPARISONS, _column_refs(), value).map(
+        lambda t: n.Binary(op=t[0], left=t[1], right=t[2])
+    )
+    between = st.tuples(_column_refs(), value, value, st.booleans()).map(
+        lambda t: n.Between(expr=t[0], low=t[1], high=t[2], negated=t[3])
+    )
+    in_list = st.tuples(
+        _column_refs(), st.lists(_literals(), min_size=1, max_size=4), st.booleans()
+    ).map(lambda t: n.InList(expr=t[0], items=t[1], negated=t[2]))
+    is_null = st.tuples(_column_refs(), st.booleans()).map(
+        lambda t: n.IsNull(expr=t[0], negated=t[1])
+    )
+    like = st.tuples(_column_refs(), st.sampled_from(["M%", "%x%", "_a"])).map(
+        lambda t: n.Like(
+            expr=t[0], pattern=n.Literal(value=t[1], kind="string", text=t[1])
+        )
+    )
+    base = st.one_of(comparison, between, in_list, is_null, like)
+    if depth <= 0:
+        return base
+    inner = _predicates(depth - 1)
+    boolean = st.tuples(st.sampled_from(["AND", "OR"]), inner, inner).map(
+        lambda t: n.Binary(op=t[0], left=t[1], right=t[2])
+    )
+    negation = inner.map(lambda e: n.Unary(op="NOT", operand=e))
+    return st.one_of(base, boolean, negation)
+
+
+@st.composite
+def select_cores(draw, allow_subquery: bool = True) -> n.SelectCore:
+    items = [
+        n.SelectItem(expr=draw(_value_exprs(1)))
+        for _ in range(draw(st.integers(min_value=1, max_value=4)))
+    ]
+    table = n.NamedTable(
+        name=draw(_TABLES), alias=draw(st.one_of(st.none(), _ALIASES))
+    )
+    from_items: list[n.TableRef] = [table]
+    if draw(st.booleans()):
+        right = n.NamedTable(name=draw(_TABLES), alias=draw(_ALIASES))
+        condition = draw(_predicates(0))
+        kind = draw(st.sampled_from(["INNER", "LEFT", "RIGHT"]))
+        from_items = [
+            n.Join(left=table, right=right, kind=kind, condition=condition)
+        ]
+    where = draw(st.one_of(st.none(), _predicates(2)))
+    if allow_subquery and draw(st.integers(min_value=0, max_value=3)) == 0:
+        sub = draw(select_cores(allow_subquery=False))
+        where_extra = n.InSubquery(
+            expr=draw(_column_refs()), query=n.Query(body=sub)
+        )
+        where = (
+            where_extra
+            if where is None
+            else n.Binary(op="AND", left=where, right=where_extra)
+        )
+    group_by = []
+    having = None
+    if draw(st.booleans()):
+        group_by = [draw(_column_refs())]
+        if draw(st.booleans()):
+            having = n.Binary(
+                op=">",
+                left=n.FuncCall(name="COUNT", args=[n.Star()]),
+                right=n.Literal(value=1, kind="number", text="1"),
+            )
+    order_by = []
+    if draw(st.booleans()):
+        order_by = [
+            n.OrderItem(
+                expr=draw(_column_refs()),
+                direction=draw(st.sampled_from([None, "ASC", "DESC"])),
+            )
+        ]
+    return n.SelectCore(
+        items=items,
+        from_items=from_items,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        distinct=draw(st.booleans()),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=100))),
+    )
+
+
+@st.composite
+def statements(draw) -> n.Statement:
+    core = draw(select_cores())
+    if draw(st.integers(min_value=0, max_value=4)) == 0:
+        other = draw(select_cores(allow_subquery=False))
+        other.limit = None
+        core_for_compound = draw(select_cores(allow_subquery=False))
+        core_for_compound.limit = None
+        core_for_compound.order_by = []
+        other.order_by = []
+        body = n.Compound(
+            op=draw(st.sampled_from(["UNION", "INTERSECT", "EXCEPT"])),
+            left=core_for_compound,
+            right=other,
+            all=draw(st.booleans()),
+        )
+        return n.SelectStatement(query=n.Query(body=body))
+    return n.SelectStatement(query=n.Query(body=core))
+
+
+@given(statements())
+@settings(max_examples=200, deadline=None)
+def test_rendered_ast_parses_and_is_fixed_point(statement):
+    text = render(statement)
+    reparsed = parse_statement(text)
+    assert render(reparsed) == text
+
+
+@given(statements())
+@settings(max_examples=100, deadline=None)
+def test_reparse_is_idempotent_on_ast(statement):
+    text = render(statement)
+    first = parse_statement(text)
+    second = parse_statement(render(first))
+    assert first == second
+
+
+@given(_predicates(2))
+@settings(max_examples=200, deadline=None)
+def test_expression_round_trip(expr):
+    text = render(expr)
+    stmt = parse_statement(f"SELECT 1 FROM t WHERE {text}")
+    assert render(stmt.query.body.where) == text

@@ -1,0 +1,142 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.errors import LexError
+from repro.sql.lexer import char_count, tokenize, word_count
+from repro.sql.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select From WHERE") == [TokenKind.KEYWORD] * 3
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SpecObj photoObj")
+        assert tokens[0].value == "SpecObj"
+        assert tokens[1].value == "photoObj"
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == "42"
+
+    def test_float_literal(self):
+        assert values("3.14 0.5 .5") == ["3.14", "0.5", ".5"]
+
+    def test_scientific_notation(self):
+        assert values("1e5 2.5e-3 1E+2") == ["1e5", "2.5e-3", "1E+2"]
+
+    def test_number_followed_by_dot_dot_is_not_exponent(self):
+        # "1e" without digits must not swallow the 'e'
+        tokens = tokenize("12east")
+        assert tokens[0].value == "12"
+        assert tokens[1].value == "east"
+
+    def test_string_literal_single_quotes(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_bracketed_identifier(self):
+        token = tokenize("[My Table]")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "My Table"
+
+    def test_tsql_variable(self):
+        token = tokenize("@maxZ")[0]
+        assert token.kind is TokenKind.VARIABLE
+        assert token.value == "@maxZ"
+
+    def test_operators(self):
+        assert values("= <> != <= >= < > + - * / %") == [
+            "=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%",
+        ]
+
+    def test_concat_operator(self):
+        assert values("a || b") == ["a", "||", "b"]
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_eof_always_last(self):
+        tokens = tokenize("SELECT 1")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment\n 1") == ["SELECT", "1"]
+
+    def test_line_comment_at_end(self):
+        assert values("SELECT 1 -- trailing") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* noise */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT #")
+
+    def test_dangling_at(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @ FROM t")
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT [oops")
+
+
+class TestPositions:
+    def test_character_positions(self):
+        tokens = tokenize("SELECT plate")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_word_indexes(self):
+        tokens = tokenize("SELECT plate FROM SpecObj")
+        assert [t.word_index for t in tokens[:-1]] == [0, 1, 2, 3]
+
+    def test_word_index_with_punctuation_inside_word(self):
+        # "s.plate," is one whitespace-delimited word
+        tokens = tokenize("SELECT s.plate, mjd")
+        select, s, dot, plate, comma, mjd = tokens[:-1]
+        assert select.word_index == 0
+        assert s.word_index == 1
+        assert plate.word_index == 1
+        assert mjd.word_index == 2
+
+
+class TestCounts:
+    def test_word_count(self):
+        assert word_count("SELECT plate FROM SpecObj") == 4
+
+    def test_word_count_collapses_whitespace(self):
+        assert word_count("SELECT   plate\n FROM\tSpecObj ") == 4
+
+    def test_char_count(self):
+        assert char_count("SELECT 1") == 8

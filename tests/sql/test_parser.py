@@ -1,0 +1,415 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import nodes as n
+from repro.sql.errors import ParseError
+from repro.sql.parser import parse_query, parse_script, parse_statement, try_parse
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT plate FROM SpecObj")
+        assert isinstance(stmt, n.SelectStatement)
+        core = stmt.query.body
+        assert isinstance(core, n.SelectCore)
+        assert core.items[0].expr == n.ColumnRef(name="plate")
+        assert core.from_items[0] == n.NamedTable(name="SpecObj")
+
+    def test_select_star(self):
+        core = parse_query("SELECT * FROM t").body
+        assert core.items[0].expr == n.Star()
+
+    def test_select_qualified_star(self):
+        core = parse_query("SELECT s.* FROM SpecObj AS s").body
+        assert core.items[0].expr == n.Star(table="s")
+
+    def test_select_without_from(self):
+        core = parse_query("SELECT 1 + 2").body
+        assert core.from_items == []
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT plate FROM t").body.distinct
+
+    def test_top(self):
+        core = parse_query("SELECT TOP 10 plate FROM t").body
+        assert core.top == 10
+
+    def test_limit_offset(self):
+        core = parse_query("SELECT plate FROM t LIMIT 5 OFFSET 2").body
+        assert core.limit == 5
+        assert core.offset == 2
+
+    def test_column_alias_with_as(self):
+        item = parse_query("SELECT plate AS p FROM t").body.items[0]
+        assert item.alias == "p"
+
+    def test_column_alias_bare(self):
+        item = parse_query("SELECT plate p FROM t").body.items[0]
+        assert item.alias == "p"
+
+    def test_qualified_column(self):
+        item = parse_query("SELECT s.plate FROM SpecObj s").body.items[0]
+        assert item.expr == n.ColumnRef(name="plate", table="s")
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse_statement("SELECT 1;") is not None
+
+
+class TestFromClause:
+    def test_table_alias_with_as(self):
+        table = parse_query("SELECT 1 FROM SpecObj AS s").body.from_items[0]
+        assert table == n.NamedTable(name="SpecObj", alias="s")
+
+    def test_table_alias_bare(self):
+        table = parse_query("SELECT 1 FROM SpecObj s").body.from_items[0]
+        assert table.alias == "s"
+
+    def test_schema_qualified_table(self):
+        table = parse_query("SELECT 1 FROM dbo.SpecObj").body.from_items[0]
+        assert table == n.NamedTable(name="SpecObj", schema="dbo")
+
+    def test_comma_join(self):
+        items = parse_query("SELECT 1 FROM a, b, c").body.from_items
+        assert [t.name for t in items] == ["a", "b", "c"]
+
+    def test_inner_join(self):
+        ref = parse_query(
+            "SELECT 1 FROM a JOIN b ON a.x = b.y"
+        ).body.from_items[0]
+        assert isinstance(ref, n.Join)
+        assert ref.kind == "INNER"
+        assert ref.condition is not None
+
+    def test_explicit_inner_join(self):
+        ref = parse_query("SELECT 1 FROM a INNER JOIN b ON a.x = b.y").body.from_items[0]
+        assert ref.kind == "INNER"
+
+    def test_left_outer_join(self):
+        ref = parse_query("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y").body.from_items[0]
+        assert ref.kind == "LEFT"
+
+    def test_right_join(self):
+        ref = parse_query("SELECT 1 FROM a RIGHT JOIN b ON a.x = b.y").body.from_items[0]
+        assert ref.kind == "RIGHT"
+
+    def test_full_join(self):
+        ref = parse_query("SELECT 1 FROM a FULL JOIN b ON a.x = b.y").body.from_items[0]
+        assert ref.kind == "FULL"
+
+    def test_cross_join(self):
+        ref = parse_query("SELECT 1 FROM a CROSS JOIN b").body.from_items[0]
+        assert ref.kind == "CROSS"
+        assert ref.condition is None
+
+    def test_chained_joins_left_associative(self):
+        ref = parse_query(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).body.from_items[0]
+        assert isinstance(ref, n.Join)
+        assert isinstance(ref.left, n.Join)
+        assert ref.right == n.NamedTable(name="c")
+
+    def test_derived_table(self):
+        ref = parse_query(
+            "SELECT 1 FROM (SELECT plate FROM SpecObj) AS sub"
+        ).body.from_items[0]
+        assert isinstance(ref, n.DerivedTable)
+        assert ref.alias == "sub"
+
+
+class TestExpressions:
+    def where(self, condition):
+        return parse_query(f"SELECT 1 FROM t WHERE {condition}").body.where
+
+    def test_comparison(self):
+        expr = self.where("z > 0.5")
+        assert expr == n.Binary(
+            op=">",
+            left=n.ColumnRef(name="z"),
+            right=n.Literal(value=0.5, kind="number", text="0.5"),
+        )
+
+    def test_and_or_precedence(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parenthesised_or(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_not(self):
+        expr = self.where("NOT a = 1")
+        assert isinstance(expr, n.Unary)
+        assert expr.op == "NOT"
+
+    def test_between(self):
+        expr = self.where("ra BETWEEN 100 AND 200")
+        assert isinstance(expr, n.Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert self.where("ra NOT BETWEEN 100 AND 200").negated
+
+    def test_in_list(self):
+        expr = self.where("plate IN (1, 2, 3)")
+        assert isinstance(expr, n.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in_list(self):
+        assert self.where("plate NOT IN (1, 2)").negated
+
+    def test_in_subquery(self):
+        expr = self.where("plate IN (SELECT plate FROM other)")
+        assert isinstance(expr, n.InSubquery)
+
+    def test_like(self):
+        expr = self.where("name LIKE 'M%'")
+        assert isinstance(expr, n.Like)
+
+    def test_is_null(self):
+        expr = self.where("z IS NULL")
+        assert isinstance(expr, n.IsNull)
+        assert not expr.negated
+
+    def test_is_not_null(self):
+        assert self.where("z IS NOT NULL").negated
+
+    def test_exists(self):
+        expr = self.where("EXISTS (SELECT 1 FROM other)")
+        assert isinstance(expr, n.Exists)
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a + b * c = 7")
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = self.where("z > -1")
+        assert isinstance(expr.right, n.Unary)
+
+    def test_scalar_subquery(self):
+        expr = self.where("z > (SELECT AVG(z) FROM SpecObj)")
+        assert isinstance(expr.right, n.ScalarSubquery)
+
+    def test_case_expression(self):
+        item = parse_query(
+            "SELECT CASE WHEN z > 0.5 THEN 'high' ELSE 'low' END FROM t"
+        ).body.items[0]
+        assert isinstance(item.expr, n.Case)
+        assert len(item.expr.whens) == 1
+        assert item.expr.default is not None
+
+    def test_cast(self):
+        item = parse_query("SELECT CAST(z AS VARCHAR(10)) FROM t").body.items[0]
+        assert isinstance(item.expr, n.Cast)
+        assert item.expr.type_name == "VARCHAR(10)"
+
+    def test_function_call(self):
+        item = parse_query("SELECT ROUND(z, 2) FROM t").body.items[0]
+        assert item.expr == n.FuncCall(
+            name="ROUND",
+            args=[
+                n.ColumnRef(name="z"),
+                n.Literal(value=2, kind="number", text="2"),
+            ],
+        )
+
+    def test_count_star(self):
+        item = parse_query("SELECT COUNT(*) FROM t").body.items[0]
+        assert item.expr == n.FuncCall(name="COUNT", args=[n.Star()])
+
+    def test_count_distinct(self):
+        item = parse_query("SELECT COUNT(DISTINCT plate) FROM t").body.items[0]
+        assert item.expr.distinct
+
+    def test_schema_qualified_function(self):
+        item = parse_query("SELECT dbo.fPhotoTypeN(6) FROM t").body.items[0]
+        assert item.expr.schema == "dbo"
+        assert item.expr.name == "fPhotoTypeN"
+
+    def test_variable_reference(self):
+        expr = self.where("z < @maxZ")
+        assert expr.right == n.Variable(name="@maxZ")
+
+    def test_string_concat(self):
+        expr = self.where("a || b = 'xy'")
+        assert expr.left.op == "||"
+
+
+class TestClauses:
+    def test_group_by_multiple(self):
+        core = parse_query("SELECT plate FROM t GROUP BY plate, mjd").body
+        assert len(core.group_by) == 2
+
+    def test_having(self):
+        core = parse_query(
+            "SELECT plate FROM t GROUP BY plate HAVING COUNT(*) > 3"
+        ).body
+        assert core.having is not None
+
+    def test_order_by_directions(self):
+        core = parse_query("SELECT a, b FROM t ORDER BY a ASC, b DESC").body
+        assert core.order_by[0].direction == "ASC"
+        assert core.order_by[1].direction == "DESC"
+
+    def test_order_by_default_direction(self):
+        core = parse_query("SELECT a FROM t ORDER BY a").body
+        assert core.order_by[0].direction is None
+
+
+class TestCompound:
+    def test_union(self):
+        body = parse_query("SELECT a FROM t UNION SELECT a FROM u").body
+        assert isinstance(body, n.Compound)
+        assert body.op == "UNION"
+        assert not body.all
+
+    def test_union_all(self):
+        assert parse_query("SELECT a FROM t UNION ALL SELECT a FROM u").body.all
+
+    def test_intersect(self):
+        body = parse_query("SELECT a FROM t INTERSECT SELECT a FROM u").body
+        assert body.op == "INTERSECT"
+
+    def test_except(self):
+        body = parse_query("SELECT a FROM t EXCEPT SELECT a FROM u").body
+        assert body.op == "EXCEPT"
+
+    def test_trailing_order_by_attaches_to_compound(self):
+        body = parse_query(
+            "SELECT a FROM t UNION SELECT a FROM u ORDER BY a"
+        ).body
+        assert isinstance(body, n.Compound)
+        assert len(body.order_by) == 1
+
+
+class TestCte:
+    def test_single_cte(self):
+        query = parse_query(
+            "WITH hz AS (SELECT plate FROM SpecObj WHERE z > 0.5) "
+            "SELECT plate FROM hz"
+        )
+        assert len(query.ctes) == 1
+        assert query.ctes[0].name == "hz"
+
+    def test_multiple_ctes(self):
+        query = parse_query(
+            "WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b"
+        )
+        assert [cte.name for cte in query.ctes] == ["a", "b"]
+
+    def test_cte_with_columns(self):
+        query = parse_query(
+            "WITH hz (p, m) AS (SELECT plate, mjd FROM SpecObj) SELECT p FROM hz"
+        )
+        assert query.ctes[0].columns == ["p", "m"]
+
+    def test_with_statement_type(self):
+        stmt = parse_statement("WITH a AS (SELECT 1) SELECT * FROM a")
+        assert n.statement_type(stmt) == "WITH"
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE results (id INT PRIMARY KEY, z FLOAT NOT NULL, "
+            "name VARCHAR(40) DEFAULT 'x')"
+        )
+        assert isinstance(stmt, n.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default is not None
+
+    def test_create_table_as_select(self):
+        stmt = parse_statement("CREATE TABLE t2 AS SELECT * FROM t1")
+        assert stmt.as_query is not None
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT plate FROM SpecObj")
+        assert isinstance(stmt, n.CreateView)
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, n.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, n.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, n.Delete)
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_declare(self):
+        stmt = parse_statement("DECLARE @maxZ FLOAT")
+        assert isinstance(stmt, n.Declare)
+        assert stmt.name == "@maxZ"
+
+    def test_set_variable(self):
+        stmt = parse_statement("SET @maxZ = 0.7")
+        assert isinstance(stmt, n.SetVariable)
+
+    def test_exec(self):
+        stmt = parse_statement("EXEC dbo.spGetNeighbors 180.0, 2.5")
+        assert isinstance(stmt, n.ExecProcedure)
+        assert stmt.schema == "dbo"
+        assert len(stmt.args) == 2
+
+    def test_waitfor(self):
+        stmt = parse_statement("WAITFOR DELAY '00:00:05'")
+        assert isinstance(stmt, n.Waitfor)
+        assert stmt.delay == "00:00:05"
+
+    def test_script_with_multiple_statements(self):
+        script = parse_script("DECLARE @z FLOAT; SET @z = 1; SELECT @z")
+        assert len(script.statements) == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "FROM t SELECT a",
+            "SELECT a t FROM",  # alias eats 't', then FROM unparseable
+            "SELECT a FROM t WHERE a >",
+            "SELECT a FROM t ORDER a",
+            "SELECT CASE END FROM t",
+            "CREATE TABLE",
+            "INSERT t VALUES (1)",
+            "SELECT a FROM (SELECT b FROM u)",  # missing derived alias
+        ],
+    )
+    def test_raises_parse_error(self, bad):
+        with pytest.raises(ParseError):
+            parse_statement(bad)
+
+    def test_try_parse_returns_none(self):
+        assert try_parse("SELECT FROM WHERE") is None
+
+    def test_try_parse_success(self):
+        assert try_parse("SELECT 1") is not None
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT a FROM t WHERE a >")
+        assert excinfo.value.position >= 0

@@ -1,0 +1,175 @@
+"""Unit tests for syntactic property extraction (paper section 2.1)."""
+
+from repro.sql.properties import (
+    PROPERTY_NAMES,
+    extract_properties,
+    has_explicit_join,
+)
+
+
+class TestCounts:
+    def test_char_and_word_count(self):
+        props = extract_properties("SELECT plate FROM SpecObj")
+        assert props.char_count == 25
+        assert props.word_count == 4
+
+    def test_table_count_distinct(self):
+        props = extract_properties(
+            "SELECT 1 FROM SpecObj AS a JOIN SpecObj AS b ON a.x = b.x"
+        )
+        assert props.table_count == 1  # same base table twice
+
+    def test_table_count_across_subqueries(self):
+        props = extract_properties(
+            "SELECT 1 FROM a WHERE x IN (SELECT x FROM b WHERE y IN "
+            "(SELECT y FROM c))"
+        )
+        assert props.table_count == 3
+
+    def test_cte_not_counted_as_base_table(self):
+        props = extract_properties(
+            "WITH hz AS (SELECT plate FROM SpecObj) SELECT plate FROM hz"
+        )
+        assert props.table_count == 1
+
+    def test_explicit_join_count(self):
+        props = extract_properties(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        assert props.join_count == 2
+
+    def test_implicit_join_count(self):
+        props = extract_properties(
+            "SELECT 1 FROM a, b WHERE a.x = b.y AND a.z > 3"
+        )
+        assert props.join_count == 1
+
+    def test_no_implicit_join_for_single_table(self):
+        props = extract_properties("SELECT 1 FROM a WHERE a.x = a.y")
+        assert props.join_count == 0
+
+    def test_column_count_distinct(self):
+        props = extract_properties("SELECT plate, mjd, plate FROM t")
+        assert props.column_count == 2
+
+    def test_column_count_inside_functions(self):
+        props = extract_properties("SELECT AVG(z), MAX(z), plate FROM t")
+        assert props.column_count == 2  # z and plate
+
+    def test_function_count(self):
+        props = extract_properties(
+            "SELECT AVG(z), ROUND(ra, 2) FROM t WHERE ABS(dec) > 10"
+        )
+        assert props.function_count == 3
+
+    def test_predicate_count_where(self):
+        props = extract_properties(
+            "SELECT 1 FROM t WHERE a = 1 AND b = 2 OR c = 3"
+        )
+        assert props.predicate_count == 3
+
+    def test_predicate_count_includes_having(self):
+        props = extract_properties(
+            "SELECT plate FROM t GROUP BY plate HAVING COUNT(*) > 3"
+        )
+        assert props.predicate_count == 1
+
+    def test_predicate_count_nested_where(self):
+        props = extract_properties(
+            "SELECT 1 FROM t WHERE a = 1 AND x IN (SELECT x FROM u WHERE b = 2)"
+        )
+        assert props.predicate_count == 3  # a=1, IN(...), b=2
+
+    def test_between_counts_one_predicate(self):
+        props = extract_properties("SELECT 1 FROM t WHERE a BETWEEN 1 AND 2")
+        assert props.predicate_count == 1
+
+
+class TestNestedness:
+    def test_flat_query(self):
+        assert extract_properties("SELECT 1 FROM t").nestedness == 0
+
+    def test_in_subquery(self):
+        props = extract_properties(
+            "SELECT 1 FROM t WHERE x IN (SELECT x FROM u)"
+        )
+        assert props.nestedness == 1
+
+    def test_double_nesting(self):
+        props = extract_properties(
+            "SELECT 1 FROM t WHERE x IN (SELECT x FROM u WHERE y IN "
+            "(SELECT y FROM v))"
+        )
+        assert props.nestedness == 2
+
+    def test_derived_table_counts(self):
+        props = extract_properties("SELECT 1 FROM (SELECT x FROM u) AS d")
+        assert props.nestedness == 1
+
+    def test_scalar_subquery_counts(self):
+        props = extract_properties(
+            "SELECT 1 FROM t WHERE z > (SELECT AVG(z) FROM t)"
+        )
+        assert props.nestedness == 1
+
+    def test_cte_counts_as_nesting(self):
+        props = extract_properties(
+            "WITH a AS (SELECT 1 AS x) SELECT x FROM a"
+        )
+        assert props.nestedness == 1
+
+
+class TestTypeAndAggregate:
+    def test_query_type_select(self):
+        assert extract_properties("SELECT 1").query_type == "SELECT"
+
+    def test_query_type_with(self):
+        props = extract_properties("WITH a AS (SELECT 1 AS x) SELECT x FROM a")
+        assert props.query_type == "WITH"
+
+    def test_query_type_create(self):
+        assert extract_properties("CREATE TABLE t (a INT)").query_type == "CREATE"
+
+    def test_query_type_others(self):
+        assert extract_properties("DECLARE @z FLOAT").query_type == "DECLARE"
+        assert extract_properties("SET @z = 1").query_type == "SET"
+        assert extract_properties("EXEC dbo.sp 1").query_type == "EXEC"
+        assert extract_properties("DROP TABLE t").query_type == "DROP"
+        assert (
+            extract_properties("INSERT INTO t VALUES (1)").query_type == "INSERT"
+        )
+
+    def test_aggregate_flag(self):
+        assert extract_properties("SELECT AVG(z) FROM t").aggregate
+        assert not extract_properties("SELECT z FROM t").aggregate
+
+    def test_aggregate_in_having_detected(self):
+        props = extract_properties(
+            "SELECT plate FROM t GROUP BY plate HAVING MAX(z) > 1"
+        )
+        assert props.aggregate
+
+
+class TestFallback:
+    def test_unparseable_text_still_measured(self):
+        props = extract_properties("SELECT plate, FROM SpecObj WHERE")
+        assert props.word_count == 5
+        assert props.query_type == "SELECT"
+
+    def test_fallback_aggregate_detection(self):
+        props = extract_properties("SELECT AVG(z FROM t")  # broken parens
+        assert props.aggregate
+
+    def test_property_names_cover_as_dict(self):
+        props = extract_properties("SELECT 1 FROM t")
+        assert set(PROPERTY_NAMES) == set(props.as_dict())
+
+    def test_value_lookup(self):
+        props = extract_properties("SELECT 1 FROM t")
+        assert props.value("table_count") == 1
+
+
+class TestHelpers:
+    def test_has_explicit_join(self):
+        assert has_explicit_join("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        assert not has_explicit_join("SELECT 1 FROM a, b WHERE a.x = b.x")

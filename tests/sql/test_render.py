@@ -1,0 +1,156 @@
+"""Render tests: exact output and parse/render round-trips."""
+
+import pytest
+
+from repro.sql import nodes as n
+from repro.sql.parser import parse_statement
+from repro.sql.render import SQLITE, TSQL, Renderer, render
+
+ROUND_TRIP_QUERIES = [
+    "SELECT plate FROM SpecObj",
+    "SELECT * FROM SpecObj",
+    "SELECT s.* FROM SpecObj AS s",
+    "SELECT DISTINCT plate, mjd FROM SpecObj WHERE z > 0.5",
+    "SELECT TOP 10 plate FROM SpecObj ORDER BY z DESC",
+    "SELECT plate, COUNT(*) AS n FROM SpecObj GROUP BY plate HAVING COUNT(*) > 3",
+    "SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid",
+    "SELECT a FROM t LEFT JOIN u ON t.x = u.x",
+    "SELECT a FROM t RIGHT JOIN u ON t.x = u.x",
+    "SELECT a FROM t FULL JOIN u ON t.x = u.x",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT 1 FROM a, b WHERE a.x = b.y",
+    "SELECT fiberid FROM SpecObj WHERE bestobjid IN (SELECT objid FROM PhotoObj WHERE ra > 180)",
+    "SELECT plate FROM SpecObj WHERE plate IN (1, 2, 3)",
+    "SELECT plate FROM SpecObj WHERE plate NOT IN (1, 2)",
+    "SELECT plate FROM SpecObj WHERE ra BETWEEN 100 AND 200",
+    "SELECT plate FROM SpecObj WHERE ra NOT BETWEEN 100 AND 200",
+    "SELECT name FROM t WHERE name LIKE 'M%'",
+    "SELECT name FROM t WHERE name NOT LIKE 'M%'",
+    "SELECT z FROM t WHERE z IS NULL",
+    "SELECT z FROM t WHERE z IS NOT NULL",
+    "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.x)",
+    "SELECT 1 FROM t WHERE NOT (a = 1 AND b = 2)",
+    "SELECT z FROM t WHERE z > (SELECT AVG(z) FROM t)",
+    "SELECT CASE WHEN z > 0.5 THEN 'high' ELSE 'low' END FROM t",
+    "SELECT CAST(z AS VARCHAR(10)) FROM t",
+    "SELECT COUNT(DISTINCT plate) FROM SpecObj",
+    "SELECT dbo.fGetNearbyObjEq(180.0, 0.0, 1.0) FROM PhotoObj",
+    "SELECT a FROM t UNION SELECT a FROM u",
+    "SELECT a FROM t UNION ALL SELECT a FROM u",
+    "SELECT a FROM t INTERSECT SELECT a FROM u ORDER BY a",
+    "WITH hz AS (SELECT plate FROM SpecObj WHERE z > 0.5) SELECT plate FROM hz",
+    "WITH a AS (SELECT 1 AS x), b AS (SELECT 2 AS y) SELECT * FROM a, b",
+    "SELECT plate FROM t LIMIT 5 OFFSET 2",
+    "SELECT a + b * c FROM t",
+    "SELECT (a + b) * c FROM t",
+    "SELECT -z FROM t",
+    "SELECT plate FROM t WHERE a = 1 AND b = 2 AND c = 3",
+    "SELECT plate FROM t WHERE a = 1 OR b = 2 AND c = 3",
+    "SELECT plate FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+    "SELECT x FROM (SELECT plate AS x FROM SpecObj) AS sub WHERE x > 0",
+    "CREATE TABLE r (id INT PRIMARY KEY, z FLOAT NOT NULL)",
+    "CREATE TABLE t2 AS SELECT * FROM t1",
+    "CREATE VIEW v AS SELECT plate FROM SpecObj",
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+    "INSERT INTO t SELECT * FROM u",
+    "UPDATE t SET a = 1, b = 'x' WHERE id = 3",
+    "DELETE FROM t WHERE id = 3",
+    "DROP TABLE IF EXISTS t",
+    "DECLARE @maxZ FLOAT",
+    "SET @maxZ = 0.7",
+    "EXEC dbo.spGetNeighbors 180.0, 2.5",
+    "WAITFOR DELAY '00:00:05'",
+    "SELECT z FROM t WHERE z < @maxZ",
+]
+
+
+@pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+def test_render_is_fixed_point(query):
+    """render(parse(q)) must itself parse and re-render unchanged."""
+    rendered = render(parse_statement(query))
+    assert render(parse_statement(rendered)) == rendered
+
+
+@pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+def test_parse_render_parse_preserves_ast(query):
+    first = parse_statement(query)
+    second = parse_statement(render(first))
+    assert first == second
+
+
+class TestExactOutput:
+    def test_simple(self):
+        assert render(parse_statement("select plate from SpecObj")) == (
+            "SELECT plate FROM SpecObj"
+        )
+
+    def test_string_escaping(self):
+        stmt = parse_statement("SELECT * FROM t WHERE name = 'it''s'")
+        assert "''" in render(stmt)
+
+    def test_not_wraps_binary(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE NOT (a = 1 AND b = 2)")
+        assert "NOT (" in render(stmt)
+
+    def test_and_chain_stays_flat(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert render(stmt).count("(") == 0
+
+    def test_or_under_and_parenthesised(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert "(a = 1 OR b = 2)" in render(stmt)
+
+    def test_subtraction_grouping_preserved(self):
+        stmt = parse_statement("SELECT a - (b - c) FROM t")
+        assert "a - (b - c)" in render(stmt)
+
+
+class TestSqliteDialect:
+    def test_top_becomes_limit(self):
+        stmt = parse_statement("SELECT TOP 5 plate FROM SpecObj ORDER BY z")
+        text = render(stmt, SQLITE)
+        assert "TOP" not in text
+        assert text.endswith("LIMIT 5")
+
+    def test_dbo_schema_stripped(self):
+        stmt = parse_statement("SELECT 1 FROM dbo.SpecObj")
+        assert "dbo" not in render(stmt, SQLITE)
+
+    def test_function_mapping(self):
+        stmt = parse_statement("SELECT ISNULL(z, 0), LEN(name) FROM t")
+        text = render(stmt, SQLITE)
+        assert "IFNULL" in text
+        assert "LENGTH" in text
+
+    def test_tsql_keeps_top(self):
+        stmt = parse_statement("SELECT TOP 5 plate FROM SpecObj")
+        assert "TOP 5" in render(stmt, TSQL)
+
+    def test_boolean_literal_rendering(self):
+        stmt = parse_statement("SELECT TRUE")
+        assert render(stmt, SQLITE) == "SELECT 1"
+        assert render(stmt, TSQL) == "SELECT TRUE"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(Exception):
+            Renderer("oracle")
+
+
+class TestRenderNodesDirectly:
+    def test_render_expression(self):
+        expr = n.Binary(
+            op=">",
+            left=n.ColumnRef(name="z"),
+            right=n.Literal(value=0.5, kind="number", text="0.5"),
+        )
+        assert render(expr) == "z > 0.5"
+
+    def test_render_query_node(self):
+        stmt = parse_statement("SELECT plate FROM t")
+        assert render(stmt.query) == "SELECT plate FROM t"
+
+    def test_render_script(self):
+        from repro.sql.parser import parse_script
+
+        script = parse_script("DECLARE @z FLOAT; SET @z = 1")
+        assert render(script) == "DECLARE @z FLOAT; SET @z = 1"

@@ -1,0 +1,59 @@
+"""Workload export/reload tests."""
+
+import json
+
+import pytest
+
+from repro.workloads import load_workload
+from repro.workloads.export import (
+    export_workload,
+    load_workload_file,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def sdss():
+    return load_workload("sdss", seed=0)
+
+
+class TestWorkloadExport:
+    def test_round_trip_preserves_queries(self, sdss, tmp_path):
+        path = export_workload(sdss, tmp_path / "sdss.json")
+        reloaded = load_workload_file(path)
+        assert len(reloaded) == len(sdss)
+        for original, loaded in zip(sdss.queries, reloaded.queries):
+            assert loaded.query_id == original.query_id
+            assert loaded.text == original.text
+            assert loaded.elapsed_ms == original.elapsed_ms
+            assert loaded.properties.word_count == original.properties.word_count
+
+    def test_schemas_rebuilt_from_catalog(self, sdss, tmp_path):
+        path = export_workload(sdss, tmp_path / "sdss.json")
+        reloaded = load_workload_file(path)
+        assert reloaded.schemas["sdss"].has_table("SpecObj")
+
+    def test_export_is_json(self, sdss, tmp_path):
+        path = export_workload(sdss, tmp_path / "sdss.json")
+        payload = json.loads(path.read_text())
+        assert payload["size"] == 285
+        assert payload["schemas"] == ["sdss"]
+
+    def test_version_guard(self, sdss):
+        payload = workload_to_dict(sdss)
+        payload["version"] = 9
+        with pytest.raises(ValueError):
+            workload_from_dict(payload)
+
+    def test_spider_descriptions_survive(self, tmp_path):
+        spider = load_workload("spider", seed=0)
+        path = export_workload(spider, tmp_path / "spider.json")
+        reloaded = load_workload_file(path)
+        assert all(q.description for q in reloaded.queries)
+
+    def test_reloaded_statements_parse(self, sdss, tmp_path):
+        path = export_workload(sdss, tmp_path / "sdss.json")
+        reloaded = load_workload_file(path)
+        for query in reloaded.queries[:30]:
+            assert query.statement is not None

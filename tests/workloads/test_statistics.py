@@ -1,0 +1,97 @@
+"""Tests for histogram machinery and Pearson correlations (Figure 4)."""
+
+import math
+
+import pytest
+
+from repro.workloads import correlation_matrix, load_workload, pearson
+from repro.workloads.statistics import (
+    WORD_BUCKETS,
+    bucket_label,
+    discrete_buckets,
+)
+
+
+class TestBuckets:
+    def test_word_bucket_edges(self):
+        assert bucket_label(1, WORD_BUCKETS) == "1-30"
+        assert bucket_label(29, WORD_BUCKETS) == "1-30"
+        assert bucket_label(30, WORD_BUCKETS) == "30-60"
+        assert bucket_label(119, WORD_BUCKETS) == "90-120"
+        assert bucket_label(120, WORD_BUCKETS) == "120+"
+        assert bucket_label(10_000, WORD_BUCKETS) == "120+"
+
+    def test_discrete_buckets(self):
+        buckets = discrete_buckets(3)
+        assert [b[0] for b in buckets] == ["0", "1", "2", "3+"]
+        assert bucket_label(0, buckets) == "0"
+        assert bucket_label(3, buckets) == "3+"
+        assert bucket_label(99, buckets) == "3+"
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_single_point_degenerate(self):
+        assert pearson([1], [1]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_known_value(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2, 1, 4, 3, 5]
+        expected = 0.8
+        assert pearson(xs, ys) == pytest.approx(expected, abs=1e-9)
+
+
+class TestCorrelationMatrix:
+    @pytest.fixture(scope="class")
+    def sdss_matrix(self):
+        return correlation_matrix(load_workload("sdss", seed=0))
+
+    def test_diagonal_is_one(self, sdss_matrix):
+        for i in range(len(sdss_matrix.properties)):
+            assert sdss_matrix.values[i][i] == 1.0
+
+    def test_symmetry(self, sdss_matrix):
+        size = len(sdss_matrix.properties)
+        for i in range(size):
+            for j in range(size):
+                assert sdss_matrix.values[i][j] == pytest.approx(
+                    sdss_matrix.values[j][i], abs=1e-9
+                )
+
+    def test_values_bounded(self, sdss_matrix):
+        for row in sdss_matrix.values:
+            for value in row:
+                assert -1.0 <= value <= 1.0
+                assert not math.isnan(value)
+
+    def test_char_word_strongly_correlated(self, sdss_matrix):
+        """Paper section 2.1: char_count and word_count are highly correlated."""
+        assert sdss_matrix.get("char_count", "word_count") >= 0.9
+
+    def test_table_join_strongly_correlated(self, sdss_matrix):
+        """Paper section 2.1: table_count and join_count go together."""
+        assert sdss_matrix.get("table_count", "join_count") >= 0.7
+
+    def test_strong_pairs_uses_paper_threshold(self, sdss_matrix):
+        pairs = sdss_matrix.strong_pairs(threshold=0.7)
+        names = {(a, b) for a, b, _ in pairs}
+        assert ("char_count", "word_count") in names
+        assert all(abs(v) >= 0.7 for _, _, v in pairs)
+
+    def test_join_order_word_table_correlation(self):
+        """Paper: in Join-Order, word counts track table/join counts."""
+        matrix = correlation_matrix(load_workload("join_order", seed=0))
+        assert matrix.get("word_count", "table_count") >= 0.6
+        assert matrix.get("word_count", "join_count") >= 0.6
