@@ -1,0 +1,135 @@
+"""Engine scaling microbenchmark: serial vs sharded workers vs warm cache.
+
+Runs a full task grid (all models x the task's workloads) three ways —
+in-process serial, across a worker pool, and again from a warm on-disk
+cache — verifies all three produce identical metrics, and writes the
+timings to ``benchmarks/BENCH_engine_scaling.json`` (see the README in
+this directory for the BENCH_*.json convention).
+
+The parallel numbers are wall-clock and therefore bounded by the CPUs
+actually available (``cpu_count`` is recorded alongside): on a
+single-core container the worker pool can at best tie the serial path,
+while the warm-cache run is hardware-independent — it skips both
+dataset construction and cell evaluation entirely.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py \
+        [--task query_equiv] [--workers 4] [--max-instances N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.evalfw.runner import ExperimentRunner, metrics_table
+
+OUT = Path(__file__).resolve().parent / "BENCH_engine_scaling.json"
+
+
+def _timed_grid(runner: ExperimentRunner, task: str):
+    start = time.perf_counter()
+    grid = runner.run_task(task)
+    return time.perf_counter() - start, grid
+
+
+def run(task: str, workers: int, max_instances: int | None, seed: int) -> dict:
+    results: dict = {
+        "task": task,
+        "seed": seed,
+        "workers": workers,
+        "max_instances": max_instances,
+        "cpu_count": os.cpu_count(),
+    }
+
+    serial = ExperimentRunner(seed=seed, max_instances=max_instances)
+    serial_s, serial_grid = _timed_grid(serial, task)
+    results["cells"] = len(serial_grid)
+    results["instances_per_cell"] = {
+        workload: len(cell.dataset)
+        for (_, workload), cell in serial_grid.items()
+    }
+    results["serial_s"] = round(serial_s, 3)
+    reference = metrics_table(serial_grid, "binary")
+
+    # Cold: pool start-up, worker-side dataset builds, shard evaluation.
+    cold = ExperimentRunner(seed=seed, max_instances=max_instances, workers=workers)
+    try:
+        cold_s, parallel_grid = _timed_grid(cold, task)
+        # Steady state: datasets in memory, pool warm — pure sharded
+        # evaluation throughput (what a long multi-artifact run sees).
+        cold.engine.computed_cells = 0
+        steady_s, _ = _timed_grid(cold, task)
+    finally:
+        cold.close()
+    results["parallel_cold_s"] = round(cold_s, 3)
+    results["parallel_steady_s"] = round(steady_s, 3)
+    results["speedup_cold"] = round(serial_s / cold_s, 2) if cold_s else None
+    results["identical"] = metrics_table(parallel_grid, "binary") == reference
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cold_cache = ExperimentRunner(
+            seed=seed, max_instances=max_instances, cache_dir=cache_dir
+        )
+        cold_cache_s, _ = _timed_grid(cold_cache, task)
+        warm_cache = ExperimentRunner(
+            seed=seed, max_instances=max_instances, cache_dir=cache_dir
+        )
+        warm_cache_s, cached_grid = _timed_grid(warm_cache, task)
+        results["cache_cold_s"] = round(cold_cache_s, 3)
+        results["cache_warm_s"] = round(warm_cache_s, 4)
+        results["cache_speedup"] = (
+            round(cold_cache_s / warm_cache_s, 1) if warm_cache_s else None
+        )
+        results["cache_hit_cells"] = warm_cache.engine.cached_cells
+        results["cache_recomputed_cells"] = warm_cache.engine.computed_cells
+        results["cache_stats"] = warm_cache.engine.cache.stats.as_dict()
+        results["cache_identical"] = metrics_table(cached_grid, "binary") == reference
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--task", default="query_equiv")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-instances", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    results = run(args.task, args.workers, args.max_instances, args.seed)
+    OUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"grid            : {args.task}, {results['cells']} cells on "
+          f"{results['cpu_count']} CPU(s)")
+    print(f"serial          : {results['serial_s']:.3f}s")
+    print(
+        f"{args.workers} workers cold  : {results['parallel_cold_s']:.3f}s "
+        f"(x{results['speedup_cold']}), steady-state "
+        f"{results['parallel_steady_s']:.3f}s"
+    )
+    print(f"cache cold      : {results['cache_cold_s']:.3f}s")
+    print(
+        f"cache warm      : {results['cache_warm_s']:.4f}s "
+        f"(x{results['cache_speedup']}, {results['cache_hit_cells']} cells, "
+        f"{results['cache_recomputed_cells']} recomputed)"
+    )
+    print(f"identical       : {results['identical'] and results['cache_identical']}")
+    print(f"wrote {OUT}")
+    if not (results["identical"] and results["cache_identical"]):
+        return 1
+    if results["cache_recomputed_cells"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,11 @@ Subcommands:
 
 * ``list`` — show all reproducible artifacts;
 * ``run <artifact> [...]`` — run one or more artifact reproductions
-  (``all`` runs everything) and print their reports;
-* ``workloads`` — print the Table 2 overview for all four workloads.
+  (``all`` runs everything) and print their reports.  ``--workers N``
+  fans instance shards across N processes (byte-identical output);
+  cells are cached under ``--cache-dir`` unless ``--no-cache`` is given;
+* ``workloads`` — print the Table 2 overview for all four workloads;
+* ``cache info|clear`` — inspect or wipe the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -16,6 +19,9 @@ from pathlib import Path
 
 from repro.evalfw.runner import ExperimentRunner
 from repro.experiments.registry import ARTIFACT_IDS, EXPERIMENTS, run_experiment
+
+#: Where ``run`` caches evaluated cells unless told otherwise.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,8 +49,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to also write one .txt report per artifact",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for cell evaluation (1 = in-process)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help="directory for the on-disk result cache",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell, neither reading nor writing the cache",
+    )
 
     subparsers.add_parser("workloads", help="print the Table 2 overview")
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or wipe the on-disk result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR, help="cache directory"
+    )
 
     export_parser = subparsers.add_parser(
         "export", help="export the labeled benchmark datasets to JSON"
@@ -82,6 +113,19 @@ def main(argv: list[str] | None = None) -> int:
             print(path)
         print(f"exported {len(written)} dataset files to {args.out}")
         return 0
+    if args.command == "cache":
+        from repro.engine.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cached entries from {args.cache_dir}")
+        else:
+            print(f"cache dir : {args.cache_dir}")
+            print(f"cells     : {len(cache.entries())}")
+            print(f"datasets  : {len(cache.dataset_entries())}")
+            print(f"size      : {cache.size_bytes()} bytes")
+        return 0
     if args.command == "run":
         wanted = list(args.artifacts)
         if wanted == ["all"]:
@@ -90,16 +134,38 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
             return 2
-        runner = ExperimentRunner(seed=args.seed)
-        for artifact in wanted:
-            result = run_experiment(artifact, runner)
-            print(f"\n=== {result.title} ===\n")
-            print(result.text)
-            if args.out is not None:
-                args.out.mkdir(parents=True, exist_ok=True)
-                (args.out / f"{artifact}.txt").write_text(
-                    f"{result.title}\n\n{result.text}\n"
-                )
+        if args.workers < 1:
+            print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+            return 2
+        runner = ExperimentRunner(
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+        try:
+            for artifact in wanted:
+                result = run_experiment(artifact, runner)
+                print(f"\n=== {result.title} ===\n")
+                print(result.text)
+                if args.out is not None:
+                    args.out.mkdir(parents=True, exist_ok=True)
+                    (args.out / f"{artifact}.txt").write_text(
+                        f"{result.title}\n\n{result.text}\n"
+                    )
+        finally:
+            runner.close()
+        engine = runner.engine
+        print(
+            f"[engine] workers={args.workers} "
+            f"cells computed={engine.computed_cells} "
+            f"cached={engine.cached_cells}"
+            + (
+                ""
+                if args.no_cache
+                else f" (cache: {args.cache_dir})"
+            ),
+            file=sys.stderr,
+        )
         return 0
     return 2
 

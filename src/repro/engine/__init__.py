@@ -1,0 +1,57 @@
+"""Parallel, sharded, cache-backed experiment engine.
+
+Public surface:
+
+* :class:`ExperimentEngine` / :class:`EngineConfig` — evaluate grid
+  cells across a process pool (or deterministically in-process at
+  ``workers=1``), with identical outputs either way;
+* :class:`ResultCache` and :func:`cell_key` — the content-addressed
+  on-disk cell cache;
+* :func:`plan_shards` / :func:`merge_shards` — the deterministic shard
+  plan shared by both execution paths.
+"""
+
+from repro.engine.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultCache,
+    answer_from_dict,
+    answer_to_dict,
+    cell_key,
+    dataset_key,
+    prompt_fingerprint,
+)
+from repro.engine.core import EngineConfig, ExperimentEngine
+from repro.engine.sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    merge_shards,
+    plan_shards,
+)
+from repro.engine.worker import (
+    ShardTask,
+    build_dataset_remote,
+    evaluate_shard,
+    reset_worker_caches,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "DEFAULT_SHARD_SIZE",
+    "EngineConfig",
+    "ExperimentEngine",
+    "ResultCache",
+    "Shard",
+    "ShardTask",
+    "answer_from_dict",
+    "answer_to_dict",
+    "build_dataset_remote",
+    "cell_key",
+    "dataset_key",
+    "evaluate_shard",
+    "merge_shards",
+    "plan_shards",
+    "prompt_fingerprint",
+    "reset_worker_caches",
+]

@@ -1,0 +1,290 @@
+"""Content-addressed on-disk cache for evaluated cells and datasets.
+
+Two namespaces under one cache root:
+
+* ``cells/`` — each (model, task, workload) cell's answers, stored as
+  JSON under a key that hashes everything the answers depend on: the
+  generation seed, the model profile fingerprint, the task, the
+  workload, ``max_instances``, the prompt template, and a cache format
+  version;
+* ``datasets/`` — each built :class:`TaskDataset`, pickled under a key
+  hashing (task, workload, seed, max_instances).  Dataset construction
+  (parsing, corruption injection, pair generation) dominates a cold
+  grid run, so warm runs load instead of rebuilding.
+
+Change any input and the key changes, so stale entries are never served
+— they are simply never looked up again.  Writes go through a
+per-process temp file and an atomic rename, so a cache directory is safe
+to share between concurrent processes.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.llm.profiles import ModelProfile
+from repro.prompts.templates import PromptTemplate, prompt_for
+from repro.tasks.base import ModelAnswer, TaskDataset
+
+#: Bump when the serialized answer format changes; old entries miss.
+CACHE_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Hash of the whole ``repro`` package source, computed once.
+
+    Folded into every cache key so that *code* changes — a tweaked
+    penalty curve, a new corruption type — invalidate cached results
+    just like input changes do.  Without this, a default-on cache would
+    silently serve numbers produced by old code.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def prompt_fingerprint(task: str, prompt: Optional[PromptTemplate]) -> str:
+    """Stable hash of the prompt template a cell is evaluated with.
+
+    ``None`` resolves to the task's tuned default first, so an explicit
+    ``prompt=TUNED_PROMPTS[task]`` and the default share one cache entry.
+    """
+    template = prompt or prompt_for(task)
+    payload = json.dumps(
+        {
+            "task": template.task,
+            "name": template.name,
+            "text": template.text,
+            "quality": template.quality,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    seed: int,
+    profile: ModelProfile,
+    task: str,
+    workload: str,
+    max_instances: Optional[int],
+    prompt: Optional[PromptTemplate],
+) -> str:
+    """Content address of one evaluated cell."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "source": source_fingerprint(),
+            "seed": seed,
+            "profile": profile.fingerprint(),
+            "task": task,
+            "workload": workload,
+            "max_instances": max_instances,
+            "prompt": prompt_fingerprint(task, prompt),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_key(
+    task: str, workload: str, seed: int, max_instances: Optional[int]
+) -> str:
+    """Content address of one built dataset (model/prompt independent)."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": "dataset",
+            "source": source_fingerprint(),
+            "task": task,
+            "workload": workload,
+            "seed": seed,
+            "max_instances": max_instances,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def answer_to_dict(answer: ModelAnswer) -> dict:
+    return {
+        "instance_id": answer.instance_id,
+        "model": answer.model,
+        "response_text": answer.response_text,
+        "predicted": answer.predicted,
+        "predicted_type": answer.predicted_type,
+        "predicted_position": answer.predicted_position,
+        "explanation": answer.explanation,
+        "flaws": list(answer.flaws),
+    }
+
+
+def answer_from_dict(data: dict) -> ModelAnswer:
+    return ModelAnswer(
+        instance_id=data["instance_id"],
+        model=data["model"],
+        response_text=data["response_text"],
+        predicted=data["predicted"],
+        predicted_type=data["predicted_type"],
+        predicted_position=data["predicted_position"],
+        explanation=data.get("explanation", ""),
+        flaws=tuple(data.get("flaws", ())),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one engine lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    dataset_hits: int = 0
+    dataset_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "dataset_hits": self.dataset_hits,
+            "dataset_misses": self.dataset_misses,
+        }
+
+
+@dataclass
+class ResultCache:
+    """On-disk cell + dataset cache rooted at ``root``."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / "cells" / key[:2] / f"{key}.json"
+
+    def _dataset_path(self, key: str) -> Path:
+        return self.root / "datasets" / f"{key}.pkl"
+
+    def get(
+        self, key: str, expected_ids: Optional[Sequence[str]] = None
+    ) -> Optional[list[ModelAnswer]]:
+        """Cached answers for ``key``, or None on miss.
+
+        Unreadable or version-mismatched entries count as misses, as do
+        entries whose answers do not align id-for-id with
+        ``expected_ids`` — the cache is an optimisation, never a source
+        of errors or misaligned metrics.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != CACHE_VERSION:
+                raise ValueError("cache version mismatch")
+            answers = [answer_from_dict(item) for item in payload["answers"]]
+            if expected_ids is not None and [
+                answer.instance_id for answer in answers
+            ] != list(expected_ids):
+                raise ValueError("cache entry does not match dataset instances")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return answers
+
+    def put(
+        self, key: str, answers: list[ModelAnswer], meta: Optional[dict] = None
+    ) -> Path:
+        """Store a cell's answers atomically; returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "meta": meta or {},
+            "answers": [answer_to_dict(answer) for answer in answers],
+        }
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        temporary.write_text(json.dumps(payload))
+        temporary.replace(path)
+        self.stats.writes += 1
+        return path
+
+    # -- datasets ----------------------------------------------------------
+
+    def get_dataset(self, key: str) -> Optional[TaskDataset]:
+        """Cached dataset for ``key``, or None (corrupt entries miss)."""
+        path = self._dataset_path(key)
+        try:
+            with path.open("rb") as handle:
+                dataset = pickle.load(handle)
+            if not isinstance(dataset, TaskDataset):
+                raise ValueError("not a TaskDataset")
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            self.stats.dataset_misses += 1
+            return None
+        self.stats.dataset_hits += 1
+        return dataset
+
+    def put_dataset(self, key: str, dataset: TaskDataset) -> Path:
+        """Store a built dataset atomically; returns the entry path."""
+        path = self._dataset_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        with temporary.open("wb") as handle:
+            pickle.dump(dataset, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temporary.replace(path)
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("cells/*/*.json"))
+
+    def dataset_entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("datasets/*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(
+            path.stat().st_size
+            for path in (*self.entries(), *self.dataset_entries())
+        )
+
+    def clear(self) -> int:
+        """Delete every cell and dataset entry; returns how many.
+
+        Also sweeps ``*.tmp.*`` files orphaned by interrupted atomic
+        writes (they are invisible to ``entries()`` and would otherwise
+        accumulate forever).
+        """
+        removed = 0
+        for path in (*self.entries(), *self.dataset_entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for orphan in self.root.glob("**/*.tmp.*"):
+            if orphan.is_file():
+                orphan.unlink(missing_ok=True)
+        for bucket in sorted(self.root.glob("**/*"), reverse=True):
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        return removed

@@ -1,0 +1,353 @@
+"""The parallel, sharded, cache-backed experiment engine.
+
+The paper's evaluation grid (models x tasks x workloads) is
+embarrassingly parallel: every answer depends only on ``(model, task,
+instance_id)``.  The engine exploits that by splitting each cell into
+contiguous instance shards, fanning the shards of *all* pending cells
+across one long-lived ``ProcessPoolExecutor``, and merging answers back
+in shard order — so a parallel run is byte-identical to the serial one.
+
+``workers=1`` (the default) never touches multiprocessing: the same
+shard plan is executed in-process, deterministically, which keeps unit
+tests and small runs free of pool start-up cost.
+
+With a cache directory configured, evaluated cells are persisted through
+:mod:`repro.engine.cache`; re-running a grid only recomputes cells whose
+inputs (seed, profile, prompt, workload, instance cap) changed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.engine.cache import ResultCache, cell_key, dataset_key
+from repro.engine.sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    merge_shards,
+    plan_shards,
+)
+from repro.engine.worker import ShardTask, build_dataset_remote, evaluate_shard
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import PromptTemplate
+from repro.tasks.base import ModelAnswer, TaskDataset
+from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
+from repro.workloads import load_workload
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, see below
+    from repro.evalfw.runner import CellResult
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for one engine instance."""
+
+    seed: int = 0
+    workers: int = 1
+    shard_size: int = DEFAULT_SHARD_SIZE
+    cache_dir: Optional[Path] = None  # None disables the result cache
+    max_instances: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+
+
+class ExperimentEngine:
+    """Evaluates grid cells, in parallel and through the result cache."""
+
+    def __init__(
+        self,
+        config: EngineConfig = EngineConfig(),
+        models: tuple[ModelProfile, ...] = MODEL_PROFILES,
+    ) -> None:
+        self.config = config
+        self.models = models
+        self.cache = (
+            ResultCache(Path(config.cache_dir))
+            if config.cache_dir is not None
+            else None
+        )
+        self.computed_cells = 0
+        self.cached_cells = 0
+        self._workloads: dict[str, Workload] = {}
+        self._datasets: dict[tuple[str, str], TaskDataset] = {}
+        self._clients = {profile.name: SimulatedLLM(profile) for profile in models}
+        self._by_name = {profile.name: profile for profile in models}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- shared state ------------------------------------------------------
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            self._workloads[name] = load_workload(name, self.config.seed)
+        return self._workloads[name]
+
+    def dataset(self, task: str, workload_name: str) -> TaskDataset:
+        key = (task, workload_name)
+        if key not in self._datasets:
+            cached = self._dataset_from_disk(task, workload_name)
+            if cached is not None:
+                self._datasets[key] = cached
+            else:
+                self._datasets[key] = build_dataset(
+                    task,
+                    self.workload(workload_name),
+                    seed=self.config.seed,
+                    max_instances=self.config.max_instances,
+                )
+                self._dataset_to_disk(task, workload_name, self._datasets[key])
+        return self._datasets[key]
+
+    def _dataset_disk_key(self, task: str, workload_name: str) -> str:
+        return dataset_key(
+            task, workload_name, self.config.seed, self.config.max_instances
+        )
+
+    def _dataset_from_disk(
+        self, task: str, workload_name: str
+    ) -> Optional[TaskDataset]:
+        if self.cache is None:
+            return None
+        return self.cache.get_dataset(self._dataset_disk_key(task, workload_name))
+
+    def _dataset_to_disk(
+        self, task: str, workload_name: str, dataset: TaskDataset
+    ) -> None:
+        if self.cache is not None:
+            self.cache.put_dataset(
+                self._dataset_disk_key(task, workload_name), dataset
+            )
+
+    def client(self, model_name: str) -> SimulatedLLM:
+        return self._clients[model_name]
+
+    def profile(self, model_name: str) -> ModelProfile:
+        try:
+            return self._by_name[model_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {model_name!r}; engine has {sorted(self._by_name)}"
+            ) from None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation --------------------------------------------------------
+
+    def run_cell(
+        self,
+        model_name: str,
+        task: str,
+        workload_name: str,
+        prompt: Optional[PromptTemplate] = None,
+    ) -> "CellResult":
+        """Evaluate one cell (through the cache and the pool)."""
+        grid = self._evaluate_cells(
+            [(self.profile(model_name), task, workload_name)], prompt
+        )
+        return grid[(model_name, workload_name)]
+
+    def run_task(
+        self,
+        task: str,
+        workloads: Optional[tuple[str, ...]] = None,
+        prompt: Optional[PromptTemplate] = None,
+    ) -> dict[tuple[str, str], "CellResult"]:
+        """Evaluate all models on all of a task's workloads.
+
+        All pending shards of all cells are in flight at once, so worker
+        utilisation does not dip at cell boundaries.
+        """
+        names = workloads or TASK_WORKLOADS[task]
+        cells = [
+            (profile, task, workload_name)
+            for profile in self.models
+            for workload_name in names
+        ]
+        return self._evaluate_cells(cells, prompt)
+
+    def _evaluate_cells(
+        self,
+        cells: Sequence[tuple[ModelProfile, str, str]],
+        prompt: Optional[PromptTemplate],
+    ) -> dict[tuple[str, str], "CellResult"]:
+        # Imported lazily: evalfw.runner imports this module at top level.
+        from repro.evalfw.runner import CellResult
+
+        grid: dict[tuple[str, str], "CellResult"] = {}
+        pending: list[tuple[ModelProfile, str, str, TaskDataset, Optional[str]]] = []
+        if self.config.workers > 1:
+            self._prefetch_datasets({(task, workload) for _, task, workload in cells})
+        for profile, task, workload_name in cells:
+            dataset = self.dataset(task, workload_name)
+            key: Optional[str] = None
+            if self.cache is not None:
+                key = cell_key(
+                    self.config.seed,
+                    profile,
+                    task,
+                    workload_name,
+                    self.config.max_instances,
+                    prompt,
+                )
+                answers = self.cache.get(key, expected_ids=dataset.instance_ids())
+                if answers is not None:
+                    self.cached_cells += 1
+                    grid[(profile.name, workload_name)] = CellResult(
+                        model=profile.name,
+                        task=task,
+                        workload=workload_name,
+                        dataset=dataset,
+                        answers=answers,
+                    )
+                    continue
+            pending.append((profile, task, workload_name, dataset, key))
+
+        if pending:
+            if self.config.workers == 1:
+                evaluated = [
+                    self._evaluate_serial(profile, task, dataset, prompt)
+                    for profile, task, _, dataset, _ in pending
+                ]
+            else:
+                evaluated = self._evaluate_parallel(pending, prompt)
+            for (profile, task, workload_name, dataset, key), answers in zip(
+                pending, evaluated
+            ):
+                self.computed_cells += 1
+                if self.cache is not None and key is not None:
+                    self.cache.put(
+                        key,
+                        answers,
+                        meta={
+                            "model": profile.name,
+                            "task": task,
+                            "workload": workload_name,
+                            "seed": self.config.seed,
+                            "max_instances": self.config.max_instances,
+                        },
+                    )
+                grid[(profile.name, workload_name)] = CellResult(
+                    model=profile.name,
+                    task=task,
+                    workload=workload_name,
+                    dataset=dataset,
+                    answers=answers,
+                )
+        return grid
+
+    def _prefetch_datasets(self, needed: set[tuple[str, str]]) -> None:
+        """Materialise missing datasets: disk cache first, then workers.
+
+        Dataset construction (parsing, corruption injection, pair
+        generation) dominates a cold grid run, and ``build_dataset`` is
+        deterministic — so each (task, workload) dataset that is neither
+        in memory nor on disk is built exactly once, in a worker, with
+        the builds overlapping each other, and shipped back.
+        """
+        missing = []
+        for key in sorted(key for key in needed if key not in self._datasets):
+            cached = self._dataset_from_disk(*key)
+            if cached is not None:
+                self._datasets[key] = cached
+            else:
+                missing.append(key)
+        if not missing:
+            return
+        pool = self._executor()
+        futures = {
+            key: pool.submit(
+                build_dataset_remote,
+                key[0],
+                key[1],
+                self.config.seed,
+                self.config.max_instances,
+            )
+            for key in missing
+        }
+        for key, future in futures.items():
+            self._datasets[key] = future.result()
+            self._dataset_to_disk(key[0], key[1], self._datasets[key])
+
+    def _evaluate_serial(
+        self,
+        profile: ModelProfile,
+        task: str,
+        dataset: TaskDataset,
+        prompt: Optional[PromptTemplate],
+    ) -> list[ModelAnswer]:
+        """In-process fallback: same shard plan, executed sequentially."""
+        client = self.client(profile.name)
+        parts: list[tuple[int, list[ModelAnswer]]] = []
+        for shard in plan_shards(len(dataset.instances), self.config.shard_size):
+            parts.append(
+                (
+                    shard.index,
+                    [
+                        ask(task, client, instance, prompt)
+                        for instance in shard.slice(dataset.instances)
+                    ],
+                )
+            )
+        return merge_shards(parts)
+
+    def _evaluate_parallel(
+        self,
+        pending: Sequence[tuple[ModelProfile, str, str, TaskDataset, Optional[str]]],
+        prompt: Optional[PromptTemplate],
+    ) -> list[list[ModelAnswer]]:
+        """Fan every shard of every pending cell across the pool at once.
+
+        Shards carry their instance slices with them, so workers never
+        rebuild datasets — evaluation cost in a worker is exactly the
+        ask/extract loop.
+        """
+        pool = self._executor()
+        futures: list[list[Future]] = []
+        for profile, task, _workload_name, dataset, _ in pending:
+            shards: list[Shard] = plan_shards(
+                len(dataset.instances), self.config.shard_size
+            )
+            futures.append(
+                [
+                    pool.submit(
+                        evaluate_shard,
+                        ShardTask(
+                            profile=profile,
+                            task=task,
+                            index=shard.index,
+                            instances=tuple(shard.slice(dataset.instances)),
+                            prompt=prompt,
+                        ),
+                    )
+                    for shard in shards
+                ]
+            )
+        return [
+            merge_shards(future.result() for future in cell_futures)
+            for cell_futures in futures
+        ]

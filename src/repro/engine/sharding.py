@@ -1,0 +1,69 @@
+"""Deterministic shard planning for grid cells.
+
+A cell's instance list is split into contiguous, ordered shards.  Shards
+are the unit of work handed to worker processes; merging them back in
+index order reconstructs the exact serial evaluation order, which is why
+the parallel path is byte-identical to the serial one (each instance's
+answer depends only on ``(model, task, instance_id)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Default number of instances per shard.  Small enough that a typical
+#: workload cell (a few hundred instances) splits across all workers,
+#: large enough that per-shard dispatch overhead stays negligible.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous ``[start, stop)`` slice of a cell's instances."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def slice(self, items: Sequence[T]) -> Sequence[T]:
+        return items[self.start : self.stop]
+
+
+def plan_shards(total: int, shard_size: int = DEFAULT_SHARD_SIZE) -> list[Shard]:
+    """Split ``total`` instances into ordered contiguous shards.
+
+    The plan covers ``[0, total)`` exactly once with no gaps or overlap;
+    an empty cell yields an empty plan.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        Shard(index=index, start=start, stop=min(start + shard_size, total))
+        for index, start in enumerate(range(0, total, shard_size))
+    ]
+
+
+def merge_shards(parts: Iterable[tuple[int, list[T]]]) -> list[T]:
+    """Reassemble per-shard results into serial order.
+
+    ``parts`` are ``(shard_index, items)`` pairs in any completion order;
+    the result concatenates them by shard index.  Duplicate indices are
+    rejected — that would silently double-count instances.
+    """
+    by_index: dict[int, list[T]] = {}
+    for index, items in parts:
+        if index in by_index:
+            raise ValueError(f"duplicate shard index {index}")
+        by_index[index] = items
+    merged: list[T] = []
+    for index in sorted(by_index):
+        merged.extend(by_index[index])
+    return merged

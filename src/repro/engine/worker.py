@@ -1,0 +1,82 @@
+"""Worker-side functions for the engine's process pool.
+
+Two kinds of work cross the pool boundary:
+
+* :func:`evaluate_shard` — answer one contiguous slice of a cell's
+  instances.  The instances travel *with* the task, so evaluation never
+  rebuilds a dataset inside a worker (rebuilding per worker would
+  multiply the dominant cost of a grid run by the worker count);
+* :func:`build_dataset_remote` — construct one dataset in a worker so
+  the parent can overlap dataset construction across (task, workload)
+  pairs.  ``build_dataset`` is deterministic in its arguments, so the
+  copy shipped back is identical to what the parent would build.
+
+Everything crossing the boundary is plain picklable dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.llm.profiles import ModelProfile
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import PromptTemplate
+from repro.tasks.base import ModelAnswer, TaskDataset, TaskInstance
+from repro.tasks.registry import ask, build_dataset
+from repro.workloads import load_workload
+from repro.workloads.base import Workload
+
+_WORKLOADS: dict[tuple[str, int], Workload] = {}
+_CLIENTS: dict[str, SimulatedLLM] = {}
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One contiguous slice of one cell, ready to evaluate anywhere."""
+
+    profile: ModelProfile
+    task: str
+    index: int  # shard index, for merge ordering
+    instances: tuple[TaskInstance, ...]
+    prompt: Optional[PromptTemplate] = None
+
+
+def _client(profile: ModelProfile) -> SimulatedLLM:
+    cached = _CLIENTS.get(profile.name)
+    if cached is None or cached.profile != profile:
+        cached = SimulatedLLM(profile)
+        _CLIENTS[profile.name] = cached
+    return cached
+
+
+def evaluate_shard(spec: ShardTask) -> tuple[int, list[ModelAnswer]]:
+    """Evaluate one shard; returns ``(shard_index, answers)``.
+
+    Answers come back in instance order within the shard, so merging by
+    shard index reproduces the serial evaluation exactly (each answer
+    depends only on ``(model, task, instance_id)``).
+    """
+    client = _client(spec.profile)
+    answers = [
+        ask(spec.task, client, instance, spec.prompt) for instance in spec.instances
+    ]
+    return spec.index, answers
+
+
+def build_dataset_remote(
+    task: str, workload: str, seed: int, max_instances: Optional[int]
+) -> TaskDataset:
+    """Build one dataset inside a worker (workloads memoised per process)."""
+    key = (workload, seed)
+    if key not in _WORKLOADS:
+        _WORKLOADS[key] = load_workload(workload, seed)
+    return build_dataset(
+        task, _WORKLOADS[key], seed=seed, max_instances=max_instances
+    )
+
+
+def reset_worker_caches() -> None:
+    """Drop the process-global caches (test isolation hook)."""
+    _WORKLOADS.clear()
+    _CLIENTS.clear()

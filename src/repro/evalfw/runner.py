@@ -1,15 +1,20 @@
 """Experiment runner: models x workloads x tasks.
 
-``ExperimentRunner`` caches workloads and task datasets, runs every model
-over every instance through the real prompt/response/extraction path,
-and exposes the evaluated grids the paper's tables are built from.
+``ExperimentRunner`` is the façade every artifact goes through.  It
+delegates dataset construction, sharded (optionally multi-process)
+evaluation and result caching to :class:`repro.engine.ExperimentEngine`,
+runs every model over every instance through the real
+prompt/response/extraction path, and exposes the evaluated grids the
+paper's tables are built from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional
 
+from repro.engine.core import EngineConfig, ExperimentEngine
 from repro.evalfw.metrics import (
     BinaryMetrics,
     LocationMetrics,
@@ -22,8 +27,6 @@ from repro.llm.profiles import MODEL_PROFILES, ModelProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.prompts.templates import PromptTemplate
 from repro.tasks.base import ModelAnswer, TaskDataset
-from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
-from repro.workloads import load_workload
 from repro.workloads.base import Workload
 
 
@@ -57,41 +60,60 @@ class CellResult:
 
 
 class ExperimentRunner:
-    """Caches workloads/datasets and evaluates models over them."""
+    """Evaluates models over cached workloads/datasets via the engine.
+
+    ``workers=1`` (the default) evaluates in-process; ``workers>1`` fans
+    instance shards across a process pool with byte-identical results.
+    Passing ``cache_dir`` persists evaluated cells on disk so repeated
+    runs with unchanged inputs skip recomputation entirely.
+    """
 
     def __init__(
         self,
         seed: int = 0,
         models: tuple[ModelProfile, ...] = MODEL_PROFILES,
         max_instances: Optional[int] = None,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
+        cache_dir: Optional[Path] = None,
     ) -> None:
-        self.seed = seed
-        self.models = models
-        self.max_instances = max_instances
-        self._workloads: dict[str, Workload] = {}
-        self._datasets: dict[tuple[str, str], TaskDataset] = {}
-        self._clients = {profile.name: SimulatedLLM(profile) for profile in models}
+        config = EngineConfig(
+            seed=seed,
+            workers=workers,
+            cache_dir=cache_dir,
+            max_instances=max_instances,
+            **({"shard_size": shard_size} if shard_size is not None else {}),
+        )
+        self.engine = ExperimentEngine(config, models=models)
+
+    # The engine's config is the single source of truth; these mirrors
+    # exist only for callers that knew the pre-engine runner attributes.
+    @property
+    def seed(self) -> int:
+        return self.engine.config.seed
+
+    @property
+    def models(self) -> tuple[ModelProfile, ...]:
+        return self.engine.models
+
+    @property
+    def max_instances(self) -> Optional[int]:
+        return self.engine.config.max_instances
 
     # -- caching ---------------------------------------------------------------
 
     def workload(self, name: str) -> Workload:
-        if name not in self._workloads:
-            self._workloads[name] = load_workload(name, self.seed)
-        return self._workloads[name]
+        return self.engine.workload(name)
 
     def dataset(self, task: str, workload_name: str) -> TaskDataset:
-        key = (task, workload_name)
-        if key not in self._datasets:
-            self._datasets[key] = build_dataset(
-                task,
-                self.workload(workload_name),
-                seed=self.seed,
-                max_instances=self.max_instances,
-            )
-        return self._datasets[key]
+        return self.engine.dataset(task, workload_name)
 
     def client(self, model_name: str) -> SimulatedLLM:
-        return self._clients[model_name]
+        return self.engine.client(model_name)
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if one was started."""
+        self.engine.close()
 
     # -- evaluation --------------------------------------------------------------
 
@@ -103,31 +125,13 @@ class ExperimentRunner:
         prompt: Optional[PromptTemplate] = None,
     ) -> CellResult:
         """Evaluate one model on one (task, workload) dataset."""
-        dataset = self.dataset(task, workload_name)
-        client = self.client(model_name)
-        answers = [
-            ask(task, client, instance, prompt) for instance in dataset.instances
-        ]
-        return CellResult(
-            model=model_name,
-            task=task,
-            workload=workload_name,
-            dataset=dataset,
-            answers=answers,
-        )
+        return self.engine.run_cell(model_name, task, workload_name, prompt)
 
     def run_task(
         self, task: str, workloads: Optional[tuple[str, ...]] = None
     ) -> dict[tuple[str, str], CellResult]:
         """Evaluate all models on all of a task's workloads."""
-        names = workloads or TASK_WORKLOADS[task]
-        grid: dict[tuple[str, str], CellResult] = {}
-        for profile in self.models:
-            for workload_name in names:
-                grid[(profile.name, workload_name)] = self.run_cell(
-                    profile.name, task, workload_name
-                )
-        return grid
+        return self.engine.run_task(task, workloads)
 
 
 def metrics_table(

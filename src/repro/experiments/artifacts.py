@@ -2,7 +2,10 @@
 section 4.5 case study).
 
 Every function takes an :class:`~repro.evalfw.runner.ExperimentRunner`
-(so datasets/workloads are shared and cached) and returns an
+(so datasets/workloads are shared and cached, and grid evaluation goes
+through the runner's :class:`~repro.engine.ExperimentEngine` — sharded
+across worker processes and served from the on-disk result cache when
+the runner is configured that way) and returns an
 :class:`ExperimentResult` whose ``text`` prints the same rows/series the
 paper reports, with paper reference values alongside where available.
 """

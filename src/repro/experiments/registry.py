@@ -1,8 +1,16 @@
-"""Registry mapping artifact ids to experiment functions."""
+"""Registry mapping artifact ids to experiment functions.
+
+Every experiment function takes an :class:`ExperimentRunner`, so the
+whole paper grid inherits the runner's engine configuration — pass a
+runner built with ``workers=N`` / ``cache_dir=...`` (or use the same
+flags on :func:`run_all`) and all tables/figures evaluate through the
+parallel sharded engine and its result cache.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Optional
 
 from repro.evalfw.runner import ExperimentRunner
 from repro.experiments import artifacts
@@ -51,10 +59,22 @@ def run_experiment(
     return function(runner or ExperimentRunner())
 
 
-def run_all(runner: ExperimentRunner | None = None) -> dict[str, ExperimentResult]:
-    """Run every artifact with a shared runner (datasets cached once)."""
-    shared = runner or ExperimentRunner()
-    return {
-        artifact: function(shared)
-        for artifact, (_, function) in EXPERIMENTS.items()
-    }
+def run_all(
+    runner: ExperimentRunner | None = None,
+    workers: int = 1,
+    cache_dir: Optional[Path] = None,
+) -> dict[str, ExperimentResult]:
+    """Run every artifact with a shared runner (datasets cached once).
+
+    When no runner is supplied, ``workers``/``cache_dir`` configure the
+    engine the fresh runner evaluates through.
+    """
+    shared = runner or ExperimentRunner(workers=workers, cache_dir=cache_dir)
+    try:
+        return {
+            artifact: function(shared)
+            for artifact, (_, function) in EXPERIMENTS.items()
+        }
+    finally:
+        if runner is None:
+            shared.close()

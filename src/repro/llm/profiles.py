@@ -22,7 +22,9 @@ the paper's reported metrics; see EXPERIMENTS.md for measured values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 SYNTAX = "syntax"
 TOKEN = "token"
@@ -75,7 +77,12 @@ class ExplanationStyle:
 
 @dataclass(frozen=True)
 class ModelProfile:
-    """Full behaviour profile of one simulated model."""
+    """Full behaviour profile of one simulated model.
+
+    Profiles are picklable (they cross process boundaries in the sharded
+    engine) and hashable by content fingerprint, so a tweaked copy made
+    with ``dataclasses.replace`` never aliases a cached result.
+    """
 
     name: str
     display_name: str
@@ -90,6 +97,27 @@ class ModelProfile:
             raise KeyError(
                 f"{self.name} has no skill profile for {family!r}"
             ) from None
+
+    def fingerprint(self) -> str:
+        """Stable content hash, identical across processes.
+
+        The canonical-JSON rendering survives process boundaries (unlike
+        the salted built-in ``hash``), so the engine's result cache can
+        key cells by the exact behaviour profile that produced them.
+        Memoised in ``__dict__`` (the profile is frozen, so the content
+        cannot change).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = json.dumps(asdict(self), sort_keys=True, default=str)
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the skills
+        # dict; hash by content instead so tweaked copies never collide.
+        return hash((self.name, self.fingerprint()))
 
 
 GPT4 = ModelProfile(

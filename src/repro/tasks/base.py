@@ -90,6 +90,16 @@ class TaskDataset:
             {i.label_type for i in self.instances if i.label_type is not None}
         )
 
+    def instance_ids(self) -> list[str]:
+        """Instance ids in evaluation order.
+
+        The engine aligns cached answers against these: a cached cell is
+        only served when its answers match the dataset id-for-id, so a
+        stale or corrupted entry can never be silently zipped against
+        the wrong instances.
+        """
+        return [instance.instance_id for instance in self.instances]
+
 
 @dataclass
 class ModelAnswer:

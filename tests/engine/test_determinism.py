@@ -1,0 +1,172 @@
+"""Engine determinism and cache-skip guarantees.
+
+Serial, multi-process, and cache-served evaluations of the same cell
+must produce identical answers (and therefore identical metrics) for a
+fixed seed; warm-cache reruns must not recompute anything.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import EngineConfig, ExperimentEngine
+from repro.evalfw.runner import ExperimentRunner, metrics_table
+from repro.llm.profiles import GEMINI, GPT4, SYNTAX
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import PromptTemplate
+
+SEED = 7
+CAP = 30
+
+
+def _metrics(cell):
+    return (cell.binary, cell.typed, cell.location)
+
+
+class TestParallelEqualsSerial:
+    def test_run_cell_identical_across_worker_counts(self):
+        serial = ExperimentRunner(seed=SEED, max_instances=CAP)
+        parallel = ExperimentRunner(
+            seed=SEED, max_instances=CAP, workers=2, shard_size=7
+        )
+        try:
+            a = serial.run_cell("gpt4", "syntax_error", "sdss")
+            b = parallel.run_cell("gpt4", "syntax_error", "sdss")
+        finally:
+            parallel.close()
+        assert a.answers == b.answers
+        assert _metrics(a) == _metrics(b)
+
+    def test_run_task_grid_identical_across_worker_counts(self):
+        serial = ExperimentRunner(seed=SEED, max_instances=CAP)
+        parallel = ExperimentRunner(
+            seed=SEED, max_instances=CAP, workers=2, shard_size=11
+        )
+        try:
+            grid_a = serial.run_task("performance_pred")
+            grid_b = parallel.run_task("performance_pred")
+        finally:
+            parallel.close()
+        assert grid_a.keys() == grid_b.keys()
+        for key in grid_a:
+            assert grid_a[key].answers == grid_b[key].answers
+        assert metrics_table(grid_a, "binary") == metrics_table(grid_b, "binary")
+
+    def test_odd_shard_sizes_do_not_change_results(self):
+        cells = []
+        for shard_size in (1, 3, 1000):
+            runner = ExperimentRunner(
+                seed=SEED, max_instances=13, shard_size=shard_size
+            )
+            cells.append(runner.run_cell("gemini", "miss_token", "sqlshare"))
+        assert cells[0].answers == cells[1].answers == cells[2].answers
+
+
+class TestCacheServedRuns:
+    def _engine(self, tmp_path, **overrides):
+        config = EngineConfig(
+            seed=SEED,
+            max_instances=CAP,
+            cache_dir=tmp_path / "cache",
+            **overrides,
+        )
+        return ExperimentEngine(config, models=(GPT4, GEMINI))
+
+    def test_cached_run_identical_and_skips_recomputation(self, tmp_path, monkeypatch):
+        cold = self._engine(tmp_path)
+        first = cold.run_cell("gpt4", "syntax_error", "sdss")
+        assert cold.computed_cells == 1
+        assert cold.cache.stats.writes == 1
+
+        warm = self._engine(tmp_path)
+
+        def _refuse(self, *args, **kwargs):
+            raise AssertionError("warm-cache run must not query the model")
+
+        monkeypatch.setattr(SimulatedLLM, "answer_syntax_error", _refuse)
+        second = warm.run_cell("gpt4", "syntax_error", "sdss")
+        assert warm.cached_cells == 1
+        assert warm.computed_cells == 0
+        assert warm.cache.stats.dataset_hits == 1  # dataset loaded, not rebuilt
+        assert second.answers == first.answers
+        assert _metrics(second) == _metrics(first)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        parallel = self._engine(tmp_path, workers=2, shard_size=9)
+        try:
+            first = parallel.run_cell("gemini", "syntax_error", "sdss")
+        finally:
+            parallel.close()
+        serial = self._engine(tmp_path)
+        second = serial.run_cell("gemini", "syntax_error", "sdss")
+        assert serial.cached_cells == 1
+        assert second.answers == first.answers
+
+    def test_changed_seed_misses(self, tmp_path):
+        self._engine(tmp_path).run_cell("gpt4", "syntax_error", "sdss")
+        other = ExperimentEngine(
+            EngineConfig(seed=SEED + 1, max_instances=CAP, cache_dir=tmp_path / "cache"),
+            models=(GPT4,),
+        )
+        other.run_cell("gpt4", "syntax_error", "sdss")
+        assert other.cached_cells == 0
+        assert other.computed_cells == 1
+
+    def test_changed_max_instances_misses(self, tmp_path):
+        self._engine(tmp_path).run_cell("gpt4", "syntax_error", "sdss")
+        other = ExperimentEngine(
+            EngineConfig(seed=SEED, max_instances=CAP - 5, cache_dir=tmp_path / "cache"),
+            models=(GPT4,),
+        )
+        other.run_cell("gpt4", "syntax_error", "sdss")
+        assert other.cached_cells == 0
+
+    def test_changed_profile_misses(self, tmp_path):
+        self._engine(tmp_path).run_cell("gpt4", "syntax_error", "sdss")
+        tweaked = dataclasses.replace(
+            GPT4,
+            skills={
+                **GPT4.skills,
+                SYNTAX: dataclasses.replace(GPT4.skills[SYNTAX], competence=0.42),
+            },
+        )
+        other = ExperimentEngine(
+            EngineConfig(seed=SEED, max_instances=CAP, cache_dir=tmp_path / "cache"),
+            models=(tweaked,),
+        )
+        other.run_cell("gpt4", "syntax_error", "sdss")
+        assert other.cached_cells == 0
+        assert other.computed_cells == 1
+
+    def test_changed_prompt_misses(self, tmp_path):
+        engine = self._engine(tmp_path)
+        engine.run_cell("gpt4", "syntax_error", "sdss")
+        untuned = PromptTemplate(
+            task="syntax_error", name="untuned", text="Any bug? {query}", quality=0.7
+        )
+        engine.run_cell("gpt4", "syntax_error", "sdss", prompt=untuned)
+        assert engine.cached_cells == 0
+        assert engine.computed_cells == 2
+
+    def test_no_cache_dir_never_touches_disk(self, tmp_path):
+        engine = ExperimentEngine(
+            EngineConfig(seed=SEED, max_instances=CAP), models=(GPT4,)
+        )
+        engine.run_cell("gpt4", "syntax_error", "sdss")
+        assert engine.cache is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEngineConfig:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+
+    def test_rejects_zero_shard_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shard_size=0)
+
+    def test_unknown_model_raises(self):
+        engine = ExperimentEngine(EngineConfig(), models=(GPT4,))
+        with pytest.raises(KeyError):
+            engine.run_cell("nope", "syntax_error", "sdss")

@@ -1,0 +1,59 @@
+"""Shard-plan invariants: exact cover, order, merge round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.sharding import Shard, merge_shards, plan_shards
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=97))
+def test_plan_covers_exactly_once(total, shard_size):
+    shards = plan_shards(total, shard_size)
+    covered = [i for shard in shards for i in range(shard.start, shard.stop)]
+    assert covered == list(range(total))
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=97))
+def test_plan_indices_are_sequential(total, shard_size):
+    shards = plan_shards(total, shard_size)
+    assert [shard.index for shard in shards] == list(range(len(shards)))
+    assert all(len(shard) >= 1 for shard in shards)
+    assert all(len(shard) <= shard_size for shard in shards)
+
+
+@given(
+    st.lists(st.integers(), max_size=200),
+    st.integers(min_value=1, max_value=37),
+    st.randoms(use_true_random=False),
+)
+def test_merge_restores_serial_order_from_any_completion_order(items, size, rng):
+    parts = [
+        (shard.index, list(shard.slice(items)))
+        for shard in plan_shards(len(items), size)
+    ]
+    rng.shuffle(parts)
+    assert merge_shards(parts) == items
+
+
+def test_empty_plan():
+    assert plan_shards(0) == []
+    assert merge_shards([]) == []
+
+
+def test_shard_slice():
+    shard = Shard(index=1, start=2, stop=5)
+    assert list(shard.slice("abcdefg")) == ["c", "d", "e"]
+    assert len(shard) == 3
+
+
+def test_plan_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        plan_shards(-1)
+    with pytest.raises(ValueError):
+        plan_shards(10, 0)
+
+
+def test_merge_rejects_duplicate_indices():
+    with pytest.raises(ValueError):
+        merge_shards([(0, [1]), (0, [2])])

@@ -92,3 +92,87 @@ def test_location_exact_predictions(truths):
     metrics = location_metrics(truths, truths)
     assert metrics.mae == 0.0
     assert metrics.hit_rate == 1.0
+
+
+# -- permutation invariance --------------------------------------------------
+# All three metric families aggregate over (truth, prediction) pairs, so
+# reordering the pairs must never change any reported number.
+
+
+@given(pairs, st.randoms(use_true_random=False))
+def test_binary_metrics_permutation_invariant(data, rng):
+    shuffled = list(data)
+    rng.shuffle(shuffled)
+    original = binary_metrics([t for t, _ in data], [p for _, p in data])
+    permuted = binary_metrics([t for t, _ in shuffled], [p for _, p in shuffled])
+    assert original == permuted
+
+
+@given(label_pairs, st.randoms(use_true_random=False))
+def test_weighted_metrics_permutation_invariant(data, rng):
+    shuffled = list(data)
+    rng.shuffle(shuffled)
+    original = weighted_metrics([t for t, _ in data], [p for _, p in data])
+    permuted = weighted_metrics([t for t, _ in shuffled], [p for _, p in shuffled])
+    assert (original.precision, original.recall, original.f1) == (
+        permuted.precision,
+        permuted.recall,
+        permuted.f1,
+    )
+    assert original.support == permuted.support
+
+
+@given(positions, st.randoms(use_true_random=False))
+def test_location_metrics_permutation_invariant(data, rng):
+    shuffled = list(data)
+    rng.shuffle(shuffled)
+    original = location_metrics([t for t, _ in data], [p for _, p in data])
+    permuted = location_metrics([t for t, _ in shuffled], [p for _, p in shuffled])
+    assert original == permuted
+
+
+# -- degenerate inputs -------------------------------------------------------
+# Empty, all-true and all-false inputs must never raise (ZeroDivisionError
+# is the classic failure) and must stay inside [0, 1].
+
+
+def test_empty_inputs_do_not_raise():
+    binary = binary_metrics([], [])
+    assert (binary.precision, binary.recall, binary.f1, binary.accuracy) == (
+        0.0,
+        0.0,
+        0.0,
+        0.0,
+    )
+    weighted = weighted_metrics([], [])
+    assert (weighted.precision, weighted.recall, weighted.f1) == (0.0, 0.0, 0.0)
+    assert weighted.support == {}
+    location = location_metrics([], [])
+    assert (location.mae, location.hit_rate, location.evaluated) == (0.0, 0.0, 0)
+
+
+@given(st.lists(st.one_of(st.none(), st.booleans()), min_size=1, max_size=60))
+def test_all_true_truths_never_raise(preds):
+    metrics = binary_metrics([True] * len(preds), preds)
+    assert metrics.fp == metrics.tn == 0
+    assert 0.0 <= metrics.recall <= 1.0
+    assert 0.0 <= metrics.precision <= 1.0
+
+
+@given(st.lists(st.one_of(st.none(), st.booleans()), min_size=1, max_size=60))
+def test_all_false_truths_never_raise(preds):
+    metrics = binary_metrics([False] * len(preds), preds)
+    assert metrics.tp == metrics.fn == 0
+    assert metrics.recall == 0.0
+    assert 0.0 <= metrics.precision <= 1.0
+
+
+def test_single_class_weighted_metrics():
+    metrics = weighted_metrics(["a", "a", "a"], ["a", None, "a"])
+    assert 0.0 <= metrics.f1 <= 1.0
+    assert metrics.support == {"a": 3}
+
+
+def test_all_none_truths_location():
+    metrics = location_metrics([None, None], [1, 2])
+    assert (metrics.mae, metrics.hit_rate, metrics.evaluated) == (0.0, 0.0, 0)
