@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Offline Markdown link checker for the docs CI job.
+
+Scans the given Markdown files for inline links and images
+(``[text](target)``) and verifies that every *relative* target exists
+on disk, resolved against the containing file's directory (anchors are
+stripped; external ``http(s)``/``mailto`` targets are skipped — CI has
+no business depending on the network).
+
+Usage:  python scripts/check_links.py README.md docs/*.md
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images; deliberately simple — our docs don't
+#: use reference-style links or angle-bracket targets.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_links(text: str):
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK.findall(line)
+
+
+def check_file(path: Path) -> list[str]:
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:  # pure in-page anchor
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    broken: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            broken.append(f"{path}: file not found")
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} files, {len(broken)} problems")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,7 +15,14 @@ The package provides:
   models, task prompts and response post-processing;
 * :mod:`repro.tasks`, :mod:`repro.evalfw` — task datasets, metrics and the
   experiment runner;
-* :mod:`repro.experiments` — one entry point per paper table/figure.
+* :mod:`repro.engine` — the parallel, sharded, cache-backed evaluation
+  engine everything above runs through;
+* :mod:`repro.experiments` — one entry point per paper table/figure;
+* :mod:`repro.reporting` — run records and Markdown/HTML/JSON report
+  bundles built from the engine cache.
+
+See ``docs/ARCHITECTURE.md`` for the module map and data flow, and
+``docs/TASKS.md`` for the task-to-paper-artifact mapping.
 """
 
 __version__ = "1.0.0"

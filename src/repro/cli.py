@@ -6,22 +6,41 @@ Subcommands:
 * ``run <artifact> [...]`` — run one or more artifact reproductions
   (``all`` runs everything) and print their reports.  ``--workers N``
   fans instance shards across N processes (byte-identical output);
-  cells are cached under ``--cache-dir`` unless ``--no-cache`` is given;
+  cells are cached under ``--cache-dir`` unless ``--no-cache`` is given.
+  Every run that evaluates grid cells also persists a RunRecord under
+  ``--runs-dir`` (``results/runs/`` by default; ``--no-record`` skips);
 * ``workloads`` — print the Table 2 overview for all four workloads;
-* ``cache info|clear`` — inspect or wipe the on-disk result cache.
+* ``cache info|clear`` — inspect or wipe the on-disk result cache;
+* ``runs list|show`` — browse persisted RunRecords;
+* ``report [RUN_ID]`` — render the Markdown + HTML + JSON report bundle
+  for a stored run (latest by default), re-reading cells from the
+  engine cache — zero model invocations when the cache is warm;
+* ``report --compare RUN_A RUN_B`` — align two stored runs and flag
+  metric regressions (exit code 3 when any are found);
+* ``export`` — write the labeled benchmark datasets to JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.evalfw.runner import ExperimentRunner
 from repro.experiments.registry import ARTIFACT_IDS, EXPERIMENTS, run_experiment
+from repro.reporting.run_record import DEFAULT_RUNS_DIR
 
 #: Where ``run`` caches evaluated cells unless told otherwise.
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Errors a record load can surface: missing/ambiguous ids (KeyError),
+#: unreadable files (OSError), corrupt JSON or version mismatches
+#: (ValueError, which json.JSONDecodeError subclasses).
+_RECORD_ERRORS = (KeyError, OSError, ValueError)
+
+#: Where ``report`` writes bundles unless told otherwise.
+DEFAULT_REPORTS_DIR = Path("reports")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every cell, neither reading nor writing the cache",
     )
+    run_parser.add_argument(
+        "--runs-dir",
+        type=Path,
+        default=DEFAULT_RUNS_DIR,
+        help="directory where the run's RunRecord is persisted",
+    )
+    run_parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not persist a RunRecord for this run",
+    )
 
     subparsers.add_parser("workloads", help="print the Table 2 overview")
 
@@ -75,6 +105,62 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.add_argument(
         "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR, help="cache directory"
+    )
+
+    runs_parser = subparsers.add_parser(
+        "runs", help="browse persisted run records"
+    )
+    runs_parser.add_argument("action", choices=("list", "show"))
+    runs_parser.add_argument(
+        "run_id", nargs="?", default=None, help="run id (for 'show')"
+    )
+    runs_parser.add_argument(
+        "--runs-dir", type=Path, default=DEFAULT_RUNS_DIR, help="records directory"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render a Markdown+HTML+JSON report bundle from a stored run",
+    )
+    report_parser.add_argument(
+        "run_id",
+        nargs="?",
+        default=None,
+        help="run id to report on (default: the latest record)",
+    )
+    report_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        default=None,
+        help="compare two stored runs and flag metric regressions",
+    )
+    report_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression threshold for --compare (default 0.005)",
+    )
+    report_parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_REPORTS_DIR,
+        help="directory to write the report bundle under",
+    )
+    report_parser.add_argument(
+        "--runs-dir", type=Path, default=DEFAULT_RUNS_DIR, help="records directory"
+    )
+    report_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        help="engine cache to re-read cells from",
+    )
+    report_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes if any cells must be recomputed",
     )
 
     export_parser = subparsers.add_parser(
@@ -87,6 +173,202 @@ def build_parser() -> argparse.ArgumentParser:
         "--tasks", nargs="*", default=None, help="restrict to these tasks"
     )
     return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.reporting.run_record import RunRecordStore
+
+    wanted = list(args.artifacts)
+    if wanted == ["all"]:
+        wanted = list(ARTIFACT_IDS)
+    unknown = [a for a in wanted if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    artifact_seconds: dict[str, float] = {}
+    run_started = time.perf_counter()
+    try:
+        for artifact in wanted:
+            started = time.perf_counter()
+            result = run_experiment(artifact, runner)
+            artifact_seconds[artifact] = round(time.perf_counter() - started, 3)
+            print(f"\n=== {result.title} ===\n")
+            print(result.text)
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{artifact}.txt").write_text(
+                    f"{result.title}\n\n{result.text}\n", encoding="utf-8"
+                )
+    finally:
+        runner.close()
+    engine = runner.engine
+    print(
+        f"[engine] workers={args.workers} "
+        f"cells computed={engine.computed_cells} "
+        f"cached={engine.cached_cells}"
+        + ("" if args.no_cache else f" (cache: {args.cache_dir})"),
+        file=sys.stderr,
+    )
+    if not args.no_record:
+        record = runner.run_record(
+            artifacts=tuple(wanted),
+            artifact_seconds=artifact_seconds,
+            total_seconds=time.perf_counter() - run_started,
+        )
+        path = RunRecordStore(args.runs_dir).save(record)
+        print(f"[run-record] {record.run_id} -> {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    from repro.evalfw.report import render_table
+    from repro.reporting.run_record import RunRecordStore
+
+    store = RunRecordStore(args.runs_dir)
+    if args.action == "list":
+        try:
+            records = store.records()
+        except _RECORD_ERRORS as error:
+            print(f"unreadable run record: {error}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"no run records under {store.root}")
+            return 0
+        rows = [
+            {
+                "run_id": record.run_id,
+                "created": record.created_at,
+                "seed": record.seed,
+                "workers": record.workers,
+                "artifacts": len(record.artifacts),
+                "cells": len(record.cells),
+                "cached": record.cached_cells,
+                "computed": record.computed_cells,
+                "seconds": record.total_seconds,
+            }
+            for record in records
+        ]
+        print(render_table(rows, f"Run records in {store.root}"))
+        return 0
+    if args.run_id is None:
+        print("runs show requires a run id", file=sys.stderr)
+        return 2
+    try:
+        record = store.load(args.run_id)
+    except _RECORD_ERRORS as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"run_id   : {record.run_id}")
+    print(f"created  : {record.created_at}")
+    print(f"seed     : {record.seed}  workers: {record.workers}")
+    print(f"source   : {record.source_fingerprint[:12]}")
+    print(f"cache    : {record.cache_dir or '(disabled)'}")
+    print(f"artifacts: {', '.join(record.artifacts) or '(none)'}")
+    print(
+        f"cells    : {len(record.cells)} "
+        f"({record.cached_cells} cached, {record.computed_cells} computed)"
+    )
+    if record.cells:
+        rows = [
+            {
+                "model": cell.model_display,
+                "task": cell.task,
+                "workload": cell.workload,
+                "n": cell.instances,
+                "F1": cell.metrics.get("binary.f1", "-"),
+                "source": "cache" if cell.cached else "computed",
+            }
+            for cell in record.cells
+        ]
+        print()
+        print(render_table(rows, "Evaluated cells"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting.bundle import write_report_bundle
+    from repro.reporting.compare import (
+        DEFAULT_THRESHOLD,
+        compare_runs,
+        render_comparison,
+    )
+    from repro.reporting.run_record import RunRecordStore
+
+    store = RunRecordStore(args.runs_dir)
+
+    if args.compare is not None:
+        try:
+            before = store.load(args.compare[0])
+            after = store.load(args.compare[1])
+        except _RECORD_ERRORS as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        comparison = compare_runs(before, after, threshold=threshold)
+        print(render_comparison(comparison))
+        return 3 if comparison.has_regressions else 0
+
+    if args.run_id is not None:
+        try:
+            stored = store.load(args.run_id)
+        except _RECORD_ERRORS as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    else:
+        try:
+            stored = store.latest()
+        except _RECORD_ERRORS as error:
+            print(f"unreadable run record: {error}", file=sys.stderr)
+            return 2
+        if stored is None:
+            print(
+                f"no run records under {store.root}; run "
+                "'python -m repro run all' first",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    # Re-read every recorded task's grid through the engine cache: on a
+    # warm cache this touches no model at all, and the regenerated
+    # metrics are guaranteed consistent with the current code.
+    runner = ExperimentRunner(
+        seed=stored.seed,
+        workers=args.workers,
+        max_instances=stored.max_instances,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        grids = {
+            task: runner.run_task(task, workloads=tuple(stored.workloads(task)))
+            for task in stored.tasks()
+        }
+        fresh = runner.run_record()
+    finally:
+        runner.close()
+    record = fresh.with_identity(stored)
+    bundle = write_report_bundle(record, args.out, grids)
+    engine = runner.engine
+    print(
+        f"[report] cells: {engine.cached_cells} cached, "
+        f"{engine.computed_cells} computed",
+        file=sys.stderr,
+    )
+    for path in (bundle.markdown, bundle.json_path, bundle.html_index):
+        print(path)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,47 +408,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"datasets  : {len(cache.dataset_entries())}")
             print(f"size      : {cache.size_bytes()} bytes")
         return 0
+    if args.command == "runs":
+        return _cmd_runs(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "run":
-        wanted = list(args.artifacts)
-        if wanted == ["all"]:
-            wanted = list(ARTIFACT_IDS)
-        unknown = [a for a in wanted if a not in EXPERIMENTS]
-        if unknown:
-            print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
-            return 2
-        if args.workers < 1:
-            print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
-            return 2
-        runner = ExperimentRunner(
-            seed=args.seed,
-            workers=args.workers,
-            cache_dir=None if args.no_cache else args.cache_dir,
-        )
-        try:
-            for artifact in wanted:
-                result = run_experiment(artifact, runner)
-                print(f"\n=== {result.title} ===\n")
-                print(result.text)
-                if args.out is not None:
-                    args.out.mkdir(parents=True, exist_ok=True)
-                    (args.out / f"{artifact}.txt").write_text(
-                        f"{result.title}\n\n{result.text}\n"
-                    )
-        finally:
-            runner.close()
-        engine = runner.engine
-        print(
-            f"[engine] workers={args.workers} "
-            f"cells computed={engine.computed_cells} "
-            f"cached={engine.cached_cells}"
-            + (
-                ""
-                if args.no_cache
-                else f" (cache: {args.cache_dir})"
-            ),
-            file=sys.stderr,
-        )
-        return 0
+        return _cmd_run(args)
     return 2
 
 

@@ -18,12 +18,18 @@ inputs (seed, profile, prompt, workload, instance cap) changed.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.engine.cache import ResultCache, cell_key, dataset_key
+from repro.engine.cache import (
+    ResultCache,
+    cell_key,
+    dataset_key,
+    prompt_fingerprint,
+)
 from repro.engine.sharding import (
     DEFAULT_SHARD_SIZE,
     Shard,
@@ -60,6 +66,28 @@ class EngineConfig:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
 
 
+@dataclass(frozen=True)
+class CellLog:
+    """Provenance of one served cell: cache hit or computed, and when.
+
+    ``seconds`` is per-cell wall time for serially computed cells, the
+    whole batch's wall time share is unknowable for parallel cells (they
+    overlap), so it is ``None`` there; cached cells record ~0.
+    ``prompt`` is the prompt-template fingerprint the cell was asked
+    with, so a re-serve under a *different* prompt is distinguishable
+    from a repeat serve of the same experiment.  The reporting layer
+    folds these into RunRecords.
+    """
+
+    model: str
+    task: str
+    workload: str
+    instances: int
+    cached: bool
+    seconds: Optional[float]
+    prompt: str = ""
+
+
 class ExperimentEngine:
     """Evaluates grid cells, in parallel and through the result cache."""
 
@@ -77,6 +105,11 @@ class ExperimentEngine:
         )
         self.computed_cells = 0
         self.cached_cells = 0
+        #: Every distinct served cell, keyed (model, task, workload) —
+        #: the reporting layer snapshots this into RunRecords.
+        self.results: dict[tuple[str, str, str], "CellResult"] = {}
+        #: Append-only provenance log (one entry per serve, incl. repeats).
+        self.cell_log: list[CellLog] = []
         self._workloads: dict[str, Workload] = {}
         self._datasets: dict[tuple[str, str], TaskDataset] = {}
         self._clients = {profile.name: SimulatedLLM(profile) for profile in models}
@@ -217,26 +250,36 @@ class ExperimentEngine:
                 answers = self.cache.get(key, expected_ids=dataset.instance_ids())
                 if answers is not None:
                     self.cached_cells += 1
-                    grid[(profile.name, workload_name)] = CellResult(
+                    result = CellResult(
                         model=profile.name,
                         task=task,
                         workload=workload_name,
                         dataset=dataset,
                         answers=answers,
                     )
+                    grid[(profile.name, workload_name)] = result
+                    self._record_cell(result, cached=True, seconds=0.0, prompt=prompt)
                     continue
             pending.append((profile, task, workload_name, dataset, key))
 
         if pending:
+            cell_seconds: list[Optional[float]]
             if self.config.workers == 1:
-                evaluated = [
-                    self._evaluate_serial(profile, task, dataset, prompt)
-                    for profile, task, _, dataset, _ in pending
-                ]
+                evaluated = []
+                cell_seconds = []
+                for profile, task, _, dataset, _ in pending:
+                    started = time.perf_counter()
+                    evaluated.append(
+                        self._evaluate_serial(profile, task, dataset, prompt)
+                    )
+                    cell_seconds.append(round(time.perf_counter() - started, 6))
             else:
                 evaluated = self._evaluate_parallel(pending, prompt)
-            for (profile, task, workload_name, dataset, key), answers in zip(
-                pending, evaluated
+                # Parallel cells overlap in time; per-cell wall time is
+                # not attributable, so provenance records None.
+                cell_seconds = [None] * len(pending)
+            for (profile, task, workload_name, dataset, key), answers, seconds in zip(
+                pending, evaluated, cell_seconds
             ):
                 self.computed_cells += 1
                 if self.cache is not None and key is not None:
@@ -251,14 +294,39 @@ class ExperimentEngine:
                             "max_instances": self.config.max_instances,
                         },
                     )
-                grid[(profile.name, workload_name)] = CellResult(
+                result = CellResult(
                     model=profile.name,
                     task=task,
                     workload=workload_name,
                     dataset=dataset,
                     answers=answers,
                 )
+                grid[(profile.name, workload_name)] = result
+                self._record_cell(
+                    result, cached=False, seconds=seconds, prompt=prompt
+                )
         return grid
+
+    def _record_cell(
+        self,
+        result: "CellResult",
+        cached: bool,
+        seconds: Optional[float],
+        prompt: Optional[PromptTemplate] = None,
+    ) -> None:
+        """Accumulate a served cell for the reporting layer."""
+        self.results[(result.model, result.task, result.workload)] = result
+        self.cell_log.append(
+            CellLog(
+                model=result.model,
+                task=result.task,
+                workload=result.workload,
+                instances=len(result.dataset.instances),
+                cached=cached,
+                seconds=seconds,
+                prompt=prompt_fingerprint(result.task, prompt),
+            )
+        )
 
     def _prefetch_datasets(self, needed: set[tuple[str, str]]) -> None:
         """Materialise missing datasets: disk cache first, then workers.

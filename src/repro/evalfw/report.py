@@ -12,10 +12,19 @@ from repro.workloads.statistics import CorrelationMatrix, Histogram
 
 
 def render_table(rows: Sequence[dict[str, object]], title: str = "") -> str:
-    """Render dict-rows as an aligned ASCII table (column order from row 1)."""
+    """Render dict-rows as an aligned ASCII table.
+
+    Headers are the union of the keys of *all* rows (first-seen order),
+    so a column that only appears in a later row is still rendered —
+    earlier rows show it blank.
+    """
     if not rows:
         return f"{title}\n(empty)" if title else "(empty)"
-    headers = list(rows[0].keys())
+    headers: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
     table: list[list[str]] = [headers]
     for row in rows:
         table.append([_fmt(row.get(header, "")) for header in headers])

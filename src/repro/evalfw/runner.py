@@ -133,6 +133,34 @@ class ExperimentRunner:
         """Evaluate all models on all of a task's workloads."""
         return self.engine.run_task(task, workloads)
 
+    # -- reporting ---------------------------------------------------------------
+
+    def run_record(
+        self,
+        artifacts: tuple[str, ...] = (),
+        artifact_seconds: Optional[dict[str, float]] = None,
+        total_seconds: float = 0.0,
+        notes: str = "",
+    ):
+        """Snapshot everything this runner has evaluated as a RunRecord.
+
+        The record captures the engine configuration, one metrics entry
+        per distinct (model, task, workload) cell served so far, and the
+        cache hit/miss statistics; persist it with
+        :class:`repro.reporting.RunRecordStore` and render it with
+        ``repro report``.  (Imported lazily: reporting sits downstream
+        of the evaluation framework.)
+        """
+        from repro.reporting.run_record import record_from_engine
+
+        return record_from_engine(
+            self.engine,
+            artifacts=artifacts,
+            artifact_seconds=artifact_seconds,
+            total_seconds=total_seconds,
+            notes=notes,
+        )
+
 
 def metrics_table(
     grid: dict[tuple[str, str], CellResult],

@@ -1,0 +1,77 @@
+"""Reporting layer: run records and multi-format report bundles.
+
+Sits downstream of the engine: every grid evaluation can be persisted
+as a :class:`RunRecord` (config fingerprint + per-cell metrics + timing
++ cache statistics) under ``results/runs/``, and any stored record can
+be rendered — with zero model calls on a warm cache — into a report
+bundle of paper-style Markdown tables, a self-contained HTML dashboard
+and machine-readable JSON, or compared against another run to flag
+metric regressions.
+
+Entry points: ``repro report``, ``repro runs list|show`` (see
+:mod:`repro.cli`), or programmatically:
+
+* :func:`record_from_engine` / :class:`RunRecordStore` — persist runs;
+* :func:`write_report_bundle` — Markdown + HTML + JSON bundle;
+* :func:`compare_runs` — align two runs, flag regressions.
+"""
+
+from repro.reporting.bundle import (
+    ReportBundle,
+    report_json_payload,
+    write_report_bundle,
+)
+from repro.reporting.compare import (
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    RunComparison,
+    compare_runs,
+    render_comparison,
+)
+from repro.reporting.html import write_html_dashboard
+from repro.reporting.markdown import render_markdown_report
+from repro.reporting.paper_refs import (
+    PAPER_TABLE_LABELS,
+    paper_binary,
+    paper_f1_delta,
+    paper_location,
+    paper_typed,
+)
+from repro.reporting.run_record import (
+    DEFAULT_RUNS_DIR,
+    LOWER_IS_BETTER,
+    RECORD_VERSION,
+    CellRecord,
+    RunRecord,
+    RunRecordStore,
+    cell_record_from_result,
+    new_run_id,
+    record_from_engine,
+)
+
+__all__ = [
+    "DEFAULT_RUNS_DIR",
+    "DEFAULT_THRESHOLD",
+    "LOWER_IS_BETTER",
+    "PAPER_TABLE_LABELS",
+    "RECORD_VERSION",
+    "CellRecord",
+    "MetricDelta",
+    "ReportBundle",
+    "RunComparison",
+    "RunRecord",
+    "RunRecordStore",
+    "cell_record_from_result",
+    "compare_runs",
+    "new_run_id",
+    "paper_binary",
+    "paper_f1_delta",
+    "paper_location",
+    "paper_typed",
+    "record_from_engine",
+    "render_comparison",
+    "render_markdown_report",
+    "report_json_payload",
+    "write_html_dashboard",
+    "write_report_bundle",
+]

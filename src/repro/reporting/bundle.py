@@ -1,0 +1,91 @@
+"""Report bundle assembly: Markdown + HTML + JSON for one run.
+
+``write_report_bundle`` lays one run's full report out on disk:
+
+    <out>/<run_id>/
+      report.md        paper-style tables + deltas vs published values
+      report.json      the RunRecord plus per-cell paper deltas
+      html/index.html  self-contained dashboard (inline CSS, no JS)
+      html/task_*.html per-task pages with confusion matrices and
+                       failure-taxonomy breakdowns
+
+Everything is derived from the :class:`RunRecord` (and, when supplied,
+the evaluated grids) — assembling a bundle never invokes a model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.reporting.html import GridMap, write_html_dashboard
+from repro.reporting.markdown import render_markdown_report
+from repro.reporting.paper_refs import paper_f1_delta
+from repro.reporting.run_record import RunRecord
+
+
+@dataclass(frozen=True)
+class ReportBundle:
+    """Paths of one written report bundle."""
+
+    root: Path
+    markdown: Path
+    json_path: Path
+    html_index: Path
+    html_pages: tuple[Path, ...]
+
+    def all_paths(self) -> tuple[Path, ...]:
+        return (self.markdown, self.json_path, self.html_index, *self.html_pages)
+
+
+def report_json_payload(record: RunRecord) -> dict:
+    """Machine-readable report: the record plus paper F1 deltas."""
+    deltas = []
+    for cell in record.cells:
+        measured = cell.metrics.get("binary.f1")
+        if measured is None:
+            continue
+        delta = paper_f1_delta(cell.task, cell.model_display, cell.workload, measured)
+        if delta is None:
+            continue
+        deltas.append(
+            {
+                "model": cell.model,
+                "task": cell.task,
+                "workload": cell.workload,
+                "ours_f1": measured,
+                "paper_f1": round(measured - delta, 6),
+                "delta_f1": round(delta, 6),
+            }
+        )
+    return {"record": record.to_dict(), "paper_deltas": deltas}
+
+
+def write_report_bundle(
+    record: RunRecord,
+    out_dir: Path,
+    grids: Optional[GridMap] = None,
+) -> ReportBundle:
+    """Write the Markdown/JSON/HTML bundle under ``out_dir/<run_id>/``."""
+    root = Path(out_dir) / record.run_id
+    root.mkdir(parents=True, exist_ok=True)
+
+    markdown_path = root / "report.md"
+    markdown_path.write_text(render_markdown_report(record), encoding="utf-8")
+
+    json_path = root / "report.json"
+    json_path.write_text(
+        json.dumps(report_json_payload(record), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    html_paths = write_html_dashboard(record, root / "html", grids)
+    return ReportBundle(
+        root=root,
+        markdown=markdown_path,
+        json_path=json_path,
+        html_index=html_paths[0],
+        html_pages=tuple(html_paths[1:]),
+    )

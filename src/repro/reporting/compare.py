@@ -1,0 +1,146 @@
+"""Cross-run comparison: align two RunRecords and flag regressions.
+
+``compare_runs(before, after)`` matches cells by (model, task, workload)
+and metrics by name, producing one :class:`MetricDelta` per shared
+metric.  A delta is a **regression** when the metric moved against its
+polarity (lower F1, higher MAE — see
+:data:`repro.reporting.run_record.LOWER_IS_BETTER`) by more than the
+threshold.  This is what ``repro report --compare RUN_A RUN_B`` prints,
+and what CI-style gates can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reporting.run_record import LOWER_IS_BETTER, RunRecord
+
+#: Smallest absolute move that counts as a change at all.
+DEFAULT_THRESHOLD = 0.005
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two runs of the same cell."""
+
+    model: str
+    model_display: str
+    task: str
+    workload: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def improved_direction(self) -> float:
+        """Positive when the move is an improvement, negative when worse."""
+        return -self.delta if self.metric in LOWER_IS_BETTER else self.delta
+
+    def describe(self) -> str:
+        return (
+            f"{self.model_display} {self.task}/{self.workload} {self.metric}: "
+            f"{self.before:.4f} -> {self.after:.4f} ({self.delta:+.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """All aligned deltas between two runs, regressions singled out."""
+
+    run_before: str
+    run_after: str
+    threshold: float
+    deltas: tuple[MetricDelta, ...]
+    #: Cells present in exactly one run (keys: (model, task, workload)).
+    only_before: tuple[tuple[str, str, str], ...]
+    only_after: tuple[tuple[str, str, str], ...]
+
+    @property
+    def regressions(self) -> tuple[MetricDelta, ...]:
+        return tuple(
+            d for d in self.deltas if d.improved_direction < -self.threshold
+        )
+
+    @property
+    def improvements(self) -> tuple[MetricDelta, ...]:
+        return tuple(
+            d for d in self.deltas if d.improved_direction > self.threshold
+        )
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+
+def compare_runs(
+    before: RunRecord, after: RunRecord, threshold: float = DEFAULT_THRESHOLD
+) -> RunComparison:
+    """Align two records cell-by-cell and metric-by-metric."""
+    before_cells = {cell.key: cell for cell in before.cells}
+    after_cells = {cell.key: cell for cell in after.cells}
+    deltas: list[MetricDelta] = []
+    for key in sorted(before_cells.keys() & after_cells.keys()):
+        cell_before, cell_after = before_cells[key], after_cells[key]
+        for metric in sorted(
+            cell_before.metrics.keys() & cell_after.metrics.keys()
+        ):
+            deltas.append(
+                MetricDelta(
+                    model=cell_after.model,
+                    model_display=cell_after.model_display,
+                    task=cell_after.task,
+                    workload=cell_after.workload,
+                    metric=metric,
+                    before=cell_before.metrics[metric],
+                    after=cell_after.metrics[metric],
+                )
+            )
+    return RunComparison(
+        run_before=before.run_id,
+        run_after=after.run_id,
+        threshold=threshold,
+        deltas=tuple(deltas),
+        only_before=tuple(sorted(before_cells.keys() - after_cells.keys())),
+        only_after=tuple(sorted(after_cells.keys() - before_cells.keys())),
+    )
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """Human-readable comparison summary (Markdown-compatible text)."""
+    lines = [
+        f"# Run comparison: `{comparison.run_before}` -> `{comparison.run_after}`",
+        "",
+        f"{len(comparison.deltas)} aligned metrics, threshold "
+        f"{comparison.threshold:g}",
+        "",
+    ]
+    if comparison.regressions:
+        lines.append(f"## Regressions ({len(comparison.regressions)})")
+        lines.append("")
+        for delta in comparison.regressions:
+            lines.append(f"- REGRESSION {delta.describe()}")
+        lines.append("")
+    else:
+        lines.append("No regressions.")
+        lines.append("")
+    if comparison.improvements:
+        lines.append(f"## Improvements ({len(comparison.improvements)})")
+        lines.append("")
+        for delta in comparison.improvements:
+            lines.append(f"- {delta.describe()}")
+        lines.append("")
+    if comparison.only_before:
+        lines.append(
+            "Cells only in the older run: "
+            + ", ".join("/".join(key) for key in comparison.only_before)
+        )
+    if comparison.only_after:
+        lines.append(
+            "Cells only in the newer run: "
+            + ", ".join("/".join(key) for key in comparison.only_after)
+        )
+    return "\n".join(lines).rstrip() + "\n"

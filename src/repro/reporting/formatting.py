@@ -1,0 +1,62 @@
+"""Shared metric formatting for the Markdown and HTML renderers.
+
+Both renderers print the same ``P/R/F1`` triples from a cell's flat
+metric map and the same published reference triples; keeping the
+formatting here guarantees the two report formats can never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.reporting.run_record import CellRecord
+
+
+def format_metric_triple(cell: Optional[CellRecord], prefix: str) -> str:
+    """``0.95/0.93/0.94`` from ``<prefix>.{precision,recall,f1}``, or ``-``."""
+    if cell is None:
+        return "-"
+    try:
+        return (
+            f"{cell.metrics[f'{prefix}.precision']:.2f}/"
+            f"{cell.metrics[f'{prefix}.recall']:.2f}/"
+            f"{cell.metrics[f'{prefix}.f1']:.2f}"
+        )
+    except KeyError:
+        return "-"
+
+
+def format_ref_triple(values: Optional[tuple[float, ...]]) -> str:
+    """A published reference tuple as ``a/b/c``, or ``-`` when absent."""
+    return "/".join(f"{v:.2f}" for v in values) if values else "-"
+
+
+def run_metadata_rows(record) -> list[tuple[str, str]]:
+    """The (label, value) run-metadata rows both report headers print."""
+    max_instances = (
+        record.max_instances if record.max_instances is not None else "unbounded"
+    )
+    return [
+        ("created", record.created_at),
+        ("seed", str(record.seed)),
+        ("workers", str(record.workers)),
+        ("max_instances", str(max_instances)),
+        ("source fingerprint", record.source_fingerprint[:12] or "unknown"),
+        ("cache dir", record.cache_dir or "(disabled)"),
+        (
+            "cells",
+            f"{len(record.cells)} ({record.cached_cells} cached, "
+            f"{record.computed_cells} computed)",
+        ),
+        ("wall time", f"{record.total_seconds:.2f}s"),
+    ]
+
+
+def format_location_pair(cell: Optional[CellRecord]) -> str:
+    """``MAE/hit-rate`` from a cell's location metrics, or ``-``."""
+    if cell is None or "location.mae" not in cell.metrics:
+        return "-"
+    return (
+        f"{cell.metrics['location.mae']:.2f}/"
+        f"{cell.metrics['location.hit_rate']:.2f}"
+    )

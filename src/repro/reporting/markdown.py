@@ -1,0 +1,185 @@
+"""Markdown report renderer: paper-style tables from a RunRecord.
+
+Renders one self-contained Markdown document per run — run metadata,
+per-task metric tables in the paper's model x workload layout with the
+published values and F1 deltas alongside, and the engine/cache
+statistics that show whether the run was served warm.  Pure function of
+the record: no engine, no model calls, no filesystem.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.formatting import (
+    format_location_pair,
+    format_metric_triple,
+    format_ref_triple,
+    run_metadata_rows,
+)
+from repro.reporting.paper_refs import (
+    PAPER_TABLE_LABELS,
+    paper_binary,
+    paper_location,
+    paper_typed,
+)
+from repro.reporting.run_record import CellRecord, RunRecord
+
+
+def _by_model(record: RunRecord, task: str) -> dict[str, dict[str, CellRecord]]:
+    """``model display -> workload -> cell`` for one task, stable order."""
+    grouped: dict[str, dict[str, CellRecord]] = {}
+    for cell in record.cells:
+        if cell.task == task:
+            grouped.setdefault(cell.model_display, {})[cell.workload] = cell
+    return grouped
+
+
+def _binary_table(record: RunRecord, task: str) -> list[str]:
+    workloads = record.workloads(task)
+    lines = [
+        "| Model |"
+        + "".join(f" {w} ours P/R/F1 | {w} paper P/R/F1 | {w} ΔF1 |" for w in workloads),
+        "|---|" + "---|---|---|" * len(workloads),
+    ]
+    for display, cells in _by_model(record, task).items():
+        parts = [f"| {display} |"]
+        for workload in workloads:
+            cell = cells.get(workload)
+            if cell is None:
+                parts.append(" - | - | - |")
+                continue
+            reference = paper_binary(task, display, workload)
+            ours_f1 = cell.metrics.get("binary.f1")
+            delta = (
+                f"{ours_f1 - reference[2]:+.2f}"
+                if reference is not None and ours_f1 is not None
+                else "-"
+            )
+            parts.append(
+                f" {format_metric_triple(cell, 'binary')} | "
+                f"{format_ref_triple(reference)} | {delta} |"
+            )
+        lines.append("".join(parts))
+    return lines
+
+
+def _typed_table(record: RunRecord, task: str) -> list[str]:
+    workloads = record.workloads(task)
+    lines = [
+        "| Model |"
+        + "".join(f" {w} ours P/R/F1 | {w} paper P/R/F1 |" for w in workloads),
+        "|---|" + "---|---|" * len(workloads),
+    ]
+    for display, cells in _by_model(record, task).items():
+        parts = [f"| {display} |"]
+        for workload in workloads:
+            parts.append(
+                f" {format_metric_triple(cells.get(workload), 'typed')} | "
+                f"{format_ref_triple(paper_typed(task, display, workload))} |"
+            )
+        lines.append("".join(parts))
+    return lines
+
+
+def _location_table(record: RunRecord, task: str) -> list[str]:
+    workloads = record.workloads(task)
+    lines = [
+        "| Model |"
+        + "".join(f" {w} ours MAE/HR | {w} paper MAE/HR |" for w in workloads),
+        "|---|" + "---|---|" * len(workloads),
+    ]
+    for display, cells in _by_model(record, task).items():
+        parts = [f"| {display} |"]
+        for workload in workloads:
+            reference = paper_location(task, display, workload)
+            ref_text = (
+                f"{reference[0]:.2f}/{reference[1]:.2f}" if reference else "-"
+            )
+            parts.append(
+                f" {format_location_pair(cells.get(workload))} | {ref_text} |"
+            )
+        lines.append("".join(parts))
+    return lines
+
+
+def _explanation_table(record: RunRecord, task: str) -> list[str]:
+    lines = [
+        "| Model | workload | overlap F1 | flawed responses |",
+        "|---|---|---|---|",
+    ]
+    for display, cells in _by_model(record, task).items():
+        for workload, cell in cells.items():
+            if "explanation.overlap_f1" not in cell.metrics:
+                continue
+            lines.append(
+                f"| {display} | {workload} "
+                f"| {cell.metrics['explanation.overlap_f1']:.3f} "
+                f"| {100 * cell.metrics['explanation.flawed_rate']:.1f}% |"
+            )
+    return lines
+
+
+def _task_has(record: RunRecord, task: str, prefix: str) -> bool:
+    return any(
+        cell.task == task and any(k.startswith(prefix) for k in cell.metrics)
+        for cell in record.cells
+    )
+
+
+def render_markdown_report(record: RunRecord) -> str:
+    """The full Markdown report for one run record."""
+    lines: list[str] = [
+        f"# Run report — `{record.run_id}`",
+        "",
+        "| | |",
+        "|---|---|",
+    ]
+    for label, value in run_metadata_rows(record):
+        lines.append(f"| {label} | {value} |")
+    if record.artifacts:
+        lines.append(f"| artifacts | {', '.join(record.artifacts)} |")
+    if record.notes:
+        lines += ["", record.notes]
+    lines.append("")
+
+    for task in record.tasks():
+        label = PAPER_TABLE_LABELS.get(task, "")
+        suffix = f" — paper {label}" if label else ""
+        lines.append(f"## Task `{task}`{suffix}")
+        lines.append("")
+        if _task_has(record, task, "binary."):
+            lines += _binary_table(record, task)
+            lines.append("")
+        if _task_has(record, task, "explanation."):
+            lines += _explanation_table(record, task)
+            lines.append("")
+        if _task_has(record, task, "typed."):
+            lines.append(f"### `{task}_type` (weighted)")
+            lines.append("")
+            lines += _typed_table(record, task)
+            lines.append("")
+        if _task_has(record, task, "location."):
+            lines.append(f"### `{task}_loc` (MAE / hit rate)")
+            lines.append("")
+            lines += _location_table(record, task)
+            lines.append("")
+
+    lines.append("## Engine & cache")
+    lines.append("")
+    lines.append("| counter | value |")
+    lines.append("|---|---|")
+    lines.append(f"| cells computed | {record.computed_cells} |")
+    lines.append(f"| cells from cache | {record.cached_cells} |")
+    for key in sorted(record.cache_stats):
+        lines.append(f"| cache {key.replace('_', ' ')} | {record.cache_stats[key]} |")
+    lines.append("")
+
+    if record.artifact_seconds:
+        lines.append("## Artifact timing")
+        lines.append("")
+        lines.append("| artifact | seconds |")
+        lines.append("|---|---|")
+        for artifact, seconds in record.artifact_seconds.items():
+            lines.append(f"| {artifact} | {seconds:.2f} |")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,72 @@
+"""Paper reference lookup: which published table covers which cell.
+
+Bridges :mod:`repro.experiments.paper_values` (raw transcriptions of the
+paper's tables) and the reporting layer: given a (task, model display
+name, workload) cell, return the published metric triple so renderers
+can print paper columns and deltas without each knowing the paper's
+table numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import paper_values as paper
+
+#: task -> the paper table its binary metrics come from (for headings).
+PAPER_TABLE_LABELS: dict[str, str] = {
+    "syntax_error": "Table 3",
+    "miss_token": "Table 4 (Table 5 for locations)",
+    "performance_pred": "Table 6",
+    "query_equiv": "Table 7",
+    "query_exp": "Section 4.5",
+}
+
+_BINARY: dict[str, dict[tuple[str, str], tuple[float, float, float]]] = {
+    "syntax_error": paper.PAPER_TABLE3_BINARY,
+    "miss_token": paper.PAPER_TABLE4_BINARY,
+    "query_equiv": paper.PAPER_TABLE7_BINARY,
+}
+
+_TYPED: dict[str, dict[tuple[str, str], tuple[float, float, float]]] = {
+    "syntax_error": paper.PAPER_TABLE3_TYPED,
+    "miss_token": paper.PAPER_TABLE4_TYPED,
+    "query_equiv": paper.PAPER_TABLE7_TYPED,
+}
+
+
+def paper_binary(
+    task: str, model_display: str, workload: str
+) -> Optional[tuple[float, float, float]]:
+    """Published (precision, recall, F1) for a cell, if the paper has one."""
+    if task == "performance_pred" and workload == "sdss":
+        return paper.PAPER_TABLE6.get(model_display)
+    reference = _BINARY.get(task)
+    return reference.get((model_display, workload)) if reference else None
+
+
+def paper_typed(
+    task: str, model_display: str, workload: str
+) -> Optional[tuple[float, float, float]]:
+    """Published weighted (P, R, F1) for a ``*_type`` sub-task cell."""
+    reference = _TYPED.get(task)
+    return reference.get((model_display, workload)) if reference else None
+
+
+def paper_location(
+    task: str, model_display: str, workload: str
+) -> Optional[tuple[float, float]]:
+    """Published (MAE, hit rate) for a location cell (Table 5)."""
+    if task != "miss_token":
+        return None
+    return paper.PAPER_TABLE5_LOCATION.get((model_display, workload))
+
+
+def paper_f1_delta(
+    task: str, model_display: str, workload: str, measured_f1: float
+) -> Optional[float]:
+    """Measured-minus-paper F1 delta, or None without a reference."""
+    reference = paper_binary(task, model_display, workload)
+    if reference is None:
+        return None
+    return measured_f1 - reference[2]

@@ -1,0 +1,406 @@
+"""Run records: durable, comparable summaries of one grid evaluation.
+
+A :class:`RunRecord` captures everything needed to reason about a run
+after the fact without re-evaluating it: the engine configuration
+fingerprint (seed, workers, ``max_instances``, source fingerprint), one
+:class:`CellRecord` per evaluated (model, task, workload) cell with its
+flattened metrics and confusion counts, per-artifact wall-clock timing,
+and the engine's cache hit/miss statistics.
+
+Records serialise to plain JSON and live under ``results/runs/`` (one
+``<run_id>.json`` each), managed by :class:`RunRecordStore`.  They are
+the input to the Markdown/HTML/JSON report bundle
+(:mod:`repro.reporting.bundle`) and to cross-run comparison
+(:mod:`repro.reporting.compare`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExperimentEngine
+    from repro.evalfw.runner import CellResult
+
+#: Bump when the serialised record format changes incompatibly.
+RECORD_VERSION = 1
+
+#: Default on-disk home of run records, relative to the working dir.
+DEFAULT_RUNS_DIR = Path("results/runs")
+
+#: Metrics where a *lower* value is better (everything else: higher).
+LOWER_IS_BETTER: frozenset[str] = frozenset(
+    {"location.mae", "explanation.flawed_rate"}
+)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Metrics snapshot of one evaluated (model, task, workload) cell."""
+
+    model: str
+    model_display: str
+    task: str
+    workload: str
+    instances: int
+    cached: bool
+    seconds: Optional[float]
+    #: Flat metric map: ``binary.precision``, ``typed.f1``, ``location.mae`` ...
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Binary confusion counts: ``{"tp": .., "tn": .., "fp": .., "fn": ..}``.
+    confusion: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.model, self.task, self.workload)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellRecord":
+        return cls(
+            model=data["model"],
+            model_display=data.get("model_display", data["model"]),
+            task=data["task"],
+            workload=data["workload"],
+            instances=int(data["instances"]),
+            cached=bool(data["cached"]),
+            seconds=data.get("seconds"),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            confusion={k: int(v) for k, v in data.get("confusion", {}).items()},
+        )
+
+
+def cell_record_from_result(
+    result: "CellResult",
+    *,
+    model_display: str,
+    cached: bool,
+    seconds: Optional[float],
+) -> CellRecord:
+    """Flatten one engine :class:`CellResult` into a :class:`CellRecord`.
+
+    Each metric family is gated on the dataset actually defining it:
+    ``binary.*`` needs boolean labels, ``typed.*`` type labels,
+    ``location.*`` positions, and ``explanation.*`` (overlap F1 and
+    flawed-response rate) gold explanation texts — so a record never
+    reports a vacuous zero for a metric the task does not define.
+    """
+    metrics: dict[str, float] = {}
+    confusion: dict[str, int] = {}
+    if any(i.label is not None for i in result.dataset.instances):
+        binary = result.binary
+        metrics["binary.precision"] = binary.precision
+        metrics["binary.recall"] = binary.recall
+        metrics["binary.f1"] = binary.f1
+        metrics["binary.accuracy"] = binary.accuracy
+        confusion = {
+            "tp": binary.tp,
+            "tn": binary.tn,
+            "fp": binary.fp,
+            "fn": binary.fn,
+        }
+    if result.dataset.types_present():
+        typed = result.typed
+        metrics["typed.precision"] = typed.precision
+        metrics["typed.recall"] = typed.recall
+        metrics["typed.f1"] = typed.f1
+    if any(i.position is not None for i in result.dataset.instances):
+        location = result.location
+        metrics["location.mae"] = location.mae
+        metrics["location.hit_rate"] = location.hit_rate
+    if any(i.gold_text for i in result.dataset.instances):
+        from repro.tasks.explanation import explanation_overlap_f1
+
+        scores = [
+            explanation_overlap_f1(instance.gold_text, answer.explanation)
+            for instance, answer in zip(result.dataset.instances, result.answers)
+        ]
+        if scores:
+            metrics["explanation.overlap_f1"] = sum(scores) / len(scores)
+            metrics["explanation.flawed_rate"] = sum(
+                1 for answer in result.answers if answer.flaws
+            ) / len(result.answers)
+    return CellRecord(
+        model=result.model,
+        model_display=model_display,
+        task=result.task,
+        workload=result.workload,
+        instances=len(result.dataset.instances),
+        cached=cached,
+        seconds=seconds,
+        metrics={k: round(v, 6) for k, v in metrics.items()},
+        confusion=confusion,
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted grid evaluation: config, cells, timing, cache stats."""
+
+    run_id: str
+    created_at: str  # ISO-8601 UTC
+    seed: int
+    workers: int
+    max_instances: Optional[int]
+    source_fingerprint: str
+    cache_dir: Optional[str]
+    artifacts: tuple[str, ...] = ()
+    artifact_seconds: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    computed_cells: int = 0
+    cached_cells: int = 0
+    cache_stats: dict[str, int] = field(default_factory=dict)
+    cells: tuple[CellRecord, ...] = ()
+    notes: str = ""
+
+    # -- accessors ---------------------------------------------------------
+
+    def tasks(self) -> list[str]:
+        """Distinct evaluated tasks, in first-seen order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.task not in seen:
+                seen.append(cell.task)
+        return seen
+
+    def workloads(self, task: str) -> list[str]:
+        """Distinct workloads a task was evaluated on, first-seen order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.task == task and cell.workload not in seen:
+                seen.append(cell.workload)
+        return seen
+
+    def cell(self, model: str, task: str, workload: str) -> Optional[CellRecord]:
+        for candidate in self.cells:
+            if candidate.key == (model, task, workload):
+                return candidate
+        return None
+
+    def with_identity(self, other: "RunRecord") -> "RunRecord":
+        """This record's metrics under ``other``'s identity and config.
+
+        Used by ``repro report``: metrics are regenerated through the
+        cache (so they always reflect the current code, and the
+        ``source_fingerprint`` and cache counters describe *that*
+        regeneration pass), while the bundle keeps the original run's
+        id, creation time, artifact list, wall-clock timings and engine
+        configuration (workers, cache dir).
+        """
+        return replace(
+            self,
+            run_id=other.run_id,
+            created_at=other.created_at,
+            workers=other.workers,
+            cache_dir=other.cache_dir,
+            artifacts=other.artifacts,
+            artifact_seconds=dict(other.artifact_seconds),
+            total_seconds=other.total_seconds,
+            notes=other.notes,
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["version"] = RECORD_VERSION
+        data["artifacts"] = list(self.artifacts)
+        data["cells"] = [cell.as_dict() for cell in self.cells]
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        version = data.get("version", RECORD_VERSION)
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"unsupported run-record version {version!r} "
+                f"(this build reads version {RECORD_VERSION})"
+            )
+        return cls(
+            run_id=data["run_id"],
+            created_at=data["created_at"],
+            seed=int(data["seed"]),
+            workers=int(data.get("workers", 1)),
+            max_instances=data.get("max_instances"),
+            source_fingerprint=data.get("source_fingerprint", ""),
+            cache_dir=data.get("cache_dir"),
+            artifacts=tuple(data.get("artifacts", ())),
+            artifact_seconds={
+                k: float(v) for k, v in data.get("artifact_seconds", {}).items()
+            },
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            computed_cells=int(data.get("computed_cells", 0)),
+            cached_cells=int(data.get("cached_cells", 0)),
+            cache_stats={
+                k: int(v) for k, v in data.get("cache_stats", {}).items()
+            },
+            cells=tuple(
+                CellRecord.from_dict(cell) for cell in data.get("cells", ())
+            ),
+            notes=data.get("notes", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def new_run_id(created_at: str, content: str) -> str:
+    """Sortable run id: compact timestamp + short content hash."""
+    stamp = created_at.replace("-", "").replace(":", "").replace("Z", "")
+    digest = hashlib.sha256(content.encode("utf-8")).hexdigest()[:8]
+    return f"{stamp}-{digest}"
+
+
+def record_from_engine(
+    engine: "ExperimentEngine",
+    *,
+    artifacts: tuple[str, ...] = (),
+    artifact_seconds: Optional[dict[str, float]] = None,
+    total_seconds: float = 0.0,
+    created_at: Optional[str] = None,
+    notes: str = "",
+) -> RunRecord:
+    """Snapshot an engine's evaluated cells into a :class:`RunRecord`.
+
+    The engine accumulates every distinct cell it has served (cached or
+    computed) in ``engine.results`` and per-cell provenance in
+    ``engine.cell_log``; this turns that state into a durable record.
+    """
+    from repro.engine.cache import source_fingerprint
+
+    # engine.results holds the *last* serve of each cell, so its
+    # provenance is the first log entry made under that serve's prompt:
+    # repeat serves of one experiment keep the original computed/cached
+    # flag, while a re-ask under a different prompt (a genuinely new
+    # experiment for the same cell) resets it.
+    last_prompt = {
+        (e.model, e.task, e.workload): e.prompt for e in engine.cell_log
+    }
+    provenance: dict[tuple[str, str, str], tuple[bool, Optional[float]]] = {}
+    for entry in engine.cell_log:
+        key = (entry.model, entry.task, entry.workload)
+        if entry.prompt == last_prompt[key]:
+            provenance.setdefault(key, (entry.cached, entry.seconds))
+    # Distinct-cell counts come from the provenance, not from the
+    # engine's serve counters — those count repeat serves too (two
+    # artifacts sharing a grid re-serve its cells from the cache), which
+    # would make a cold run look warm.
+    cached_count = sum(1 for cached, _ in provenance.values() if cached)
+    computed_count = len(provenance) - cached_count
+    from repro.tasks.base import PRIMARY_TASKS
+
+    # Cells come out in the paper's presentation order: tasks as the
+    # paper introduces them, then workload, then the paper's model order.
+    task_order = {task: i for i, task in enumerate(PRIMARY_TASKS)}
+    model_order = {profile.name: i for i, profile in enumerate(engine.models)}
+    cells = []
+    for key in sorted(
+        engine.results,
+        key=lambda k: (
+            task_order.get(k[1], len(task_order)),
+            k[1],
+            k[2],
+            model_order.get(k[0], len(model_order)),
+            k[0],
+        ),
+    ):
+        result = engine.results[key]
+        cached, seconds = provenance.get(key, (True, None))
+        cells.append(
+            cell_record_from_result(
+                result,
+                model_display=engine.profile(result.model).display_name,
+                cached=cached,
+                seconds=seconds,
+            )
+        )
+    created = created_at or _utc_now()
+    config = engine.config
+    cache_stats = (
+        engine.cache.stats.as_dict() if engine.cache is not None else {}
+    )
+    record = RunRecord(
+        run_id="",
+        created_at=created,
+        seed=config.seed,
+        workers=config.workers,
+        max_instances=config.max_instances,
+        source_fingerprint=source_fingerprint(),
+        cache_dir=str(config.cache_dir) if config.cache_dir else None,
+        artifacts=tuple(artifacts),
+        artifact_seconds=dict(artifact_seconds or {}),
+        total_seconds=round(total_seconds, 3),
+        computed_cells=computed_count,
+        cached_cells=cached_count,
+        cache_stats=cache_stats,
+        cells=tuple(cells),
+        notes=notes,
+    )
+    content = json.dumps(record.to_dict(), sort_keys=True)
+    return replace(record, run_id=new_run_id(created, content))
+
+
+@dataclass
+class RunRecordStore:
+    """Directory of run records (``<runs_dir>/<run_id>.json``)."""
+
+    root: Path = DEFAULT_RUNS_DIR
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    def save(self, record: RunRecord) -> Path:
+        path = self.path_for(record.run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(record.to_json(), encoding="utf-8")
+        return path
+
+    def run_ids(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def load(self, run_id: str) -> RunRecord:
+        """Load by exact id, unique id prefix, or literal file path."""
+        direct = Path(run_id)
+        if direct.is_file():
+            return RunRecord.from_json(direct.read_text(encoding="utf-8"))
+        path = self.path_for(run_id)
+        if path.is_file():
+            return RunRecord.from_json(path.read_text(encoding="utf-8"))
+        matches = [rid for rid in self.run_ids() if rid.startswith(run_id)]
+        if len(matches) == 1:
+            return RunRecord.from_json(
+                self.path_for(matches[0]).read_text(encoding="utf-8")
+            )
+        if matches:
+            raise KeyError(
+                f"ambiguous run id {run_id!r}: matches {', '.join(matches)}"
+            )
+        raise KeyError(f"no run record {run_id!r} under {self.root}")
+
+    def records(self) -> list[RunRecord]:
+        """All records, oldest first (run ids sort chronologically)."""
+        return [self.load(run_id) for run_id in self.run_ids()]
+
+    def latest(self) -> Optional[RunRecord]:
+        ids = self.run_ids()
+        return self.load(ids[-1]) if ids else None

@@ -31,6 +31,20 @@ class TestRenderTable:
         text = render_table(rows)
         assert "3" in text
 
+    def test_headers_are_union_of_all_rows(self):
+        # Regression: headers used to come from row 1 only, silently
+        # dropping columns that first appear in a later row.
+        rows = [{"a": 1}, {"a": 2, "late": "shown"}]
+        text = render_table(rows)
+        header = text.splitlines()[0]
+        assert "late" in header
+        assert "shown" in text
+
+    def test_union_preserves_first_seen_order(self):
+        rows = [{"b": 1, "a": 2}, {"c": 3, "a": 4}]
+        header = render_table(rows).splitlines()[0]
+        assert header.index("b") < header.index("a") < header.index("c")
+
 
 class TestRenderHistogram:
     def test_bars_scale_to_peak(self):

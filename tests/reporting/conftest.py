@@ -1,0 +1,10 @@
+"""Pytest fixtures for the reporting tests."""
+
+import pytest
+
+from tests.reporting.fixtures import make_record
+
+
+@pytest.fixture
+def fixture_record():
+    return make_record()

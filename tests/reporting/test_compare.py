@@ -1,0 +1,72 @@
+"""Cross-run comparison: alignment, polarity, regression flags."""
+
+import dataclasses
+
+from repro.reporting.compare import compare_runs, render_comparison
+from tests.reporting.fixtures import make_record
+
+
+def _with_metric(record, index, metric, value):
+    """Copy of ``record`` with one cell metric overridden."""
+    cells = list(record.cells)
+    metrics = dict(cells[index].metrics)
+    metrics[metric] = value
+    cells[index] = dataclasses.replace(cells[index], metrics=metrics)
+    return dataclasses.replace(record, run_id="modified", cells=tuple(cells))
+
+
+class TestCompareRuns:
+    def test_identical_runs_have_no_regressions(self):
+        comparison = compare_runs(make_record(), make_record(run_id="again"))
+        assert comparison.deltas  # everything aligned
+        assert not comparison.has_regressions
+        assert not comparison.improvements
+
+    def test_injected_f1_drop_is_flagged(self):
+        before = make_record()
+        after = _with_metric(before, 0, "binary.f1", 0.80)  # was 0.95
+        comparison = compare_runs(before, after)
+        assert comparison.has_regressions
+        (regression,) = comparison.regressions
+        assert regression.metric == "binary.f1"
+        assert regression.delta < 0
+        assert "REGRESSION" in render_comparison(comparison)
+
+    def test_f1_gain_is_improvement_not_regression(self):
+        before = make_record()
+        after = _with_metric(before, 1, "binary.f1", 0.95)  # was 0.74
+        comparison = compare_runs(before, after)
+        assert not comparison.has_regressions
+        assert any(d.metric == "binary.f1" for d in comparison.improvements)
+
+    def test_mae_increase_is_a_regression(self):
+        before = make_record()
+        after = _with_metric(before, 2, "location.mae", 8.0)  # was 4.1: worse
+        comparison = compare_runs(before, after)
+        assert any(
+            d.metric == "location.mae" for d in comparison.regressions
+        )
+
+    def test_mae_decrease_is_an_improvement(self):
+        before = make_record()
+        after = _with_metric(before, 2, "location.mae", 2.0)
+        comparison = compare_runs(before, after)
+        assert not comparison.has_regressions
+        assert any(d.metric == "location.mae" for d in comparison.improvements)
+
+    def test_threshold_suppresses_noise(self):
+        before = make_record()
+        after = _with_metric(before, 0, "binary.f1", 0.949)  # -0.001
+        assert not compare_runs(before, after, threshold=0.005).has_regressions
+        assert compare_runs(before, after, threshold=0.0005).has_regressions
+
+    def test_unmatched_cells_reported_not_compared(self):
+        before = make_record()
+        after = dataclasses.replace(
+            before, run_id="fewer", cells=before.cells[:2]
+        )
+        comparison = compare_runs(before, after)
+        assert len(comparison.only_before) == 2
+        assert comparison.only_after == ()
+        text = render_comparison(comparison)
+        assert "only in the older run" in text

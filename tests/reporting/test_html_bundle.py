@@ -1,0 +1,110 @@
+"""HTML dashboard and full report-bundle assembly."""
+
+import json
+from html.parser import HTMLParser
+
+from repro.reporting.bundle import report_json_payload, write_report_bundle
+from repro.reporting.html import write_html_dashboard
+from repro.reporting.run_record import RunRecord
+from tests.reporting.fixtures import make_cell_result, make_record
+
+
+def _assert_parses(text: str) -> None:
+    HTMLParser().feed(text)  # raises on grossly malformed markup
+
+
+class TestHtmlDashboard:
+    def test_index_and_task_pages_written(self, tmp_path, fixture_record):
+        paths = write_html_dashboard(fixture_record, tmp_path)
+        names = [path.name for path in paths]
+        assert names[0] == "index.html"
+        assert "task_syntax_error.html" in names
+        assert "task_miss_token.html" in names
+        for path in paths:
+            _assert_parses(path.read_text())
+
+    def test_index_lists_every_cell_with_paper_delta(
+        self, tmp_path, fixture_record
+    ):
+        (index, *_) = write_html_dashboard(fixture_record, tmp_path)
+        text = index.read_text()
+        for cell in fixture_record.cells:
+            assert cell.model_display in text
+        assert "ΔF1" in text
+        assert "cache" in text or "computed" in text
+
+    def test_task_page_has_confusion_matrix(self, tmp_path, fixture_record):
+        paths = write_html_dashboard(fixture_record, tmp_path)
+        page = next(p for p in paths if p.name == "task_syntax_error.html")
+        text = page.read_text()
+        assert "Confusion matrices" in text
+        assert "truth +" in text and "pred −" in text
+
+    def test_taxonomy_section_requires_grid(self, tmp_path, fixture_record):
+        grids = {
+            "syntax_error": {
+                ("gpt4", "sdss"): make_cell_result("gpt4"),
+                ("gemini", "sdss"): make_cell_result("gemini"),
+            }
+        }
+        paths = write_html_dashboard(fixture_record, tmp_path / "with", grids)
+        with_grid = next(
+            p for p in paths if p.name == "task_syntax_error.html"
+        ).read_text()
+        assert "Failure taxonomy" in with_grid
+        assert "aggr-attr" in with_grid  # injected type columns
+        assert "word_count per confusion cell" in with_grid
+        # Taxonomy rows use display names, like every other table.
+        assert "GPT4 / sdss" in with_grid
+        assert "gpt4 / sdss" not in with_grid
+
+        paths = write_html_dashboard(fixture_record, tmp_path / "without")
+        without_grid = next(
+            p for p in paths if p.name == "task_syntax_error.html"
+        ).read_text()
+        assert "Failure taxonomy" not in without_grid
+
+    def test_html_is_self_contained(self, tmp_path, fixture_record):
+        for path in write_html_dashboard(fixture_record, tmp_path):
+            text = path.read_text()
+            assert "http://" not in text and "https://" not in text
+            assert "<script" not in text
+
+
+class TestReportBundle:
+    def test_bundle_layout(self, tmp_path, fixture_record):
+        bundle = write_report_bundle(fixture_record, tmp_path / "reports")
+        assert bundle.root == tmp_path / "reports" / fixture_record.run_id
+        assert bundle.markdown.name == "report.md"
+        assert bundle.json_path.name == "report.json"
+        assert bundle.html_index.parent.name == "html"
+        for path in bundle.all_paths():
+            assert path.is_file()
+
+    def test_json_payload_round_trips_record(self, tmp_path, fixture_record):
+        bundle = write_report_bundle(fixture_record, tmp_path)
+        payload = json.loads(bundle.json_path.read_text())
+        assert RunRecord.from_dict(payload["record"]) == fixture_record
+        deltas = payload["paper_deltas"]
+        assert deltas, "fixture cells have paper references"
+        for delta in deltas:
+            assert delta["delta_f1"] == round(
+                delta["ours_f1"] - delta["paper_f1"], 6
+            )
+
+    def test_payload_skips_cells_without_reference(self):
+        record = make_record()
+        payload = report_json_payload(record)
+        # gemini/miss_token/sqlshare has a Table 4 reference; a made-up
+        # task would not.
+        import dataclasses
+
+        odd = dataclasses.replace(
+            record,
+            cells=tuple(
+                dataclasses.replace(cell, task="query_exp")
+                for cell in record.cells
+            ),
+        )
+        assert report_json_payload(odd)["paper_deltas"] == []
+        assert payload["paper_deltas"]

@@ -1,0 +1,66 @@
+"""Golden-file regression for the Markdown report renderer.
+
+Locks the report layout — section order, table shapes, paper columns,
+delta formatting — against refactors of the reporting layer.  The input
+is the hand-built fixture record, so the golden file only moves when the
+*renderer* changes, never when model calibration does.
+
+Regenerate after an intentional change with:
+
+    PYTHONPATH=src python tests/reporting/test_markdown_golden.py --regen
+"""
+
+from pathlib import Path
+
+from repro.reporting.markdown import render_markdown_report
+
+try:
+    from tests.reporting.fixtures import make_record
+except ModuleNotFoundError:  # direct --regen execution: repo root not on path
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+    from tests.reporting.fixtures import make_record
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden" / "report_markdown.md"
+
+
+def test_markdown_report_matches_golden():
+    assert GOLDEN.exists(), f"golden file missing: {GOLDEN} (run with --regen)"
+    assert render_markdown_report(make_record()) == GOLDEN.read_text(
+        encoding="utf-8"
+    )
+
+
+def test_report_contains_paper_tables_and_deltas():
+    text = render_markdown_report(make_record())
+    # Section per task, paper table labels, and the three table kinds.
+    assert "## Task `syntax_error` — paper Table 3" in text
+    assert "## Task `miss_token`" in text
+    assert "### `syntax_error_type` (weighted)" in text
+    assert "### `miss_token_loc` (MAE / hit rate)" in text
+    # Paper reference values are printed next to ours, with a delta.
+    assert "0.98/0.95/0.97" in text  # GPT4 syntax_error sdss, Table 3
+    assert "ΔF1" in text
+    # Engine/cache section reports warm/cold split.
+    assert "cells from cache" in text
+
+
+def test_report_without_cells_still_renders():
+    import dataclasses
+
+    empty = dataclasses.replace(make_record(), cells=())
+    text = render_markdown_report(empty)
+    assert text.startswith("# Run report")
+    assert "## Engine & cache" in text
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(render_markdown_report(make_record()), encoding="utf-8")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

@@ -1,0 +1,251 @@
+"""RunRecord schema round-trips and the on-disk store."""
+
+import json
+
+import pytest
+
+from repro.evalfw.runner import ExperimentRunner
+from repro.reporting.run_record import (
+    RECORD_VERSION,
+    CellRecord,
+    RunRecord,
+    RunRecordStore,
+    cell_record_from_result,
+    new_run_id,
+)
+from tests.reporting.fixtures import make_cell_result, make_record
+
+
+class TestCellRecordFromResult:
+    def test_flattens_binary_metrics_and_confusion(self):
+        result = make_cell_result()
+        record = cell_record_from_result(
+            result, model_display="GPT4", cached=False, seconds=0.5
+        )
+        assert record.key == ("gpt4", "syntax_error", "sdss")
+        assert record.instances == 5
+        assert set(record.confusion) == {"tp", "tn", "fp", "fn"}
+        assert sum(record.confusion.values()) == 5
+        assert record.metrics["binary.f1"] == pytest.approx(result.binary.f1)
+        assert record.metrics["typed.f1"] == pytest.approx(result.typed.f1)
+        assert record.metrics["location.mae"] == pytest.approx(
+            result.location.mae
+        )
+
+    def test_typed_and_location_gated_on_dataset(self):
+        result = make_cell_result(with_types=False, with_positions=False)
+        record = cell_record_from_result(
+            result, model_display="GPT4", cached=True, seconds=None
+        )
+        assert not any(k.startswith("typed.") for k in record.metrics)
+        assert not any(k.startswith("location.") for k in record.metrics)
+        assert not any(k.startswith("explanation.") for k in record.metrics)
+        assert record.cached
+        assert record.seconds is None
+
+    def test_explanation_metrics_for_gold_text_datasets(self):
+        import dataclasses
+
+        result = make_cell_result(task="query_exp", with_types=False)
+        result.dataset.instances = [
+            dataclasses.replace(
+                instance, label=None, gold_text="count the movies per year"
+            )
+            for instance in result.dataset.instances
+        ]
+        result.answers = [
+            dataclasses.replace(
+                answer,
+                predicted=None,
+                explanation="count the movies",
+                flaws=("context-loss",) if i == 0 else (),
+            )
+            for i, answer in enumerate(result.answers)
+        ]
+        record = cell_record_from_result(
+            result, model_display="GPT4", cached=False, seconds=0.1
+        )
+        # No boolean labels: binary metrics and confusion are absent...
+        assert not any(k.startswith("binary.") for k in record.metrics)
+        assert record.confusion == {}
+        # ...but explanation fidelity is recorded.
+        assert 0.0 < record.metrics["explanation.overlap_f1"] <= 1.0
+        assert record.metrics["explanation.flawed_rate"] == pytest.approx(0.2)
+
+
+class TestRoundTrip:
+    def test_cell_record_dict_round_trip(self):
+        original = make_record().cells[0]
+        assert CellRecord.from_dict(original.as_dict()) == original
+
+    def test_run_record_dict_round_trip(self, fixture_record):
+        assert RunRecord.from_dict(fixture_record.to_dict()) == fixture_record
+
+    def test_run_record_json_round_trip(self, fixture_record):
+        text = fixture_record.to_json()
+        assert json.loads(text)["version"] == RECORD_VERSION
+        assert RunRecord.from_json(text) == fixture_record
+
+    def test_version_mismatch_rejected(self, fixture_record):
+        data = fixture_record.to_dict()
+        data["version"] = RECORD_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            RunRecord.from_dict(data)
+
+
+class TestAccessors:
+    def test_tasks_and_workloads_first_seen_order(self, fixture_record):
+        assert fixture_record.tasks() == ["syntax_error", "miss_token"]
+        assert fixture_record.workloads("miss_token") == ["sqlshare"]
+
+    def test_cell_lookup(self, fixture_record):
+        cell = fixture_record.cell("gemini", "miss_token", "sqlshare")
+        assert cell is not None and cell.model_display == "Gemini"
+        assert fixture_record.cell("gpt4", "query_equiv", "sdss") is None
+
+    def test_with_identity_keeps_metrics_takes_identity(self, fixture_record):
+        import dataclasses
+
+        other = dataclasses.replace(
+            make_record(run_id="other-run"),
+            workers=8,
+            cache_dir="/elsewhere",
+            total_seconds=99.0,
+        )
+        merged = fixture_record.with_identity(other)
+        assert merged.run_id == "other-run"
+        assert merged.cells == fixture_record.cells
+        # The recorded run's configuration and timing travel with its id.
+        assert merged.workers == 8
+        assert merged.cache_dir == "/elsewhere"
+        assert merged.total_seconds == 99.0
+
+
+class TestRunId:
+    def test_sortable_and_content_sensitive(self):
+        a = new_run_id("2026-01-01T00:00:00Z", "a")
+        b = new_run_id("2026-01-02T00:00:00Z", "a")
+        assert a < b
+        assert new_run_id("2026-01-01T00:00:00Z", "b") != a
+
+
+class TestStore:
+    def test_save_load_latest(self, tmp_path, fixture_record):
+        store = RunRecordStore(tmp_path / "runs")
+        path = store.save(fixture_record)
+        assert path.is_file()
+        assert store.load(fixture_record.run_id) == fixture_record
+        assert store.latest() == fixture_record
+
+    def test_prefix_and_path_lookup(self, tmp_path, fixture_record):
+        store = RunRecordStore(tmp_path / "runs")
+        path = store.save(fixture_record)
+        assert store.load(fixture_record.run_id[:8]) == fixture_record
+        assert store.load(str(path)) == fixture_record
+
+    def test_ambiguous_prefix_raises(self, tmp_path):
+        store = RunRecordStore(tmp_path / "runs")
+        store.save(make_record(run_id="20260101T000000-aaaa"))
+        store.save(make_record(run_id="20260101T000000-bbbb"))
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.load("20260101T000000")
+
+    def test_missing_raises_and_empty_store(self, tmp_path):
+        store = RunRecordStore(tmp_path / "runs")
+        assert store.run_ids() == []
+        assert store.latest() is None
+        with pytest.raises(KeyError, match="no run record"):
+            store.load("nope")
+
+    def test_records_sorted_oldest_first(self, tmp_path):
+        store = RunRecordStore(tmp_path / "runs")
+        newer = make_record(run_id="20260202T000000-bbbb")
+        older = make_record(run_id="20260101T000000-aaaa")
+        store.save(newer)
+        store.save(older)
+        assert [r.run_id for r in store.records()] == [
+            older.run_id,
+            newer.run_id,
+        ]
+        assert store.latest().run_id == newer.run_id
+
+
+class TestRecordFromEngine:
+    def test_runner_snapshot_and_cached_provenance(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        runner = ExperimentRunner(max_instances=6, cache_dir=cache_dir)
+        runner.run_cell("gpt4", "performance_pred", "sdss")
+        record = runner.run_record(artifacts=("table6",), total_seconds=1.0)
+        runner.close()
+        assert record.run_id
+        assert record.artifacts == ("table6",)
+        assert len(record.cells) == 1
+        cell = record.cells[0]
+        assert cell.key == ("gpt4", "performance_pred", "sdss")
+        assert not cell.cached
+        assert cell.seconds is not None
+        assert "binary.f1" in cell.metrics
+        assert record.computed_cells == 1 and record.cached_cells == 0
+
+        # A second runner over the same cache serves the cell warm, and
+        # the record's provenance says so.
+        warm = ExperimentRunner(max_instances=6, cache_dir=cache_dir)
+        warm.run_cell("gpt4", "performance_pred", "sdss")
+        warm_record = warm.run_record()
+        warm.close()
+        assert warm_record.cells[0].cached
+        assert warm_record.computed_cells == 0
+        assert warm_record.cached_cells == 1
+        # Metrics identical either way — the cache is invisible to math.
+        assert warm_record.cells[0].metrics == cell.metrics
+
+    def test_counters_count_distinct_cells_not_repeat_serves(self, tmp_path):
+        # Two artifacts sharing a grid re-serve its cells from the
+        # cache within one run; the record must still report the cell
+        # as computed-once, not as cached.
+        runner = ExperimentRunner(max_instances=4, cache_dir=tmp_path / "c")
+        runner.run_cell("gpt4", "performance_pred", "sdss")
+        runner.run_cell("gpt4", "performance_pred", "sdss")  # repeat serve
+        record = runner.run_record()
+        runner.close()
+        assert len(record.cells) == 1
+        assert record.computed_cells == 1
+        assert record.cached_cells == 0
+        assert not record.cells[0].cached
+
+    def test_prompt_variant_reserve_resets_provenance(self, tmp_path):
+        from repro.prompts.templates import TUNED_PROMPTS
+
+        # Re-asking the same cell under a different prompt is a new
+        # experiment: the record must carry the new serve's provenance,
+        # not the first prompt's.
+        import dataclasses as dc
+
+        tuned = TUNED_PROMPTS["performance_pred"]
+        variant = dc.replace(tuned, name="variant", quality=0.5)
+        warmer = ExperimentRunner(max_instances=4, cache_dir=tmp_path / "c")
+        warmer.run_cell("gpt4", "performance_pred", "sdss")
+        warmer.close()
+        # Fresh runner: default prompt serves warm from disk, then the
+        # variant prompt misses the cache and is computed — the record
+        # must reflect the variant serve (results holds it), not the
+        # earlier cached sighting of the same cell.
+        runner = ExperimentRunner(max_instances=4, cache_dir=tmp_path / "c")
+        runner.run_cell("gpt4", "performance_pred", "sdss")
+        runner.engine.run_cell(
+            "gpt4", "performance_pred", "sdss", prompt=variant
+        )
+        record = runner.run_record()
+        runner.close()
+        assert len(record.cells) == 1
+        assert not record.cells[0].cached  # the variant serve was computed
+        assert record.computed_cells == 1 and record.cached_cells == 0
+
+    def test_paper_model_order_in_cells(self):
+        runner = ExperimentRunner(max_instances=3)
+        runner.run_task("performance_pred")
+        record = runner.run_record()
+        runner.close()
+        assert [cell.model for cell in record.cells] == [
+            "gpt4", "gpt35", "llama3", "mistral", "gemini",
+        ]

@@ -39,16 +39,33 @@ class TestCli:
         assert "SDSS" in out
         assert "285" in out
 
-    def test_run_single_artifact(self, capsys):
-        assert main(["run", "table1"]) == 0
+    def test_run_single_artifact(self, tmp_path, capsys):
+        assert main(
+            ["run", "table1", "--runs-dir", str(tmp_path / "runs")]
+        ) == 0
         out = capsys.readouterr().out
         assert "Recognition" in out
 
     def test_run_writes_report_files(self, tmp_path, capsys):
-        assert main(["run", "table2", "--out", str(tmp_path)]) == 0
+        assert main(
+            [
+                "run", "table2",
+                "--out", str(tmp_path),
+                "--runs-dir", str(tmp_path / "runs"),
+            ]
+        ) == 0
         report = tmp_path / "table2.txt"
         assert report.exists()
         assert "SDSS" in report.read_text()
+
+    def test_run_no_record_skips_run_record(self, tmp_path, capsys):
+        assert main(
+            [
+                "run", "table1", "--no-record",
+                "--runs-dir", str(tmp_path / "runs"),
+            ]
+        ) == 0
+        assert not (tmp_path / "runs").exists()
 
     def test_run_unknown_artifact_fails(self, capsys):
         assert main(["run", "table99"]) == 2
@@ -57,3 +74,119 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestReportingCli:
+    """repro run -> runs list/show -> report -> report --compare."""
+
+    @pytest.fixture(scope="class")
+    def recorded_run(self, tmp_path_factory):
+        """One small recorded run with a warm cache, shared by the class."""
+        root = tmp_path_factory.mktemp("reporting-cli")
+        args = [
+            "run", "table6",
+            "--cache-dir", str(root / "cache"),
+            "--runs-dir", str(root / "runs"),
+        ]
+        assert main(args) == 0
+        return root
+
+    def test_run_emits_run_record(self, recorded_run):
+        records = list((recorded_run / "runs").glob("*.json"))
+        assert len(records) == 1
+
+    def test_runs_list_and_show(self, recorded_run, capsys):
+        assert main(
+            ["runs", "list", "--runs-dir", str(recorded_run / "runs")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run_id" in out and "performance_pred" not in out
+        run_id = next((recorded_run / "runs").glob("*.json")).stem
+        assert main(
+            ["runs", "show", run_id, "--runs-dir", str(recorded_run / "runs")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "performance_pred" in out
+        assert "table6" in out
+
+    def test_runs_show_requires_id(self, recorded_run, capsys):
+        assert main(
+            ["runs", "show", "--runs-dir", str(recorded_run / "runs")]
+        ) == 2
+
+    def test_report_warm_cache_zero_model_calls(self, recorded_run, capsys):
+        assert main(
+            [
+                "report",
+                "--runs-dir", str(recorded_run / "runs"),
+                "--cache-dir", str(recorded_run / "cache"),
+                "--out", str(recorded_run / "reports"),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        # Every cell served from the cache: no model was invoked.
+        assert "0 computed" in captured.err
+        run_id = next((recorded_run / "runs").glob("*.json")).stem
+        bundle = recorded_run / "reports" / run_id
+        assert (bundle / "report.md").is_file()
+        assert (bundle / "report.json").is_file()
+        assert (bundle / "html" / "index.html").is_file()
+        assert (bundle / "html" / "task_performance_pred.html").is_file()
+        assert "paper Table 6" in (bundle / "report.md").read_text()
+
+    def test_report_without_records_fails(self, tmp_path, capsys):
+        assert main(
+            ["report", "--runs-dir", str(tmp_path / "empty")]
+        ) == 2
+        assert "no run records" in capsys.readouterr().err
+
+    def test_compare_detects_injected_regression(self, recorded_run, capsys):
+        import json
+
+        runs_dir = recorded_run / "runs"
+        source = next(runs_dir.glob("*.json"))
+        data = json.loads(source.read_text())
+        data["run_id"] = "zz-injected"
+        for cell in data["cells"]:
+            if cell["model"] == "gpt4":
+                cell["metrics"]["binary.f1"] -= 0.2
+        (runs_dir / "zz-injected.json").write_text(json.dumps(data))
+        code = main(
+            [
+                "report",
+                "--compare", source.stem, "zz-injected",
+                "--runs-dir", str(runs_dir),
+            ]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "binary.f1" in out
+        # The clean direction: comparing a run against itself passes.
+        assert main(
+            [
+                "report",
+                "--compare", source.stem, source.stem,
+                "--runs-dir", str(runs_dir),
+            ]
+        ) == 0
+
+    def test_corrupt_record_is_a_clean_error(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        runs_dir.mkdir()
+        (runs_dir / "broken-run.json").write_text("{not json")
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+        assert main(
+            ["runs", "show", "broken-run", "--runs-dir", str(runs_dir)]
+        ) == 2
+        assert main(["report", "--runs-dir", str(runs_dir)]) == 2
+
+    def test_compare_unknown_run_fails(self, recorded_run, capsys):
+        assert main(
+            [
+                "report",
+                "--compare", "nope-a", "nope-b",
+                "--runs-dir", str(recorded_run / "runs"),
+            ]
+        ) == 2
