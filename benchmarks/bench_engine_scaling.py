@@ -39,13 +39,29 @@ def _timed_grid(runner: ExperimentRunner, task: str):
     return time.perf_counter() - start, grid
 
 
+def _cpus_available() -> int | None:
+    """CPUs this process may actually run on (container quota aware).
+
+    ``os.cpu_count()`` reports the host's cores; under CPU affinity or a
+    container quota the schedulable set can be much smaller, which is
+    the number that bounds real parallel speedup.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
 def run(task: str, workers: int, max_instances: int | None, seed: int) -> dict:
+    cpus = _cpus_available()
     results: dict = {
         "task": task,
         "seed": seed,
-        "workers": workers,
+        "workers_requested": workers,
+        "workers_effective": min(workers, cpus) if cpus else workers,
         "max_instances": max_instances,
         "cpu_count": os.cpu_count(),
+        "cpus_available": cpus,
     }
 
     serial = ExperimentRunner(seed=seed, max_instances=max_instances)

@@ -1,0 +1,60 @@
+"""Standalone wrapper for the hot-path benchmark suite.
+
+Same measurement core as ``python -m repro bench``
+(:mod:`repro.perf.bench`); kept runnable directly so perf phases can be
+recorded from any checkout:
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --phase before
+    # ...apply the perf change...
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --phase after
+
+Writes/merges ``benchmarks/BENCH_hotpaths.json``; once both phases are
+present the file also records the before/after speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.perf.bench import QUICK_MAX_INSTANCES, run_bench
+
+OUT = Path(__file__).resolve().parent / "BENCH_hotpaths.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--phase",
+        choices=("before", "after"),
+        default="after",
+        help="which section of BENCH_hotpaths.json to write",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-instances", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"cap the grid at {QUICK_MAX_INSTANCES} instances per cell",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if warm grid time or parse throughput regresses >3x",
+    )
+    args = parser.parse_args(argv)
+    return run_bench(
+        phase=args.phase,
+        workers=args.workers,
+        max_instances=args.max_instances,
+        seed=args.seed,
+        out=args.out,
+        quick=args.quick,
+        check=args.check,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,10 +102,14 @@ class SemanticAnalyzer:
         return violations
 
     def analyze_sql(self, text: str) -> list[Violation]:
-        """Parse and analyze SQL text (parse failures yield no violations)."""
-        from repro.sql.parser import try_parse
+        """Parse and analyze SQL text (parse failures yield no violations).
 
-        statement = try_parse(text)
+        Parsing goes through the process-wide memo layer; the analyzer
+        never mutates the (shared) statement.
+        """
+        from repro.sql.analysis_cache import try_parse_cached
+
+        statement = try_parse_cached(text)
         if statement is None:
             return []
         return self.analyze(statement)

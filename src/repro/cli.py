@@ -17,6 +17,9 @@ Subcommands:
   engine cache — zero model invocations when the cache is warm;
 * ``report --compare RUN_A RUN_B`` — align two stored runs and flag
   metric regressions (exit code 3 when any are found);
+* ``bench`` — measure the lexer/parser/dataset-build/grid hot paths and
+  write ``benchmarks/BENCH_hotpaths.json`` (``--quick --check`` is the
+  CI perf smoke mode);
 * ``export`` — write the labeled benchmark datasets to JSON.
 """
 
@@ -73,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for cell evaluation (1 = in-process)",
+    )
+    run_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="instances per dispatched shard (default: engine default)",
     )
     run_parser.add_argument(
         "--cache-dir",
@@ -162,6 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes if any cells must be recomputed",
     )
+    report_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="instances per dispatched shard (default: engine default)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="measure lexer/parser/grid hot paths (BENCH_hotpaths.json)",
+    )
+    bench_parser.add_argument(
+        "--phase",
+        choices=("before", "after"),
+        default="after",
+        help="which section of the BENCH JSON to write",
+    )
+    bench_parser.add_argument("--workers", type=int, default=4)
+    bench_parser.add_argument("--max-instances", type=int, default=None)
+    bench_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON (default: benchmarks/BENCH_hotpaths.json)",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap the grid for a CI-sized smoke measurement",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if warm grid time or parse throughput regresses >3x",
+    )
 
     export_parser = subparsers.add_parser(
         "export", help="export the labeled benchmark datasets to JSON"
@@ -188,9 +232,13 @@ def _cmd_run(args) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.shard_size is not None and args.shard_size < 1:
+        print(f"--shard-size must be >= 1, got {args.shard_size}", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(
         seed=args.seed,
         workers=args.workers,
+        shard_size=args.shard_size,
         cache_dir=None if args.no_cache else args.cache_dir,
     )
     artifact_seconds: dict[str, float] = {}
@@ -302,6 +350,13 @@ def _cmd_report(args) -> int:
     )
     from repro.reporting.run_record import RunRecordStore
 
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size < 1:
+        print(f"--shard-size must be >= 1, got {args.shard_size}", file=sys.stderr)
+        return 2
+
     store = RunRecordStore(args.runs_dir)
 
     if args.compare is not None:
@@ -338,15 +393,13 @@ def _cmd_report(args) -> int:
             )
             return 2
 
-    if args.workers < 1:
-        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
-        return 2
     # Re-read every recorded task's grid through the engine cache: on a
     # warm cache this touches no model at all, and the regenerated
     # metrics are guaranteed consistent with the current code.
     runner = ExperimentRunner(
         seed=stored.seed,
         workers=args.workers,
+        shard_size=args.shard_size,
         max_instances=stored.max_instances,
         cache_dir=args.cache_dir,
     )
@@ -406,8 +459,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cache dir : {args.cache_dir}")
             print(f"cells     : {len(cache.entries())}")
             print(f"datasets  : {len(cache.dataset_entries())}")
+            print(f"workloads : {len(cache.workload_entries())}")
             print(f"size      : {cache.size_bytes()} bytes")
         return 0
+    if args.command == "bench":
+        from repro.perf.bench import run_bench
+
+        if args.workers < 1:
+            print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+            return 2
+        return run_bench(
+            phase=args.phase,
+            workers=args.workers,
+            max_instances=args.max_instances,
+            seed=args.seed,
+            out=args.out,
+            quick=args.quick,
+            check=args.check,
+        )
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "report":

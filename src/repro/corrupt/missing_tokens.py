@@ -11,7 +11,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.sql.lexer import tokenize
+from repro.sql.analysis_cache import tokenize_cached
 from repro.sql.tokens import Token, TokenKind
 
 KEYWORD = "keyword"
@@ -61,7 +61,7 @@ class TokenRemoval:
     original_text: str
 
 
-def _candidates(tokens: list[Token], token_type: str) -> list[Token]:
+def _candidates(tokens: tuple[Token, ...], token_type: str) -> list[Token]:
     """Tokens of the requested type, with positional context rules."""
     result: list[Token] = []
     for index, token in enumerate(tokens):
@@ -139,7 +139,7 @@ def _removed_display(text: str, token: Token) -> str:
 def applicable_token_types(text: str) -> list[str]:
     """Token types that have at least one removable occurrence in *text*."""
     try:
-        tokens = tokenize(text)
+        tokens = tokenize_cached(text)
     except Exception:
         return []
     return [t for t in TOKEN_TYPES if _candidates(tokens, t)]
@@ -155,7 +155,7 @@ def remove_token(
     Returns None when nothing of the requested type can be removed.
     """
     try:
-        tokens = tokenize(text)
+        tokens = tokenize_cached(text)
     except Exception:
         return None
     order = (

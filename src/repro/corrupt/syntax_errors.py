@@ -8,7 +8,6 @@ analyzer must report the intended violation code on the corrupted text.
 
 from __future__ import annotations
 
-import copy
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -442,7 +441,7 @@ def applicable_error_types(
     """Error types whose injector succeeds on (a copy of) this statement."""
     applicable = []
     for error_type in ERROR_TYPES:
-        trial = copy.deepcopy(statement)
+        trial = n.clone(statement)
         if _INJECTORS[error_type](trial, schema, random.Random(rng.random())) is not None:
             applicable.append(error_type)
     return applicable
@@ -495,7 +494,7 @@ def inject_syntax_error(
     for candidate in order:
         if candidate not in _INJECTORS:
             raise KeyError(f"unknown error type {candidate!r}")
-        mutated = copy.deepcopy(statement)
+        mutated = n.clone(statement)
         detail = _INJECTORS[candidate](mutated, schema, rng)
         if detail is None:
             continue

@@ -5,10 +5,14 @@ Public surface:
 * :class:`ExperimentEngine` / :class:`EngineConfig` — evaluate grid
   cells across a process pool (or deterministically in-process at
   ``workers=1``), with identical outputs either way;
-* :class:`ResultCache` and :func:`cell_key` — the content-addressed
-  on-disk cell cache;
+* :class:`ResultCache` and :func:`cell_key` / :func:`dataset_key` /
+  :func:`workload_key` — the content-addressed on-disk cache for cells,
+  datasets and workloads;
 * :func:`plan_shards` / :func:`merge_shards` — the deterministic shard
-  plan shared by both execution paths.
+  plan shared by both execution paths;
+* :class:`ShardSpec` — the zero-copy shard unit workers evaluate:
+  a dataset cache key plus a ``[start, stop)`` range (instances travel
+  inline only when no cache directory is configured).
 """
 
 from repro.engine.cache import (
@@ -20,6 +24,7 @@ from repro.engine.cache import (
     cell_key,
     dataset_key,
     prompt_fingerprint,
+    workload_key,
 )
 from repro.engine.core import EngineConfig, ExperimentEngine
 from repro.engine.sharding import (
@@ -29,7 +34,7 @@ from repro.engine.sharding import (
     plan_shards,
 )
 from repro.engine.worker import (
-    ShardTask,
+    ShardSpec,
     build_dataset_remote,
     evaluate_shard,
     reset_worker_caches,
@@ -43,7 +48,7 @@ __all__ = [
     "ExperimentEngine",
     "ResultCache",
     "Shard",
-    "ShardTask",
+    "ShardSpec",
     "answer_from_dict",
     "answer_to_dict",
     "build_dataset_remote",
@@ -54,4 +59,5 @@ __all__ = [
     "plan_shards",
     "prompt_fingerprint",
     "reset_worker_caches",
+    "workload_key",
 ]

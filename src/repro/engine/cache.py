@@ -1,6 +1,6 @@
 """Content-addressed on-disk cache for evaluated cells and datasets.
 
-Two namespaces under one cache root:
+Three namespaces under one cache root:
 
 * ``cells/`` — each (model, task, workload) cell's answers, stored as
   JSON under a key that hashes everything the answers depend on: the
@@ -10,7 +10,12 @@ Two namespaces under one cache root:
 * ``datasets/`` — each built :class:`TaskDataset`, pickled under a key
   hashing (task, workload, seed, max_instances).  Dataset construction
   (parsing, corruption injection, pair generation) dominates a cold
-  grid run, so warm runs load instead of rebuilding.
+  grid run, so warm runs load instead of rebuilding.  Worker processes
+  materialize shard instances from this namespace, which is what lets
+  shard dispatch ship keys instead of pickled instance payloads;
+* ``workloads/`` — each loaded :class:`Workload`, pickled under a key
+  hashing (workload, seed), so workers that must *build* a dataset load
+  the workload in milliseconds instead of regenerating it per process.
 
 Change any input and the key changes, so stale entries are never served
 — they are simply never looked up again.  Writes go through a
@@ -120,6 +125,26 @@ def dataset_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def workload_key(workload: str, seed: int) -> str:
+    """Content address of one loaded workload (task independent).
+
+    Workload construction costs a sizable fraction of a cold run and
+    used to be repeated inside *every* worker process; pickling it once
+    lets workers load in milliseconds instead.
+    """
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": "workload",
+            "source": source_fingerprint(),
+            "workload": workload,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def answer_to_dict(answer: ModelAnswer) -> dict:
     return {
         "instance_id": answer.instance_id,
@@ -181,6 +206,9 @@ class ResultCache:
 
     def _dataset_path(self, key: str) -> Path:
         return self.root / "datasets" / f"{key}.pkl"
+
+    def _workload_path(self, key: str) -> Path:
+        return self.root / "workloads" / f"{key}.pkl"
 
     def get(
         self, key: str, expected_ids: Optional[Sequence[str]] = None
@@ -252,6 +280,33 @@ class ResultCache:
         temporary.replace(path)
         return path
 
+    # -- workloads ---------------------------------------------------------
+
+    def get_workload(self, key: str):
+        """Cached workload for ``key``, or None (corrupt entries miss)."""
+        from repro.workloads.base import Workload
+
+        path = self._workload_path(key)
+        try:
+            with path.open("rb") as handle:
+                workload = pickle.load(handle)
+            if not isinstance(workload, Workload):
+                raise ValueError("not a Workload")
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            return None
+        return workload
+
+    def put_workload(self, key: str, workload) -> Path:
+        """Store a loaded workload atomically; returns the entry path."""
+        path = self._workload_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        with temporary.open("wb") as handle:
+            pickle.dump(workload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temporary.replace(path)
+        return path
+
     # -- maintenance -------------------------------------------------------
 
     def entries(self) -> list[Path]:
@@ -264,10 +319,19 @@ class ResultCache:
             return []
         return sorted(self.root.glob("datasets/*.pkl"))
 
+    def workload_entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("workloads/*.pkl"))
+
     def size_bytes(self) -> int:
         return sum(
             path.stat().st_size
-            for path in (*self.entries(), *self.dataset_entries())
+            for path in (
+                *self.entries(),
+                *self.dataset_entries(),
+                *self.workload_entries(),
+            )
         )
 
     def clear(self) -> int:
@@ -278,7 +342,11 @@ class ResultCache:
         accumulate forever).
         """
         removed = 0
-        for path in (*self.entries(), *self.dataset_entries()):
+        for path in (
+            *self.entries(),
+            *self.dataset_entries(),
+            *self.workload_entries(),
+        ):
             path.unlink(missing_ok=True)
             removed += 1
         for orphan in self.root.glob("**/*.tmp.*"):

@@ -29,6 +29,7 @@ from repro.engine.cache import (
     cell_key,
     dataset_key,
     prompt_fingerprint,
+    workload_key,
 )
 from repro.engine.sharding import (
     DEFAULT_SHARD_SIZE,
@@ -36,7 +37,11 @@ from repro.engine.sharding import (
     merge_shards,
     plan_shards,
 )
-from repro.engine.worker import ShardTask, build_dataset_remote, evaluate_shard
+from repro.engine.worker import (
+    ShardSpec,
+    build_workload_datasets_remote,
+    evaluate_shard,
+)
 from repro.llm.profiles import MODEL_PROFILES, ModelProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.prompts.templates import PromptTemplate
@@ -70,9 +75,13 @@ class EngineConfig:
 class CellLog:
     """Provenance of one served cell: cache hit or computed, and when.
 
-    ``seconds`` is per-cell wall time for serially computed cells, the
-    whole batch's wall time share is unknowable for parallel cells (they
-    overlap), so it is ``None`` there; cached cells record ~0.
+    ``seconds`` is the cell's compute time: wall time for serially
+    computed cells, and the *sum* of the cell's per-shard worker wall
+    times for parallel cells (shards of different cells overlap, so the
+    parent's clock cannot attribute elapsed time — the workers' clocks
+    can).  ``shard_seconds_max`` additionally records the slowest shard
+    of a parallel cell (the cell's critical path); it is None for
+    serial and cached serves.  Cached cells record ~0 seconds.
     ``prompt`` is the prompt-template fingerprint the cell was asked
     with, so a re-serve under a *different* prompt is distinguishable
     from a repeat serve of the same experiment.  The reporting layer
@@ -86,6 +95,7 @@ class CellLog:
     cached: bool
     seconds: Optional[float]
     prompt: str = ""
+    shard_seconds_max: Optional[float] = None
 
 
 class ExperimentEngine:
@@ -264,6 +274,7 @@ class ExperimentEngine:
 
         if pending:
             cell_seconds: list[Optional[float]]
+            cell_max_shard: list[Optional[float]]
             if self.config.workers == 1:
                 evaluated = []
                 cell_seconds = []
@@ -273,14 +284,21 @@ class ExperimentEngine:
                         self._evaluate_serial(profile, task, dataset, prompt)
                     )
                     cell_seconds.append(round(time.perf_counter() - started, 6))
+                cell_max_shard = [None] * len(pending)
             else:
-                evaluated = self._evaluate_parallel(pending, prompt)
-                # Parallel cells overlap in time; per-cell wall time is
-                # not attributable, so provenance records None.
-                cell_seconds = [None] * len(pending)
-            for (profile, task, workload_name, dataset, key), answers, seconds in zip(
-                pending, evaluated, cell_seconds
-            ):
+                # Parallel cells overlap in wall time, so per-cell time
+                # comes from the workers' own clocks: the sum of a
+                # cell's shard times is its compute cost, the max its
+                # critical path.
+                evaluated, cell_seconds, cell_max_shard = self._evaluate_parallel(
+                    pending, prompt
+                )
+            for (
+                (profile, task, workload_name, dataset, key),
+                answers,
+                seconds,
+                max_shard,
+            ) in zip(pending, evaluated, cell_seconds, cell_max_shard):
                 self.computed_cells += 1
                 if self.cache is not None and key is not None:
                     self.cache.put(
@@ -303,7 +321,11 @@ class ExperimentEngine:
                 )
                 grid[(profile.name, workload_name)] = result
                 self._record_cell(
-                    result, cached=False, seconds=seconds, prompt=prompt
+                    result,
+                    cached=False,
+                    seconds=seconds,
+                    prompt=prompt,
+                    shard_seconds_max=max_shard,
                 )
         return grid
 
@@ -313,6 +335,7 @@ class ExperimentEngine:
         cached: bool,
         seconds: Optional[float],
         prompt: Optional[PromptTemplate] = None,
+        shard_seconds_max: Optional[float] = None,
     ) -> None:
         """Accumulate a served cell for the reporting layer."""
         self.results[(result.model, result.task, result.workload)] = result
@@ -325,6 +348,7 @@ class ExperimentEngine:
                 cached=cached,
                 seconds=seconds,
                 prompt=prompt_fingerprint(result.task, prompt),
+                shard_seconds_max=shard_seconds_max,
             )
         )
 
@@ -347,19 +371,45 @@ class ExperimentEngine:
         if not missing:
             return
         pool = self._executor()
+        cache_root = (
+            str(self.config.cache_dir) if self.cache is not None else None
+        )
+        # One future per *workload*, building all of its missing
+        # datasets: the worker loads the workload once and its analysis
+        # cache is shared across the workload's tasks (which reuse the
+        # same query texts).  One future per dataset would instead have
+        # every worker re-load and re-parse the same workload.
+        by_workload: dict[str, list[str]] = {}
+        for task, workload_name in missing:
+            by_workload.setdefault(workload_name, []).append(task)
         futures = {
-            key: pool.submit(
-                build_dataset_remote,
-                key[0],
-                key[1],
+            workload_name: pool.submit(
+                build_workload_datasets_remote,
+                workload_name,
                 self.config.seed,
+                tuple(
+                    (
+                        task,
+                        self._dataset_disk_key(task, workload_name)
+                        if cache_root
+                        else None,
+                    )
+                    for task in tasks
+                ),
                 self.config.max_instances,
+                cache_root,
+                workload_key(workload_name, self.config.seed)
+                if cache_root
+                else None,
             )
-            for key in missing
+            for workload_name, tasks in by_workload.items()
         }
-        for key, future in futures.items():
-            self._datasets[key] = future.result()
-            self._dataset_to_disk(key[0], key[1], self._datasets[key])
+        for workload_name, future in futures.items():
+            for task, dataset in zip(by_workload[workload_name], future.result()):
+                self._datasets[(task, workload_name)] = dataset
+                if cache_root is None:
+                    # With a cache the building worker persisted it.
+                    self._dataset_to_disk(task, workload_name, dataset)
 
     def _evaluate_serial(
         self,
@@ -387,35 +437,76 @@ class ExperimentEngine:
         self,
         pending: Sequence[tuple[ModelProfile, str, str, TaskDataset, Optional[str]]],
         prompt: Optional[PromptTemplate],
-    ) -> list[list[ModelAnswer]]:
+    ) -> tuple[list[list[ModelAnswer]], list[float], list[float]]:
         """Fan every shard of every pending cell across the pool at once.
 
-        Shards carry their instance slices with them, so workers never
-        rebuild datasets — evaluation cost in a worker is exactly the
-        ask/extract loop.
+        With a cache directory configured, dispatch is zero-copy: a
+        shard names its dataset by cache key plus a ``[start, stop)``
+        range, and workers materialize the dataset once per process from
+        disk (or rebuild it deterministically) — IPC cost per shard does
+        not scale with instance payload size.  Without a cache the shard
+        carries its instance slice inline, as before.
+
+        Returns, per pending cell: the merged answers, the summed
+        per-shard worker seconds (the cell's compute time), and the
+        slowest shard's seconds (the cell's critical path).
         """
         pool = self._executor()
+        cache_root = (
+            str(self.config.cache_dir) if self.cache is not None else None
+        )
         futures: list[list[Future]] = []
-        for profile, task, _workload_name, dataset, _ in pending:
+        for profile, task, workload_name, dataset, _ in pending:
             shards: list[Shard] = plan_shards(
                 len(dataset.instances), self.config.shard_size
             )
+            zero_copy = cache_root is not None
             futures.append(
                 [
                     pool.submit(
                         evaluate_shard,
-                        ShardTask(
+                        ShardSpec(
                             profile=profile,
                             task=task,
+                            workload=workload_name,
                             index=shard.index,
-                            instances=tuple(shard.slice(dataset.instances)),
+                            start=shard.start,
+                            stop=shard.stop,
+                            seed=self.config.seed,
+                            max_instances=self.config.max_instances,
+                            dataset_key=(
+                                self._dataset_disk_key(task, workload_name)
+                                if zero_copy
+                                else None
+                            ),
+                            workload_cache_key=(
+                                workload_key(workload_name, self.config.seed)
+                                if zero_copy
+                                else None
+                            ),
+                            cache_root=cache_root,
+                            instances=(
+                                None
+                                if zero_copy
+                                else tuple(shard.slice(dataset.instances))
+                            ),
                             prompt=prompt,
                         ),
                     )
                     for shard in shards
                 ]
             )
-        return [
-            merge_shards(future.result() for future in cell_futures)
-            for cell_futures in futures
-        ]
+        answers: list[list[ModelAnswer]] = []
+        sums: list[float] = []
+        maxes: list[float] = []
+        for cell_futures in futures:
+            parts = [future.result() for future in cell_futures]
+            answers.append(
+                merge_shards((index, items) for index, items, _ in parts)
+            )
+            shard_seconds = [seconds for _, _, seconds in parts]
+            sums.append(round(sum(shard_seconds), 6))
+            maxes.append(
+                round(max(shard_seconds), 6) if shard_seconds else 0.0
+            )
+        return answers, sums, maxes

@@ -3,22 +3,35 @@
 Two kinds of work cross the pool boundary:
 
 * :func:`evaluate_shard` — answer one contiguous slice of a cell's
-  instances.  The instances travel *with* the task, so evaluation never
-  rebuilds a dataset inside a worker (rebuilding per worker would
-  multiply the dominant cost of a grid run by the worker count);
+  instances.  The shard travels as a :class:`ShardSpec` that names the
+  dataset by its on-disk cache key plus a ``[start, stop)`` range —
+  zero-copy dispatch: IPC cost is a few hundred bytes per shard no
+  matter how large the instance payloads are.  Workers materialize each
+  dataset once per process (memo first, then the dataset cache on disk,
+  then a deterministic rebuild) and slice locally.  When no cache
+  directory is configured the spec falls back to carrying the instances
+  inline, which is the old behaviour;
 * :func:`build_dataset_remote` — construct one dataset in a worker so
   the parent can overlap dataset construction across (task, workload)
   pairs.  ``build_dataset`` is deterministic in its arguments, so the
-  copy shipped back is identical to what the parent would build.
+  copy shipped back is identical to what the parent would build.  With
+  a cache directory the worker also persists the dataset (and the
+  workload it loaded) so sibling workers materialize from disk instead
+  of rebuilding.
 
-Everything crossing the boundary is plain picklable dataclasses.
+Everything crossing the boundary is plain picklable dataclasses, and
+every answer depends only on ``(model, task, instance_id)`` — which is
+why any materialization path yields byte-identical results.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional
 
+from repro.engine.cache import ResultCache
 from repro.llm.profiles import ModelProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.prompts.templates import PromptTemplate
@@ -28,17 +41,32 @@ from repro.workloads import load_workload
 from repro.workloads.base import Workload
 
 _WORKLOADS: dict[tuple[str, int], Workload] = {}
+_DATASETS: dict[tuple[str, str, int, Optional[int]], TaskDataset] = {}
 _CLIENTS: dict[str, SimulatedLLM] = {}
 
 
 @dataclass(frozen=True)
-class ShardTask:
-    """One contiguous slice of one cell, ready to evaluate anywhere."""
+class ShardSpec:
+    """One contiguous slice of one cell, addressable anywhere.
+
+    ``instances`` is None in zero-copy mode (the worker materializes
+    the dataset from ``dataset_key`` under ``cache_root`` or rebuilds it
+    deterministically) and carries the actual slice in inline mode
+    (no cache directory configured).
+    """
 
     profile: ModelProfile
     task: str
+    workload: str
     index: int  # shard index, for merge ordering
-    instances: tuple[TaskInstance, ...]
+    start: int
+    stop: int
+    seed: int
+    max_instances: Optional[int]
+    dataset_key: Optional[str] = None
+    workload_cache_key: Optional[str] = None
+    cache_root: Optional[str] = None
+    instances: Optional[tuple[TaskInstance, ...]] = None
     prompt: Optional[PromptTemplate] = None
 
 
@@ -50,33 +78,121 @@ def _client(profile: ModelProfile) -> SimulatedLLM:
     return cached
 
 
-def evaluate_shard(spec: ShardTask) -> tuple[int, list[ModelAnswer]]:
-    """Evaluate one shard; returns ``(shard_index, answers)``.
+def _workload(name: str, seed: int, cache: Optional[ResultCache], key: Optional[str]) -> Workload:
+    memo_key = (name, seed)
+    workload = _WORKLOADS.get(memo_key)
+    if workload is None:
+        if cache is not None and key is not None:
+            workload = cache.get_workload(key)
+        if workload is None:
+            workload = load_workload(name, seed)
+            if cache is not None and key is not None:
+                cache.put_workload(key, workload)
+        _WORKLOADS[memo_key] = workload
+    return workload
 
-    Answers come back in instance order within the shard, so merging by
-    shard index reproduces the serial evaluation exactly (each answer
-    depends only on ``(model, task, instance_id)``).
+
+def _materialize_dataset(spec: ShardSpec) -> TaskDataset:
+    """The shard's dataset: process memo -> disk cache -> rebuild."""
+    memo_key = (spec.task, spec.workload, spec.seed, spec.max_instances)
+    dataset = _DATASETS.get(memo_key)
+    if dataset is not None:
+        return dataset
+    cache = ResultCache(Path(spec.cache_root)) if spec.cache_root else None
+    if cache is not None and spec.dataset_key is not None:
+        dataset = cache.get_dataset(spec.dataset_key)
+    if dataset is None:
+        workload = _workload(spec.workload, spec.seed, cache, spec.workload_cache_key)
+        dataset = build_dataset(
+            spec.task, workload, seed=spec.seed, max_instances=spec.max_instances
+        )
+        if cache is not None and spec.dataset_key is not None:
+            cache.put_dataset(spec.dataset_key, dataset)
+    _DATASETS[memo_key] = dataset
+    return dataset
+
+
+def evaluate_shard(spec: ShardSpec) -> tuple[int, list[ModelAnswer], float]:
+    """Evaluate one shard; returns ``(shard_index, answers, seconds)``.
+
+    ``seconds`` is the shard's wall time inside the worker — the parent
+    aggregates these into real per-cell compute time for provenance
+    (parallel cells overlap, so the parent's own clock cannot attribute
+    time to cells).  Answers come back in instance order within the
+    shard, so merging by shard index reproduces the serial evaluation
+    exactly (each answer depends only on ``(model, task, instance_id)``).
     """
+    started = time.perf_counter()
+    if spec.instances is not None:
+        instances = spec.instances
+    else:
+        instances = _materialize_dataset(spec).instances[spec.start : spec.stop]
     client = _client(spec.profile)
     answers = [
-        ask(spec.task, client, instance, spec.prompt) for instance in spec.instances
+        ask(spec.task, client, instance, spec.prompt) for instance in instances
     ]
-    return spec.index, answers
+    return spec.index, answers, time.perf_counter() - started
 
 
 def build_dataset_remote(
-    task: str, workload: str, seed: int, max_instances: Optional[int]
+    task: str,
+    workload: str,
+    seed: int,
+    max_instances: Optional[int],
+    cache_root: Optional[str] = None,
+    dataset_key: Optional[str] = None,
+    workload_cache_key: Optional[str] = None,
 ) -> TaskDataset:
-    """Build one dataset inside a worker (workloads memoised per process)."""
-    key = (workload, seed)
-    if key not in _WORKLOADS:
-        _WORKLOADS[key] = load_workload(workload, seed)
-    return build_dataset(
-        task, _WORKLOADS[key], seed=seed, max_instances=max_instances
+    """Build one dataset inside a worker (workloads memoised per process).
+
+    With a cache configured the built dataset (and the workload) are
+    persisted so sibling workers and later shard evaluation materialize
+    from disk instead of rebuilding.
+    """
+    cache = ResultCache(Path(cache_root)) if cache_root else None
+    workload_obj = _workload(workload, seed, cache, workload_cache_key)
+    dataset = build_dataset(
+        task, workload_obj, seed=seed, max_instances=max_instances
     )
+    if cache is not None and dataset_key is not None:
+        cache.put_dataset(dataset_key, dataset)
+    _DATASETS[(task, workload, seed, max_instances)] = dataset
+    return dataset
+
+
+def build_workload_datasets_remote(
+    workload: str,
+    seed: int,
+    tasks: tuple[tuple[str, Optional[str]], ...],
+    max_instances: Optional[int],
+    cache_root: Optional[str] = None,
+    workload_cache_key: Optional[str] = None,
+) -> list[TaskDataset]:
+    """Build *all* of one workload's datasets in a single worker call.
+
+    ``tasks`` is ``((task, dataset_key | None), ...)``.  Grouping by
+    workload is what makes the parallel cold path scale: the workload is
+    loaded once, and the process-wide analysis cache is shared across
+    the workload's tasks (which reuse the same query texts), instead of
+    every worker independently re-loading and re-parsing the same
+    workload for one task each.
+    """
+    return [
+        build_dataset_remote(
+            task,
+            workload,
+            seed,
+            max_instances,
+            cache_root,
+            dataset_key,
+            workload_cache_key,
+        )
+        for task, dataset_key in tasks
+    ]
 
 
 def reset_worker_caches() -> None:
     """Drop the process-global caches (test isolation hook)."""
     _WORKLOADS.clear()
+    _DATASETS.clear()
     _CLIENTS.clear()

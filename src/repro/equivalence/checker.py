@@ -10,13 +10,30 @@ formal equivalence proving is out of scope.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 from repro.data.sqlite_backend import ExecutionError, SqliteDatabase, results_equal
 from repro.schema.model import Schema
 from repro.sql import nodes as n
-from repro.sql.parser import try_parse
+from repro.sql.analysis_cache import try_parse_cached
 from repro.sql.render import SQLITE, render
+
+
+@functools.lru_cache(maxsize=8192)
+def _sqlite_sql_cached(text: str) -> Optional[str]:
+    """Memoized text -> SQLite-dialect SQL (None for non-SELECT/unparsable).
+
+    Pair generation calls :meth:`EquivalenceChecker.verdict` with the
+    *same* original text for every transform attempt on a query, so the
+    parse+render half of a verdict is pure repetition — rendering is a
+    read-only function of the (shared, cached) AST, making the result
+    safe to memoize process-wide.
+    """
+    statement = try_parse_cached(text)
+    if statement is None or not isinstance(statement, n.SelectStatement):
+        return None
+    return render(statement, SQLITE)
 
 #: Default instance seeds; diversity across instances is what gives the
 #: bag-comparison oracle its discriminating power.
@@ -59,17 +76,37 @@ class EquivalenceChecker:
                 database.close()
             self._databases = None
 
-    def _to_sqlite_sql(self, text: str) -> Optional[str]:
-        statement = try_parse(text)
-        if statement is None or not isinstance(statement, n.SelectStatement):
-            return None
-        return render(statement, SQLITE)
+    def _to_sqlite_sql(
+        self, text: str, statement: Optional[n.Statement] = None
+    ) -> Optional[str]:
+        if statement is not None:
+            # Callers that already hold the AST (the pair generator just
+            # rendered it) skip the parse-the-text round trip entirely.
+            # ``render(parse(render(ast)), SQLITE) == render(ast, SQLITE)``
+            # holds for every transform output (verified corpus-wide by
+            # tests/equivalence/test_checker_ast_path.py), so both paths
+            # produce identical verdicts.
+            if not isinstance(statement, n.SelectStatement):
+                return None
+            return render(statement, SQLITE)
+        return _sqlite_sql_cached(text)
 
-    def verdict(self, first_text: str, second_text: str) -> Optional[bool]:
+    def verdict(
+        self,
+        first_text: str,
+        second_text: str,
+        first_statement: Optional[n.Statement] = None,
+        second_statement: Optional[n.Statement] = None,
+    ) -> Optional[bool]:
         """True = same results everywhere; False = witness found; None =
-        undecidable (parse or execution failure)."""
-        first_sql = self._to_sqlite_sql(first_text)
-        second_sql = self._to_sqlite_sql(second_text)
+        undecidable (parse or execution failure).
+
+        The optional statements are the already-parsed ASTs of the two
+        texts; when given, the checker renders them directly instead of
+        re-parsing text it was handed seconds after it was rendered.
+        """
+        first_sql = self._to_sqlite_sql(first_text, first_statement)
+        second_sql = self._to_sqlite_sql(second_text, second_statement)
         if first_sql is None or second_sql is None:
             return None
         for database in self.databases:

@@ -8,7 +8,6 @@ on live instances that each rewrite observably changes results.
 
 from __future__ import annotations
 
-import copy
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -42,12 +41,18 @@ NON_EQUIVALENCE_TYPES: tuple[str, ...] = (
 
 @dataclass
 class NonEquivalentRewrite:
-    """A semantics-changing rewrite plus its label."""
+    """A semantics-changing rewrite plus its label.
+
+    ``statement`` is the mutated AST ``text`` was rendered from — the
+    execution checker renders it directly rather than re-parsing
+    ``text``.
+    """
 
     text: str
     pair_type: str
     detail: str
     original_text: str
+    statement: Optional[n.SelectStatement] = None
 
 
 _AGG_SWAPS = {"AVG": "SUM", "SUM": "AVG", "MIN": "MAX", "MAX": "MIN"}
@@ -272,9 +277,15 @@ def apply_non_equivalence_transform(
     schema: Schema,
     rng: random.Random,
     pair_type: Optional[str] = None,
+    original_text: Optional[str] = None,
 ) -> Optional[NonEquivalentRewrite]:
-    """Apply one semantics-changing transform to a copy of *statement*."""
-    original_text = render(statement)
+    """Apply one semantics-changing transform to a copy of *statement*.
+
+    Callers retrying many types for one statement can pass the
+    pre-rendered *original_text* to skip the per-attempt re-render.
+    """
+    if original_text is None:
+        original_text = render(statement)
     order = (
         [pair_type]
         if pair_type is not None
@@ -283,7 +294,7 @@ def apply_non_equivalence_transform(
     for candidate in order:
         if candidate not in _TRANSFORMS:
             raise KeyError(f"unknown non-equivalence type {candidate!r}")
-        mutated = copy.deepcopy(statement)
+        mutated = n.clone(statement)
         detail = _TRANSFORMS[candidate](mutated, schema, rng)
         if detail is None:
             continue
@@ -295,5 +306,6 @@ def apply_non_equivalence_transform(
             pair_type=candidate,
             detail=detail,
             original_text=original_text,
+            statement=mutated,
         )
     return None

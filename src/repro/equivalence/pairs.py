@@ -27,6 +27,7 @@ from repro.equivalence.transforms import (
     apply_equivalence_transform,
 )
 from repro.sql import nodes as n
+from repro.sql.render import render
 from repro.util import derive_rng
 from repro.workloads.base import Workload, WorkloadQuery
 
@@ -136,6 +137,9 @@ def _build_pair(
 ) -> Optional[QueryPair]:
     statement = query.statement
     schema = workload.schema_for(query)
+    # Rendered once: the attempt loop below retries up to 2x the type
+    # pool, and every attempt needs the original text for comparison.
+    original_text = render(statement)
     type_pool = EQUIVALENCE_TYPES if equivalent else NON_EQUIVALENCE_TYPES
     # Two full passes over the types: a transform may fail verification
     # with one random draw yet succeed with another (e.g. value-change
@@ -150,16 +154,32 @@ def _build_pair(
         tried.append(pair_type)
         if equivalent:
             rewrite = apply_equivalence_transform(
-                statement, schema, rng, pair_type=pair_type
+                statement,
+                schema,
+                rng,
+                pair_type=pair_type,
+                original_text=original_text,
             )
         else:
             rewrite = apply_non_equivalence_transform(
-                statement, schema, rng, pair_type=pair_type
+                statement,
+                schema,
+                rng,
+                pair_type=pair_type,
+                original_text=original_text,
             )
         if rewrite is None:
             continue
         if checker is not None:
-            verdict = checker.verdict(rewrite.original_text, rewrite.text)
+            # Both ASTs are in hand (the original from the analysis
+            # cache, the rewrite fresh from the transform), so the
+            # checker renders them directly instead of re-parsing.
+            verdict = checker.verdict(
+                rewrite.original_text,
+                rewrite.text,
+                first_statement=statement,
+                second_statement=rewrite.statement,
+            )
             if equivalent and verdict is not True:
                 continue
             if (

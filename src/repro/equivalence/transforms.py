@@ -10,7 +10,6 @@ SQLite instances before labeling it.
 
 from __future__ import annotations
 
-import copy
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -47,12 +46,18 @@ EQUIVALENCE_TYPES: tuple[str, ...] = (
 
 @dataclass
 class EquivalentRewrite:
-    """A rewritten query plus its transform label."""
+    """A rewritten query plus its transform label.
+
+    ``statement`` is the mutated AST ``text`` was rendered from — the
+    execution checker renders it directly rather than re-parsing
+    ``text``.
+    """
 
     text: str
     pair_type: str
     detail: str
     original_text: str
+    statement: Optional[n.SelectStatement] = None
 
 
 # ---------------------------------------------------------------------------
@@ -424,7 +429,7 @@ def _t_between_split(
             op="OR",
             left=n.Binary(op="<", left=target.expr, right=target.low),
             right=n.Binary(
-                op=">", left=copy.deepcopy(target.expr), right=target.high
+                op=">", left=n.clone(target.expr), right=target.high
             ),
         )
     else:
@@ -432,7 +437,7 @@ def _t_between_split(
             op="AND",
             left=n.Binary(op=">=", left=target.expr, right=target.low),
             right=n.Binary(
-                op="<=", left=copy.deepcopy(target.expr), right=target.high
+                op="<=", left=n.clone(target.expr), right=target.high
             ),
         )
     if _replace_expr(statement, target, replacement):
@@ -454,7 +459,7 @@ def _t_in_expansion(
     op = "<>" if target.negated else "="
     joiner = "AND" if target.negated else "OR"
     parts = [
-        n.Binary(op=op, left=copy.deepcopy(target.expr), right=item)
+        n.Binary(op=op, left=n.clone(target.expr), right=item)
         for item in target.items
     ]
     combined = parts[0]
@@ -560,13 +565,17 @@ def apply_equivalence_transform(
     schema: Schema,
     rng: random.Random,
     pair_type: Optional[str] = None,
+    original_text: Optional[str] = None,
 ) -> Optional[EquivalentRewrite]:
     """Apply one equivalence transform to a copy of *statement*.
 
     With *pair_type* None, applicable transforms are tried in random order.
-    Returns None when nothing applies.
+    Returns None when nothing applies.  Callers retrying many types for
+    one statement can pass the pre-rendered *original_text* to skip the
+    per-attempt re-render.
     """
-    original_text = render(statement)
+    if original_text is None:
+        original_text = render(statement)
     order = (
         [pair_type]
         if pair_type is not None
@@ -575,7 +584,7 @@ def apply_equivalence_transform(
     for candidate in order:
         if candidate not in _TRANSFORMS:
             raise KeyError(f"unknown equivalence type {candidate!r}")
-        mutated = copy.deepcopy(statement)
+        mutated = n.clone(statement)
         detail = _TRANSFORMS[candidate](mutated, schema, rng)
         if detail is None:
             continue
@@ -587,5 +596,6 @@ def apply_equivalence_transform(
             pair_type=candidate,
             detail=detail,
             original_text=original_text,
+            statement=mutated,
         )
     return None

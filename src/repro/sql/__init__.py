@@ -1,6 +1,19 @@
-"""SQL substrate: lexer, parser, AST, renderer and property extraction."""
+"""SQL substrate: lexer, parser, AST, renderer and property extraction.
+
+Hot paths should go through :mod:`repro.sql.analysis_cache`
+(``tokenize_cached`` / ``try_parse_cached`` / ``analyze_cached``), which
+memoizes per distinct query text; the raw ``tokenize`` / ``try_parse``
+entry points always recompute.
+"""
 
 from repro.sql import nodes
+from repro.sql.analysis_cache import (
+    QueryAnalysis,
+    analyze_cached,
+    parse_cached,
+    tokenize_cached,
+    try_parse_cached,
+)
 from repro.sql.errors import LexError, ParseError, RenderError, SqlError
 from repro.sql.lexer import char_count, tokenize, word_count
 from repro.sql.parser import parse_query, parse_script, parse_statement, try_parse
@@ -25,6 +38,11 @@ __all__ = [
     "parse_script",
     "parse_statement",
     "try_parse",
+    "QueryAnalysis",
+    "analyze_cached",
+    "parse_cached",
+    "tokenize_cached",
+    "try_parse_cached",
     "PROPERTY_NAMES",
     "QueryProperties",
     "extract_properties",

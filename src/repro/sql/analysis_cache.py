@@ -1,0 +1,224 @@
+"""Process-wide memoized lexing, parsing and analysis.
+
+The paper's grid reuses the *same* query texts across all five tasks and
+every model, so the pipeline used to re-lex and re-parse each text once
+per task x consumer (workload loading, property extraction, semantic
+analysis, equivalence checking, explanation prompting...).  This module
+makes parse work proportional to the number of *distinct* texts instead:
+
+* :func:`tokenize_cached` — the token stream of a text, computed once;
+* :func:`parse_cached` / :func:`try_parse_cached` — the parsed
+  statement, computed once (parse/lex failures are memoized too, since
+  corrupted texts are re-probed just as often as clean ones);
+* :func:`analyze_cached` — a :class:`QueryAnalysis` bundling tokens,
+  statement and structural properties, computed once.
+
+All caches are bounded LRUs (:data:`LRU_CAPACITY` entries), safe for a
+long-lived process.  Counters (:func:`counters`) expose how many *raw*
+lexes/parses actually ran — the regression tests assert one parse per
+distinct text for a mutation-free grid run.
+
+**Sharing contract**: cached values are shared across every caller in
+the process.  Token tuples and :class:`QueryAnalysis` are immutable;
+statements (ASTs) are mutable dataclasses and MUST be treated as frozen
+shared values — any transform that mutates must operate on a copy
+(:func:`repro.sql.nodes.clone`), which is exactly what the corruption
+injectors and equivalence transforms do.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql import nodes as n
+from repro.sql.lexer import Lexer
+from repro.sql.parser import Parser
+from repro.sql.tokens import Token, TokenKind
+
+#: Bound for each memo table.  Large enough to hold every distinct text
+#: a full grid run touches (workload queries + corrupted variants +
+#: rewrites), small enough that a pathological caller cannot exhaust
+#: memory.
+LRU_CAPACITY = 8192
+
+
+@dataclass
+class CacheCounters:
+    """How much raw work ran vs how much the memo layer absorbed."""
+
+    raw_tokenizes: int = 0
+    raw_parses: int = 0
+    tokenize_hits: int = 0
+    tokenize_misses: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+_raw = CacheCounters()
+_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class QueryAnalysis:
+    """Everything the pipeline derives from one query text, computed once.
+
+    ``tokens`` is None when the text does not lex; ``statement`` is None
+    when it does not parse.  ``properties`` always holds a measurement
+    (AST-based when parsed, token-scan fallback otherwise), matching
+    :func:`repro.sql.properties.extract_properties`.
+    """
+
+    text: str
+    tokens: Optional[tuple[Token, ...]]
+    statement: Optional[n.Statement]
+    properties: object  # QueryProperties; untyped to avoid an import cycle
+
+    @property
+    def parses(self) -> bool:
+        return self.statement is not None
+
+
+# ---------------------------------------------------------------------------
+# Memo tables.  Failures are cached as values: corrupted texts (the
+# miss_token corpus is unparseable by design) are re-probed as often as
+# clean ones, so "this text does not parse" is as valuable to remember
+# as a successful AST.
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=LRU_CAPACITY)
+def _tokenize_entry(
+    text: str,
+) -> tuple[Optional[tuple[Token, ...]], Optional[Exception]]:
+    with _lock:
+        _raw.raw_tokenizes += 1
+    try:
+        return tuple(Lexer(text).tokenize()), None
+    except Exception as error:
+        return None, error
+
+
+@functools.lru_cache(maxsize=LRU_CAPACITY)
+def _parse_entry(
+    text: str,
+) -> tuple[Optional[n.Statement], Optional[Exception]]:
+    with _lock:
+        _raw.raw_parses += 1
+    # Reuse the memoized token stream: a text that is both analyzed and
+    # parsed is lexed exactly once per process.
+    tokens, lex_error = _tokenize_entry(text)
+    if lex_error is not None:
+        return None, lex_error
+    try:
+        parser = Parser(text, tokens=tokens)
+        statement = parser.parse_statement()
+        parser._accept_punct(";")
+        if parser.current.kind is not TokenKind.EOF:
+            raise parser._error("unexpected trailing input")
+        return statement, None
+    except Exception as error:
+        return None, error
+
+
+@functools.lru_cache(maxsize=LRU_CAPACITY)
+def _analysis_entry(text: str) -> QueryAnalysis:
+    tokens, _ = _tokenize_entry(text)
+    statement, _ = _parse_entry(text)
+    # Imported lazily: properties sits on top of this module.
+    from repro.sql.properties import (
+        extract_statement_properties,
+        properties_from_tokens,
+    )
+
+    if statement is not None:
+        properties = extract_statement_properties(statement, text)
+    else:
+        properties = properties_from_tokens(text)
+    return QueryAnalysis(
+        text=text, tokens=tokens, statement=statement, properties=properties
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def tokenize_cached(text: str) -> tuple[Token, ...]:
+    """The memoized token stream of *text* (EOF-terminated, immutable).
+
+    Raises the original :class:`~repro.sql.errors.LexError` for
+    unlexable text, exactly like :func:`repro.sql.lexer.tokenize`.
+    """
+    tokens, error = _tokenize_entry(text)
+    if error is not None:
+        raise error
+    return tokens
+
+
+def parse_cached(text: str) -> n.Statement:
+    """The memoized parsed statement of *text*.
+
+    Raises the original parse/lex error for invalid text, exactly like
+    :func:`repro.sql.parser.parse_statement`.  The returned AST is a
+    **shared value**: callers that mutate must copy first
+    (:func:`repro.sql.nodes.clone`).
+    """
+    statement, error = _parse_entry(text)
+    if error is not None:
+        raise error
+    return statement
+
+
+def try_parse_cached(text: str) -> Optional[n.Statement]:
+    """Memoized :func:`repro.sql.parser.try_parse`: None on any failure.
+
+    The returned AST is a **shared value**: callers that mutate must
+    copy first (:func:`repro.sql.nodes.clone`).
+    """
+    statement, _ = _parse_entry(text)
+    return statement
+
+
+def analyze_cached(text: str) -> QueryAnalysis:
+    """The full memoized analysis record for *text*."""
+    return _analysis_entry(text)
+
+
+def properties_cached(text: str):
+    """Memoized structural properties of *text* (QueryProperties).
+
+    Shared value — callers must not mutate the returned record.
+    """
+    return _analysis_entry(text).properties
+
+
+def counters() -> CacheCounters:
+    """A snapshot of raw-work and hit/miss counters for this process."""
+    with _lock:
+        snapshot = CacheCounters(**_raw.as_dict())
+    tok = _tokenize_entry.cache_info()
+    par = _parse_entry.cache_info()
+    ana = _analysis_entry.cache_info()
+    snapshot.tokenize_hits, snapshot.tokenize_misses = tok.hits, tok.misses
+    snapshot.parse_hits, snapshot.parse_misses = par.hits, par.misses
+    snapshot.analysis_hits, snapshot.analysis_misses = ana.hits, ana.misses
+    return snapshot
+
+
+def reset_caches() -> None:
+    """Drop all memoized entries and zero the counters (test isolation)."""
+    _analysis_entry.cache_clear()
+    _parse_entry.cache_clear()
+    _tokenize_entry.cache_clear()
+    with _lock:
+        _raw.raw_tokenizes = 0
+        _raw.raw_parses = 0

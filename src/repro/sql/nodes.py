@@ -11,13 +11,29 @@ from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional, Union
 
 
+#: Per-class field-name cache: ``dataclasses.fields`` is surprisingly
+#: expensive to call once per node per traversal, and traversals
+#: (property extraction, transforms, semantic analysis) dominate the
+#: engine's dataset-build hot path.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))  # type: ignore[arg-type]
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 class Node:
     """Base class for all AST nodes."""
 
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes (dataclass fields, recursing into lists)."""
-        for f in fields(self):  # type: ignore[arg-type]
-            value = getattr(self, f.name)
+        own = self.__dict__
+        for name in _field_names(self.__class__):
+            value = own[name]
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, (list, tuple)):
@@ -37,6 +53,37 @@ def walk(node: Node) -> Iterator[Node]:
         current = stack.pop()
         yield current
         stack.extend(reversed(list(current.children())))
+
+
+def _clone_value(value):
+    if isinstance(value, Node):
+        return clone(value)
+    if isinstance(value, list):
+        return [_clone_value(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(item) for item in value)
+    return value  # str/int/float/bool/None — immutable leaves
+
+
+def clone(node: Node) -> Node:
+    """A deep structural copy of an AST, several times faster than
+    ``copy.deepcopy``.
+
+    Parser output is strictly a tree (no shared sub-nodes), so a plain
+    recursive rebuild is equivalent to ``deepcopy`` while skipping its
+    memo bookkeeping and reduce-protocol dispatch.  Transforms use this
+    for their mutate-a-copy discipline; it is also the required first
+    step before mutating any AST obtained from
+    :mod:`repro.sql.analysis_cache`, whose statements are shared values.
+    """
+    cls = node.__class__
+    names = _field_names(cls)
+    copy = cls.__new__(cls)
+    copy_dict = copy.__dict__
+    node_dict = node.__dict__
+    for name in names:
+        copy_dict[name] = _clone_value(node_dict[name])
+    return copy
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,8 @@ by :mod:`repro.analysis.semantics` instead.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from repro.sql import nodes as n
 from repro.sql.errors import ParseError
 from repro.sql.lexer import tokenize
@@ -26,9 +28,13 @@ _JOIN_KINDS = {"INNER", "LEFT", "RIGHT", "FULL", "CROSS"}
 class Parser:
     """Parses a token stream into the AST of :mod:`repro.sql.nodes`."""
 
-    def __init__(self, text: str) -> None:
+    def __init__(
+        self, text: str, tokens: Optional[Sequence[Token]] = None
+    ) -> None:
         self.text = text
-        self.tokens = tokenize(text)
+        # An already-lexed stream (e.g. from the analysis cache) can be
+        # passed in to avoid re-tokenizing; the parser never mutates it.
+        self.tokens = tokenize(text) if tokens is None else tokens
         self.index = 0
 
     # -- token helpers ------------------------------------------------------

@@ -14,8 +14,6 @@ from dataclasses import dataclass, field
 
 from repro.sql import nodes as n
 from repro.sql.keywords import AGGREGATE_FUNCTIONS, JOIN_KEYWORDS, STATEMENT_OPENERS
-from repro.sql.lexer import tokenize
-from repro.sql.parser import try_parse
 from repro.sql.tokens import TokenKind
 
 #: Property names in the order the paper's Figure 4 heatmaps use them.
@@ -81,10 +79,17 @@ def extract_properties(text: str) -> QueryProperties:
 
     The fallback matters because corrupted queries (missing tokens) may not
     parse, yet the evaluation framework still needs rough size properties.
+
+    Parsing goes through the process-wide memo layer
+    (:mod:`repro.sql.analysis_cache`), so repeated measurement of the
+    same text costs one parse total; the returned record is always a
+    fresh (caller-owned) object.
     """
-    statement = try_parse(text)
+    from repro.sql.analysis_cache import try_parse_cached
+
+    statement = try_parse_cached(text)
     if statement is None:
-        return _properties_from_tokens(text)
+        return properties_from_tokens(text)
     props = _properties_from_ast(statement)
     props.char_count = len(text)
     props.word_count = len(text.split())
@@ -294,10 +299,13 @@ def _select_column_count(statement: n.Statement) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _properties_from_tokens(text: str) -> QueryProperties:
+def properties_from_tokens(text: str) -> QueryProperties:
+    """Token-scan measurement for text that does not parse."""
+    from repro.sql.analysis_cache import tokenize_cached
+
     props = QueryProperties(char_count=len(text), word_count=len(text.split()))
     try:
-        tokens = tokenize(text)
+        tokens = tokenize_cached(text)
     except Exception:
         props.query_type = _guess_query_type(text)
         return props
@@ -338,8 +346,10 @@ def _guess_query_type(text: str) -> str:
 
 def has_explicit_join(text: str) -> bool:
     """Quick token-level check for explicit join keywords."""
+    from repro.sql.analysis_cache import tokenize_cached
+
     try:
-        tokens = tokenize(text)
+        tokens = tokenize_cached(text)
     except Exception:
         return False
     return any(

@@ -51,9 +51,9 @@ def ask_query_exp(
     """Prompt the model for an explanation."""
     template = prompt or prompt_for(PROMPT_KEY)
     if statement is None:
-        from repro.sql.parser import try_parse
+        from repro.sql.analysis_cache import try_parse_cached
 
-        statement = try_parse(instance.payload["query"])
+        statement = try_parse_cached(instance.payload["query"])
     response = model.answer_explanation(
         instance.instance_id,
         instance.payload["query"],

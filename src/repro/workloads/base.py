@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.schema.model import Schema
 from repro.sql import nodes
-from repro.sql.parser import try_parse
+from repro.sql.analysis_cache import try_parse_cached
 from repro.sql.properties import QueryProperties, extract_statement_properties
 
 SDSS = "sdss"
@@ -65,9 +65,15 @@ class WorkloadQuery:
 
     @property
     def statement(self) -> Optional[nodes.Statement]:
-        """The parsed AST (None when the text does not parse)."""
+        """The parsed AST (None when the text does not parse).
+
+        Served from the process-wide analysis cache: a **shared value**
+        that must be copied (:func:`repro.sql.nodes.clone`) before any
+        mutation — the corruption injectors and equivalence transforms
+        already follow that discipline.
+        """
         if self._statement is None:
-            self._statement = try_parse(self.text)
+            self._statement = try_parse_cached(self.text)
         return self._statement
 
     @property
@@ -80,9 +86,9 @@ class WorkloadQuery:
                     statement, self.text
                 )
             else:
-                from repro.sql.properties import extract_properties
+                from repro.sql.properties import properties_from_tokens
 
-                self._properties = extract_properties(self.text)
+                self._properties = properties_from_tokens(self.text)
         return self._properties
 
 

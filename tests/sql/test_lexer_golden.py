@@ -1,0 +1,51 @@
+"""Golden byte-identity test for the regex lexer.
+
+``tests/golden/lexer_tokens.json`` was recorded from the original
+character-at-a-time scanner over synthetic edge cases plus a 160-query
+sample of all four workloads.  The regex lexer must reproduce every
+stream field-for-field (kind, value, character offset, word index, end
+offset) and raise on exactly the inputs the old scanner raised on.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sql.errors import LexError
+from repro.sql.lexer import tokenize
+
+FIXTURE = Path(__file__).resolve().parents[1] / "golden" / "lexer_tokens.json"
+
+
+def _entries():
+    return json.loads(FIXTURE.read_text())
+
+
+def test_fixture_is_substantial():
+    entries = _entries()
+    assert len(entries) >= 150
+    assert sum(len(e.get("tokens", [])) for e in entries) >= 10_000
+
+
+def test_token_streams_byte_identical_to_recorded_scanner():
+    mismatches = []
+    for entry in _entries():
+        if "error" in entry:
+            continue
+        got = [
+            [t.kind.value, t.value, t.position, t.word_index, t.end]
+            for t in tokenize(entry["text"])
+        ]
+        if got != entry["tokens"]:
+            mismatches.append(entry["text"])
+    assert not mismatches, f"{len(mismatches)} stream(s) diverge: {mismatches[:3]}"
+
+
+def test_error_inputs_still_raise():
+    for entry in _entries():
+        if "error" not in entry:
+            continue
+        assert entry["error"] == "LexError"
+        with pytest.raises(LexError):
+            tokenize(entry["text"])

@@ -1,0 +1,54 @@
+"""``nodes.clone``: the fast structural copy behind mutate-a-copy.
+
+Transforms and injectors clone shared (cached) ASTs before mutating;
+the clone must be equal, fully detached, and round-trip through the
+renderer identically to the original.
+"""
+
+import copy
+
+from repro.sql import nodes as n
+from repro.sql.parser import parse_statement
+from repro.sql.render import render
+
+QUERIES = [
+    "SELECT a, b FROM t WHERE a > 1 AND b IN (1, 2, 3)",
+    "SELECT t.x FROM t JOIN u ON t.id = u.id ORDER BY t.x DESC",
+    "WITH c AS (SELECT a FROM t) SELECT * FROM c WHERE a BETWEEN 1 AND 9",
+    "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+    "INSERT INTO t (a, b) VALUES (1, 'two'), (3, 'four')",
+    "UPDATE t SET a = a + 1 WHERE b = 'x'",
+    "SELECT (SELECT MAX(x) FROM u WHERE u.id = t.id) FROM t",
+]
+
+
+class TestClone:
+    def test_clone_is_equal_and_matches_deepcopy(self):
+        for text in QUERIES:
+            statement = parse_statement(text)
+            cloned = n.clone(statement)
+            assert cloned == statement
+            assert cloned == copy.deepcopy(statement)
+
+    def test_clone_shares_no_nodes_with_the_original(self):
+        for text in QUERIES:
+            statement = parse_statement(text)
+            original_ids = {id(node) for node in n.walk(statement)}
+            for node in n.walk(n.clone(statement)):
+                assert id(node) not in original_ids
+
+    def test_mutating_the_clone_leaves_the_original_untouched(self):
+        statement = parse_statement("SELECT a FROM t WHERE a > 1")
+        before = render(statement)
+        cloned = n.clone(statement)
+        for node in n.walk(cloned):
+            if isinstance(node, n.ColumnRef):
+                node.name = "mutated"
+        assert render(statement) == before
+        assert "mutated" in render(cloned)
+
+    def test_clone_renders_identically(self):
+        for text in QUERIES:
+            statement = parse_statement(text)
+            assert render(n.clone(statement)) == render(statement)
