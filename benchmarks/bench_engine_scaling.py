@@ -113,6 +113,59 @@ def run(task: str, workers: int, max_instances: int | None, seed: int) -> dict:
     return results
 
 
+def bench_dispatcher(
+    levels: tuple[int, ...] = (1, 4, 8),
+    requests: int = 400,
+    latency_s: float = 0.002,
+) -> dict:
+    """Dispatcher throughput at several ``--max-concurrency`` levels.
+
+    Uses a latency-injecting fake backend (an async sleep standing in
+    for network round-trip time), so the measured requests/second shows
+    how much of the per-request latency the dispatcher's bounded
+    concurrency actually hides: ideal scaling is linear in the level
+    until CPU or rate limits bite.
+    """
+    import asyncio
+
+    from repro.llm.backends.base import BaseBackend, ModelRequest
+    from repro.llm.backends.dispatch import AsyncDispatcher
+    from repro.llm.base import LLMResponse
+
+    class LatencyBackend(BaseBackend):
+        name = "latency-sim"
+
+        async def acomplete(self, request: ModelRequest) -> LLMResponse:
+            await asyncio.sleep(latency_s)
+            return LLMResponse(text="Yes.", model=request.model)
+
+    batch = [
+        ModelRequest(
+            request_id=f"bench-{i}",
+            task="performance_pred",
+            model="gpt4",
+            prompt_text=f"bench prompt {i}",
+        )
+        for i in range(requests)
+    ]
+    throughput: dict[str, dict] = {}
+    for level in levels:
+        dispatcher = AsyncDispatcher(LatencyBackend(), max_concurrency=level)
+        start = time.perf_counter()
+        responses = dispatcher.run_sync(batch)
+        elapsed = time.perf_counter() - start
+        assert len(responses) == requests
+        throughput[str(level)] = {
+            "seconds": round(elapsed, 4),
+            "rps": round(requests / elapsed, 1) if elapsed else None,
+        }
+    return {
+        "requests": requests,
+        "simulated_latency_s": latency_s,
+        "by_max_concurrency": throughput,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--task", default="query_equiv")
@@ -122,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     results = run(args.task, args.workers, args.max_instances, args.seed)
+    results["dispatcher"] = bench_dispatcher()
     OUT.write_text(json.dumps(results, indent=2) + "\n")
 
     print(f"grid            : {args.task}, {results['cells']} cells on "
@@ -139,6 +193,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{results['cache_recomputed_cells']} recomputed)"
     )
     print(f"identical       : {results['identical'] and results['cache_identical']}")
+    dispatcher = results["dispatcher"]
+    rendered = ", ".join(
+        f"c={level}: {stats['rps']} rps"
+        for level, stats in dispatcher["by_max_concurrency"].items()
+    )
+    print(
+        f"dispatcher      : {dispatcher['requests']} reqs @ "
+        f"{dispatcher['simulated_latency_s'] * 1000:.0f}ms fake latency — "
+        f"{rendered}"
+    )
     print(f"wrote {OUT}")
     if not (results["identical"] and results["cache_identical"]):
         return 1

@@ -1,0 +1,49 @@
+"""Run a repro CLI command with network access disabled.
+
+Usage::
+
+    python scripts/offline_guard.py run table6 --backend replay ...
+
+Every socket connection attempt (TCP, UDP, anything going through
+``socket.socket``) raises before a single packet leaves the machine,
+so a CI job wrapped in this guard *proves* the replay backend touches
+no network: if any code path tries to dial out, the run fails loudly.
+
+Worker processes inherit the guard on Linux (the pool forks after the
+patch is applied).
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+
+
+class NetworkBlockedError(RuntimeError):
+    pass
+
+
+def _blocked(*args, **kwargs):
+    raise NetworkBlockedError(
+        "network access is disabled by scripts/offline_guard.py; "
+        "an offline run attempted to open a connection"
+    )
+
+
+def install_guard() -> None:
+    socket.socket.connect = _blocked  # type: ignore[method-assign]
+    socket.socket.connect_ex = _blocked  # type: ignore[method-assign]
+    socket.socket.sendto = _blocked  # type: ignore[method-assign]
+    socket.create_connection = _blocked  # type: ignore[assignment]
+    socket.getaddrinfo = _blocked  # type: ignore[assignment]
+
+
+def main(argv: list[str]) -> int:
+    install_guard()
+    from repro.cli import main as repro_main
+
+    return repro_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

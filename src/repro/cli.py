@@ -10,6 +10,11 @@ Subcommands:
   Every run that evaluates grid cells also persists a RunRecord under
   ``--runs-dir`` (``results/runs/`` by default; ``--no-record`` skips);
 * ``workloads`` — print the Table 2 overview for all four workloads;
+* ``backends list`` — show the registered model backends.  ``run``
+  selects one with ``--backend NAME`` (plus ``--backend-opt KEY=VALUE``
+  for endpoint options, ``--max-concurrency`` / ``--rps`` for the
+  dispatcher, and ``--fixtures-dir`` / ``--record-fixtures`` for the
+  record/replay transport);
 * ``cache info|clear`` — inspect or wipe the on-disk result cache;
 * ``runs list|show`` — browse persisted RunRecords;
 * ``report [RUN_ID]`` — render the Markdown + HTML + JSON report bundle
@@ -105,8 +110,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not persist a RunRecord for this run",
     )
+    run_parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=None,
+        help="cap instances per dataset (smoke runs, fixture recording)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        default="simulated",
+        help="model backend (see 'repro backends list')",
+    )
+    run_parser.add_argument(
+        "--backend-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. base_url=http://host/v1",
+    )
+    run_parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="dispatcher in-flight request bound (default 8)",
+    )
+    run_parser.add_argument(
+        "--rps",
+        type=float,
+        default=None,
+        help="dispatcher sustained requests/second (default: unthrottled)",
+    )
+    run_parser.add_argument(
+        "--fixtures-dir",
+        type=Path,
+        default=None,
+        help="fixtures directory for the replay backend",
+    )
+    run_parser.add_argument(
+        "--record-fixtures",
+        action="store_true",
+        help="replay backend records through its inner backend",
+    )
 
     subparsers.add_parser("workloads", help="print the Table 2 overview")
+
+    backends_parser = subparsers.add_parser(
+        "backends", help="list the registered model backends"
+    )
+    backends_parser.add_argument("action", choices=("list",))
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or wipe the on-disk result cache"
@@ -220,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    from repro.llm.backends import (
+        DEFAULT_MAX_CONCURRENCY,
+        backend_names,
+        spec_from_cli,
+    )
     from repro.reporting.run_record import RunRecordStore
 
     wanted = list(args.artifacts)
@@ -235,11 +291,49 @@ def _cmd_run(args) -> int:
     if args.shard_size is not None and args.shard_size < 1:
         print(f"--shard-size must be >= 1, got {args.shard_size}", file=sys.stderr)
         return 2
+    if args.max_concurrency is not None and args.max_concurrency < 1:
+        print(
+            f"--max-concurrency must be >= 1, got {args.max_concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rps is not None and args.rps <= 0:
+        print(f"--rps must be > 0, got {args.rps}", file=sys.stderr)
+        return 2
+    if args.max_instances is not None and args.max_instances < 1:
+        print(
+            f"--max-instances must be >= 1, got {args.max_instances}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        backend_spec = spec_from_cli(
+            args.backend,
+            opts=args.backend_opt,
+            fixtures_dir=(
+                str(args.fixtures_dir) if args.fixtures_dir is not None else None
+            ),
+            record_fixtures=args.record_fixtures,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if backend_spec.name not in backend_names():
+        print(
+            f"unknown backend {backend_spec.name!r}; "
+            f"see 'repro backends list'",
+            file=sys.stderr,
+        )
+        return 2
     runner = ExperimentRunner(
         seed=args.seed,
         workers=args.workers,
         shard_size=args.shard_size,
         cache_dir=None if args.no_cache else args.cache_dir,
+        max_instances=args.max_instances,
+        backend=backend_spec,
+        max_concurrency=args.max_concurrency or DEFAULT_MAX_CONCURRENCY,
+        rps=args.rps,
     )
     artifact_seconds: dict[str, float] = {}
     run_started = time.perf_counter()
@@ -259,7 +353,7 @@ def _cmd_run(args) -> int:
         runner.close()
     engine = runner.engine
     print(
-        f"[engine] workers={args.workers} "
+        f"[engine] workers={args.workers} backend={backend_spec.name} "
         f"cells computed={engine.computed_cells} "
         f"cached={engine.cached_cells}"
         + ("" if args.no_cache else f" (cache: {args.cache_dir})"),
@@ -318,6 +412,13 @@ def _cmd_runs(args) -> int:
     print(f"created  : {record.created_at}")
     print(f"seed     : {record.seed}  workers: {record.workers}")
     print(f"source   : {record.source_fingerprint[:12]}")
+    backend_line = record.backend
+    if record.backend_options:
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(record.backend_options.items())
+        )
+        backend_line += f" ({rendered})"
+    print(f"backend  : {backend_line}")
     print(f"cache    : {record.cache_dir or '(disabled)'}")
     print(f"artifacts: {', '.join(record.artifacts) or '(none)'}")
     print(
@@ -393,15 +494,24 @@ def _cmd_report(args) -> int:
             )
             return 2
 
-    # Re-read every recorded task's grid through the engine cache: on a
-    # warm cache this touches no model at all, and the regenerated
-    # metrics are guaranteed consistent with the current code.
+    # Re-read every recorded task's grid through the engine cache, via
+    # the *same backend* the run was recorded with: on a warm cache this
+    # touches no model at all, and the regenerated metrics are
+    # guaranteed consistent with the current code.  A recording run's
+    # 'mode' option is dropped — reporting must replay, never re-record
+    # (record mode bypasses the cell cache and re-invokes the inner
+    # backend).
+    from repro.llm.backends import BackendSpec
+
+    backend_options = dict(stored.backend_options)
+    backend_options.pop("mode", None)
     runner = ExperimentRunner(
         seed=stored.seed,
         workers=args.workers,
         shard_size=args.shard_size,
         max_instances=stored.max_instances,
         cache_dir=args.cache_dir,
+        backend=BackendSpec.build(stored.backend, backend_options),
     )
     try:
         grids = {
@@ -447,6 +557,13 @@ def main(argv: list[str] | None = None) -> int:
         for path in written:
             print(path)
         print(f"exported {len(written)} dataset files to {args.out}")
+        return 0
+    if args.command == "backends":
+        from repro.llm.backends import describe_backends
+
+        width = max(len(name) for name, _ in describe_backends())
+        for name, description in describe_backends():
+            print(f"{name:{width}s}  {description}")
         return 0
     if args.command == "cache":
         from repro.engine.cache import ResultCache

@@ -150,9 +150,21 @@ def _log(value):
 
 
 def _normalise_cell(cell):
-    """Round floats so equivalent arithmetic compares equal."""
+    """Quantise floats so equivalent arithmetic compares equal.
+
+    Rounding to a fixed *absolute* number of decimals breaks down at
+    large magnitudes: ``1234567.0499997`` and ``1234567.0500001`` differ
+    only by 4e-7 yet ``round(_, 6)`` keeps them apart, flipping an
+    equivalence verdict.  Instead the retained decimal places shrink
+    with the integer magnitude (a relative tolerance of roughly six
+    significant digits), while sub-ten magnitudes keep the original six
+    decimal places.
+    """
     if isinstance(cell, float):
-        return round(cell, 6)
+        if not math.isfinite(cell) or cell == 0.0:
+            return cell
+        magnitude = math.floor(math.log10(abs(cell)))
+        return round(cell, 6 - max(magnitude, 0))
     return cell
 
 

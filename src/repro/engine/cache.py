@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.llm.backends.base import SIMULATED_SPEC, BackendSpec
 from repro.llm.profiles import ModelProfile
 from repro.prompts.templates import PromptTemplate, prompt_for
 from repro.tasks.base import ModelAnswer, TaskDataset
@@ -88,8 +89,21 @@ def cell_key(
     workload: str,
     max_instances: Optional[int],
     prompt: Optional[PromptTemplate],
+    backend: Optional[BackendSpec] = None,
+    backend_state: str = "",
 ) -> str:
-    """Content address of one evaluated cell."""
+    """Content address of one evaluated cell.
+
+    ``backend`` (None means the default in-process simulator) folds the
+    backend identity — registry name plus every option, including the
+    endpoint URL — into the key, so answers obtained from one backend
+    can never be served to a run using another backend or another
+    endpoint of the same backend.  ``backend_state`` additionally folds
+    mutable external state feeding the backend's answers (the replay
+    backend's fixture-content hash), so editing that state invalidates
+    cells cached against the old responses.
+    """
+    spec = backend if backend is not None else SIMULATED_SPEC
     payload = json.dumps(
         {
             "version": CACHE_VERSION,
@@ -100,6 +114,8 @@ def cell_key(
             "workload": workload,
             "max_instances": max_instances,
             "prompt": prompt_fingerprint(task, prompt),
+            "backend": spec.fingerprint(),
+            "backend_state": backend_state,
         },
         sort_keys=True,
     )

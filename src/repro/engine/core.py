@@ -13,7 +13,13 @@ tests and small runs free of pool start-up cost.
 
 With a cache directory configured, evaluated cells are persisted through
 :mod:`repro.engine.cache`; re-running a grid only recomputes cells whose
-inputs (seed, profile, prompt, workload, instance cap) changed.
+inputs (seed, profile, prompt, workload, instance cap, backend) changed.
+
+Model calls go through the pluggable backend layer
+(:mod:`repro.llm.backends`): each shard's requests are batched through
+an async dispatcher (bounded concurrency, rate limiting, retries) to
+the configured backend — the in-process simulator by default, an HTTP
+endpoint or a record/replay fixture store otherwise.
 """
 
 from __future__ import annotations
@@ -42,11 +48,24 @@ from repro.engine.worker import (
     build_workload_datasets_remote,
     evaluate_shard,
 )
+from repro.llm.backends import (
+    DEFAULT_MAX_CONCURRENCY,
+    SIMULATED_SPEC,
+    AsyncDispatcher,
+    BackendSpec,
+    ModelBackend,
+    create_backend,
+)
 from repro.llm.profiles import MODEL_PROFILES, ModelProfile
 from repro.llm.simulated import SimulatedLLM
 from repro.prompts.templates import PromptTemplate
 from repro.tasks.base import ModelAnswer, TaskDataset
-from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
+from repro.tasks.registry import (
+    TASK_WORKLOADS,
+    answers_from_responses,
+    build_dataset,
+    build_request,
+)
 from repro.workloads import load_workload
 from repro.workloads.base import Workload
 
@@ -63,12 +82,24 @@ class EngineConfig:
     shard_size: int = DEFAULT_SHARD_SIZE
     cache_dir: Optional[Path] = None  # None disables the result cache
     max_instances: Optional[int] = None
+    #: Which model backend answers requests (default: the simulator).
+    backend: BackendSpec = SIMULATED_SPEC
+    #: Dispatcher knobs: in-flight bound and sustained requests/second
+    #: (None = unthrottled; the simulator needs no throttle).
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY
+    rps: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.rps is not None and self.rps <= 0:
+            raise ValueError(f"rps must be > 0, got {self.rps}")
 
 
 @dataclass(frozen=True)
@@ -122,7 +153,15 @@ class ExperimentEngine:
         self.cell_log: list[CellLog] = []
         self._workloads: dict[str, Workload] = {}
         self._datasets: dict[tuple[str, str], TaskDataset] = {}
-        self._clients = {profile.name: SimulatedLLM(profile) for profile in models}
+        #: Lazily built: evaluation goes through backend_for(); direct
+        #: simulator access survives for ablation harnesses only.
+        self._clients: dict[str, SimulatedLLM] = {}
+        self._backends: dict[str, ModelBackend] = {}
+        #: Shared token-bucket fill level for the serial path, so --rps
+        #: is sustained across cells instead of re-bursting per cell.
+        self._bucket_state = None
+        #: Memoised fixtures-content hash (replay mode; one IO pass).
+        self._backend_state_memo: Optional[str] = None
         self._by_name = {profile.name: profile for profile in models}
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -170,7 +209,44 @@ class ExperimentEngine:
             )
 
     def client(self, model_name: str) -> SimulatedLLM:
+        """Direct simulator access (ablation harnesses; not the grid path)."""
+        if model_name not in self._clients:
+            self._clients[model_name] = SimulatedLLM(self.profile(model_name))
         return self._clients[model_name]
+
+    def backend_for(self, model_name: str) -> ModelBackend:
+        """The configured backend instance for one model (memoised)."""
+        if model_name not in self._backends:
+            self._backends[model_name] = create_backend(
+                self.config.backend, self.profile(model_name)
+            )
+        return self._backends[model_name]
+
+    def _backend_is_recording(self) -> bool:
+        """Whether runs exist for their side effects (fixture writing)."""
+        return self.config.backend.option("mode") == "record"
+
+    def _backend_state(self) -> str:
+        """External state feeding the backend's answers, for cache keys.
+
+        Replay-mode fixtures are an input like source code or the seed:
+        their content hash joins the cell key so edited or re-recorded
+        fixtures invalidate cells cached against the old responses.
+        Recording runs return "" (they never read the cell cache, and
+        their fixture store mutates while they run).
+        """
+        spec = self.config.backend
+        if spec.name != "replay" or self._backend_is_recording():
+            return ""
+        if self._backend_state_memo is None:
+            from repro.llm.backends.replay import (
+                DEFAULT_FIXTURES_DIR,
+                fixtures_fingerprint,
+            )
+
+            root = spec.option("dir") or str(DEFAULT_FIXTURES_DIR)
+            self._backend_state_memo = fixtures_fingerprint(Path(root))
+        return self._backend_state_memo
 
     def profile(self, model_name: str) -> ModelProfile:
         try:
@@ -188,10 +264,15 @@ class ExperimentEngine:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and backends (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        for backend in self._backends.values():
+            closer = getattr(backend, "close", None)
+            if closer is not None:
+                closer()
+        self._backends.clear()
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -256,8 +337,20 @@ class ExperimentEngine:
                     workload_name,
                     self.config.max_instances,
                     prompt,
+                    backend=self.config.backend,
+                    backend_state=self._backend_state(),
                 )
-                answers = self.cache.get(key, expected_ids=dataset.instance_ids())
+                # A recording run's purpose is its side effect (writing
+                # fixtures through the inner backend), so cached cells
+                # must not elide it — and its cache entries would be
+                # unreadable anyway (no later run shares the
+                # mode=record fingerprint), so it skips the cache in
+                # both directions.
+                answers = (
+                    None
+                    if self._backend_is_recording()
+                    else self.cache.get(key, expected_ids=dataset.instance_ids())
+                )
                 if answers is not None:
                     self.cached_cells += 1
                     result = CellResult(
@@ -300,7 +393,11 @@ class ExperimentEngine:
                 max_shard,
             ) in zip(pending, evaluated, cell_seconds, cell_max_shard):
                 self.computed_cells += 1
-                if self.cache is not None and key is not None:
+                if (
+                    self.cache is not None
+                    and key is not None
+                    and not self._backend_is_recording()
+                ):
                     self.cache.put(
                         key,
                         answers,
@@ -418,19 +515,38 @@ class ExperimentEngine:
         dataset: TaskDataset,
         prompt: Optional[PromptTemplate],
     ) -> list[ModelAnswer]:
-        """In-process fallback: same shard plan, executed sequentially."""
-        client = self.client(profile.name)
+        """In-process fallback: same shard plan, batched per shard.
+
+        Each shard's requests go through the async dispatcher as one
+        batch (bounded concurrency, rate limiting, retries) instead of
+        one blocking call at a time — with the simulated backend the
+        answers are byte-identical either way, and with an HTTP backend
+        the shard's requests overlap on the wire.
+        """
+        backend = self.backend_for(profile.name)
+        dispatcher = AsyncDispatcher(
+            backend,
+            max_concurrency=self.config.max_concurrency,
+            rps=self.config.rps,
+            bucket_state=self._bucket_state,
+        )
         parts: list[tuple[int, list[ModelAnswer]]] = []
         for shard in plan_shards(len(dataset.instances), self.config.shard_size):
+            instances = shard.slice(dataset.instances)
+            responses = dispatcher.run_sync(
+                [
+                    build_request(task, profile.name, instance, prompt)
+                    for instance in instances
+                ]
+            )
             parts.append(
                 (
                     shard.index,
-                    [
-                        ask(task, client, instance, prompt)
-                        for instance in shard.slice(dataset.instances)
-                    ],
+                    answers_from_responses(task, instances, responses, profile.name),
                 )
             )
+        if self.config.rps is not None:
+            self._bucket_state = dispatcher.bucket_state
         return merge_shards(parts)
 
     def _evaluate_parallel(
@@ -491,6 +607,9 @@ class ExperimentEngine:
                                 else tuple(shard.slice(dataset.instances))
                             ),
                             prompt=prompt,
+                            backend=self.config.backend,
+                            max_concurrency=self.config.max_concurrency,
+                            rps=self.config.rps,
                         ),
                     )
                     for shard in shards

@@ -8,9 +8,12 @@ Two kinds of work cross the pool boundary:
   zero-copy dispatch: IPC cost is a few hundred bytes per shard no
   matter how large the instance payloads are.  Workers materialize each
   dataset once per process (memo first, then the dataset cache on disk,
-  then a deterministic rebuild) and slice locally.  When no cache
-  directory is configured the spec falls back to carrying the instances
-  inline, which is the old behaviour;
+  then a deterministic rebuild), slice locally, and batch the slice's
+  requests through the async dispatcher to the spec's backend
+  (backends are memoised per process, so replay stores and HTTP pools
+  survive across shards).  When no cache directory is configured the
+  spec falls back to carrying the instances inline, which is the old
+  behaviour;
 * :func:`build_dataset_remote` — construct one dataset in a worker so
   the parent can overlap dataset construction across (task, workload)
   pairs.  ``build_dataset`` is deterministic in its arguments, so the
@@ -32,17 +35,29 @@ from pathlib import Path
 from typing import Optional
 
 from repro.engine.cache import ResultCache
+from repro.llm.backends import (
+    DEFAULT_MAX_CONCURRENCY,
+    SIMULATED_SPEC,
+    AsyncDispatcher,
+    BackendSpec,
+    ModelBackend,
+    create_backend,
+)
+from repro.llm.backends.dispatch import BucketState
 from repro.llm.profiles import ModelProfile
-from repro.llm.simulated import SimulatedLLM
 from repro.prompts.templates import PromptTemplate
 from repro.tasks.base import ModelAnswer, TaskDataset, TaskInstance
-from repro.tasks.registry import ask, build_dataset
+from repro.tasks.registry import answers_from_responses, build_dataset, build_request
 from repro.workloads import load_workload
 from repro.workloads.base import Workload
 
 _WORKLOADS: dict[tuple[str, int], Workload] = {}
 _DATASETS: dict[tuple[str, str, int, Optional[int]], TaskDataset] = {}
-_CLIENTS: dict[str, SimulatedLLM] = {}
+_BACKENDS: dict[tuple[BackendSpec, str], tuple[ModelProfile, ModelBackend]] = {}
+#: Token-bucket fill levels, shared across this process's shard batches
+#: so ``rps`` is a sustained per-process rate (aggregate rate across a
+#: pool is ~``workers x rps``; size --rps accordingly).
+_BUCKET_STATES: dict[tuple[BackendSpec, float], BucketState] = {}
 
 
 @dataclass(frozen=True)
@@ -68,14 +83,18 @@ class ShardSpec:
     cache_root: Optional[str] = None
     instances: Optional[tuple[TaskInstance, ...]] = None
     prompt: Optional[PromptTemplate] = None
+    backend: BackendSpec = SIMULATED_SPEC
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY
+    rps: Optional[float] = None
 
 
-def _client(profile: ModelProfile) -> SimulatedLLM:
-    cached = _CLIENTS.get(profile.name)
-    if cached is None or cached.profile != profile:
-        cached = SimulatedLLM(profile)
-        _CLIENTS[profile.name] = cached
-    return cached
+def _backend(spec: BackendSpec, profile: ModelProfile) -> ModelBackend:
+    """Per-process backend memo (replay stores, HTTP pools survive shards)."""
+    memo_key = (spec, profile.name)
+    cached = _BACKENDS.get(memo_key)
+    if cached is None or cached[0] != profile:
+        _BACKENDS[memo_key] = (profile, create_backend(spec, profile))
+    return _BACKENDS[memo_key][1]
 
 
 def _workload(name: str, seed: int, cache: Optional[ResultCache], key: Optional[str]) -> Workload:
@@ -124,13 +143,30 @@ def evaluate_shard(spec: ShardSpec) -> tuple[int, list[ModelAnswer], float]:
     """
     started = time.perf_counter()
     if spec.instances is not None:
-        instances = spec.instances
+        instances = list(spec.instances)
     else:
         instances = _materialize_dataset(spec).instances[spec.start : spec.stop]
-    client = _client(spec.profile)
-    answers = [
-        ask(spec.task, client, instance, spec.prompt) for instance in instances
-    ]
+    backend = _backend(spec.backend, spec.profile)
+    bucket_key = (spec.backend, spec.rps or 0.0)
+    dispatcher = AsyncDispatcher(
+        backend,
+        max_concurrency=spec.max_concurrency,
+        rps=spec.rps,
+        bucket_state=(
+            _BUCKET_STATES.get(bucket_key) if spec.rps is not None else None
+        ),
+    )
+    responses = dispatcher.run_sync(
+        [
+            build_request(spec.task, spec.profile.name, instance, spec.prompt)
+            for instance in instances
+        ]
+    )
+    if spec.rps is not None and dispatcher.bucket_state is not None:
+        _BUCKET_STATES[bucket_key] = dispatcher.bucket_state
+    answers = answers_from_responses(
+        spec.task, instances, responses, spec.profile.name
+    )
     return spec.index, answers, time.perf_counter() - started
 
 
@@ -195,4 +231,5 @@ def reset_worker_caches() -> None:
     """Drop the process-global caches (test isolation hook)."""
     _WORKLOADS.clear()
     _DATASETS.clear()
-    _CLIENTS.clear()
+    _BACKENDS.clear()
+    _BUCKET_STATES.clear()

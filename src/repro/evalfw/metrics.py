@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -162,16 +162,17 @@ def location_metrics(
     )
 
 
-def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (0.0 for empty input)."""
-    return sum(values) / len(values) if values else 0.0
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for empty input; any iterable accepted)."""
+    materialised = list(values)
+    return sum(materialised) / len(materialised) if materialised else 0.0
 
 
-def median(values: Sequence[float]) -> float:
-    """Median (0.0 for empty input)."""
-    if not values:
-        return 0.0
+def median(values: Iterable[float]) -> float:
+    """Median (0.0 for empty input; any iterable accepted)."""
     ordered = sorted(values)
+    if not ordered:
+        return 0.0
     mid = len(ordered) // 2
     if len(ordered) % 2:
         return float(ordered[mid])

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.engine.core import EngineConfig, ExperimentEngine
+from repro.llm.backends import DEFAULT_MAX_CONCURRENCY, BackendSpec, SIMULATED_SPEC
 from repro.evalfw.metrics import (
     BinaryMetrics,
     LocationMetrics,
@@ -76,12 +77,18 @@ class ExperimentRunner:
         workers: int = 1,
         shard_size: Optional[int] = None,
         cache_dir: Optional[Path] = None,
+        backend: BackendSpec = SIMULATED_SPEC,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        rps: Optional[float] = None,
     ) -> None:
         config = EngineConfig(
             seed=seed,
             workers=workers,
             cache_dir=cache_dir,
             max_instances=max_instances,
+            backend=backend,
+            max_concurrency=max_concurrency,
+            rps=rps,
             **({"shard_size": shard_size} if shard_size is not None else {}),
         )
         self.engine = ExperimentEngine(config, models=models)

@@ -1,0 +1,50 @@
+"""Pluggable model backends and the async batched dispatcher.
+
+See :mod:`repro.llm.backends.base` for the protocol and
+:mod:`repro.llm.backends.dispatch` for the request funnel every engine
+shard goes through.
+"""
+
+from repro.llm.backends.base import (
+    BackendError,
+    BackendSpec,
+    BaseBackend,
+    DispatchStats,
+    ModelBackend,
+    ModelRequest,
+    SIMULATED_SPEC,
+    TransientBackendError,
+)
+from repro.llm.backends.dispatch import (
+    DEFAULT_MAX_CONCURRENCY,
+    AsyncDispatcher,
+    TokenBucket,
+    dispatch_requests,
+)
+from repro.llm.backends.registry import (
+    BACKENDS,
+    backend_names,
+    create_backend,
+    describe_backends,
+    spec_from_cli,
+)
+
+__all__ = [
+    "BackendError",
+    "TransientBackendError",
+    "BackendSpec",
+    "SIMULATED_SPEC",
+    "BaseBackend",
+    "ModelBackend",
+    "ModelRequest",
+    "DispatchStats",
+    "AsyncDispatcher",
+    "TokenBucket",
+    "dispatch_requests",
+    "DEFAULT_MAX_CONCURRENCY",
+    "BACKENDS",
+    "backend_names",
+    "create_backend",
+    "describe_backends",
+    "spec_from_cli",
+]

@@ -1,0 +1,246 @@
+"""Async batched dispatcher: the one funnel every model call goes through.
+
+The engine hands a whole shard of :class:`ModelRequest`\\ s to
+:class:`AsyncDispatcher`, which keeps up to ``max_concurrency`` of them
+in flight, throttles issue rate through a token bucket (``rps``), and
+retries transient failures with exponential backoff plus deterministic
+jitter.  Results come back in request order regardless of completion
+order, so sharded evaluation stays byte-identical to the serial path.
+
+Determinism: the jitter RNG is seeded from each request's id, and
+backends themselves are deterministic (the simulator) or replayed from
+fixtures — so a retried schedule changes *when* calls happen, never
+*what* they return.
+
+Test seams: ``sleep`` and ``clock`` are injectable, so the retry and
+rate-limit paths are property-tested against a fake backend and a fake
+clock without any real waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Sequence
+
+from repro.llm.base import LLMResponse
+from repro.llm.backends.base import (
+    BackendError,
+    DispatchStats,
+    ModelBackend,
+    ModelRequest,
+    TransientBackendError,
+)
+
+#: Default in-flight bound; matches a typical hosted-API comfort zone.
+DEFAULT_MAX_CONCURRENCY = 8
+
+#: Retry schedule defaults (attempt n sleeps ~ base * 2**n, capped).
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 0.1
+DEFAULT_BACKOFF_CAP = 5.0
+
+
+@dataclass
+class BucketState:
+    """Persistent token-bucket fill level.
+
+    Split out from :class:`TokenBucket` so the *state* can outlive any
+    one dispatcher/event loop: asyncio primitives (the bucket's lock)
+    must be recreated per loop, but carrying the fill level across
+    per-shard dispatch batches is what makes ``rps`` a sustained
+    per-process rate instead of a fresh burst for every shard.
+    """
+
+    tokens: float
+    updated: float
+
+
+class TokenBucket:
+    """Classic token bucket: ``rps`` sustained, ``burst`` peak.
+
+    ``acquire`` waits (via the injected ``sleep``) until a token is
+    available; refill is computed lazily from the injected ``clock`` so
+    tests can drive it with virtual time.  Pass a shared
+    :class:`BucketState` to continue a previous bucket's fill level.
+    """
+
+    def __init__(
+        self,
+        rps: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        state: Optional[BucketState] = None,
+    ) -> None:
+        if rps <= 0:
+            raise ValueError(f"rps must be > 0, got {rps}")
+        self.rps = float(rps)
+        self.capacity = float(burst) if burst is not None else max(self.rps, 1.0)
+        self._clock = clock
+        self._sleep = sleep
+        self.state = (
+            state if state is not None else BucketState(self.capacity, clock())
+        )
+        self._lock = asyncio.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(now - self.state.updated, 0.0)
+        self.state.updated = now
+        self.state.tokens = min(
+            self.capacity, self.state.tokens + elapsed * self.rps
+        )
+
+    #: Tolerance against float rounding: sleeping exactly
+    #: ``deficit / rps`` can refill to a hair *under* one token, which
+    #: without slack would loop forever on ever-tinier sleeps.
+    EPSILON = 1e-9
+
+    async def acquire(self) -> int:
+        """Take one token; returns how many waits were needed."""
+        waits = 0
+        async with self._lock:
+            while True:
+                self._refill()
+                if self.state.tokens >= 1.0 - self.EPSILON:
+                    self.state.tokens -= 1.0
+                    return waits
+                waits += 1
+                deficit = 1.0 - self.state.tokens
+                await self._sleep(deficit / self.rps + self.EPSILON)
+
+
+def _jitter_rng(request: ModelRequest, attempt: int) -> random.Random:
+    """Deterministic per-(request, attempt) jitter source."""
+    return random.Random(f"backoff:{request.request_id}:{attempt}")
+
+
+class AsyncDispatcher:
+    """Bounded-concurrency, rate-limited, retrying request funnel."""
+
+    def __init__(
+        self,
+        backend: ModelBackend,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        rps: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        bucket_state: Optional[BucketState] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.backend = backend
+        self.max_concurrency = max_concurrency
+        self.rps = rps
+        self.burst = burst
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._clock = clock
+        self.bucket_state = bucket_state
+        self.stats = DispatchStats()
+
+    def backoff_delay(self, request: ModelRequest, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter for *attempt*.
+
+        ``attempt`` counts failures so far (1 for the first retry).
+        Delay is ``base * 2**(attempt-1)`` scaled by a jitter factor in
+        [1.0, 2.0), capped at ``backoff_cap``.
+        """
+        raw = self.backoff_base * (2.0 ** (attempt - 1))
+        jitter = 1.0 + _jitter_rng(request, attempt).random()
+        return min(raw * jitter, self.backoff_cap)
+
+    async def _complete_with_retry(
+        self, request: ModelRequest, bucket: Optional[TokenBucket]
+    ) -> LLMResponse:
+        attempt = 0
+        while True:
+            if bucket is not None:
+                self.stats.rate_waits += await bucket.acquire()
+            try:
+                response = await self.backend.acomplete(request)
+            except TransientBackendError:
+                attempt += 1
+                if attempt > self.max_retries:
+                    self.stats.failures += 1
+                    raise
+                self.stats.retries += 1
+                await self._sleep(self.backoff_delay(request, attempt))
+                continue
+            except BackendError:
+                self.stats.failures += 1
+                raise
+            self.stats.completed += 1
+            return response
+
+    async def run(self, requests: Sequence[ModelRequest]) -> list[LLMResponse]:
+        """Answer every request; results align index-for-index.
+
+        Any request that exhausts its retries (or fails terminally)
+        propagates its exception — the caller decides whether a partial
+        cell is acceptable (the engine: it is not).
+        """
+        self.stats.requests += len(requests)
+        started = self._clock()
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+        bucket = None
+        if self.rps is not None:
+            bucket = TokenBucket(
+                self.rps,
+                self.burst,
+                clock=self._clock,
+                sleep=self._sleep,
+                state=self.bucket_state,
+            )
+            # Persist the fill level across run() calls (and across the
+            # per-shard dispatchers the engine workers create), so the
+            # burst allowance is not replenished by mere re-batching.
+            self.bucket_state = bucket.state
+
+        async def bounded(request: ModelRequest) -> LLMResponse:
+            async with semaphore:
+                return await self._complete_with_retry(request, bucket)
+
+        try:
+            results = await asyncio.gather(
+                *(bounded(request) for request in requests)
+            )
+        finally:
+            self.stats.seconds += self._clock() - started
+        return list(results)
+
+    def run_sync(self, requests: Sequence[ModelRequest]) -> list[LLMResponse]:
+        """``run`` from synchronous code (one private event loop)."""
+        return asyncio.run(self.run(requests))
+
+
+def dispatch_requests(
+    backend: ModelBackend,
+    requests: Sequence[ModelRequest],
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+    rps: Optional[float] = None,
+) -> list[LLMResponse]:
+    """One-shot convenience wrapper (tests, scripts, ad-hoc batches).
+
+    The engine's shard paths construct :class:`AsyncDispatcher`
+    directly instead, because they thread a persistent
+    :class:`BucketState` through successive batches — this wrapper
+    starts every call with a fresh burst.
+    """
+    dispatcher = AsyncDispatcher(
+        backend, max_concurrency=max_concurrency, rps=rps
+    )
+    return dispatcher.run_sync(requests)

@@ -1,0 +1,209 @@
+"""OpenAI-compatible HTTP backend.
+
+Talks to any endpoint implementing the de-facto ``/chat/completions``
+wire format (OpenAI, vLLM, llama.cpp server, LiteLLM proxies, ...).
+The transport is stdlib ``urllib`` — no hard dependency — and ``httpx``
+is used automatically when installed (connection pooling, saner
+timeouts).  The transport is injectable for tests, which is also how
+the unit suite exercises this backend without a network.
+
+Spec options (all strings, all folded into the backend fingerprint and
+therefore into every cell cache key):
+
+* ``base_url`` — endpoint root, e.g. ``http://localhost:8000/v1``;
+* ``model`` — remote model name; defaults to the profile name, and a
+  ``model_map`` option ("gpt4=gpt-4o,gemini=gemini-pro") can rename
+  per-profile;
+* ``api_key_env`` — *name* of the environment variable holding the key
+  (default ``OPENAI_API_KEY``; the key itself never enters a spec);
+* ``temperature`` — sampling temperature (default "0");
+* ``timeout`` — per-request seconds (default "60").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Callable, Optional
+
+from repro.llm.base import LLMResponse
+from repro.llm.backends.base import (
+    BackendError,
+    BackendSpec,
+    BaseBackend,
+    ModelRequest,
+    TransientBackendError,
+)
+from repro.llm.profiles import ModelProfile
+
+#: HTTP statuses worth retrying (rate limits and server-side hiccups).
+RETRYABLE_STATUSES = frozenset({408, 409, 429, 500, 502, 503, 504})
+
+DEFAULT_TIMEOUT = 60.0
+
+
+def _urllib_transport(
+    url: str, payload: dict, headers: dict[str, str], timeout: float
+) -> dict:
+    """POST ``payload`` as JSON; returns the decoded JSON response."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **headers},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = ""
+        try:
+            body = exc.read().decode("utf-8", "replace")[:500]
+        except OSError:
+            pass
+        message = f"HTTP {exc.code} from {url}: {body}"
+        if exc.code in RETRYABLE_STATUSES:
+            raise TransientBackendError(message) from exc
+        raise BackendError(message) from exc
+    except (urllib.error.URLError, TimeoutError, OSError) as exc:
+        raise TransientBackendError(f"cannot reach {url}: {exc}") from exc
+
+
+def _httpx_transport_factory():  # pragma: no cover - exercised only with httpx
+    """An httpx-pooled transport, or None when httpx is not installed.
+
+    The returned callable carries a ``close`` attribute releasing the
+    pooled connections; :meth:`OpenAICompatBackend.close` calls it.
+    """
+    try:
+        import httpx
+    except ImportError:
+        return None
+
+    client = httpx.Client()
+
+    def transport(
+        url: str, payload: dict, headers: dict[str, str], timeout: float
+    ) -> dict:
+        try:
+            response = client.post(
+                url, json=payload, headers=headers, timeout=timeout
+            )
+        except httpx.HTTPError as exc:
+            raise TransientBackendError(f"cannot reach {url}: {exc}") from exc
+        if response.status_code in RETRYABLE_STATUSES:
+            raise TransientBackendError(
+                f"HTTP {response.status_code} from {url}: {response.text[:500]}"
+            )
+        if response.status_code >= 400:
+            raise BackendError(
+                f"HTTP {response.status_code} from {url}: {response.text[:500]}"
+            )
+        return response.json()
+
+    transport.close = client.close  # type: ignore[attr-defined]
+    return transport
+
+
+def _float_option(spec: BackendSpec, key: str, default: float) -> float:
+    """A numeric spec option, or a clean error naming the bad value."""
+    raw = spec.option(key)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise BackendError(
+            f"backend option {key}={raw!r} is not a number"
+        ) from None
+
+
+def parse_model_map(raw: str) -> dict[str, str]:
+    """``"gpt4=gpt-4o,gemini=gemini-pro"`` -> ``{"gpt4": "gpt-4o", ...}``."""
+    mapping: dict[str, str] = {}
+    for pair in filter(None, (part.strip() for part in raw.split(","))):
+        key, sep, value = pair.partition("=")
+        if not sep or not key.strip() or not value.strip():
+            raise ValueError(
+                f"bad model_map entry {pair!r}; expected 'profile=remote'"
+            )
+        mapping[key.strip()] = value.strip()
+    return mapping
+
+
+class OpenAICompatBackend(BaseBackend):
+    """Chat-completions client for one profile against one endpoint."""
+
+    name = "openai_compat"
+    blocking_io = True  # urllib blocks: the dispatcher threads requests out
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        spec: BackendSpec,
+        transport: Optional[Callable[..., dict]] = None,
+    ) -> None:
+        base_url = spec.option("base_url")
+        if not base_url:
+            raise BackendError(
+                "openai_compat needs a base_url option "
+                "(e.g. --backend-opt base_url=http://localhost:8000/v1)"
+            )
+        self.profile = profile
+        self.spec = spec
+        self.url = base_url.rstrip("/") + "/chat/completions"
+        try:
+            model_map = parse_model_map(spec.option("model_map", "") or "")
+        except ValueError as exc:
+            raise BackendError(str(exc)) from None
+        self.remote_model = model_map.get(
+            profile.name, spec.option("model", profile.name)
+        )
+        self.temperature = _float_option(spec, "temperature", 0.0)
+        self.timeout = _float_option(spec, "timeout", DEFAULT_TIMEOUT)
+        self.api_key_env = spec.option("api_key_env", "OPENAI_API_KEY")
+        self.transport = (
+            transport or _httpx_transport_factory() or _urllib_transport
+        )
+
+    def _headers(self) -> dict[str, str]:
+        key = os.environ.get(self.api_key_env or "", "")
+        return {"Authorization": f"Bearer {key}"} if key else {}
+
+    def close(self) -> None:
+        """Release pooled connections (no-op for the urllib transport)."""
+        closer = getattr(self.transport, "close", None)
+        if closer is not None:
+            closer()
+
+    def complete(self, request: ModelRequest) -> LLMResponse:
+        payload = {
+            "model": self.remote_model,
+            "messages": [{"role": "user", "content": request.prompt_text}],
+            "temperature": self.temperature,
+        }
+        data = self.transport(self.url, payload, self._headers(), self.timeout)
+        try:
+            choice = data["choices"][0]
+            text = choice["message"]["content"]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise BackendError(
+                f"malformed chat-completions response from {self.url}: "
+                f"{str(data)[:300]}"
+            ) from exc
+        if text is None:
+            raise BackendError(
+                f"empty completion from {self.url} for {request.request_id!r}"
+            )
+        return LLMResponse(
+            text=text,
+            model=request.model,
+            prompt=request.prompt_text,
+            metadata={
+                "remote_model": self.remote_model,
+                "finish_reason": choice.get("finish_reason"),
+                "usage": data.get("usage", {}),
+            },
+        )

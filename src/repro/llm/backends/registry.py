@@ -1,0 +1,144 @@
+"""Backend registry: names -> factories, plus the CLI-facing catalogue."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.llm.backends.base import (
+    BackendSpec,
+    ModelBackend,
+)
+from repro.llm.profiles import ModelProfile
+
+#: name -> (description, factory(profile, spec) -> backend).
+_FactoryT = Callable[[ModelProfile, BackendSpec], ModelBackend]
+
+
+def _make_simulated(profile: ModelProfile, spec: BackendSpec) -> ModelBackend:
+    from repro.llm.backends.simulated import SimulatedBackend
+
+    return SimulatedBackend(profile)
+
+
+def _make_openai_compat(profile: ModelProfile, spec: BackendSpec) -> ModelBackend:
+    from repro.llm.backends.openai_compat import OpenAICompatBackend
+
+    return OpenAICompatBackend(profile, spec)
+
+
+def _make_replay(profile: ModelProfile, spec: BackendSpec) -> ModelBackend:
+    from repro.llm.backends.replay import ReplayBackend
+
+    return ReplayBackend(profile, spec)
+
+
+BACKENDS: dict[str, tuple[str, _FactoryT]] = {
+    "simulated": (
+        "in-process calibrated simulator (default; offline, deterministic)",
+        _make_simulated,
+    ),
+    "openai_compat": (
+        "any OpenAI-style /chat/completions endpoint "
+        "(options: base_url, model, model_map, api_key_env, temperature, timeout)",
+        _make_openai_compat,
+    ),
+    "replay": (
+        "record/replay transport over on-disk fixtures "
+        "(options: dir, mode=replay|record, inner)",
+        _make_replay,
+    ),
+}
+
+#: Option keys each backend understands.  ``spec_from_cli`` rejects
+#: anything else: an unrecognised key would be silently ignored by the
+#: backend yet still change every cell cache key via the fingerprint.
+BACKEND_OPTION_KEYS: dict[str, frozenset[str]] = {
+    "simulated": frozenset(),
+    "openai_compat": frozenset(
+        {"base_url", "model", "model_map", "api_key_env", "temperature", "timeout"}
+    ),
+    "replay": frozenset({"dir", "mode", "inner"}),
+}
+
+
+def allowed_option_keys(backend: str, options: dict[str, str]) -> frozenset[str]:
+    """Keys valid for *backend* — replay also accepts its inner's keys
+    (they ride the same spec so recording can configure the inner
+    transport, e.g. ``inner=openai_compat`` plus ``base_url=...``)."""
+    keys = BACKEND_OPTION_KEYS.get(backend, frozenset())
+    if backend == "replay":
+        inner = options.get("inner", "simulated")
+        keys = keys | BACKEND_OPTION_KEYS.get(inner, frozenset())
+    return keys
+
+
+def backend_names() -> list[str]:
+    return list(BACKENDS)
+
+
+def create_backend(
+    spec: BackendSpec, profile: ModelProfile
+) -> ModelBackend:
+    """Instantiate the backend *spec* names, for one model profile."""
+    try:
+        _, factory = BACKENDS[spec.name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {spec.name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    return factory(profile, spec)
+
+
+def describe_backends() -> list[tuple[str, str]]:
+    """(name, description) rows for ``repro backends list``."""
+    return [(name, description) for name, (description, _) in BACKENDS.items()]
+
+
+def spec_from_cli(
+    backend: str,
+    opts: Optional[list[str]] = None,
+    fixtures_dir: Optional[str] = None,
+    record_fixtures: bool = False,
+) -> BackendSpec:
+    """Build a :class:`BackendSpec` from CLI arguments.
+
+    ``opts`` are raw ``KEY=VALUE`` strings from repeated
+    ``--backend-opt`` flags; the dedicated replay flags fold into the
+    same option map.  Replay-only flags on any other backend raise —
+    they would silently do nothing while still changing the backend
+    fingerprint (and therefore every cell cache key).
+    """
+    if backend != "replay" and (fixtures_dir is not None or record_fixtures):
+        raise ValueError(
+            "--fixtures-dir/--record-fixtures are only meaningful with "
+            f"--backend replay (got --backend {backend})"
+        )
+    options: dict[str, str] = {}
+    for raw in opts or []:
+        key, sep, value = raw.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"bad --backend-opt {raw!r}; expected KEY=VALUE"
+            )
+        options[key.strip()] = value.strip()
+    if fixtures_dir is not None:
+        options.setdefault("dir", str(fixtures_dir))
+    if record_fixtures:
+        options["mode"] = "record"
+    if backend == "replay" and "dir" not in options:
+        # The default must live in the spec itself: the dir is part of
+        # the backend's cache-key fingerprint, and an implicit default
+        # must fingerprint identically to the same dir passed explicitly.
+        from repro.llm.backends.replay import DEFAULT_FIXTURES_DIR
+
+        options["dir"] = str(DEFAULT_FIXTURES_DIR)
+    if backend in BACKEND_OPTION_KEYS:
+        allowed = allowed_option_keys(backend, options)
+        unknown = sorted(set(options) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) for backend {backend!r}: "
+                f"{', '.join(unknown)}; allowed: "
+                f"{', '.join(sorted(allowed)) or '(none)'}"
+            )
+    return BackendSpec.build(backend, options)

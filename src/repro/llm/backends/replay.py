@@ -1,0 +1,214 @@
+"""Record/replay backend: deterministic, offline model transport.
+
+``record`` mode wraps an *inner* backend (the simulator by default, but
+any registered backend works) and persists every response as a fixture;
+``replay`` mode serves those fixtures back without touching the inner
+backend — or the network — at all.  This is what lets CI run a full
+grid end-to-end through the real dispatcher with zero model calls and
+zero sockets.
+
+Fixture layout on disk (human-diffable, append-friendly)::
+
+    <fixtures_dir>/
+        <model>/
+            <task>.jsonl     # one JSON object per line:
+                             # {"key", "request_id", "text", "model",
+                             #  "metadata"}
+
+``key`` is :meth:`ModelRequest.fingerprint` — a hash of the
+wire-visible request fields (model, task, instance id, prompt text) —
+so fixtures survive refactors that do not change what would actually be
+sent to a model, and go stale (loudly: a missing-fixture error names
+the re-record command) when prompts or datasets genuinely change.
+Records append with ``O_APPEND``; response lines are far below the
+POSIX atomic-append pipe threshold, so concurrent worker processes can
+record into one file safely.  Record mode always re-asks the inner
+backend; an identical response writes nothing, a changed one appends a
+refreshed line (the last line for a key wins on load), so re-recording
+heals stale fixtures in place.
+
+Spec options:
+
+* ``dir`` — fixtures root (required);
+* ``mode`` — ``replay`` (default) or ``record``;
+* ``inner`` — backend name to record from (default ``simulated``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.llm.base import LLMResponse
+from repro.llm.backends.base import (
+    BackendError,
+    BackendSpec,
+    BaseBackend,
+    ModelBackend,
+    ModelRequest,
+)
+from repro.llm.profiles import ModelProfile
+
+#: Default fixtures root, relative to the working directory.
+DEFAULT_FIXTURES_DIR = Path("tests/fixtures/replay")
+
+
+def fixtures_fingerprint(root: Path) -> str:
+    """Content hash of every fixture shard under *root*.
+
+    Folded into replay-mode cell cache keys so editing or re-recording
+    fixtures invalidates cells cached against the old responses — the
+    fixture store is an *input* of a replay run, exactly like source
+    code or the generation seed.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    root = Path(root)
+    for path in sorted(root.glob("*/*.jsonl")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Keep only JSON-round-trippable metadata (drop exotic values)."""
+    try:
+        return json.loads(json.dumps(metadata))
+    except (TypeError, ValueError):
+        clean = {}
+        for key, value in metadata.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            clean[key] = value
+        return clean
+
+
+class FixtureStore:
+    """One fixtures directory: lazy per-(model, task) shards."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._shards: dict[tuple[str, str], dict[str, dict]] = {}
+
+    def shard_path(self, model: str, task: str) -> Path:
+        return self.root / model / f"{task}.jsonl"
+
+    def _load(self, model: str, task: str) -> dict[str, dict]:
+        key = (model, task)
+        if key not in self._shards:
+            entries: dict[str, dict] = {}
+            path = self.shard_path(model, task)
+            if path.is_file():
+                for line in path.read_text(encoding="utf-8").splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        entries[entry["key"]] = entry
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn or hand-mangled line: skip, loudly missing later
+            self._shards[key] = entries
+        return self._shards[key]
+
+    def get(self, request: ModelRequest) -> Optional[dict]:
+        return self._load(request.model, request.task).get(request.fingerprint())
+
+    def put(self, request: ModelRequest, response: LLMResponse) -> None:
+        """Persist one response; identical re-records write nothing.
+
+        A *changed* response for a known key appends a new line (the
+        last line wins on load), so re-recording refreshes stale
+        fixtures instead of silently keeping old response text.
+        """
+        entry = {
+            "key": request.fingerprint(),
+            "request_id": request.request_id,
+            "text": response.text,
+            "model": response.model,
+            "metadata": _jsonable_metadata(response.metadata),
+        }
+        existing = self._load(request.model, request.task).get(entry["key"])
+        if existing == entry:
+            return
+        path = self.shard_path(request.model, request.task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._load(request.model, request.task)[entry["key"]] = entry
+
+    def entry_count(self) -> int:
+        return sum(
+            sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line)
+            for path in sorted(self.root.glob("*/*.jsonl"))
+        )
+
+
+class ReplayBackend(BaseBackend):
+    """Serves fixtures (replay) or records them through an inner backend."""
+
+    name = "replay"
+    blocking_io = False  # file reads are memoised; effectively compute
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        spec: BackendSpec,
+        inner: Optional[ModelBackend] = None,
+    ) -> None:
+        raw_dir = spec.option("dir") or str(DEFAULT_FIXTURES_DIR)
+        self.profile = profile
+        self.spec = spec
+        self.store = FixtureStore(Path(raw_dir))
+        self.mode = spec.option("mode", "replay")
+        if self.mode not in ("replay", "record"):
+            raise BackendError(
+                f"replay mode must be 'replay' or 'record', got {self.mode!r}"
+            )
+        self.inner = inner
+        if self.mode == "record" and self.inner is None:
+            from repro.llm.backends.registry import create_backend
+
+            inner_name = spec.option("inner", "simulated") or "simulated"
+            if inner_name == self.name:
+                raise BackendError("replay cannot record from itself")
+            self.inner = create_backend(
+                BackendSpec.build(inner_name, spec.as_dict()), profile
+            )
+
+    def complete(self, request: ModelRequest) -> LLMResponse:
+        if self.mode == "record":
+            # Always re-ask the inner backend: recording is the refresh
+            # path, and a stale fixture must not shadow a changed inner
+            # response.  Identical responses write nothing.
+            assert self.inner is not None
+            response = self.inner.complete(request)
+            self.store.put(request, response)
+            return response
+        entry = self.store.get(request)
+        if entry is not None:
+            return LLMResponse(
+                text=entry["text"],
+                model=entry.get("model", request.model),
+                prompt=request.prompt_text,
+                metadata=dict(entry.get("metadata", {})),
+            )
+        raise BackendError(
+            f"no fixture for {request.request_id!r} "
+            f"({request.model}/{request.task}) under {self.store.root}; "
+            "re-record with: repro run <artifact> --backend replay "
+            f"--record-fixtures --fixtures-dir {self.store.root}"
+        )
+
+    async def acomplete(self, request: ModelRequest) -> LLMResponse:
+        if self.mode == "record":
+            assert self.inner is not None
+            response = await self.inner.acomplete(request)
+            self.store.put(request, response)
+            return response
+        return self.complete(request)

@@ -13,46 +13,73 @@ from __future__ import annotations
 import re
 from typing import Optional, Sequence
 
+#: Verdict patterns, tiered by explicitness.  Tier 0 is an
+#: ``Answer:``-marked verdict anywhere in the text (the most explicit
+#: shape, and the *final* word in chain-of-thought responses that open
+#: conversationally); tier 1 is a sentence-initial verdict token;
+#: tier 2 is a phrase-level cue somewhere in the prose.  Both
+#: polarities are matched and the most explicit hit wins, with ties
+#: broken by position — so a response that *opens* with one verdict and
+#: merely mentions the other polarity later ("Yes — ...; no syntax
+#: errors otherwise.") resolves to the opening verdict, while
+#: "Yes, let me check... Answer: no." resolves to the explicit answer.
 _NEGATIVE_PATTERNS = (
-    re.compile(r"^\s*(?:answer\s*:\s*)?no\b", re.IGNORECASE),
-    re.compile(r"\banswer\s*:\s*no\b", re.IGNORECASE),
-    re.compile(r"\bno,?\s+(?:it|the query|they|there)\b", re.IGNORECASE),
-    re.compile(r"\bi don'?t believe so\b", re.IGNORECASE),
-    re.compile(r"\bnot\s+equivalent\b", re.IGNORECASE),
-    re.compile(r"\bno\s+(?:syntax\s+)?errors?\b", re.IGNORECASE),
-    re.compile(r"\bno\s+missing\b", re.IGNORECASE),
+    (0, re.compile(r"\banswer\s*:\s*no\b", re.IGNORECASE)),
+    (1, re.compile(r"^\s*no\b", re.IGNORECASE)),
+    (2, re.compile(r"\bno,?\s+(?:it|the query|they|there)\b", re.IGNORECASE)),
+    (2, re.compile(r"\bi don'?t believe so\b", re.IGNORECASE)),
+    (2, re.compile(r"\bnot\s+equivalent\b", re.IGNORECASE)),
+    (2, re.compile(r"\bno\s+(?:syntax\s+)?errors?\b", re.IGNORECASE)),
+    (2, re.compile(r"\bno\s+missing\b", re.IGNORECASE)),
 )
 
 _POSITIVE_PATTERNS = (
-    re.compile(r"^\s*(?:answer\s*:\s*)?(?:indeed,?\s+)?yes\b", re.IGNORECASE),
-    re.compile(r"\banswer\s*:\s*yes\b", re.IGNORECASE),
-    re.compile(r"(?:^|[,.]\s+)(?:indeed,?\s+)?yes\b[\s,—-]", re.IGNORECASE),
-    re.compile(r"\byes,?\s+(?:it|the query|they|there)\b", re.IGNORECASE),
-    re.compile(r"\bthey\s+are\s+equivalent\b", re.IGNORECASE),
-    re.compile(r"\bthere\s+is\s+a\s+missing\b", re.IGNORECASE),
-    re.compile(r"\bcontains?\s+(?:a\s+)?(?:syntax\s+)?error\b", re.IGNORECASE),
+    (0, re.compile(r"\banswer\s*:\s*yes\b", re.IGNORECASE)),
+    (1, re.compile(r"^\s*(?:indeed,?\s+)?yes\b", re.IGNORECASE)),
+    (2, re.compile(r"(?:^|[,.]\s+)(?:indeed,?\s+)?yes\b[\s,—-]", re.IGNORECASE)),
+    (2, re.compile(r"\byes,?\s+(?:it|the query|they|there)\b", re.IGNORECASE)),
+    (2, re.compile(r"\bthey\s+are\s+equivalent\b", re.IGNORECASE)),
+    (2, re.compile(r"\bthere\s+is\s+a\s+missing\b", re.IGNORECASE)),
+    (2, re.compile(r"\bcontains?\s+(?:a\s+)?(?:syntax\s+)?error\b", re.IGNORECASE)),
 )
+
+
+def _best_hit(text: str, patterns) -> Optional[tuple[int, int]]:
+    """The most explicit, earliest ``(tier, start)`` hit, or None."""
+    best: Optional[tuple[int, int]] = None
+    for tier, pattern in patterns:
+        match = pattern.search(text)
+        if match is not None:
+            hit = (tier, match.start())
+            if best is None or hit < best:
+                best = hit
+    return best
 
 
 def extract_yes_no(text: str) -> Optional[bool]:
     """Pull the leading yes/no judgement out of a verbose response.
 
-    Scans sentence-initial answers first, then falls back to phrase-level
-    cues.  Returns None when neither polarity can be established.
+    Both polarities are matched; an ``Answer:``-marked verdict beats a
+    sentence-initial one, which beats any phrase-level cue, and among
+    hits of equal explicitness the earliest wins (an exact tie keeps
+    the negative reading, matching the extractor's historical bias).
+    Returns None when neither polarity can be established.
     """
     if not text:
         return None
-    for pattern in _NEGATIVE_PATTERNS:
-        if pattern.search(text):
-            return False
-    for pattern in _POSITIVE_PATTERNS:
-        if pattern.search(text):
-            return True
+    negative = _best_hit(text, _NEGATIVE_PATTERNS)
+    positive = _best_hit(text, _POSITIVE_PATTERNS)
+    if negative is not None and (positive is None or negative <= positive):
+        return False
+    if positive is not None:
+        return True
     # Last resort: a bare token near the start.
     head = text[:40].lower()
-    if re.search(r"\byes\b", head):
+    yes = re.search(r"\byes\b", head)
+    no = re.search(r"\bno\b", head)
+    if yes and (no is None or yes.start() < no.start()):
         return True
-    if re.search(r"\bno\b", head):
+    if no:
         return False
     return None
 
@@ -60,26 +87,37 @@ def extract_yes_no(text: str) -> Optional[bool]:
 def extract_label(text: str, labels: Sequence[str]) -> Optional[str]:
     """Find which of *labels* the response claims.
 
-    Prefers quoted mentions ('aggr-attr') over bare substring hits, and
-    earlier mentions over later ones.
+    Prefers quoted mentions ('aggr-attr') over bare hits, and earlier
+    mentions over later ones.  The bare fallback only accepts matches on
+    label-token boundaries (labels are hyphenated slugs, so a label must
+    not be embedded in a longer run of word characters or hyphens) —
+    otherwise a response naming ``'aggr-attr'`` would also "mention" the
+    shorter label ``attr``.  Equal-position ties go to the longer label.
     """
     if not text:
         return None
     lowered = text.lower()
-    best: tuple[int, str] | None = None
+    best: tuple[int, int, str] | None = None
     for label in labels:
         target = label.lower()
         for pattern in (f"'{target}'", f'"{target}"'):
             index = lowered.find(pattern)
-            if index >= 0 and (best is None or index < best[0]):
-                best = (index, label)
+            if index >= 0:
+                candidate = (index, -len(target), label)
+                if best is None or candidate < best:
+                    best = candidate
     if best is not None:
-        return best[1]
+        return best[2]
     for label in labels:
-        index = lowered.find(label.lower())
-        if index >= 0 and (best is None or index < best[0]):
-            best = (index, label)
-    return best[1] if best else None
+        target = label.lower()
+        match = re.search(
+            rf"(?<![\w-]){re.escape(target)}(?![\w-])", lowered
+        )
+        if match is not None:
+            candidate = (match.start(), -len(target), label)
+            if best is None or candidate < best:
+                best = candidate
+    return best[2] if best else None
 
 
 _POSITION_PATTERNS = (

@@ -151,6 +151,10 @@ class RunRecord:
     max_instances: Optional[int]
     source_fingerprint: str
     cache_dir: Optional[str]
+    #: Backend provenance: which model backend produced the answers.
+    backend: str = "simulated"
+    backend_fingerprint: str = ""
+    backend_options: dict[str, str] = field(default_factory=dict)
     artifacts: tuple[str, ...] = ()
     artifact_seconds: dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
@@ -200,6 +204,9 @@ class RunRecord:
             created_at=other.created_at,
             workers=other.workers,
             cache_dir=other.cache_dir,
+            backend=other.backend,
+            backend_fingerprint=other.backend_fingerprint,
+            backend_options=dict(other.backend_options),
             artifacts=other.artifacts,
             artifact_seconds=dict(other.artifact_seconds),
             total_seconds=other.total_seconds,
@@ -234,6 +241,11 @@ class RunRecord:
             max_instances=data.get("max_instances"),
             source_fingerprint=data.get("source_fingerprint", ""),
             cache_dir=data.get("cache_dir"),
+            backend=data.get("backend", "simulated"),
+            backend_fingerprint=data.get("backend_fingerprint", ""),
+            backend_options={
+                k: str(v) for k, v in data.get("backend_options", {}).items()
+            },
             artifacts=tuple(data.get("artifacts", ())),
             artifact_seconds={
                 k: float(v) for k, v in data.get("artifact_seconds", {}).items()
@@ -342,6 +354,9 @@ def record_from_engine(
         max_instances=config.max_instances,
         source_fingerprint=source_fingerprint(),
         cache_dir=str(config.cache_dir) if config.cache_dir else None,
+        backend=config.backend.name,
+        backend_fingerprint=config.backend.fingerprint(),
+        backend_options=config.backend.as_dict(),
         artifacts=tuple(artifacts),
         artifact_seconds=dict(artifact_seconds or {}),
         total_seconds=round(total_seconds, 3),

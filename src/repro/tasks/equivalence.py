@@ -48,6 +48,19 @@ def build_query_equiv_dataset(
     return dataset
 
 
+def parse_query_equiv_response(
+    instance: TaskInstance, text: str, model_name: str
+) -> ModelAnswer:
+    """Extract the equivalence verdict and pair type from one response."""
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model_name,
+        response_text=text,
+        predicted=extract_equivalence(text),
+        predicted_type=extract_label(text, ALL_PAIR_TYPES),
+    )
+
+
 def ask_query_equiv(
     model: SimulatedLLM,
     instance: TaskInstance,
@@ -65,10 +78,4 @@ def ask_query_equiv(
         truth_pair_type=instance.label_type,
         prompt_quality=template.quality,
     )
-    return ModelAnswer(
-        instance_id=instance.instance_id,
-        model=model.name,
-        response_text=response.text,
-        predicted=extract_equivalence(response.text),
-        predicted_type=extract_label(response.text, ALL_PAIR_TYPES),
-    )
+    return parse_query_equiv_response(instance, response.text, model.name)

@@ -42,6 +42,26 @@ def build_query_exp_dataset(workload: Workload) -> TaskDataset:
     return dataset
 
 
+def parse_query_exp_response(
+    instance: TaskInstance,
+    text: str,
+    model_name: str,
+    flaws: tuple[str, ...] = (),
+) -> ModelAnswer:
+    """Wrap an explanation response; ``flaws`` is simulator provenance.
+
+    Real backends carry no flaw annotations — their explanations are
+    scored purely by token overlap against the gold description.
+    """
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model_name,
+        response_text=text,
+        explanation=text,
+        flaws=tuple(flaws),
+    )
+
+
 def ask_query_exp(
     model: SimulatedLLM,
     instance: TaskInstance,
@@ -60,11 +80,10 @@ def ask_query_exp(
         statement,
         prompt_quality=template.quality,
     )
-    return ModelAnswer(
-        instance_id=instance.instance_id,
-        model=model.name,
-        response_text=response.text,
-        explanation=response.text,
+    return parse_query_exp_response(
+        instance,
+        response.text,
+        model.name,
         flaws=tuple(response.metadata.get("flaws", ())),
     )
 

@@ -56,6 +56,20 @@ def build_miss_token_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
     return dataset
 
 
+def parse_miss_token_response(
+    instance: TaskInstance, text: str, model_name: str
+) -> ModelAnswer:
+    """Extract the compound miss_token labels from one response text."""
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model_name,
+        response_text=text,
+        predicted=extract_yes_no(text),
+        predicted_type=extract_label(text, TOKEN_TYPES),
+        predicted_position=extract_position(text),
+    )
+
+
 def ask_miss_token(
     model: SimulatedLLM,
     instance: TaskInstance,
@@ -74,11 +88,4 @@ def ask_miss_token(
         truth_position=instance.position,
         prompt_quality=template.quality,
     )
-    return ModelAnswer(
-        instance_id=instance.instance_id,
-        model=model.name,
-        response_text=response.text,
-        predicted=extract_yes_no(response.text),
-        predicted_type=extract_label(response.text, TOKEN_TYPES),
-        predicted_position=extract_position(response.text),
-    )
+    return parse_miss_token_response(instance, response.text, model.name)

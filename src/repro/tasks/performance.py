@@ -44,6 +44,18 @@ def build_performance_dataset(workload: Workload) -> TaskDataset:
     return dataset
 
 
+def parse_performance_pred_response(
+    instance: TaskInstance, text: str, model_name: str
+) -> ModelAnswer:
+    """Extract the costly/cheap judgement from one response text."""
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model_name,
+        response_text=text,
+        predicted=extract_yes_no(text),
+    )
+
+
 def ask_performance_pred(
     model: SimulatedLLM,
     instance: TaskInstance,
@@ -58,9 +70,4 @@ def ask_performance_pred(
         truth_costly=bool(instance.label),
         prompt_quality=template.quality,
     )
-    return ModelAnswer(
-        instance_id=instance.instance_id,
-        model=model.name,
-        response_text=response.text,
-        predicted=extract_yes_no(response.text),
-    )
+    return parse_performance_pred_response(instance, response.text, model.name)

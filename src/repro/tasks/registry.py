@@ -1,9 +1,13 @@
-"""Task registry: builders and ask-functions keyed by task name."""
+"""Task registry: builders, ask-functions and backend request/parse
+plumbing, keyed by task name."""
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
+from repro.llm.backends.base import ModelRequest
+from repro.llm.base import LLMResponse
+from repro.prompts.templates import PromptTemplate, prompt_for
 from repro.tasks.base import (
     MISS_TOKEN,
     PERFORMANCE_PRED,
@@ -11,13 +15,35 @@ from repro.tasks.base import (
     QUERY_EQUIV,
     QUERY_EXP,
     SYNTAX_ERROR,
+    ModelAnswer,
     TaskDataset,
+    TaskInstance,
 )
-from repro.tasks.equivalence import ask_query_equiv, build_query_equiv_dataset
-from repro.tasks.explanation import ask_query_exp, build_query_exp_dataset
-from repro.tasks.miss_token import ask_miss_token, build_miss_token_dataset
-from repro.tasks.performance import ask_performance_pred, build_performance_dataset
-from repro.tasks.syntax_error import ask_syntax_error, build_syntax_error_dataset
+from repro.tasks.equivalence import (
+    ask_query_equiv,
+    build_query_equiv_dataset,
+    parse_query_equiv_response,
+)
+from repro.tasks.explanation import (
+    ask_query_exp,
+    build_query_exp_dataset,
+    parse_query_exp_response,
+)
+from repro.tasks.miss_token import (
+    ask_miss_token,
+    build_miss_token_dataset,
+    parse_miss_token_response,
+)
+from repro.tasks.performance import (
+    ask_performance_pred,
+    build_performance_dataset,
+    parse_performance_pred_response,
+)
+from repro.tasks.syntax_error import (
+    ask_syntax_error,
+    build_syntax_error_dataset,
+    parse_syntax_error_response,
+)
 from repro.workloads.base import Workload
 
 #: Which workloads each task evaluates on (Table 2 usage note + section 3.2).
@@ -66,3 +92,79 @@ def ask(task: str, model, instance, prompt=None):
     except KeyError:
         raise KeyError(f"unknown task {task!r}") from None
     return fn(model, instance, prompt)
+
+
+# -- backend plumbing (prompt rendering and response parsing) --------------
+
+PARSE_FUNCTIONS: dict[str, Callable[..., ModelAnswer]] = {
+    SYNTAX_ERROR: parse_syntax_error_response,
+    MISS_TOKEN: parse_miss_token_response,
+    QUERY_EQUIV: parse_query_equiv_response,
+    PERFORMANCE_PRED: parse_performance_pred_response,
+    QUERY_EXP: parse_query_exp_response,
+}
+
+
+def build_request(
+    task: str,
+    model_name: str,
+    instance: TaskInstance,
+    prompt: Optional[PromptTemplate] = None,
+) -> ModelRequest:
+    """Render one instance into a backend-agnostic :class:`ModelRequest`.
+
+    The rendered prompt text is exactly what a hosted backend sends over
+    the wire; the instance rides along for backends that derive answers
+    locally (the simulator's calibrated noise model).
+    """
+    if task not in ASK_FUNCTIONS:
+        raise KeyError(f"unknown task {task!r}")
+    template = prompt or prompt_for(task)
+    return ModelRequest(
+        request_id=instance.instance_id,
+        task=task,
+        model=model_name,
+        prompt_text=template.render(**instance.payload),
+        prompt_quality=template.quality,
+        instance=instance,
+    )
+
+
+def parse_answer(
+    task: str, instance: TaskInstance, response: LLMResponse, model_name: str
+) -> ModelAnswer:
+    """Extract a :class:`ModelAnswer` from one backend response.
+
+    Predictions come only from the response *text* (plus, for
+    query_exp, the simulator's flaw provenance when present) — the same
+    post-processing regardless of which backend produced the response.
+    """
+    try:
+        parser = PARSE_FUNCTIONS[task]
+    except KeyError:
+        raise KeyError(f"unknown task {task!r}") from None
+    if task == QUERY_EXP:
+        return parser(
+            instance,
+            response.text,
+            model_name,
+            flaws=tuple(response.metadata.get("flaws", ())),
+        )
+    return parser(instance, response.text, model_name)
+
+
+def answers_from_responses(
+    task: str,
+    instances: Sequence[TaskInstance],
+    responses: Sequence[LLMResponse],
+    model_name: str,
+) -> list[ModelAnswer]:
+    """Parse a whole dispatched batch, aligned index-for-index."""
+    if len(instances) != len(responses):
+        raise ValueError(
+            f"{len(instances)} instances but {len(responses)} responses"
+        )
+    return [
+        parse_answer(task, instance, response, model_name)
+        for instance, response in zip(instances, responses)
+    ]

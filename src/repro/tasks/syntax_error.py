@@ -76,6 +76,23 @@ def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset
     return dataset
 
 
+def parse_syntax_error_response(
+    instance: TaskInstance, text: str, model_name: str
+) -> ModelAnswer:
+    """Extract the syntax_error labels from one verbose response text.
+
+    Shared by every backend: predictions only ever come from parsing
+    the response text, never from transport metadata.
+    """
+    return ModelAnswer(
+        instance_id=instance.instance_id,
+        model=model_name,
+        response_text=text,
+        predicted=extract_yes_no(text),
+        predicted_type=extract_label(text, ERROR_TYPES),
+    )
+
+
 def ask_syntax_error(
     model: SimulatedLLM,
     instance: TaskInstance,
@@ -92,10 +109,4 @@ def ask_syntax_error(
         truth_error_type=instance.label_type,
         prompt_quality=template.quality,
     )
-    return ModelAnswer(
-        instance_id=instance.instance_id,
-        model=model.name,
-        response_text=response.text,
-        predicted=extract_yes_no(response.text),
-        predicted_type=extract_label(response.text, ERROR_TYPES),
-    )
+    return parse_syntax_error_response(instance, response.text, model.name)

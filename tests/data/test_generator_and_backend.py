@@ -129,6 +129,38 @@ class TestResultsEqual:
         second = QueryResult(columns=["b"], rows=[(1,)])
         assert results_equal(first, second)
 
+    def test_large_magnitude_floats_compare_relatively(self):
+        # Regression: absolute round(cell, 6) kept these two apart even
+        # though they differ by 4e-7 on a magnitude-1e6 value, flipping
+        # an equivalence verdict for arithmetic on large magnitudes.
+        first = QueryResult(columns=["a"], rows=[(1234567.0499994,)])
+        second = QueryResult(columns=["a"], rows=[(1234567.0500001,)])
+        assert round(1234567.0499994, 6) != round(1234567.0500001, 6)
+        assert results_equal(first, second)
+        assert results_equal(first, second, ordered=True)
+
+    def test_small_magnitude_tolerance_unchanged(self):
+        close = QueryResult(columns=["a"], rows=[(0.1234561,)])
+        also_close = QueryResult(columns=["a"], rows=[(0.1234564,)])
+        assert results_equal(close, also_close)
+        apart = QueryResult(columns=["a"], rows=[(0.123460,)])
+        assert not results_equal(close, apart)
+
+    def test_genuinely_different_large_floats_stay_different(self):
+        first = QueryResult(columns=["a"], rows=[(1234567.0,)])
+        second = QueryResult(columns=["a"], rows=[(1234570.0,)])
+        assert not results_equal(first, second)
+
+    def test_non_finite_and_zero_floats(self):
+        import math as _math
+
+        nan = QueryResult(columns=["a"], rows=[(float("nan"),)])
+        assert not results_equal(nan, QueryResult(columns=["a"], rows=[(0.0,)]))
+        inf = QueryResult(columns=["a"], rows=[(_math.inf,)])
+        assert results_equal(inf, QueryResult(columns=["a"], rows=[(_math.inf,)]))
+        zero = QueryResult(columns=["a"], rows=[(0.0,)])
+        assert results_equal(zero, QueryResult(columns=["a"], rows=[(0.0,)]))
+
     def test_column_arity_matters(self):
         first = QueryResult(columns=["a"], rows=[])
         second = QueryResult(columns=["a", "b"], rows=[])

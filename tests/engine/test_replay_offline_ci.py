@@ -1,0 +1,59 @@
+"""The CI replay path, as a test: full table6 grid, zero network.
+
+Exercises the fixtures committed under ``tests/fixtures/replay`` — the
+same ones the CI workflow replays through ``scripts/offline_guard.py``
+— with every socket primitive monkeypatched to raise.  If the fixtures
+go stale (a prompt or dataset change altered what would be sent to a
+model), this fails with the re-record command in the error message.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "replay"
+
+
+@pytest.fixture()
+def no_network(monkeypatch):
+    def blocked(*args, **kwargs):
+        raise AssertionError("offline replay run attempted network access")
+
+    monkeypatch.setattr(socket.socket, "connect", blocked)
+    monkeypatch.setattr(socket.socket, "connect_ex", blocked)
+    monkeypatch.setattr(socket, "create_connection", blocked)
+    monkeypatch.setattr(socket, "getaddrinfo", blocked)
+
+
+class TestOfflineReplaySmoke:
+    def test_fixtures_are_committed(self):
+        shards = sorted(FIXTURES.glob("*/performance_pred.jsonl"))
+        assert len(shards) == 5, "one fixture shard per model expected"
+
+    def test_full_grid_replays_offline(self, tmp_path, capsys, no_network):
+        args = [
+            "run", "table6",
+            "--backend", "replay",
+            "--fixtures-dir", str(FIXTURES),
+            "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--no-record",
+        ]
+        assert main(args) == 0
+        replayed = capsys.readouterr().out
+        assert "GPT4" in replayed
+        # Byte-identical to the simulator (the fixtures were recorded
+        # from it), proving replay is a faithful transport.
+        assert main(
+            [
+                "run", "table6",
+                "--cache-dir", str(tmp_path / "cache-sim"),
+                "--no-record",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == replayed

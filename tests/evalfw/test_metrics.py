@@ -115,3 +115,36 @@ class TestStatsHelpers:
         assert median([3, 1, 2]) == 2
         assert median([1, 2, 3, 4]) == 2.5
         assert median([]) == 0.0
+
+
+class TestDegenerateInputs:
+    """Every metric must return a defined value on empty input — the
+    reporting layer feeds filtered slices that can legitimately be
+    empty (e.g. a failure breakdown with zero failures)."""
+
+    def test_binary_metrics_empty(self):
+        metrics = binary_metrics([], [])
+        assert (metrics.precision, metrics.recall, metrics.f1) == (0.0, 0.0, 0.0)
+        assert (metrics.tp, metrics.tn, metrics.fp, metrics.fn) == (0, 0, 0, 0)
+        assert metrics.accuracy == 0.0
+
+    def test_weighted_metrics_empty(self):
+        metrics = weighted_metrics([], [])
+        assert (metrics.precision, metrics.recall, metrics.f1) == (0.0, 0.0, 0.0)
+        assert metrics.per_class == {}
+        assert metrics.support == {}
+
+    def test_weighted_metrics_all_none_truths(self):
+        metrics = weighted_metrics([None, None], ["a", None])
+        assert metrics.f1 == 0.0
+        assert metrics.support == {}
+
+    def test_location_metrics_empty(self):
+        metrics = location_metrics([], [])
+        assert (metrics.mae, metrics.hit_rate, metrics.evaluated) == (0.0, 0.0, 0)
+
+    def test_mean_median_accept_any_iterable(self):
+        assert mean(iter(())) == 0.0
+        assert mean(x for x in (1.0, 3.0)) == 2.0
+        assert median(iter(())) == 0.0
+        assert median(x for x in (3.0, 1.0, 2.0)) == 2.0

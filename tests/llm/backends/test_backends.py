@@ -1,0 +1,380 @@
+"""Backend tests: simulated byte-identity, replay round-trips,
+openai_compat wire handling, registry and spec plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.llm.backends import (
+    BackendError,
+    BackendSpec,
+    SIMULATED_SPEC,
+    TransientBackendError,
+    backend_names,
+    create_backend,
+    describe_backends,
+    dispatch_requests,
+    spec_from_cli,
+)
+from repro.llm.backends.openai_compat import (
+    OpenAICompatBackend,
+    parse_model_map,
+)
+from repro.llm.backends.replay import FixtureStore, ReplayBackend
+from repro.llm.profiles import GEMINI, GPT4, get_profile
+from repro.llm.simulated import SimulatedLLM
+from repro.tasks.registry import (
+    TASK_WORKLOADS,
+    answers_from_responses,
+    ask,
+    build_dataset,
+    build_request,
+)
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def sdss():
+    return load_workload("sdss", 0)
+
+
+@pytest.fixture(scope="module")
+def spider():
+    return load_workload("spider", 0)
+
+
+def _instances(workload, task, count=6):
+    return build_dataset(task, workload, seed=0).instances[:count]
+
+
+ALL_TASKS = tuple(TASK_WORKLOADS)
+
+
+class TestSimulatedBackend:
+    @pytest.mark.parametrize("task", ALL_TASKS)
+    def test_byte_identical_to_direct_ask(self, task, sdss, spider):
+        workload = spider if task == "query_exp" else sdss
+        instances = _instances(workload, task)
+        for profile in (GPT4, GEMINI):
+            direct = [
+                ask(task, SimulatedLLM(profile), instance)
+                for instance in instances
+            ]
+            backend = create_backend(SIMULATED_SPEC, profile)
+            responses = dispatch_requests(
+                backend,
+                [
+                    build_request(task, profile.name, instance)
+                    for instance in instances
+                ],
+                max_concurrency=4,
+            )
+            via_backend = answers_from_responses(
+                task, instances, responses, profile.name
+            )
+            assert via_backend == direct
+
+    def test_rejects_bare_prompt(self):
+        from repro.llm.backends.base import ModelRequest
+
+        backend = create_backend(SIMULATED_SPEC, GPT4)
+        with pytest.raises(BackendError):
+            backend.complete(
+                ModelRequest(
+                    request_id="x", task="syntax_error",
+                    model="gpt4", prompt_text="hi",
+                )
+            )
+
+
+class TestReplayBackend:
+    def _requests(self, sdss, task="syntax_error", count=5):
+        return [
+            build_request(task, "gpt4", instance)
+            for instance in _instances(sdss, task, count)
+        ]
+
+    def test_record_then_replay_round_trip(self, tmp_path, sdss):
+        requests = self._requests(sdss)
+        record_spec = BackendSpec.build(
+            "replay", {"dir": str(tmp_path), "mode": "record"}
+        )
+        recorder = create_backend(record_spec, GPT4)
+        recorded = dispatch_requests(recorder, requests)
+
+        replay_spec = BackendSpec.build("replay", {"dir": str(tmp_path)})
+        replayer = create_backend(replay_spec, GPT4)
+        replayed = dispatch_requests(replayer, requests)
+        assert [r.text for r in replayed] == [r.text for r in recorded]
+        assert [r.metadata for r in replayed] == [
+            json.loads(json.dumps(r.metadata)) for r in recorded
+        ]
+
+    def test_missing_fixture_is_loud(self, tmp_path, sdss):
+        replayer = create_backend(
+            BackendSpec.build("replay", {"dir": str(tmp_path)}), GPT4
+        )
+        with pytest.raises(BackendError, match="no fixture"):
+            dispatch_requests(replayer, self._requests(sdss, count=1))
+
+    def test_fixture_layout_on_disk(self, tmp_path, sdss):
+        recorder = create_backend(
+            BackendSpec.build("replay", {"dir": str(tmp_path), "mode": "record"}),
+            GPT4,
+        )
+        dispatch_requests(recorder, self._requests(sdss, count=3))
+        shard = tmp_path / "gpt4" / "syntax_error.jsonl"
+        assert shard.is_file()
+        lines = [
+            json.loads(line) for line in shard.read_text().splitlines() if line
+        ]
+        assert len(lines) == 3
+        for entry in lines:
+            assert set(entry) == {"key", "request_id", "text", "model", "metadata"}
+
+    def test_duplicate_records_are_tolerated(self, tmp_path, sdss):
+        requests = self._requests(sdss, count=2)
+        spec = BackendSpec.build("replay", {"dir": str(tmp_path), "mode": "record"})
+        first = dispatch_requests(create_backend(spec, GPT4), requests)
+        # A fresh recorder re-records over the same file; replay still
+        # resolves each key to one (identical) response.
+        dispatch_requests(create_backend(spec, GPT4), requests)
+        store = FixtureStore(tmp_path)
+        assert store.entry_count() == 2  # identical re-records write nothing
+        replayed = dispatch_requests(
+            create_backend(BackendSpec.build("replay", {"dir": str(tmp_path)}), GPT4),
+            requests,
+        )
+        assert [r.text for r in replayed] == [r.text for r in first]
+
+    def test_rerecording_refreshes_stale_fixtures(self, tmp_path, sdss):
+        requests = self._requests(sdss, count=2)
+        spec = BackendSpec.build("replay", {"dir": str(tmp_path), "mode": "record"})
+        dispatch_requests(create_backend(spec, GPT4), requests)
+        # Hand-corrupt one fixture's text: a stale entry for a live key.
+        shard = tmp_path / "gpt4" / "syntax_error.jsonl"
+        lines = [json.loads(l) for l in shard.read_text().splitlines()]
+        lines[0]["text"] = "STALE RESPONSE"
+        shard.write_text("".join(json.dumps(l, sort_keys=True) + "\n" for l in lines))
+        # Re-recording goes through the inner backend and appends the
+        # corrected line, which wins over the stale one on replay.
+        fresh = dispatch_requests(create_backend(spec, GPT4), requests)
+        replayed = dispatch_requests(
+            create_backend(BackendSpec.build("replay", {"dir": str(tmp_path)}), GPT4),
+            requests,
+        )
+        assert "STALE RESPONSE" not in [r.text for r in replayed]
+        assert [r.text for r in replayed] == [r.text for r in fresh]
+
+    def test_torn_fixture_line_is_skipped(self, tmp_path, sdss):
+        requests = self._requests(sdss, count=2)
+        spec = BackendSpec.build("replay", {"dir": str(tmp_path), "mode": "record"})
+        dispatch_requests(create_backend(spec, GPT4), requests)
+        shard = tmp_path / "gpt4" / "syntax_error.jsonl"
+        shard.write_text(
+            shard.read_text() + '{"key": "torn-and-not-even-json'
+        )
+        replayed = dispatch_requests(
+            create_backend(BackendSpec.build("replay", {"dir": str(tmp_path)}), GPT4),
+            requests,
+        )
+        assert len(replayed) == 2
+
+    def test_replay_mode_validation(self, tmp_path):
+        with pytest.raises(BackendError, match="replay mode"):
+            ReplayBackend(
+                GPT4,
+                BackendSpec.build(
+                    "replay", {"dir": str(tmp_path), "mode": "bogus"}
+                ),
+            )
+        with pytest.raises(BackendError, match="record from itself"):
+            ReplayBackend(
+                GPT4,
+                BackendSpec.build(
+                    "replay",
+                    {"dir": str(tmp_path), "mode": "record", "inner": "replay"},
+                ),
+            )
+
+
+class _FakeTransport:
+    """Scripted transport for the OpenAI-compatible backend."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls: list[dict] = []
+
+    def __call__(self, url, payload, headers, timeout):
+        self.calls.append(
+            {"url": url, "payload": payload, "headers": headers, "timeout": timeout}
+        )
+        action = self.script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+
+def _completion(text="Yes."):
+    return {
+        "choices": [
+            {"message": {"content": text}, "finish_reason": "stop"}
+        ],
+        "usage": {"total_tokens": 12},
+    }
+
+
+class TestOpenAICompatBackend:
+    def _backend(self, transport, options=None):
+        spec = BackendSpec.build(
+            "openai_compat",
+            {"base_url": "http://localhost:9999/v1", **(options or {})},
+        )
+        return OpenAICompatBackend(GPT4, spec, transport=transport)
+
+    def _request(self):
+        return build_request(
+            "syntax_error",
+            "gpt4",
+            _instances(load_workload("sdss", 0), "syntax_error", 1)[0],
+        )
+
+    def test_requires_base_url(self):
+        with pytest.raises(BackendError, match="base_url"):
+            OpenAICompatBackend(
+                GPT4, BackendSpec.build("openai_compat"), transport=lambda *a: {}
+            )
+
+    def test_request_and_response_wiring(self, monkeypatch):
+        transport = _FakeTransport([_completion("Answer: yes.")])
+        monkeypatch.setenv("OPENAI_API_KEY", "sk-test")
+        backend = self._backend(transport, {"model": "gpt-4o", "temperature": "0.5"})
+        response = backend.complete(self._request())
+        assert response.text == "Answer: yes."
+        assert response.model == "gpt4"  # profile name, not remote name
+        assert response.metadata["remote_model"] == "gpt-4o"
+        call = transport.calls[0]
+        assert call["url"].endswith("/chat/completions")
+        assert call["payload"]["model"] == "gpt-4o"
+        assert call["payload"]["temperature"] == 0.5
+        assert call["payload"]["messages"][0]["content"].startswith("Does the")
+        assert call["headers"]["Authorization"] == "Bearer sk-test"
+
+    def test_model_map_renames_per_profile(self):
+        transport = _FakeTransport([_completion(), _completion()])
+        spec_options = {"model_map": "gpt4=gpt-4o-mini,gemini=gemini-1.5-pro"}
+        backend = self._backend(transport, spec_options)
+        backend.complete(self._request())
+        assert transport.calls[0]["payload"]["model"] == "gpt-4o-mini"
+        gemini_backend = OpenAICompatBackend(
+            get_profile("gemini"),
+            BackendSpec.build(
+                "openai_compat",
+                {"base_url": "http://h/v1", **spec_options},
+            ),
+            transport=transport,
+        )
+        assert gemini_backend.remote_model == "gemini-1.5-pro"
+
+    def test_transient_errors_retry_through_dispatcher(self):
+        transport = _FakeTransport(
+            [TransientBackendError("429"), _completion("No.")]
+        )
+        backend = self._backend(transport)
+        responses = dispatch_requests(backend, [self._request()])
+        assert responses[0].text == "No."
+        assert len(transport.calls) == 2
+
+    def test_malformed_response_is_terminal(self):
+        backend = self._backend(_FakeTransport([{"nope": True}]))
+        with pytest.raises(BackendError, match="malformed"):
+            backend.complete(self._request())
+
+    def test_parse_model_map_rejects_garbage(self):
+        assert parse_model_map("") == {}
+        assert parse_model_map("a=b, c=d") == {"a": "b", "c": "d"}
+        with pytest.raises(ValueError):
+            parse_model_map("novalue")
+
+    def test_close_releases_pooled_transport(self):
+        closed = []
+        transport = _FakeTransport([])
+        transport.close = lambda: closed.append(True)
+        backend = self._backend(transport)
+        backend.close()
+        assert closed == [True]
+
+
+class TestRegistryAndSpecs:
+    def test_registry_names(self):
+        assert backend_names() == ["simulated", "openai_compat", "replay"]
+        assert [name for name, _ in describe_backends()] == backend_names()
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            create_backend(BackendSpec.build("quantum"), GPT4)
+
+    def test_spec_fingerprints_differ_by_name_and_options(self):
+        base = BackendSpec.build("openai_compat", {"base_url": "http://a/v1"})
+        assert base.fingerprint() == BackendSpec.build(
+            "openai_compat", {"base_url": "http://a/v1"}
+        ).fingerprint()
+        assert (
+            base.fingerprint()
+            != BackendSpec.build(
+                "openai_compat", {"base_url": "http://b/v1"}
+            ).fingerprint()
+        )
+        assert base.fingerprint() != SIMULATED_SPEC.fingerprint()
+
+    def test_spec_is_picklable_and_hashable(self):
+        import pickle
+
+        spec = BackendSpec.build("replay", {"dir": "fixtures", "mode": "record"})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, spec}) == 1
+
+    def test_spec_from_cli(self):
+        spec = spec_from_cli(
+            "replay",
+            opts=["inner=simulated"],
+            fixtures_dir="fx",
+            record_fixtures=True,
+        )
+        assert spec.name == "replay"
+        assert spec.option("dir") == "fx"
+        assert spec.option("mode") == "record"
+        assert spec.option("inner") == "simulated"
+        with pytest.raises(ValueError, match="backend-opt"):
+            spec_from_cli("simulated", opts=["garbage"])
+
+    def test_spec_from_cli_default_fixtures_dir_is_explicit(self):
+        # The implicit default dir must fingerprint identically to the
+        # same dir passed explicitly — the dir is part of the cache key.
+        from repro.llm.backends.replay import DEFAULT_FIXTURES_DIR
+
+        implicit = spec_from_cli("replay")
+        explicit = spec_from_cli("replay", fixtures_dir=str(DEFAULT_FIXTURES_DIR))
+        assert implicit.option("dir") == str(DEFAULT_FIXTURES_DIR)
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_spec_from_cli_rejects_unknown_option_keys(self):
+        # A typo'd key would be silently ignored by the backend while
+        # still changing every cell cache key.
+        with pytest.raises(ValueError, match="temperture"):
+            spec_from_cli(
+                "openai_compat",
+                opts=["base_url=http://h/v1", "temperture=0.7"],
+            )
+        with pytest.raises(ValueError, match="unknown option"):
+            spec_from_cli("simulated", opts=["base_url=http://h/v1"])
+        # Replay accepts its inner backend's keys on the same spec.
+        spec = spec_from_cli(
+            "replay",
+            opts=["inner=openai_compat", "base_url=http://h/v1"],
+            fixtures_dir="fx",
+            record_fixtures=True,
+        )
+        assert spec.option("base_url") == "http://h/v1"

@@ -45,6 +45,48 @@ class TestYesNo:
             assert extract_yes_no(text) is answer, text
 
 
+class TestYesNoMixedPolarity:
+    """Regression: explicit verdicts beat later opposite-polarity cues.
+
+    The extractor used to scan *all* negative phrase patterns before any
+    positive one, so a response opening with an explicit "Yes" but
+    mentioning "no syntax errors" later extracted as False.
+    """
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (
+                "Yes — there is a missing token; no syntax errors otherwise.",
+                True,
+            ),
+            ("Answer: yes. There are no syntax errors beyond that.", True),
+            ("Yes, it does. But no missing word elsewhere.", True),
+            ("No. Although the query contains a syntax error marker.", False),
+            ("Answer: no — even though they are equivalent in spirit.", False),
+            # Phrase-level cues on both sides: the earliest wins.
+            ("There is a missing word, so no, it does not run.", True),
+            ("No syntax errors, even if it contains an error comment.", False),
+            # Chain-of-thought: a conversational opener must lose to the
+            # explicit trailing 'Answer:' verdict.
+            (
+                "Yes, let me check the two queries carefully. "
+                "Answer: no, they are not equivalent.",
+                False,
+            ),
+            ("No need to worry about style here. Answer: yes.", True),
+        ],
+    )
+    def test_explicit_verdict_wins(self, text, expected):
+        assert extract_yes_no(text) is expected
+
+    def test_tie_keeps_negative_bias(self):
+        # Nothing explicit, nothing phrase-level, bare tokens only:
+        # earliest bare token decides.
+        assert extract_yes_no("yes or no, hard to say") is True
+        assert extract_yes_no("no... yes?") is False
+
+
 class TestLabels:
     LABELS = ["aggr-attr", "aggr-having", "nested-mismatch", "alias-undefined"]
 
@@ -62,6 +104,22 @@ class TestLabels:
 
     def test_no_label(self):
         assert extract_label("nothing relevant here", self.LABELS) is None
+
+    def test_embedded_label_not_matched(self):
+        # Regression: the bare-substring fallback used to match a label
+        # embedded inside another label ('attr' inside 'aggr-attr').
+        labels = ["attr", "aggr-attr"]
+        assert extract_label("This is an aggr-attr problem.", labels) == "aggr-attr"
+        assert extract_label("The attr is wrong.", labels) == "attr"
+
+    def test_embedded_in_word_not_matched(self):
+        # 'where' inside 'somewhere' or 'missing-where' must not count.
+        labels = ["where"]
+        assert extract_label("The error is somewhere else.", labels) is None
+        assert (
+            extract_label("Classified as missing-where.", ["missing-where", "where"])
+            == "missing-where"
+        )
 
     def test_typed_responses_round_trip(self):
         rng = random.Random(1)

@@ -96,6 +96,117 @@ class TestCli:
         assert main(["bench", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_backends_list(self, capsys):
+        assert main(["backends", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "openai_compat" in out
+        assert "replay" in out
+
+    def test_run_rejects_unknown_backend(self, capsys):
+        assert main(["run", "table1", "--backend", "quantum"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_run_rejects_bad_backend_opt(self, capsys):
+        assert main(
+            ["run", "table1", "--backend-opt", "not-a-pair"]
+        ) == 2
+        assert "backend-opt" in capsys.readouterr().err
+
+    def test_run_rejects_replay_flags_without_replay_backend(self, capsys):
+        # --record-fixtures on the default backend would silently record
+        # nothing while still changing every cell cache key.
+        assert main(["run", "table1", "--record-fixtures"]) == 2
+        assert "--backend replay" in capsys.readouterr().err
+        assert main(["run", "table1", "--fixtures-dir", "fx"]) == 2
+        assert "--backend replay" in capsys.readouterr().err
+
+    def test_run_rejects_bad_dispatch_knobs(self, capsys):
+        assert main(["run", "table1", "--max-concurrency", "0"]) == 2
+        assert "--max-concurrency" in capsys.readouterr().err
+        assert main(["run", "table1", "--rps", "-2"]) == 2
+        assert "--rps" in capsys.readouterr().err
+
+    def test_run_record_and_replay_fixtures(self, tmp_path, capsys):
+        fixtures = tmp_path / "fixtures"
+        common = [
+            "run", "table6",
+            "--max-instances", "10",
+            "--no-cache", "--no-record",
+            "--fixtures-dir", str(fixtures),
+        ]
+        assert main(common + ["--backend", "replay", "--record-fixtures"]) == 0
+        recorded = capsys.readouterr().out
+        assert fixtures.is_dir()
+        # Replay the same artifact fully offline from the fixtures.
+        assert main(common + ["--backend", "replay"]) == 0
+        replayed = capsys.readouterr().out
+        assert replayed == recorded
+        # And the simulated output is byte-identical to the replay.
+        assert main(
+            [
+                "run", "table6", "--max-instances", "10",
+                "--no-cache", "--no-record",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == replayed
+
+    def test_run_rejects_bad_max_instances(self, capsys):
+        assert main(["run", "table6", "--max-instances", "0"]) == 2
+        assert "--max-instances" in capsys.readouterr().err
+
+    def test_report_on_recording_run_replays_instead_of_rerecording(
+        self, tmp_path, capsys
+    ):
+        fixtures = tmp_path / "fixtures"
+        runs = tmp_path / "runs"
+        cache = tmp_path / "cache"
+        assert main(
+            [
+                "run", "table6", "--max-instances", "10",
+                "--cache-dir", str(cache), "--runs-dir", str(runs),
+                "--backend", "replay", "--record-fixtures",
+                "--fixtures-dir", str(fixtures),
+            ]
+        ) == 0
+        capsys.readouterr()
+        before = (fixtures / "gpt4" / "performance_pred.jsonl").read_text()
+        assert main(
+            [
+                "report",
+                "--runs-dir", str(runs),
+                "--cache-dir", str(cache),
+                "--out", str(tmp_path / "reports"),
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        # Reporting must not re-enter record mode: fixtures unchanged.
+        assert (fixtures / "gpt4" / "performance_pred.jsonl").read_text() == before
+        assert "[report]" in err
+
+    def test_run_record_carries_backend(self, tmp_path, capsys):
+        fixtures = tmp_path / "fixtures"
+        runs = tmp_path / "runs"
+        assert main(
+            [
+                "run", "table6",
+                "--max-instances", "10",
+                "--no-cache",
+                "--runs-dir", str(runs),
+                "--backend", "replay",
+                "--record-fixtures",
+                "--fixtures-dir", str(fixtures),
+            ]
+        ) == 0
+        capsys.readouterr()
+        record_files = list(runs.glob("*.json"))
+        assert len(record_files) == 1
+        run_id = record_files[0].stem
+        assert main(["runs", "show", run_id, "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : replay" in out
+        assert "mode=record" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
