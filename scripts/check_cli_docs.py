@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docs-freshness check: README's CLI reference vs the real parser.
+
+Walks the argparse tree behind ``python -m repro`` and verifies that the
+README's "CLI reference" section documents
+
+* every subcommand (``run``, ``report``, ``cache`` ...), and
+* every long option of every subcommand (``--workers``, ``--workload``,
+  ``--strata`` ...).
+
+A flag added to the CLI without a README mention — or a README mention
+of a flag that no longer exists — fails the build, so the reference can
+never silently drift.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_cli_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+#: Options that argparse adds on its own; not reference material.
+IMPLICIT_OPTIONS = {"--help"}
+
+
+def _reference_section(text: str) -> str:
+    match = re.search(r"## CLI reference\n(.*?)\n## ", text, re.DOTALL)
+    if match is None:
+        print("README.md has no '## CLI reference' section", file=sys.stderr)
+        sys.exit(1)
+    return match.group(1)
+
+
+def _subparsers(parser: argparse.ArgumentParser, prefix: str = ""):
+    """All (qualified name, parser) pairs, recursing into nested levels."""
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                qualified = f"{prefix}{name}"
+                yield qualified, subparser
+                yield from _subparsers(subparser, prefix=f"{qualified} ")
+
+
+def _long_options(parser: argparse.ArgumentParser) -> set[str]:
+    options = set()
+    for action in parser._actions:  # noqa: SLF001
+        for option in action.option_strings:
+            if option.startswith("--"):
+                options.add(option)
+    return options - IMPLICIT_OPTIONS
+
+
+def main() -> int:
+    sys.path.insert(0, str(README.parent / "src"))
+    from repro.cli import build_parser
+
+    reference = _reference_section(README.read_text(encoding="utf-8"))
+    documented_flags = set(re.findall(r"--[a-z][a-z-]*", reference))
+    problems: list[str] = []
+
+    root = build_parser()
+    commands = dict(_subparsers(root))
+    for name, subparser in commands.items():
+        if not re.search(rf"\| `{re.escape(name)}[ \\`]", reference):
+            problems.append(f"subcommand {name!r} is not in the CLI reference")
+        for option in sorted(_long_options(subparser)):
+            if option not in documented_flags:
+                problems.append(
+                    f"option {option} of `repro {name}` is not in the CLI reference"
+                )
+
+    real_flags = set(_long_options(root))
+    for _, subparser in commands.items():
+        real_flags |= _long_options(subparser)
+    for flag in sorted(documented_flags - real_flags):
+        problems.append(f"CLI reference documents {flag}, which no command accepts")
+
+    for line in problems:
+        print(f"README.md: {line}", file=sys.stderr)
+    checked = len(commands) + len(real_flags)
+    print(f"checked {checked} commands/options, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,11 +64,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list reproducible artifacts")
 
-    run_parser = subparsers.add_parser("run", help="run artifact reproductions")
+    run_parser = subparsers.add_parser(
+        "run", help="run artifact reproductions or a workload grid"
+    )
     run_parser.add_argument(
         "artifacts",
-        nargs="+",
-        help=f"artifact ids ({', '.join(ARTIFACT_IDS)}) or 'all'",
+        nargs="*",
+        help=(
+            f"artifact ids ({', '.join(ARTIFACT_IDS)}) or 'all'; with "
+            "--workload: task names to restrict the grid to"
+        ),
+    )
+    run_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help=(
+            "evaluate a task grid over one workload instead of artifacts: "
+            "a paper workload (sdss, sqlshare, join_order, spider) or a "
+            "synthetic spec such as synthetic:default or synthetic:joins:n=1000"
+        ),
+    )
+    run_parser.add_argument(
+        "--strata",
+        default=None,
+        metavar="S1,S2,...",
+        help="restrict a synthetic --workload to these strata",
     )
     run_parser.add_argument(
         "--out",
@@ -279,12 +300,56 @@ def _cmd_run(args) -> int:
     from repro.reporting.run_record import RunRecordStore
 
     wanted = list(args.artifacts)
-    if wanted == ["all"]:
-        wanted = list(ARTIFACT_IDS)
-    unknown = [a for a in wanted if a not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
-        return 2
+    workload_name: str | None = None
+    if args.workload is not None:
+        from repro.tasks.registry import tasks_for_workload
+        from repro.workloads import resolve_workload_name
+
+        spec = args.workload
+        if args.strata is not None:
+            if ":strata=" in spec:
+                print(
+                    "--strata conflicts with a strata= segment already in "
+                    "--workload; use one or the other",
+                    file=sys.stderr,
+                )
+                return 2
+            parts = [part for part in args.strata.split(",") if part]
+            if not parts:
+                print("--strata requires at least one stratum name", file=sys.stderr)
+                return 2
+            spec += ":strata=" + "+".join(parts)
+        try:
+            workload_name = resolve_workload_name(spec)
+        except (KeyError, ValueError) as error:
+            # str(KeyError) wraps its argument in quotes; print the
+            # message itself for both exception types.
+            print(error.args[0] if error.args else str(error), file=sys.stderr)
+            return 2
+        applicable = tasks_for_workload(workload_name)
+        unknown = [t for t in wanted if t not in applicable]
+        if unknown:
+            print(
+                f"unknown tasks for workload {workload_name!r}: "
+                f"{', '.join(unknown)} "
+                f"(it supports: {', '.join(applicable)})",
+                file=sys.stderr,
+            )
+            return 2
+        wanted = wanted or list(applicable)
+    else:
+        if args.strata is not None:
+            print("--strata requires --workload", file=sys.stderr)
+            return 2
+        if not wanted:
+            print("run requires artifact ids or --workload", file=sys.stderr)
+            return 2
+        if wanted == ["all"]:
+            wanted = list(ARTIFACT_IDS)
+        unknown = [a for a in wanted if a not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
+            return 2
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -338,17 +403,31 @@ def _cmd_run(args) -> int:
     artifact_seconds: dict[str, float] = {}
     run_started = time.perf_counter()
     try:
-        for artifact in wanted:
-            started = time.perf_counter()
-            result = run_experiment(artifact, runner)
-            artifact_seconds[artifact] = round(time.perf_counter() - started, 3)
-            print(f"\n=== {result.title} ===\n")
-            print(result.text)
-            if args.out is not None:
-                args.out.mkdir(parents=True, exist_ok=True)
-                (args.out / f"{artifact}.txt").write_text(
-                    f"{result.title}\n\n{result.text}\n", encoding="utf-8"
-                )
+        if workload_name is not None:
+            for task in wanted:
+                started = time.perf_counter()
+                text = _workload_grid_text(runner, task, workload_name)
+                artifact_seconds[task] = round(time.perf_counter() - started, 3)
+                title = f"Task {task} over workload {workload_name}"
+                print(f"\n=== {title} ===\n")
+                print(text)
+                if args.out is not None:
+                    args.out.mkdir(parents=True, exist_ok=True)
+                    (args.out / f"{task}.txt").write_text(
+                        f"{title}\n\n{text}\n", encoding="utf-8"
+                    )
+        else:
+            for artifact in wanted:
+                started = time.perf_counter()
+                result = run_experiment(artifact, runner)
+                artifact_seconds[artifact] = round(time.perf_counter() - started, 3)
+                print(f"\n=== {result.title} ===\n")
+                print(result.text)
+                if args.out is not None:
+                    args.out.mkdir(parents=True, exist_ok=True)
+                    (args.out / f"{artifact}.txt").write_text(
+                        f"{result.title}\n\n{result.text}\n", encoding="utf-8"
+                    )
     finally:
         runner.close()
     engine = runner.engine
@@ -361,13 +440,45 @@ def _cmd_run(args) -> int:
     )
     if not args.no_record:
         record = runner.run_record(
-            artifacts=tuple(wanted),
+            artifacts=() if workload_name is not None else tuple(wanted),
             artifact_seconds=artifact_seconds,
             total_seconds=time.perf_counter() - run_started,
+            notes=(
+                f"workload grid over `{workload_name}` "
+                f"(tasks: {', '.join(wanted)})"
+                if workload_name is not None
+                else ""
+            ),
         )
         path = RunRecordStore(args.runs_dir).save(record)
         print(f"[run-record] {record.run_id} -> {path}", file=sys.stderr)
     return 0
+
+
+def _workload_grid_text(runner, task: str, workload_name: str) -> str:
+    """Evaluate one task over one workload and render its metric table."""
+    from repro.evalfw.report import render_table
+    from repro.reporting.run_record import cell_record_from_result
+
+    grid = runner.run_task(task, workloads=(workload_name,))
+    model_order = {profile.name: i for i, profile in enumerate(runner.models)}
+    rows = []
+    for (model, _), cell in sorted(
+        grid.items(), key=lambda item: model_order.get(item[0][0], 99)
+    ):
+        record = cell_record_from_result(
+            cell,
+            model_display=runner.engine.profile(model).display_name,
+            cached=False,
+            seconds=None,
+        )
+        row: dict[str, object] = {
+            "Model": record.model_display,
+            "n": record.instances,
+        }
+        row.update(record.metrics)
+        rows.append(row)
+    return render_table(rows, f"{task} metrics on {workload_name}")
 
 
 def _cmd_runs(args) -> int:

@@ -1,5 +1,22 @@
-"""Corruption engine: syntax-error injection and missing-token removal."""
+"""Corruption engine: labeled query perturbation for the detection tasks.
 
+Three families:
+
+* :mod:`repro.corrupt.syntax_errors` — the paper's six semantic error
+  types, injected into parsed queries that still parse afterwards;
+* :mod:`repro.corrupt.missing_tokens` — removal of exactly one token of
+  a chosen type from the query *text* (the miss_token family);
+* :mod:`repro.corrupt.structural` — AST-level structural breakage
+  (clause-order swaps, dangling aliases, unbalanced subquery parens)
+  unlocked by the synthetic workload family's direct AST generation.
+"""
+
+from repro.corrupt.structural import (
+    STRUCTURAL_TYPES,
+    StructuralCorruption,
+    applicable_structural_types,
+    inject_structural_error,
+)
 from repro.corrupt.missing_tokens import (
     ALIAS,
     COLUMN,
@@ -34,4 +51,8 @@ __all__ = [
     "TokenRemoval",
     "applicable_token_types",
     "remove_token",
+    "STRUCTURAL_TYPES",
+    "StructuralCorruption",
+    "applicable_structural_types",
+    "inject_structural_error",
 ]

@@ -1,0 +1,225 @@
+"""Structural corruption: AST-level perturbations beyond the paper's six.
+
+The paper's error types are *semantic* (the text still parses); the
+classes here break queries at the structural level instead, which only
+becomes tractable once queries are held as ASTs (the synthetic workload
+family generates ASTs directly):
+
+* ``clause-order`` — two top-level SELECT clauses rendered in swapped
+  order (``GROUP BY`` before ``WHERE``, or ``ORDER BY`` before
+  ``WHERE``), the classic write-from-memory mistake;
+* ``dangling-alias`` — a table's alias definition is dropped from FROM
+  while alias-qualified references stay behind, leaving them resolving
+  nowhere;
+* ``paren-imbalance`` — a subquery loses its closing parenthesis (the
+  off-by-one every hand-edited nested query risks), making the text
+  unparseable.
+
+Each injector works on a clone of the statement and returns corrupted
+*text* plus labels, mirroring :mod:`repro.corrupt.syntax_errors`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sql import nodes as n
+from repro.sql.render import Renderer, render
+
+CLAUSE_ORDER = "clause-order"
+DANGLING_ALIAS = "dangling-alias"
+PAREN_IMBALANCE = "paren-imbalance"
+
+#: The structural error types, in presentation order.
+STRUCTURAL_TYPES: tuple[str, ...] = (CLAUSE_ORDER, DANGLING_ALIAS, PAREN_IMBALANCE)
+
+
+@dataclass
+class StructuralCorruption:
+    """A structurally corrupted query and the label it carries."""
+
+    text: str
+    error_type: str
+    detail: str
+    original_text: str
+
+
+def _outer_core(statement: n.Statement) -> Optional[n.SelectCore]:
+    if not isinstance(statement, n.SelectStatement):
+        return None
+    body = statement.query.body
+    return body if isinstance(body, n.SelectCore) else None
+
+
+def _corrupt_clause_order(
+    statement: n.Statement, rng: random.Random
+) -> Optional[tuple[str, str]]:
+    """Render the outer core with two clauses swapped."""
+    core = _outer_core(statement)
+    if core is None or not core.from_items:
+        return None
+    renderer = Renderer()
+    clauses: list[tuple[str, str]] = [
+        (
+            "SELECT",
+            "SELECT "
+            + ("DISTINCT " if core.distinct else "")
+            + ", ".join(renderer._select_item(item) for item in core.items),
+        ),
+        (
+            "FROM",
+            "FROM " + ", ".join(renderer._table_ref(ref) for ref in core.from_items),
+        ),
+    ]
+    if core.where is not None:
+        clauses.append(("WHERE", f"WHERE {renderer.render_expr(core.where)}"))
+    if core.group_by:
+        clauses.append(
+            (
+                "GROUP BY",
+                "GROUP BY " + ", ".join(renderer.render_expr(e) for e in core.group_by),
+            )
+        )
+    if core.having is not None:
+        clauses.append(("HAVING", f"HAVING {renderer.render_expr(core.having)}"))
+    if core.order_by:
+        clauses.append(
+            (
+                "ORDER BY",
+                "ORDER BY " + ", ".join(renderer._order_item(i) for i in core.order_by),
+            )
+        )
+    # Swappable pairs that genuinely misorder SQL (never SELECT itself
+    # leading, which would merely be the original).
+    candidates = [
+        (i, j)
+        for i in range(1, len(clauses))
+        for j in range(i + 1, len(clauses))
+    ]
+    if not candidates:
+        return None
+    first, second = rng.choice(candidates)
+    swapped = f"{clauses[first][0]}/{clauses[second][0]}"
+    clauses[first], clauses[second] = clauses[second], clauses[first]
+    return " ".join(text for _, text in clauses), f"clauses {swapped} swapped"
+
+
+def _corrupt_dangling_alias(
+    statement: n.Statement, rng: random.Random
+) -> Optional[tuple[str, str]]:
+    """Drop one alias definition whose qualified references remain."""
+    used_aliases = {
+        node.table.lower()
+        for node in n.walk(statement)
+        if isinstance(node, n.ColumnRef) and node.table is not None
+    }
+    candidates = [
+        node
+        for node in n.walk(statement)
+        if isinstance(node, n.NamedTable)
+        and node.alias is not None
+        and node.alias.lower() in used_aliases
+        and node.alias.lower() != node.name.lower()
+    ]
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    alias = target.alias
+    target.alias = None
+    return (
+        render(statement),
+        f"alias {alias!r} definition dropped; its references dangle",
+    )
+
+
+def _corrupt_paren_imbalance(
+    statement: n.Statement, rng: random.Random
+) -> Optional[tuple[str, str]]:
+    """Remove the closing parenthesis of one subquery."""
+    has_subquery = any(
+        isinstance(node, (n.InSubquery, n.ScalarSubquery, n.Exists, n.DerivedTable))
+        for node in n.walk(statement)
+    )
+    if not has_subquery:
+        return None
+    text = render(statement)
+    openers = [
+        index
+        for index in range(len(text))
+        if text.startswith("(SELECT ", index) or text.startswith("(WITH ", index)
+    ]
+    if not openers:
+        return None
+    start = rng.choice(openers)
+    depth = 0
+    for index in range(start, len(text)):
+        if text[index] == "(":
+            depth += 1
+        elif text[index] == ")":
+            depth -= 1
+            if depth == 0:
+                corrupted = text[:index] + text[index + 1 :]
+                return (
+                    corrupted.replace("  ", " ").strip(),
+                    "subquery closing parenthesis dropped",
+                )
+    return None
+
+
+_INJECTORS: dict[
+    str, Callable[[n.Statement, random.Random], Optional[tuple[str, str]]]
+] = {
+    CLAUSE_ORDER: _corrupt_clause_order,
+    DANGLING_ALIAS: _corrupt_dangling_alias,
+    PAREN_IMBALANCE: _corrupt_paren_imbalance,
+}
+
+
+def applicable_structural_types(
+    statement: n.Statement, rng: random.Random
+) -> list[str]:
+    """Structural types whose injector succeeds on (a copy of) this statement."""
+    applicable = []
+    for error_type in STRUCTURAL_TYPES:
+        trial = n.clone(statement)
+        if _INJECTORS[error_type](trial, random.Random(rng.random())) is not None:
+            applicable.append(error_type)
+    return applicable
+
+
+def inject_structural_error(
+    statement: n.Statement,
+    rng: random.Random,
+    error_type: Optional[str] = None,
+) -> Optional[StructuralCorruption]:
+    """Inject one structural error into a copy of *statement*.
+
+    When *error_type* is None a random applicable type is used; returns
+    None when no injector applies (e.g. a flat query has no subquery to
+    unbalance and no alias to dangle).
+    """
+    original_text = render(statement)
+    order = (
+        [error_type]
+        if error_type is not None
+        else rng.sample(list(STRUCTURAL_TYPES), k=len(STRUCTURAL_TYPES))
+    )
+    for candidate in order:
+        if candidate not in _INJECTORS:
+            raise KeyError(f"unknown structural error type {candidate!r}")
+        mutated = n.clone(statement)
+        result = _INJECTORS[candidate](mutated, rng)
+        if result is None:
+            continue
+        text, detail = result
+        if text == original_text:
+            continue
+        return StructuralCorruption(
+            text=text,
+            error_type=candidate,
+            detail=detail,
+            original_text=original_text,
+        )
+    return None

@@ -28,6 +28,11 @@ from repro.reporting.compare import (
     compare_runs,
     render_comparison,
 )
+from repro.reporting.complexity import (
+    property_rows,
+    render_complexity_section,
+    stratum_rows,
+)
 from repro.reporting.html import write_html_dashboard
 from repro.reporting.markdown import render_markdown_report
 from repro.reporting.paper_refs import (
@@ -68,9 +73,12 @@ __all__ = [
     "paper_f1_delta",
     "paper_location",
     "paper_typed",
+    "property_rows",
     "record_from_engine",
     "render_comparison",
+    "render_complexity_section",
     "render_markdown_report",
+    "stratum_rows",
     "report_json_payload",
     "write_html_dashboard",
     "write_report_bundle",

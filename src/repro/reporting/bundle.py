@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.reporting.complexity import render_complexity_section
 from repro.reporting.html import GridMap, write_html_dashboard
 from repro.reporting.markdown import render_markdown_report
 from repro.reporting.paper_refs import paper_f1_delta
@@ -73,7 +74,14 @@ def write_report_bundle(
     root.mkdir(parents=True, exist_ok=True)
 
     markdown_path = root / "report.md"
-    markdown_path.write_text(render_markdown_report(record), encoding="utf-8")
+    markdown = render_markdown_report(record)
+    if grids:
+        # Synthetic-workload grids additionally get the accuracy-vs-
+        # complexity stratum tables; empty for paper-only runs.
+        complexity = render_complexity_section(grids)
+        if complexity:
+            markdown = markdown.rstrip() + "\n\n" + "\n".join(complexity).rstrip() + "\n"
+    markdown_path.write_text(markdown, encoding="utf-8")
 
     json_path = root / "report.json"
     json_path.write_text(

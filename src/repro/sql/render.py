@@ -26,6 +26,18 @@ _SQLITE_FUNCTION_MAP = {
 
 _NEEDS_PARENS_IN_BINARY = (n.Binary,)
 
+#: Cap on node reprs embedded in error messages; a deep SELECT tree's
+#: repr runs to kilobytes and would drown the useful part.
+_REPR_LIMIT = 120
+
+
+def _node_desc(node: object) -> str:
+    """``TypeName: repr`` with the repr truncated for error messages."""
+    text = repr(node)
+    if len(text) > _REPR_LIMIT:
+        text = text[: _REPR_LIMIT - 3] + "..."
+    return f"{type(node).__name__}: {text}"
+
 
 class Renderer:
     """Stateless SQL text producer for a fixed dialect."""
@@ -40,7 +52,7 @@ class Renderer:
     def render_statement(self, stmt: n.Statement) -> str:
         method = getattr(self, f"_stmt_{type(stmt).__name__}", None)
         if method is None:
-            raise RenderError(f"cannot render {type(stmt).__name__}")
+            raise RenderError(f"cannot render statement {_node_desc(stmt)}")
         return method(stmt)
 
     def _stmt_SelectStatement(self, stmt: n.SelectStatement) -> str:
@@ -142,7 +154,7 @@ class Renderer:
             if body.limit is not None:
                 text += f" LIMIT {body.limit}"
             return text
-        raise RenderError(f"cannot render body {type(body).__name__}")
+        raise RenderError(f"cannot render body {_node_desc(body)}")
 
     def _select_core(self, core: n.SelectCore) -> str:
         parts = ["SELECT"]
@@ -200,7 +212,7 @@ class Renderer:
             if ref.condition is not None:
                 text += f" ON {self.render_expr(ref.condition)}"
             return text
-        raise RenderError(f"cannot render table ref {type(ref).__name__}")
+        raise RenderError(f"cannot render table ref {_node_desc(ref)}")
 
     def _qualified(self, schema: str | None, name: str) -> str:
         if schema and self.dialect == SQLITE:
@@ -213,7 +225,7 @@ class Renderer:
     def render_expr(self, expr: n.Expr) -> str:
         method = getattr(self, f"_expr_{type(expr).__name__}", None)
         if method is None:
-            raise RenderError(f"cannot render expression {type(expr).__name__}")
+            raise RenderError(f"cannot render expression {_node_desc(expr)}")
         return method(expr)
 
     def _expr_Literal(self, expr: n.Literal) -> str:
@@ -378,4 +390,4 @@ def render(node: n.Node, dialect: str = TSQL) -> str:
         return renderer._table_ref(node)
     if isinstance(node, n.Expr):
         return renderer.render_expr(node)
-    raise RenderError(f"cannot render node {type(node).__name__}")
+    raise RenderError(f"cannot render node {_node_desc(node)}")

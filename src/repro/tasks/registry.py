@@ -55,6 +55,27 @@ TASK_WORKLOADS: dict[str, tuple[str, ...]] = {
     QUERY_EXP: ("spider",),
 }
 
+
+def tasks_for_workload(workload_name: str) -> tuple[str, ...]:
+    """The primary tasks a workload carries ground truth for.
+
+    Paper workloads follow the Table 2 usage note (inverted from
+    ``TASK_WORKLOADS``); synthetic workloads support all five tasks —
+    generated queries carry elapsed-time labels and gold descriptions in
+    addition to being corruptible and pairable.  The CLI's
+    ``run --workload`` grid mode uses this to avoid building datasets
+    that would come out empty.
+    """
+    from repro.workloads.synthetic import is_synthetic
+
+    if is_synthetic(workload_name):
+        return PRIMARY_TASKS
+    return tuple(
+        task
+        for task in PRIMARY_TASKS
+        if workload_name in TASK_WORKLOADS.get(task, ())
+    )
+
 ASK_FUNCTIONS: dict[str, Callable] = {
     SYNTAX_ERROR: ask_syntax_error,
     MISS_TOKEN: ask_miss_token,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.corrupt.structural import STRUCTURAL_TYPES, inject_structural_error
 from repro.corrupt.syntax_errors import ERROR_TYPES, inject_syntax_error
 from repro.llm.simulated import SimulatedLLM
 from repro.parsing import extract_label, extract_yes_no
@@ -22,13 +23,28 @@ TYPE_WEIGHTS: dict[str, dict[str, float]] = {
     "sqlshare": {"alias-ambiguous": 3.0, "alias-undefined": 1.5},
 }
 
+#: Share of *corrupted* synthetic instances carrying a structural error
+#: (clause-order / dangling-alias / paren-imbalance) instead of one of
+#: the paper's six semantic types.  The paper workloads keep their exact
+#: historical generation — structural corruption only applies where
+#: AST-level generation guarantees clean inputs (the synthetic family).
+STRUCTURAL_FRACTION = 0.3
+
+#: Every error-type label a response may carry (semantic + structural).
+ALL_ERROR_TYPES: tuple[str, ...] = ERROR_TYPES + STRUCTURAL_TYPES
+
 
 def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
     """Inject errors into a random ~70% of queries; leave the rest clean.
 
     The error type for each corrupted query is drawn uniformly from the
     types applicable to that query, mirroring the paper's generation.
+    Synthetic workloads additionally devote ``STRUCTURAL_FRACTION`` of
+    their corrupted instances to the structural error classes.
     """
+    from repro.workloads.synthetic import is_synthetic
+
+    structural_eligible = is_synthetic(workload.name)
     dataset = TaskDataset(task=SYNTAX_ERROR, workload=workload.name)
     for query in workload.queries:
         statement = query.statement
@@ -38,12 +54,15 @@ def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset
         make_error = rng.random() >= ERROR_FREE_FRACTION
         corruption = None
         if make_error:
-            corruption = inject_syntax_error(
-                statement,
-                workload.schema_for(query),
-                rng,
-                type_weights=TYPE_WEIGHTS.get(workload.name),
-            )
+            if structural_eligible and rng.random() < STRUCTURAL_FRACTION:
+                corruption = inject_structural_error(statement, rng)
+            if corruption is None:
+                corruption = inject_syntax_error(
+                    statement,
+                    workload.schema_for(query),
+                    rng,
+                    type_weights=TYPE_WEIGHTS.get(workload.name),
+                )
         if corruption is not None:
             dataset.instances.append(
                 TaskInstance(
@@ -89,7 +108,7 @@ def parse_syntax_error_response(
         model=model_name,
         response_text=text,
         predicted=extract_yes_no(text),
-        predicted_type=extract_label(text, ERROR_TYPES),
+        predicted_type=extract_label(text, ALL_ERROR_TYPES),
     )
 
 

@@ -1,4 +1,14 @@
-"""Workload generators and statistics for the four paper datasets."""
+"""Workload generators and statistics.
+
+Two families resolve through :func:`load_workload`:
+
+* the four fixed paper datasets (``sdss``, ``sqlshare``, ``join_order``,
+  ``spider``), matching Table 2;
+* the ``synthetic`` family (:mod:`repro.workloads.synthetic`), addressed
+  by spec strings such as ``synthetic:default`` or
+  ``synthetic:joins:n=1000`` — seeded, complexity-stratified query
+  generation for scenario scaling beyond the paper's fixed workloads.
+"""
 
 from repro.workloads.base import (
     DISPLAY_NAMES,
@@ -35,15 +45,36 @@ _GENERATORS = {
 }
 
 
+def resolve_workload_name(name: str) -> str:
+    """Validate a workload name/spec and return its canonical form.
+
+    The four paper workloads are their own canonical names; synthetic
+    specs normalise through :func:`repro.workloads.synthetic.parse_spec`
+    (so equivalent spellings share one engine-cache identity).  Raises
+    ``KeyError`` for unknown names and ``ValueError`` for malformed
+    synthetic specs.
+    """
+    if name in _GENERATORS:
+        return name
+    from repro.workloads.synthetic import is_synthetic, parse_spec
+
+    if is_synthetic(name):
+        return parse_spec(name).canonical()
+    raise KeyError(
+        f"unknown workload {name!r}; expected one of {sorted(_GENERATORS)} "
+        "or a 'synthetic[:profile][:key=value]...' spec"
+    )
+
+
 def load_workload(name: str, seed: int = 0) -> Workload:
-    """Generate the named workload (``sdss``/``sqlshare``/``join_order``/``spider``)."""
-    try:
-        generator = _GENERATORS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; expected one of {sorted(_GENERATORS)}"
-        ) from None
-    return generator(seed)
+    """Generate a workload by name: a paper dataset or a synthetic spec."""
+    canonical = resolve_workload_name(name)  # single home of the dispatch
+    generator = _GENERATORS.get(canonical)
+    if generator is not None:
+        return generator(seed)
+    from repro.workloads.synthetic import generate_synthetic, parse_spec
+
+    return generate_synthetic(parse_spec(canonical), seed)
 
 
 def load_all_workloads(seed: int = 0) -> dict[str, Workload]:
@@ -69,6 +100,7 @@ __all__ = [
     "CASE_STUDY_QUERIES",
     "load_workload",
     "load_all_workloads",
+    "resolve_workload_name",
     "workload_stats",
     "figure_histograms",
     "query_type_histogram",

@@ -228,6 +228,67 @@ def pad_select_to_words(
         core.items.append(n.SelectItem(expr=expr, alias=alias))
 
 
+def join_tree_from_edges(
+    schema: Schema,
+    edges: list[tuple[str, str, str, str]],
+    alias_prefix: str = "t",
+) -> tuple[list[SourceCtx], n.TableRef] | None:
+    """A left-deep aliased join tree from a connected FK edge walk.
+
+    ``edges`` must come from :func:`fk_join_path` (or satisfy the same
+    invariant: after the first edge, every edge connects exactly one new
+    table to the already-included set).  Returns the source contexts in
+    join order plus the join tree, with every ON condition qualified by
+    the table aliases — or None for an empty/degenerate walk.
+    """
+    if not edges or edges[0][0].lower() == edges[0][2].lower():
+        return None
+    ctxs: dict[str, SourceCtx] = {}
+    order: list[str] = []
+
+    def include(table_name: str) -> SourceCtx:
+        key = table_name.lower()
+        if key not in ctxs:
+            table = schema.table(table_name)
+            if table is None:
+                raise KeyError(f"edge names unknown table {table_name!r}")
+            ctxs[key] = SourceCtx(
+                table=table, alias=f"{alias_prefix}{len(ctxs) + 1}"
+            )
+            order.append(key)
+        return ctxs[key]
+
+    child, child_col, parent, parent_col = edges[0]
+    left_ctx = include(child)
+    right_ctx = include(parent)
+    tree: n.TableRef = n.Join(
+        left=n.NamedTable(name=left_ctx.table.name, alias=left_ctx.alias),
+        right=n.NamedTable(name=right_ctx.table.name, alias=right_ctx.alias),
+        condition=n.Binary(
+            op="=",
+            left=left_ctx.ref(child_col, qualify=True),
+            right=right_ctx.ref(parent_col, qualify=True),
+        ),
+    )
+    for child, child_col, parent, parent_col in edges[1:]:
+        child_new = child.lower() not in ctxs
+        parent_new = parent.lower() not in ctxs
+        if child_new == parent_new:  # disconnected or redundant edge
+            return None
+        new_ctx = include(child if child_new else parent)
+        child_ctx, parent_ctx = ctxs[child.lower()], ctxs[parent.lower()]
+        tree = n.Join(
+            left=tree,
+            right=n.NamedTable(name=new_ctx.table.name, alias=new_ctx.alias),
+            condition=n.Binary(
+                op="=",
+                left=child_ctx.ref(child_col, qualify=True),
+                right=parent_ctx.ref(parent_col, qualify=True),
+            ),
+        )
+    return [ctxs[key] for key in order], tree
+
+
 def fk_join_path(
     schema: Schema, rng: random.Random, length: int, start: str | None = None
 ) -> list[tuple[str, str, str, str]]:

@@ -1,0 +1,277 @@
+"""Complexity profiles and workload-spec parsing for the synthetic family.
+
+A :class:`Stratum` pins one point in complexity space (join count,
+nesting depth, aggregation, set operators, predicate width) and how many
+instances to generate there; a :class:`ComplexityProfile` is an ordered
+sweep of strata.  A workload *spec* selects a profile (plus optional
+overrides) through a ``:``-separated string::
+
+    synthetic                      # the "default" profile
+    synthetic:joins                # the join-count sweep
+    synthetic:default:n=500       # 500 instances per stratum
+    synthetic:default:strata=join2+nest3
+    synthetic:nesting:schema=imdb
+
+Specs are parsed by :func:`parse_spec`; their :meth:`SyntheticSpec.canonical`
+form is the workload name the engine and its caches key on, so two
+spellings of the same sweep share cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Workload-name prefix of the whole family.
+SYNTHETIC_FAMILY = "synthetic"
+
+#: Default instances per stratum (overridable per spec with ``n=``).
+DEFAULT_INSTANCES_PER_STRATUM = 48
+
+
+def is_synthetic(workload_name: str) -> bool:
+    """Whether a workload name addresses the synthetic family."""
+    return workload_name == SYNTHETIC_FAMILY or workload_name.startswith(
+        SYNTHETIC_FAMILY + ":"
+    )
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One point in complexity space.
+
+    ``joins`` counts explicit FK joins, ``nesting`` IN-subquery depth,
+    ``predicates`` the WHERE width, ``select_width`` the select-list
+    width; ``set_op`` is ``None`` or one of UNION / UNION ALL /
+    INTERSECT / EXCEPT.  Stratum names must not contain ``:`` / ``+``
+    / ``=`` (they appear inside spec strings) and must be unique within
+    a profile.
+    """
+
+    name: str
+    joins: int = 0
+    nesting: int = 0
+    aggregate: bool = False
+    set_op: Optional[str] = None
+    predicates: int = 1
+    select_width: int = 3
+    order_by: bool = False
+    instances: int = DEFAULT_INSTANCES_PER_STRATUM
+
+
+@dataclass(frozen=True)
+class ComplexityProfile:
+    """A named, ordered sweep of strata over one schema source."""
+
+    name: str
+    schema: str = "sdss"
+    strata: tuple[Stratum, ...] = ()
+    description: str = ""
+
+    def stratum(self, name: str) -> Stratum:
+        for stratum in self.strata:
+            if stratum.name == name:
+                return stratum
+        known = ", ".join(s.name for s in self.strata)
+        raise KeyError(
+            f"profile {self.name!r} has no stratum {name!r} (has: {known})"
+        )
+
+
+def _default_strata() -> tuple[Stratum, ...]:
+    return (
+        Stratum("flat", joins=0, predicates=1, select_width=3),
+        Stratum("wide", joins=0, predicates=4, select_width=6, order_by=True),
+        Stratum("join1", joins=1, predicates=2, select_width=4),
+        Stratum("join2", joins=2, predicates=2, select_width=4),
+        Stratum("join3", joins=3, predicates=3, select_width=5),
+        Stratum("nest1", nesting=1, predicates=2),
+        Stratum("nest2", nesting=2, predicates=2),
+        Stratum("nest3", nesting=3, predicates=2),
+        Stratum("agg", aggregate=True, predicates=1, select_width=2),
+        Stratum("aggjoin", joins=2, aggregate=True, predicates=2, select_width=2),
+        Stratum("setop", set_op="UNION", predicates=2, select_width=3),
+        Stratum("setopnest", nesting=1, set_op="INTERSECT", predicates=2),
+    )
+
+
+def _sweep(prefix: str, axis: str, values: tuple[int, ...], **fixed) -> tuple[Stratum, ...]:
+    return tuple(
+        Stratum(name=f"{prefix}{value}", **{axis: value}, **fixed)
+        for value in values
+    )
+
+
+PROFILES: dict[str, ComplexityProfile] = {
+    profile.name: profile
+    for profile in (
+        ComplexityProfile(
+            name="default",
+            strata=_default_strata(),
+            description="Twelve strata covering every complexity axis",
+        ),
+        ComplexityProfile(
+            name="joins",
+            strata=_sweep("join", "joins", (0, 1, 2, 3, 4), predicates=2, select_width=4),
+            description="Join-count sweep at fixed predicate width",
+        ),
+        ComplexityProfile(
+            name="nesting",
+            strata=_sweep("nest", "nesting", (0, 1, 2, 3, 4), predicates=2),
+            description="Subquery-depth sweep on flat single-table cores",
+        ),
+        ComplexityProfile(
+            name="predicates",
+            strata=_sweep(
+                "pred", "predicates", (1, 2, 4, 6, 8), select_width=4
+            ),
+            description="WHERE-width sweep (the paper's predicate_count axis)",
+        ),
+        ComplexityProfile(
+            name="aggregation",
+            strata=(
+                Stratum("plain", aggregate=False, predicates=2, select_width=3),
+                Stratum("agg", aggregate=True, predicates=2, select_width=2),
+                Stratum("aggjoin1", joins=1, aggregate=True, predicates=2, select_width=2),
+                Stratum("aggjoin2", joins=2, aggregate=True, predicates=2, select_width=2),
+            ),
+            description="Aggregation on/off, alone and over join trees",
+        ),
+        ComplexityProfile(
+            name="setops",
+            strata=(
+                Stratum("plain", predicates=2),
+                Stratum("union", set_op="UNION", predicates=2),
+                Stratum("unionall", set_op="UNION ALL", predicates=2),
+                Stratum("intersect", set_op="INTERSECT", predicates=2),
+                Stratum("except", set_op="EXCEPT", predicates=2),
+            ),
+            description="Set-operator sweep over matching branch cores",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """A parsed ``synthetic:...`` workload spec."""
+
+    profile: str = "default"
+    strata: tuple[str, ...] = ()  # empty selects the whole profile
+    instances: Optional[int] = None  # per-stratum override
+    schema: Optional[str] = None  # schema-source override
+
+    def __post_init__(self) -> None:
+        profile = PROFILES.get(self.profile)
+        if profile is None:
+            raise ValueError(
+                f"unknown synthetic profile {self.profile!r}; "
+                f"expected one of {sorted(PROFILES)}"
+            )
+        for name in self.strata:
+            profile.stratum(name)  # raises KeyError on unknown strata
+        if len(set(self.strata)) != len(self.strata):
+            # A repeated stratum would generate duplicate query ids and
+            # silently double that stratum's weight in every metric.
+            raise ValueError(f"duplicate strata in {self.strata!r}")
+        if self.instances is not None and self.instances < 1:
+            raise ValueError(f"n must be >= 1, got {self.instances}")
+
+    @property
+    def profile_obj(self) -> ComplexityProfile:
+        return PROFILES[self.profile]
+
+    @property
+    def schema_source(self) -> str:
+        return self.schema or self.profile_obj.schema
+
+    def selected_strata(self) -> tuple[Stratum, ...]:
+        """The strata this spec generates, with ``n=`` applied."""
+        profile = self.profile_obj
+        chosen = (
+            profile.strata
+            if not self.strata
+            else tuple(profile.stratum(name) for name in self.strata)
+        )
+        if self.instances is None:
+            return chosen
+        from dataclasses import replace
+
+        return tuple(replace(s, instances=self.instances) for s in chosen)
+
+    def canonical(self) -> str:
+        """The normalised workload name (the engine's cache identity)."""
+        parts = [SYNTHETIC_FAMILY, self.profile]
+        if self.strata:
+            parts.append("strata=" + "+".join(self.strata))
+        if self.instances is not None:
+            parts.append(f"n={self.instances}")
+        if self.schema is not None:
+            parts.append(f"schema={self.schema}")
+        return ":".join(parts)
+
+
+def parse_spec(name: str) -> SyntheticSpec:
+    """Parse a ``synthetic[:profile][:key=value]...`` workload name.
+
+    Raises ``ValueError`` for anything malformed (unknown profile,
+    stratum, key, or a non-numeric ``n``).
+    """
+    if not is_synthetic(name):
+        raise ValueError(f"not a synthetic workload spec: {name!r}")
+    segments = name.split(":")[1:]
+    profile = "default"
+    if segments and "=" not in segments[0]:
+        profile = segments.pop(0)
+    strata: tuple[str, ...] = ()
+    instances: Optional[int] = None
+    schema: Optional[str] = None
+    seen_keys: set[str] = set()
+    for segment in segments:
+        key, separator, value = segment.partition("=")
+        if not separator or not value:
+            raise ValueError(f"malformed spec segment {segment!r} in {name!r}")
+        if key in seen_keys:
+            # Last-wins would silently discard the earlier value (e.g.
+            # --strata appending a second strata= segment).
+            raise ValueError(f"duplicate spec key {key!r} in {name!r}")
+        seen_keys.add(key)
+        if key == "strata":
+            strata = tuple(part for part in value.split("+") if part)
+            if not strata:
+                raise ValueError(f"empty strata list in {name!r}")
+        elif key == "n":
+            try:
+                instances = int(value)
+            except ValueError:
+                raise ValueError(f"n must be an integer in {name!r}") from None
+        elif key == "schema":
+            schema = value
+        else:
+            raise ValueError(
+                f"unknown spec key {key!r} in {name!r} "
+                "(expected strata=, n= or schema=)"
+            )
+    try:
+        return SyntheticSpec(
+            profile=profile, strata=strata, instances=instances, schema=schema
+        )
+    except KeyError as error:
+        # str(KeyError) would re-quote the message; unwrap args[0].
+        message = error.args[0] if error.args else str(error)
+        raise ValueError(message) from None
+
+
+def stratum_of_query_id(query_id: str) -> Optional[str]:
+    """Recover the generating stratum from a synthetic query id.
+
+    Ids are ``syn-<stratum>-<index>``; returns None for ids of any
+    other shape (non-synthetic workloads).
+    """
+    if not query_id.startswith("syn-"):
+        return None
+    remainder = query_id[len("syn-") :]
+    stratum, separator, index = remainder.rpartition("-")
+    if not separator or not index.isdigit():
+        return None
+    return stratum

@@ -154,3 +154,51 @@ class TestRenderNodesDirectly:
 
         script = parse_script("DECLARE @z FLOAT; SET @z = 1")
         assert render(script) == "DECLARE @z FLOAT; SET @z = 1"
+
+
+class TestRenderErrorMessages:
+    """RenderError must name the offending node type *and* its repr."""
+
+    def test_unknown_expression_names_node(self):
+        class Mystery(n.Expr):
+            def __repr__(self):
+                return "Mystery(payload=7)"
+
+        with pytest.raises(Exception) as excinfo:
+            render(Mystery())
+        assert "Mystery" in str(excinfo.value)
+        assert "Mystery(payload=7)" in str(excinfo.value)
+
+    def test_unknown_statement_names_node(self):
+        class Rogue(n.Statement):
+            def __repr__(self):
+                return "Rogue()"
+
+        with pytest.raises(Exception) as excinfo:
+            Renderer().render_statement(Rogue())
+        assert "Rogue" in str(excinfo.value)
+        assert "Rogue()" in str(excinfo.value)
+
+    def test_unknown_table_ref_names_node(self):
+        class Phantom(n.TableRef):
+            def __repr__(self):
+                return "Phantom()"
+
+        with pytest.raises(Exception) as excinfo:
+            Renderer()._table_ref(Phantom())
+        assert "Phantom()" in str(excinfo.value)
+
+    def test_unrenderable_top_level_node_names_node(self):
+        with pytest.raises(Exception) as excinfo:
+            render(object())
+        assert "object" in str(excinfo.value)
+
+    def test_long_reprs_are_truncated(self):
+        class Verbose(n.Expr):
+            def __repr__(self):
+                return "V" * 10_000
+
+        with pytest.raises(Exception) as excinfo:
+            render(Verbose())
+        assert len(str(excinfo.value)) < 300
+        assert "..." in str(excinfo.value)

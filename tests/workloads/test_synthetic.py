@@ -1,0 +1,183 @@
+"""Synthetic workload family: spec parsing, generation invariants,
+round-trip/execution property tests, and task-builder coverage."""
+
+import pytest
+
+from repro.analysis.semantics import SemanticAnalyzer
+from repro.data.sqlite_backend import SqliteDatabase
+from repro.sql.parser import Parser
+from repro.sql.render import SQLITE, render
+from repro.tasks.base import PRIMARY_TASKS
+from repro.tasks.registry import build_dataset
+from repro.workloads import load_workload, resolve_workload_name
+from repro.workloads.synthetic import (
+    PROFILES,
+    SyntheticSpec,
+    generate_synthetic,
+    is_synthetic,
+    parse_spec,
+    stratum_of_query_id,
+)
+
+
+class TestSpecParsing:
+    def test_bare_family_is_default_profile(self):
+        spec = parse_spec("synthetic")
+        assert spec.profile == "default"
+        assert spec.canonical() == "synthetic:default"
+
+    def test_full_spec_round_trips_canonically(self):
+        spec = parse_spec("synthetic:joins:strata=join0+join2:n=500")
+        assert spec.profile == "joins"
+        assert spec.strata == ("join0", "join2")
+        assert spec.instances == 500
+        assert parse_spec(spec.canonical()) == spec
+
+    def test_schema_override(self):
+        spec = parse_spec("synthetic:joins:schema=imdb")
+        assert spec.schema_source == "imdb"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "synthetic:nope",
+            "synthetic:default:strata=missing",
+            "synthetic:default:n=zero",
+            "synthetic:default:n=0",
+            "synthetic:default:bogus=1",
+            "synthetic:default:strata=",
+            "synthetic:default:strata=join2+join2",
+            "synthetic:default:strata=flat:strata=wide",
+            "synthetic:default:n=4:n=9",
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_spec(bad)
+
+    def test_unknown_stratum_message_is_unquoted(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_spec("synthetic:default:strata=bogus")
+        message = str(excinfo.value)
+        assert not message.startswith('"')
+        assert message.startswith("profile 'default' has no stratum")
+
+    def test_is_synthetic(self):
+        assert is_synthetic("synthetic")
+        assert is_synthetic("synthetic:default:n=5")
+        assert not is_synthetic("sdss")
+        assert not is_synthetic("synthetically")
+
+    def test_resolver_accepts_both_families(self):
+        assert resolve_workload_name("sdss") == "sdss"
+        assert (
+            resolve_workload_name("synthetic:default:n=5")
+            == "synthetic:default:n=5"
+        )
+        with pytest.raises(KeyError):
+            resolve_workload_name("unknown")
+        with pytest.raises(ValueError):
+            resolve_workload_name("synthetic:nope")
+
+    def test_every_profile_has_unique_safe_stratum_names(self):
+        for profile in PROFILES.values():
+            names = [stratum.name for stratum in profile.strata]
+            assert len(names) == len(set(names))
+            for name in names:
+                assert not set(name) & set(":+=,-")
+
+    def test_stratum_of_query_id(self):
+        assert stratum_of_query_id("syn-join2-0017") == "join2"
+        assert stratum_of_query_id("sdss-0001") is None
+        assert stratum_of_query_id("syn-x") is None
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """~200 seeded samples spanning every default stratum."""
+    return load_workload("synthetic:default:n=17")
+
+
+class TestGenerationInvariants:
+    def test_sample_count_and_strata(self, sweep):
+        assert len(sweep) == 17 * len(PROFILES["default"].strata)
+        assert len(sweep) >= 200
+        strata = {query.archetype for query in sweep}
+        assert strata == {s.name for s in PROFILES["default"].strata}
+
+    def test_deterministic_across_generations(self):
+        spec = parse_spec("synthetic:nesting:n=3")
+        first = generate_synthetic(spec, seed=7)
+        second = generate_synthetic(spec, seed=7)
+        assert [q.text for q in first] == [q.text for q in second]
+        different = generate_synthetic(spec, seed=8)
+        assert [q.text for q in first] != [q.text for q in different]
+
+    def test_parse_render_round_trip_is_exact(self, sweep):
+        """The tentpole invariant: parse(render(ast)) == ast, exactly."""
+        for query in sweep:
+            statement = query.statement
+            assert statement is not None
+            reparsed = Parser(query.text).parse_statement()
+            assert reparsed == statement, query.query_id
+
+    def test_every_query_executes_on_sqlite(self, sweep):
+        schema = next(iter(sweep.schemas.values()))
+        database = SqliteDatabase.from_schema(
+            schema, seed=0, rows_per_table=30, step_budget=500
+        )
+        try:
+            for query in sweep:
+                database.execute(render(query.statement, SQLITE))
+        finally:
+            database.close()
+
+    def test_every_query_is_semantically_clean(self, sweep):
+        analyzer = SemanticAnalyzer(next(iter(sweep.schemas.values())))
+        for query in sweep:
+            assert analyzer.analyze(query.statement) == [], query.query_id
+
+    def test_strata_hit_their_complexity_targets(self, sweep):
+        by_stratum = {}
+        for query in sweep:
+            by_stratum.setdefault(query.archetype, []).append(query)
+        for name, expected_joins in (("join1", 1), ("join2", 2), ("join3", 3)):
+            for query in by_stratum[name]:
+                assert query.properties.join_count == expected_joins
+        for name, expected_depth in (("nest1", 1), ("nest2", 2), ("nest3", 3)):
+            for query in by_stratum[name]:
+                assert query.properties.nestedness == expected_depth
+        for query in by_stratum["agg"]:
+            assert query.properties.aggregate
+        for query in by_stratum["setop"]:
+            assert "UNION" in query.text
+
+    def test_queries_carry_performance_and_explanation_gold(self, sweep):
+        for query in sweep:
+            assert query.elapsed_ms is not None
+            assert query.description
+
+    def test_imdb_schema_source(self):
+        workload = load_workload("synthetic:joins:n=2:schema=imdb")
+        assert len(workload) == 10
+        schema = next(iter(workload.schemas.values()))
+        analyzer = SemanticAnalyzer(schema)
+        for query in workload:
+            assert Parser(query.text).parse_statement() == query.statement
+            assert analyzer.analyze(query.statement) == []
+
+
+class TestTaskCoverage:
+    @pytest.mark.parametrize("task", PRIMARY_TASKS)
+    def test_every_primary_task_builds_a_dataset(self, task):
+        workload = load_workload("synthetic:default:n=4")
+        dataset = build_dataset(task, workload, seed=0, max_instances=20)
+        assert dataset.workload == workload.name
+        assert len(dataset.instances) > 0
+        for instance in dataset.instances:
+            assert instance.workload == workload.name
+
+    def test_spec_instances_override(self):
+        spec = SyntheticSpec(profile="setops", instances=2)
+        strata = spec.selected_strata()
+        assert all(stratum.instances == 2 for stratum in strata)
