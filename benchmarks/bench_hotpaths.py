@@ -44,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fail if warm grid time or parse throughput regresses >3x",
     )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail on >20%% normalized throughput regression vs the "
+        "committed BENCH JSON baseline",
+    )
     args = parser.parse_args(argv)
     return run_bench(
         phase=args.phase,
@@ -53,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
         out=args.out,
         quick=args.quick,
         check=args.check,
+        check_baseline=args.check_baseline,
     )
 
 

@@ -278,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail if warm grid time or parse throughput regresses >3x",
     )
+    bench_parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail on >20%% normalized throughput regression vs the "
+        "committed BENCH JSON baseline",
+    )
 
     export_parser = subparsers.add_parser(
         "export", help="export the labeled benchmark datasets to JSON"
@@ -704,6 +710,7 @@ def main(argv: list[str] | None = None) -> int:
             out=args.out,
             quick=args.quick,
             check=args.check,
+            check_baseline=args.check_baseline,
         )
     if args.command == "runs":
         return _cmd_runs(args)

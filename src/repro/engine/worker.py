@@ -46,6 +46,7 @@ from repro.llm.backends import (
 from repro.llm.backends.dispatch import BucketState
 from repro.llm.profiles import ModelProfile
 from repro.prompts.templates import PromptTemplate
+from repro.sql.analysis_cache import ensure_capacity
 from repro.tasks.base import ModelAnswer, TaskDataset, TaskInstance
 from repro.tasks.registry import answers_from_responses, build_dataset, build_request
 from repro.workloads import load_workload
@@ -107,6 +108,12 @@ def _workload(name: str, seed: int, cache: Optional[ResultCache], key: Optional[
             workload = load_workload(name, seed)
             if cache is not None and key is not None:
                 cache.put_workload(key, workload)
+        # Size this worker's analysis memo to the workload before the
+        # dataset builders start re-probing its texts: generation sizes
+        # the parent process, but a workload materialized from the disk
+        # cache skips generation, and a default-capacity LRU thrashes
+        # on million-instance workloads.
+        ensure_capacity(len(workload.queries))
         _WORKLOADS[memo_key] = workload
     return workload
 

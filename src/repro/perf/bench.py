@@ -71,6 +71,29 @@ def _reset_process_caches() -> None:
     analysis_cache.reset_caches()
 
 
+def _verify_raw_work(texts: list[str]) -> Optional[bool]:
+    """Prove "raw" numbers cannot be silently served from the memo layer.
+
+    After a full cache clear, one sweep through the cached entry points
+    must advance the raw-work counters by at least one unit per
+    *distinct* text (real corpora repeat texts; repeats are legitimate
+    memo hits) — if it does not, the clear is broken (or the counters
+    are), and every "raw" throughput number in this file would be a
+    lie.  Returns None on code bases without the analysis cache.
+    """
+    try:
+        from repro.sql import analysis_cache
+    except ImportError:
+        return None
+    distinct = len(set(texts))
+    analysis_cache.clear_caches()
+    for text in texts:
+        analysis_cache.tokenize_cached(text)
+        analysis_cache.try_parse_cached(text)
+    counts = analysis_cache.counters()
+    return counts.raw_tokenizes >= distinct and counts.raw_parses >= distinct
+
+
 def _corpus(seed: int) -> list[str]:
     from repro.workloads import load_workload
 
@@ -80,13 +103,34 @@ def _corpus(seed: int) -> list[str]:
     return texts
 
 
-def _best_of(repeats: int, fn) -> float:
+def _best_of(repeats: int, fn, setup=None) -> float:
+    """Best wall time of *repeats* runs; *setup* runs untimed before each.
+
+    Raw (cold) measurements pass ``setup=_reset_process_caches`` so that
+    every repetition starts from an empty memo layer — without it, any
+    delegation from the "raw" functions into the process-wide caches
+    would silently turn repetitions 2..n into warm-path measurements.
+    """
     best = float("inf")
     for _ in range(repeats):
+        if setup is not None:
+            setup()
         started = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def _warm_loops(corpus_size: int, target_lookups: int = 100_000) -> int:
+    """How many corpus sweeps a warm-path timing needs to be measurable.
+
+    One memoized sweep of the ~700-text corpus finishes in under 100µs —
+    timer-granularity territory, where a single scheduler hiccup swings
+    the "measured" throughput several-fold (and with it, any baseline
+    ratio computed from it).  Looping to ~100k lookups puts the timed
+    region in the milliseconds, where the number is stable.
+    """
+    return max(1, round(target_lookups / max(1, corpus_size)))
 
 
 def measure_lexer(texts: list[str], repeats: int = 3) -> dict:
@@ -95,7 +139,11 @@ def measure_lexer(texts: list[str], repeats: int = 3) -> dict:
 
     total_tokens = sum(len(tokenize(text)) for text in texts)
     total_chars = sum(len(text) for text in texts)
-    seconds = _best_of(repeats, lambda: [tokenize(text) for text in texts])
+    seconds = _best_of(
+        repeats,
+        lambda: [tokenize(text) for text in texts],
+        setup=_reset_process_caches,
+    )
     result = {
         "texts": len(texts),
         "tokens": total_tokens,
@@ -104,6 +152,9 @@ def measure_lexer(texts: list[str], repeats: int = 3) -> dict:
         "raw_tokens_per_s": round(total_tokens / seconds) if seconds else None,
         "raw_texts_per_s": round(len(texts) / seconds, 1) if seconds else None,
     }
+    verified = _verify_raw_work(texts)
+    if verified is not None:
+        result["raw_counters_advance"] = verified
     try:
         from repro.sql.analysis_cache import tokenize_cached
     except ImportError:
@@ -111,9 +162,15 @@ def measure_lexer(texts: list[str], repeats: int = 3) -> dict:
     _reset_process_caches()
     for text in texts:  # populate
         tokenize_cached(text)
-    warm = _best_of(repeats, lambda: [tokenize_cached(text) for text in texts])
-    result["cached_s"] = round(warm, 4)
-    result["cached_texts_per_s"] = round(len(texts) / warm, 1) if warm else None
+    loops = _warm_loops(len(texts))
+    warm = _best_of(
+        repeats,
+        lambda: [tokenize_cached(text) for _ in range(loops) for text in texts],
+    )
+    result["cached_s"] = round(warm / loops, 6)
+    result["cached_texts_per_s"] = (
+        round(len(texts) * loops / warm, 1) if warm else None
+    )
     return result
 
 
@@ -122,13 +179,20 @@ def measure_parser(texts: list[str], repeats: int = 3) -> dict:
     from repro.sql.parser import try_parse
 
     parsed = sum(1 for text in texts if try_parse(text) is not None)
-    seconds = _best_of(repeats, lambda: [try_parse(text) for text in texts])
+    seconds = _best_of(
+        repeats,
+        lambda: [try_parse(text) for text in texts],
+        setup=_reset_process_caches,
+    )
     result = {
         "texts": len(texts),
         "parsed": parsed,
         "raw_s": round(seconds, 4),
         "raw_texts_per_s": round(len(texts) / seconds, 1) if seconds else None,
     }
+    verified = _verify_raw_work(texts)
+    if verified is not None:
+        result["raw_counters_advance"] = verified
     try:
         from repro.sql.analysis_cache import try_parse_cached
     except ImportError:
@@ -136,9 +200,15 @@ def measure_parser(texts: list[str], repeats: int = 3) -> dict:
     _reset_process_caches()
     for text in texts:
         try_parse_cached(text)
-    warm = _best_of(repeats, lambda: [try_parse_cached(text) for text in texts])
-    result["cached_s"] = round(warm, 4)
-    result["cached_texts_per_s"] = round(len(texts) / warm, 1) if warm else None
+    loops = _warm_loops(len(texts))
+    warm = _best_of(
+        repeats,
+        lambda: [try_parse_cached(text) for _ in range(loops) for text in texts],
+    )
+    result["cached_s"] = round(warm / loops, 6)
+    result["cached_texts_per_s"] = (
+        round(len(texts) * loops / warm, 1) if warm else None
+    )
     return result
 
 
@@ -280,6 +350,67 @@ def _speedups(before: dict, after: dict) -> dict:
     }
 
 
+#: Metrics compared by :func:`check_against_baseline`.  Only corpus
+#: throughput rates qualify: they are independent of ``--quick``'s grid
+#: scaling (the corpus is always the full three SQL-log workloads), so
+#: a quick CI run is comparable to the committed full-run baseline.
+BASELINE_METRICS: tuple[tuple[str, str], ...] = (
+    ("lexer", "raw_tokens_per_s"),
+    ("lexer", "cached_texts_per_s"),
+    ("parser", "raw_texts_per_s"),
+    ("parser", "cached_texts_per_s"),
+)
+
+#: Allowed per-metric regression vs the baseline, after normalizing out
+#: overall runner speed (see :func:`check_against_baseline`).
+BASELINE_TOLERANCE = 0.2
+
+
+def check_against_baseline(
+    measurements: dict, baseline: dict, tolerance: float = BASELINE_TOLERANCE
+) -> list[str]:
+    """Ratio-based regression check vs a committed baseline measurement.
+
+    CI runners are not the machine that recorded the baseline, so
+    absolute comparisons are meaningless.  Instead, each throughput
+    metric's now/baseline ratio is divided by the *median* ratio across
+    all metrics: a uniformly slower (or faster) machine moves every
+    ratio equally, normalizing to ~1.0, while a regression in one hot
+    path drags only its own normalized ratio down.  A metric fails when
+    its normalized ratio drops below ``1 - tolerance``.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    """
+    from statistics import median
+
+    ratios: dict[str, float] = {}
+    for section, key in BASELINE_METRICS:
+        now = measurements.get(section, {}).get(key)
+        base = baseline.get(section, {}).get(key)
+        if (
+            isinstance(now, (int, float))
+            and isinstance(base, (int, float))
+            and base > 0
+        ):
+            ratios[f"{section}.{key}"] = now / base
+    if not ratios:
+        return ["baseline holds no comparable throughput metrics"]
+    speed = median(ratios.values())
+    if speed <= 0:
+        return [f"degenerate baseline ratios: {ratios}"]
+    failures = []
+    floor = 1.0 - tolerance
+    for name, ratio in sorted(ratios.items()):
+        normalized = ratio / speed
+        if normalized < floor:
+            failures.append(
+                f"{name}: {ratio:.2f}x of baseline "
+                f"({normalized:.2f}x after normalizing out runner speed "
+                f"{speed:.2f}x; floor {floor:.2f})"
+            )
+    return failures
+
+
 def run_bench(
     phase: str = "after",
     workers: int = 4,
@@ -288,6 +419,7 @@ def run_bench(
     out: Optional[Path] = None,
     quick: bool = False,
     check: bool = False,
+    check_baseline: bool = False,
 ) -> int:
     """Measure one phase, merge into the BENCH JSON, optionally check.
 
@@ -304,6 +436,9 @@ def run_bench(
             payload = json.loads(out.read_text())
         except ValueError:
             payload = {}
+    # The committed "after" section is the baseline for --check-baseline;
+    # capture it before this run's measurements overwrite the phase.
+    baseline = payload.get("after", {})
 
     measurements = measure(workers, max_instances, seed)
     try:
@@ -348,6 +483,25 @@ def run_bench(
     if not grid["identical"] or not grid["warm_identical"]:
         print("FAIL: parallel/cached answers differ from serial", flush=True)
         code = 1
+    for section in ("lexer", "parser"):
+        if measurements[section].get("raw_counters_advance") is False:
+            print(
+                f"FAIL: {section} raw counters did not advance after "
+                "clear_caches() — raw numbers may be cache-served"
+            )
+            code = 1
+    if check_baseline:
+        failures = check_against_baseline(measurements, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: baseline regression — {failure}")
+            code = 1
+        else:
+            print(
+                f"baseline check  : ok ({len(BASELINE_METRICS)} throughput "
+                f"metrics within {BASELINE_TOLERANCE:.0%} after speed "
+                "normalization)"
+            )
     if check:
         parse_rate = measurements["parser"]["raw_texts_per_s"] or 0.0
         if grid["warm_s"] > QUICK_MAX_WARM_GRID_S:

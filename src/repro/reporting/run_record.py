@@ -161,6 +161,11 @@ class RunRecord:
     computed_cells: int = 0
     cached_cells: int = 0
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Parent-process analysis-memo counters (raw lex/parse runs plus
+    #: hit/miss per memo table) — the provenance for how much parse work
+    #: the run actually did versus how much the memo layer absorbed.
+    #: Worker-process caches are per-process and not aggregated here.
+    analysis_cache_stats: dict[str, int] = field(default_factory=dict)
     cells: tuple[CellRecord, ...] = ()
     notes: str = ""
 
@@ -256,6 +261,10 @@ class RunRecord:
             cache_stats={
                 k: int(v) for k, v in data.get("cache_stats", {}).items()
             },
+            analysis_cache_stats={
+                k: int(v)
+                for k, v in data.get("analysis_cache_stats", {}).items()
+            },
             cells=tuple(
                 CellRecord.from_dict(cell) for cell in data.get("cells", ())
             ),
@@ -294,6 +303,7 @@ def record_from_engine(
     ``engine.cell_log``; this turns that state into a durable record.
     """
     from repro.engine.cache import source_fingerprint
+    from repro.sql.analysis_cache import counters as analysis_counters
 
     # engine.results holds the *last* serve of each cell, so its
     # provenance is the first log entry made under that serve's prompt:
@@ -363,6 +373,7 @@ def record_from_engine(
         computed_cells=computed_count,
         cached_cells=cached_count,
         cache_stats=cache_stats,
+        analysis_cache_stats=analysis_counters().as_dict(),
         cells=tuple(cells),
         notes=notes,
     )

@@ -33,5 +33,18 @@ class RenderError(SqlError):
     """Raised when an AST cannot be rendered in the requested dialect."""
 
 
+class SharedASTMutationError(SqlError):
+    """Raised by the analysis cache's debug guard when a cached statement
+    was mutated in place.
+
+    Cached ASTs are shared values; mutating one corrupts every later
+    consumer of the same query text.  The guard
+    (``REPRO_DEBUG_SHARED_AST=1``) detects the corruption at the next
+    cache read by recomparing the tree's structural hash against the one
+    recorded when it was parsed.  The fix is always the same: call
+    :func:`repro.sql.nodes.clone` before mutating.
+    """
+
+
 class AnalysisError(SqlError):
     """Raised for malformed analyzer inputs (not for detected violations)."""

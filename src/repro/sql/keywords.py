@@ -84,6 +84,19 @@ KEYWORDS: frozenset[str] = frozenset(
     }
 )
 
+#: Precomputed spelling -> canonical-uppercase keyword table.  The three
+#: spellings real query logs use (``SELECT`` / ``select`` / ``Select``)
+#: resolve with a single dict probe — the scanner's word fast path —
+#: while arbitrary mixed case (``SeLeCt``) falls back to ``.upper()``
+#: plus a :data:`KEYWORDS` membership check.  This is the pure-Python
+#: analogue of a perfect-hash keyword table: one collision-free lookup
+#: classifies the overwhelmingly common case.
+KEYWORD_CANON: dict[str, str] = {
+    spelling: keyword
+    for keyword in KEYWORDS
+    for spelling in (keyword, keyword.lower(), keyword.capitalize())
+}
+
 #: Aggregate functions; used by the analyzer for GROUP BY discipline and by
 #: the property extractor for the ``aggregate`` flag.
 AGGREGATE_FUNCTIONS: frozenset[str] = frozenset(

@@ -1,27 +1,47 @@
-"""Single-pass regex SQL lexer.
+"""Single-pass SQL scanner and lexer.
 
-Produces a flat list of :class:`~repro.sql.tokens.Token`.  Comments are
-skipped.  Each token records both its character offset and the index of
-the whitespace-delimited *word* it starts in, because the paper's
-miss_token_loc task measures positions in words (section 3.4).
+Two layers share one compiled master pattern:
 
-One compiled master pattern — a possessive trivia prefix (whitespace and
-comments) followed by a token alternation — classifies every token in a
-single C-speed match, replacing the previous character-at-a-time
-scanner.  The token stream is byte-identical (the golden fixture in
-``tests/golden/lexer_tokens.json``, recorded from the old scanner,
-proves it).  Word indexes come from a bisect over word-end offsets
-instead of a per-character index array.
+* :func:`scan` — the hot core.  One C-speed regex match per token
+  (a possessive trivia prefix folds whitespace/comments into the same
+  match), classified into four parallel arrays ``(kinds, values,
+  starts, ends)`` with integer kind codes.  No Token objects, no word
+  indexes: this is what the parser and the memoized analysis layer
+  consume on the cold path.
+* :func:`tokenize` — the public lexer.  Wraps the scan into a flat list
+  of :class:`~repro.sql.tokens.Token`, adding each token's
+  whitespace-delimited *word* index (the paper's miss_token_loc task
+  measures positions in words, section 3.4) via one bisect per token
+  over precomputed word-end offsets.
+
+Keywords classify through :data:`~repro.sql.keywords.KEYWORD_CANON`, a
+precomputed spelling table that resolves the common casings with a
+single dict probe instead of an ``.upper()`` + set membership per word.
+Comments are skipped.  The token stream is byte-identical to the
+original character-at-a-time scanner (``tests/golden/lexer_tokens.json``
+proves it field-for-field).
 """
 
 from __future__ import annotations
 
 import re
 from bisect import bisect_right
+from itertools import repeat
 
 from repro.sql.errors import LexError
-from repro.sql.keywords import KEYWORDS
-from repro.sql.tokens import Token, TokenKind
+from repro.sql.keywords import KEYWORD_CANON, KEYWORDS
+from repro.sql.tokens import (
+    CODE_TO_KIND,
+    K_EOF,
+    K_IDENT,
+    K_KEYWORD,
+    K_NUMBER,
+    K_OPERATOR,
+    K_PUNCT,
+    K_STRING,
+    K_VARIABLE,
+    Token,
+)
 
 #: Whitespace-delimited words; their end offsets drive word_index lookup.
 _WORDS = re.compile(r"\S+")
@@ -81,23 +101,117 @@ _BAD_MESSAGES = {
     _GROUPS["BADVAR"]: "dangling '@'",
 }
 
-_KEYWORD_KIND = TokenKind.KEYWORD
-_IDENT_KIND = TokenKind.IDENT
-_PUNCT_KIND = TokenKind.PUNCT
-_NUMBER_KIND = TokenKind.NUMBER
-_OPERATOR_KIND = TokenKind.OPERATOR
-_STRING_KIND = TokenKind.STRING
-_VARIABLE_KIND = TokenKind.VARIABLE
+#: Result of one scan: parallel (kinds, values, starts, ends) arrays,
+#: EOF-terminated (the EOF entry's start/end are both ``len(text)``).
+ScanResult = tuple[list[int], list[str], list[int], list[int]]
+
+
+def scan(text: str) -> ScanResult:
+    """Scan *text* into parallel token arrays (the cold-path core).
+
+    Returns ``(kinds, values, starts, ends)`` where ``kinds`` holds the
+    ``K_*`` integer codes of :mod:`repro.sql.tokens`, terminated by one
+    ``K_EOF`` entry.  Raises :class:`~repro.sql.errors.LexError` exactly
+    where :func:`tokenize` does.
+    """
+    length = len(text)
+    match_at = _MASTER.match
+    canon_get = KEYWORD_CANON.get
+    keywords = KEYWORDS
+    kinds: list[int] = []
+    values: list[str] = []
+    starts: list[int] = []
+    ends: list[int] = []
+    append_kind = kinds.append
+    append_value = values.append
+    append_start = starts.append
+    append_end = ends.append
+    pos = 0
+    while pos < length:
+        match = match_at(text, pos)
+        index = match.lastindex
+        if index is None:
+            # Only trivia matched: end of input, or an unlexable char.
+            end = match.end()
+            if end >= length:
+                break
+            raise LexError(f"unexpected character {text[end]!r}", end)
+        start = match.start(index)
+        end = match.end()
+        if index == _WORD:
+            raw = match.group(index)
+            canonical = canon_get(raw)
+            if canonical is not None:
+                append_kind(K_KEYWORD)
+                append_value(canonical)
+            else:
+                upper = raw.upper()
+                if upper in keywords:
+                    append_kind(K_KEYWORD)
+                    append_value(upper)
+                else:
+                    append_kind(K_IDENT)
+                    append_value(raw)
+        elif index == _PUNCT:
+            append_kind(K_PUNCT)
+            append_value(text[start])
+        elif index == _NUMBER:
+            append_kind(K_NUMBER)
+            append_value(match.group(index))
+        elif index == _OPERATOR:
+            append_kind(K_OPERATOR)
+            append_value(match.group(index))
+        elif index == _STRING:
+            quote = text[start]
+            append_kind(K_STRING)
+            append_value(text[start + 1 : end - 1].replace(quote + quote, quote))
+        elif index == _BRACKET:
+            append_kind(K_IDENT)
+            append_value(text[start + 1 : end - 1])
+        elif index == _VARIABLE:
+            append_kind(K_VARIABLE)
+            append_value(match.group(index))
+        else:
+            raise LexError(_BAD_MESSAGES[index], start)
+        append_start(start)
+        append_end(end)
+        pos = end
+    append_kind(K_EOF)
+    append_value("")
+    append_start(length)
+    append_end(length)
+    return kinds, values, starts, ends
+
+
+def _word_ends(text: str) -> list[int]:
+    return [m.end() for m in _WORDS.finditer(text)]
+
+
+def tokens_from_scan(text: str, scanned: ScanResult) -> list[Token]:
+    """Wrap a scan into the public EOF-terminated Token list."""
+    kinds, values, starts, ends = scanned
+    word_ends = _word_ends(text)
+    # The EOF sentinel's start is len(text); bisect maps it just like
+    # any other offset.  map() keeps the per-token work in C: one bisect
+    # for the word index, one Token._make for construction.
+    words = map(bisect_right, repeat(word_ends), starts)
+    token_kinds = map(CODE_TO_KIND.__getitem__, kinds)
+    return list(map(Token._make, zip(token_kinds, values, starts, words, ends)))
 
 
 class Lexer:
-    """Single-pass scanner over a SQL string."""
+    """Single-pass scanner over a SQL string (compatibility wrapper).
+
+    Hot paths call :func:`scan` (arrays) or :func:`tokenize` (tokens)
+    directly; this class survives for callers that want
+    :meth:`word_index` lookups against the same word model.
+    """
 
     def __init__(self, text: str) -> None:
         self.text = text
         self.length = len(text)
         self.pos = 0
-        self._word_ends = [m.end() for m in _WORDS.finditer(text)]
+        self._word_ends = _word_ends(text)
 
     def word_index(self, offset: int) -> int:
         """Index of the whitespace-delimited word *offset* belongs to.
@@ -110,57 +224,8 @@ class Lexer:
 
     def tokenize(self) -> list[Token]:
         """Scan the whole input and return tokens ending with EOF."""
-        text = self.text
-        length = self.length
-        word_ends = self._word_ends
-        scan = _MASTER.match
-        keywords = KEYWORDS
-        tokens: list[Token] = []
-        append = tokens.append
-        pos = 0
-        while pos < length:
-            match = scan(text, pos)
-            index = match.lastindex
-            if index is None:
-                # Only trivia matched: end of input, or an unlexable char.
-                end = match.end()
-                if end >= length:
-                    pos = end
-                    break
-                raise LexError(f"unexpected character {text[end]!r}", end)
-            start = match.start(index)
-            end = match.end()
-            word = bisect_right(word_ends, start)
-            if index == _WORD:
-                raw = match.group(index)
-                upper = raw.upper()
-                if upper in keywords:
-                    append(Token(_KEYWORD_KIND, upper, start, word, end))
-                else:
-                    append(Token(_IDENT_KIND, raw, start, word, end))
-            elif index == _PUNCT:
-                append(Token(_PUNCT_KIND, text[start], start, word, end))
-            elif index == _NUMBER:
-                append(Token(_NUMBER_KIND, match.group(index), start, word, end))
-            elif index == _OPERATOR:
-                append(Token(_OPERATOR_KIND, match.group(index), start, word, end))
-            elif index == _STRING:
-                quote = text[start]
-                value = text[start + 1 : end - 1].replace(quote + quote, quote)
-                append(Token(_STRING_KIND, value, start, word, end))
-            elif index == _BRACKET:
-                append(
-                    Token(_IDENT_KIND, text[start + 1 : end - 1], start, word, end)
-                )
-            elif index == _VARIABLE:
-                append(Token(_VARIABLE_KIND, match.group(index), start, word, end))
-            else:
-                raise LexError(_BAD_MESSAGES[index], start)
-            pos = end
-        self.pos = pos
-        append(
-            Token(TokenKind.EOF, "", self.pos, bisect_right(word_ends, self.pos), self.pos)
-        )
+        tokens = tokens_from_scan(self.text, scan(self.text))
+        self.pos = self.length
         return tokens
 
 
@@ -171,7 +236,7 @@ def tokenize(text: str) -> list[Token]:
     :func:`repro.sql.analysis_cache.tokenize_cached`, which memoizes the
     stream per distinct text.
     """
-    return Lexer(text).tokenize()
+    return tokens_from_scan(text, scan(text))
 
 
 def word_count(text: str) -> int:

@@ -1,8 +1,20 @@
 """Typed AST for the SQL dialect used across the paper's workloads.
 
-Every node is a plain dataclass with structural equality, which the test
-suite leans on for parse/render round-trip checks.  ``walk`` provides
-generic pre-order traversal for property extraction and transforms.
+Every node is a ``__slots__`` dataclass: slotted instances are smaller
+and faster to build/clone than dict-backed ones, which matters because
+million-instance synthetic workloads (ROADMAP item 2) materialise one
+tree per query text.  Structural equality is provided by a single
+generic :meth:`Node.__eq__` with a precomputed-hash fast path: once
+:func:`structural_hash` has been computed for two trees, comparing them
+starts with an O(1) hash check instead of a full tree walk.  ``walk``
+provides generic pre-order traversal for property extraction and
+transforms.
+
+Nodes are deliberately *unhashable* (``__hash__ = None``): they are
+mutable, and the analysis cache keys on query text, never on trees.
+:func:`structural_hash` is the explicit, cached alternative for
+identity-of-shape questions (equality fast path, shared-AST mutation
+detection in :mod:`repro.sql.analysis_cache`).
 """
 
 from __future__ import annotations
@@ -27,13 +39,43 @@ def _field_names(cls: type) -> tuple[str, ...]:
 
 
 class Node:
-    """Base class for all AST nodes."""
+    """Base class for all AST nodes.
+
+    The only non-field slot is ``_shash``, the lazily computed structural
+    hash.  It is intentionally *not* a dataclass field: it never takes
+    part in equality directly, never appears in ``repr``, and clones
+    never inherit it (a clone exists to be mutated).
+    """
+
+    __slots__ = ("_shash",)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        cls = self.__class__
+        if other.__class__ is not cls:
+            return NotImplemented
+        # Hash fast path: two trees whose structural hashes are both
+        # already known and differ cannot be equal.  (Equal hashes still
+        # fall through to the field comparison — hashes can collide.)
+        try:
+            if self._shash != other._shash:
+                return False
+        except AttributeError:
+            pass
+        for name in _field_names(cls):
+            if getattr(self, name) != getattr(other, name):
+                return False
+        return True
+
+    # Defining __eq__ would implicitly set this to None anyway; keep it
+    # explicit: nodes are mutable and must stay unhashable.
+    __hash__ = None  # type: ignore[assignment]
 
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes (dataclass fields, recursing into lists)."""
-        own = self.__dict__
         for name in _field_names(self.__class__):
-            value = own[name]
+            value = getattr(self, name)
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, (list, tuple)):
@@ -75,15 +117,51 @@ def clone(node: Node) -> Node:
     for their mutate-a-copy discipline; it is also the required first
     step before mutating any AST obtained from
     :mod:`repro.sql.analysis_cache`, whose statements are shared values.
+
+    The ``_shash`` cache is deliberately not copied: a clone exists to
+    be mutated, so a carried-over hash would immediately go stale.
     """
     cls = node.__class__
-    names = _field_names(cls)
     copy = cls.__new__(cls)
-    copy_dict = copy.__dict__
-    node_dict = node.__dict__
-    for name in names:
-        copy_dict[name] = _clone_value(node_dict[name])
+    for name in _field_names(cls):
+        setattr(copy, name, _clone_value(getattr(node, name)))
     return copy
+
+
+def _hash_value(value, fresh: bool) -> int:
+    if isinstance(value, Node):
+        return structural_hash(value, fresh=fresh)
+    if isinstance(value, (list, tuple)):
+        return hash(tuple(_hash_value(item, fresh) for item in value))
+    return hash(value)
+
+
+def structural_hash(node: Node, *, fresh: bool = False) -> int:
+    """Deep structural hash of *node*, cached on the node.
+
+    Equal trees always hash equal; unequal trees collide only with
+    ordinary ``hash`` probability.  The result is memoized in the
+    ``_shash`` slot (for the whole subtree), so repeated equality checks
+    and cache-integrity sweeps cost O(1) after the first walk.
+
+    With ``fresh=True`` the hash is recomputed from the current field
+    values, bypassing *and not touching* the cache — this is what the
+    shared-AST mutation guard uses to detect that a cached tree was
+    mutated after its hash was recorded.
+    """
+    if not fresh:
+        try:
+            return node._shash
+        except AttributeError:
+            pass
+    cls = node.__class__
+    result = hash(
+        (cls.__qualname__,)
+        + tuple(_hash_value(getattr(node, name), fresh) for name in _field_names(cls))
+    )
+    if not fresh:
+        node._shash = result
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -94,8 +172,10 @@ def clone(node: Node) -> Node:
 class Expr(Node):
     """Marker base class for expressions."""
 
+    __slots__ = ()
 
-@dataclass(eq=True)
+
+@dataclass(eq=False, slots=True)
 class Literal(Expr):
     """A literal constant.
 
@@ -117,7 +197,7 @@ class Literal(Expr):
                 self.text = str(self.value)
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class ColumnRef(Expr):
     """Reference to a column, optionally qualified: ``table.column``."""
 
@@ -125,21 +205,21 @@ class ColumnRef(Expr):
     table: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Star(Expr):
     """``*`` or ``table.*`` in a select list or COUNT(*)."""
 
     table: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Variable(Expr):
     """A T-SQL session variable such as ``@maxZ``."""
 
     name: str  # includes the leading '@'
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class FuncCall(Expr):
     """A function application, possibly schema-qualified (``dbo.fX(...)``)."""
 
@@ -149,7 +229,7 @@ class FuncCall(Expr):
     schema: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Unary(Expr):
     """Unary operator application: ``-x``, ``+x`` or ``NOT x``."""
 
@@ -157,7 +237,7 @@ class Unary(Expr):
     operand: Expr
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Binary(Expr):
     """Binary operator application (arithmetic, comparison, AND/OR)."""
 
@@ -166,7 +246,7 @@ class Binary(Expr):
     right: Expr
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Between(Expr):
     """``expr [NOT] BETWEEN low AND high``."""
 
@@ -176,7 +256,7 @@ class Between(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class InList(Expr):
     """``expr [NOT] IN (item, ...)``."""
 
@@ -185,7 +265,7 @@ class InList(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class InSubquery(Expr):
     """``expr [NOT] IN (SELECT ...)``."""
 
@@ -194,7 +274,7 @@ class InSubquery(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Exists(Expr):
     """``[NOT] EXISTS (SELECT ...)``."""
 
@@ -202,7 +282,7 @@ class Exists(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Like(Expr):
     """``expr [NOT] LIKE pattern``."""
 
@@ -211,7 +291,7 @@ class Like(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class IsNull(Expr):
     """``expr IS [NOT] NULL``."""
 
@@ -219,7 +299,7 @@ class IsNull(Expr):
     negated: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Case(Expr):
     """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
 
@@ -228,14 +308,14 @@ class Case(Expr):
     default: Optional[Expr] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class ScalarSubquery(Expr):
     """A parenthesised SELECT used as a scalar expression."""
 
     query: "Query"
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Cast(Expr):
     """``CAST(expr AS type)``."""
 
@@ -251,8 +331,10 @@ class Cast(Expr):
 class TableRef(Node):
     """Marker base class for FROM-clause items."""
 
+    __slots__ = ()
 
-@dataclass(eq=True)
+
+@dataclass(eq=False, slots=True)
 class NamedTable(TableRef):
     """A base table or CTE reference, optionally aliased."""
 
@@ -261,7 +343,7 @@ class NamedTable(TableRef):
     schema: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class DerivedTable(TableRef):
     """A parenthesised subquery in FROM, with an alias."""
 
@@ -269,7 +351,7 @@ class DerivedTable(TableRef):
     alias: str = ""
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Join(TableRef):
     """An explicit join.  ``kind`` in INNER/LEFT/RIGHT/FULL/CROSS."""
 
@@ -284,7 +366,7 @@ class Join(TableRef):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class SelectItem(Node):
     """One element of a select list."""
 
@@ -292,7 +374,7 @@ class SelectItem(Node):
     alias: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class OrderItem(Node):
     """One element of an ORDER BY list."""
 
@@ -300,7 +382,7 @@ class OrderItem(Node):
     direction: Optional[str] = None  # "ASC" | "DESC" | None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class SelectCore(Node):
     """A single SELECT block (no set operators, no WITH)."""
 
@@ -316,7 +398,7 @@ class SelectCore(Node):
     offset: Optional[int] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Compound(Node):
     """Two query bodies combined by UNION [ALL] / INTERSECT / EXCEPT."""
 
@@ -331,7 +413,7 @@ class Compound(Node):
 QueryBody = Union[SelectCore, Compound]
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class CommonTableExpr(Node):
     """One CTE in a WITH clause."""
 
@@ -340,7 +422,7 @@ class CommonTableExpr(Node):
     columns: list[str] = field(default_factory=list)
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Query(Node):
     """A full query expression: optional CTEs plus a body."""
 
@@ -356,15 +438,17 @@ class Query(Node):
 class Statement(Node):
     """Marker base class for top-level statements."""
 
+    __slots__ = ()
 
-@dataclass(eq=True)
+
+@dataclass(eq=False, slots=True)
 class SelectStatement(Statement):
     """A top-level query."""
 
     query: Query
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class ColumnDef(Node):
     """A column definition inside CREATE TABLE."""
 
@@ -375,7 +459,7 @@ class ColumnDef(Node):
     default: Optional[Expr] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class CreateTable(Statement):
     """``CREATE TABLE name (cols)`` or ``CREATE TABLE name AS SELECT``."""
 
@@ -385,7 +469,7 @@ class CreateTable(Statement):
     schema: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class CreateView(Statement):
     """``CREATE VIEW name AS SELECT ...``."""
 
@@ -393,7 +477,7 @@ class CreateView(Statement):
     query: Query
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Insert(Statement):
     """``INSERT INTO t [(cols)] VALUES (...)[, ...]`` or ``... SELECT``."""
 
@@ -409,7 +493,7 @@ class Insert(Statement):
             yield self.query
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Update(Statement):
     """``UPDATE t SET col = expr [, ...] [WHERE ...]``."""
 
@@ -424,7 +508,7 @@ class Update(Statement):
             yield self.where
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Delete(Statement):
     """``DELETE FROM t [WHERE ...]``."""
 
@@ -432,7 +516,7 @@ class Delete(Statement):
     where: Optional[Expr] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class DropTable(Statement):
     """``DROP TABLE [IF EXISTS] name``."""
 
@@ -440,7 +524,7 @@ class DropTable(Statement):
     if_exists: bool = False
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Declare(Statement):
     """T-SQL ``DECLARE @name TYPE``."""
 
@@ -448,7 +532,7 @@ class Declare(Statement):
     type_name: str
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class SetVariable(Statement):
     """T-SQL ``SET @name = expr``."""
 
@@ -456,7 +540,7 @@ class SetVariable(Statement):
     value: Expr
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class ExecProcedure(Statement):
     """T-SQL ``EXEC proc arg, ...``."""
 
@@ -465,14 +549,14 @@ class ExecProcedure(Statement):
     schema: Optional[str] = None
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Waitfor(Statement):
     """T-SQL ``WAITFOR DELAY 'hh:mm:ss'``."""
 
     delay: str
 
 
-@dataclass(eq=True)
+@dataclass(eq=False, slots=True)
 class Script(Node):
     """A sequence of statements separated by semicolons."""
 

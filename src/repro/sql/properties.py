@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.sql import nodes as n
 from repro.sql.keywords import AGGREGATE_FUNCTIONS, JOIN_KEYWORDS, STATEMENT_OPENERS
-from repro.sql.tokens import TokenKind
+from repro.sql.tokens import K_IDENT, K_KEYWORD, TokenKind
 
 #: Property names in the order the paper's Figure 4 heatmaps use them.
 PROPERTY_NAMES: tuple[str, ...] = (
@@ -300,35 +300,41 @@ def _select_column_count(statement: n.Statement) -> int:
 
 
 def properties_from_tokens(text: str) -> QueryProperties:
-    """Token-scan measurement for text that does not parse."""
-    from repro.sql.analysis_cache import tokenize_cached
+    """Token-scan measurement for text that does not parse.
+
+    Runs on the scanner's parallel arrays (:func:`repro.sql.lexer.scan`)
+    rather than Token objects: this path only needs kinds and values, so
+    it skips the word-index bisect and Token construction entirely.
+    """
+    from repro.sql.lexer import scan
 
     props = QueryProperties(char_count=len(text), word_count=len(text.split()))
-    try:
-        tokens = tokenize_cached(text)
-    except Exception:
-        props.query_type = _guess_query_type(text)
-        return props
     props.query_type = _guess_query_type(text)
+    try:
+        kinds, values, _, _ = scan(text)
+    except Exception:
+        return props
     seen_from = False
-    for index, token in enumerate(tokens):
-        if token.kind is TokenKind.KEYWORD:
-            if token.value == "FROM":
+    for index, kind in enumerate(kinds):
+        if kind == K_KEYWORD:
+            value = values[index]
+            if value == "FROM":
                 seen_from = True
-            elif token.value == "JOIN":
+            elif value == "JOIN":
                 props.join_count += 1
-            elif token.value in ("AND", "OR"):
+            elif value in ("AND", "OR"):
                 props.predicate_count += 1
-            elif token.value == "WHERE":
+            elif value == "WHERE":
                 props.predicate_count += 1
-            elif token.value == "SELECT" and index > 0:
+            elif value == "SELECT" and index > 0:
                 props.nestedness = max(props.nestedness, 1)
-            elif token.value in AGGREGATE_FUNCTIONS:
+            elif value in AGGREGATE_FUNCTIONS:
                 props.aggregate = True
-        elif token.kind is TokenKind.IDENT:
-            if token.value.upper() in AGGREGATE_FUNCTIONS:
-                next_token = tokens[index + 1] if index + 1 < len(tokens) else None
-                if next_token is not None and next_token.value == "(":
+        elif kind == K_IDENT:
+            value = values[index]
+            if value.upper() in AGGREGATE_FUNCTIONS:
+                # The scan is EOF-terminated, so index + 1 always exists.
+                if values[index + 1] == "(":
                     props.aggregate = True
                     props.function_count += 1
             if seen_from and props.table_count == 0:

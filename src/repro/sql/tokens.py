@@ -1,9 +1,21 @@
-"""Token model shared by the lexer and parser."""
+"""Token model shared by the lexer and parser.
+
+:class:`Token` is a ``NamedTuple`` rather than a dataclass: the lexer
+builds one per token on the cold path of every first-touch text, and
+``tuple.__new__`` construction is several times cheaper than a frozen
+dataclass ``__init__`` (which pays an ``object.__setattr__`` per field).
+The public surface is unchanged — attribute access, structural equality,
+immutability and :meth:`Token.is_keyword` all behave as before.
+
+The scanner-internal hot path (:func:`repro.sql.lexer.scan`) avoids
+Token objects entirely and speaks in the integer kind codes below;
+:data:`KIND_TO_CODE` / :data:`CODE_TO_KIND` convert at the boundary.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
 class TokenKind(enum.Enum):
@@ -19,8 +31,37 @@ class TokenKind(enum.Enum):
     EOF = "eof"
 
 
-@dataclass(frozen=True)
-class Token:
+#: Integer kind codes used by the scanner/parser hot path.  Comparing
+#: small ints is cheaper than comparing enum members, and lists of ints
+#: are cheaper to build than lists of enum references.
+K_KEYWORD = 0
+K_IDENT = 1
+K_NUMBER = 2
+K_STRING = 3
+K_OPERATOR = 4
+K_PUNCT = 5
+K_VARIABLE = 6
+K_EOF = 7
+
+#: code -> TokenKind, indexable by the K_* constants above.
+CODE_TO_KIND: tuple[TokenKind, ...] = (
+    TokenKind.KEYWORD,
+    TokenKind.IDENT,
+    TokenKind.NUMBER,
+    TokenKind.STRING,
+    TokenKind.OPERATOR,
+    TokenKind.PUNCT,
+    TokenKind.VARIABLE,
+    TokenKind.EOF,
+)
+
+#: TokenKind -> code (for adapting an externally built Token stream).
+KIND_TO_CODE: dict[TokenKind, int] = {
+    kind: code for code, kind in enumerate(CODE_TO_KIND)
+}
+
+
+class Token(NamedTuple):
     """A single lexical token.
 
     Attributes:

@@ -26,6 +26,7 @@ from repro.schema.imdb import build_imdb_schema
 from repro.schema.model import Schema
 from repro.schema.sdss import build_sdss_schema
 from repro.sql import nodes as n
+from repro.sql.analysis_cache import ensure_capacity
 from repro.sql.properties import extract_statement_properties
 from repro.sql.render import render
 from repro.util import derive_rng
@@ -312,7 +313,12 @@ def generate_synthetic(spec: SyntheticSpec, seed: int = 0) -> Workload:
     canonical = spec.canonical()
     workload = Workload(name=canonical, schemas={schema.name: schema})
     runtime_rng = derive_rng("synthetic-runtimes", canonical, seed)
-    for stratum in spec.selected_strata():
+    strata = spec.selected_strata()
+    # Size the process memo layer to the run before the first text is
+    # parsed: a default-sized LRU thrashes at n=1M (every entry evicted
+    # before its first reuse), turning the cache into pure overhead.
+    ensure_capacity(sum(stratum.instances for stratum in strata))
+    for stratum in strata:
         for index in range(stratum.instances):
             rng = derive_rng("synthetic", canonical, stratum.name, index, seed)
             statement = StratumBuilder(schema, stratum, rng).build()

@@ -1,0 +1,149 @@
+"""Exact-equivalence property tests for the rewritten lex/parse pipeline.
+
+The PR-6 hot-path rewrite replaced the lexer's Token-object stream with
+parallel scan arrays and rebuilt the parser on integer kind codes.  None
+of that is allowed to change *what* gets parsed: these tests drive every
+workload family — the four paper workloads, every synthetic complexity
+profile, and corrupted variants from all three corruption subsystems —
+through both the live pipeline and the frozen pre-rewrite copy
+(:mod:`tests.parsing.legacy_pipeline`) and require identical output:
+node-for-node equal ASTs, field-for-field equal token streams, and the
+same exception type and message on texts that do not parse.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corrupt.missing_tokens import TOKEN_TYPES, remove_token
+from repro.corrupt.structural import STRUCTURAL_TYPES, inject_structural_error
+from repro.corrupt.syntax_errors import ERROR_TYPES, inject_syntax_error
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement
+from repro.workloads import WORKLOAD_NAMES, load_workload
+from repro.workloads.synthetic.profiles import PROFILES
+from tests.parsing import legacy_pipeline as legacy
+
+
+def _outcome(parse, text: str):
+    """Parse result as a comparable value: AST on success, error identity
+    (type name + message) on failure."""
+    try:
+        return ("ok", parse(text))
+    except Exception as error:  # noqa: BLE001 - identity is the assertion
+        return ("error", type(error).__name__, str(error))
+
+
+def assert_text_equivalent(text: str) -> None:
+    """Both pipelines agree on *text*: tokens, AST, or exact failure."""
+    old_tokens = _outcome(lambda t: legacy.tokenize(t), text)
+    new_tokens = _outcome(lambda t: tokenize(t), text)
+    assert old_tokens == new_tokens, f"token stream diverged for: {text!r}"
+    old = _outcome(legacy.parse_statement, text)
+    new = _outcome(parse_statement, text)
+    assert old == new, f"parse diverged for: {text!r}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_paper_workload_equivalence(name):
+    """Every query of every paper workload parses identically."""
+    workload = load_workload(name, seed=0)
+    assert workload.queries
+    for query in workload.queries:
+        assert_text_equivalent(query.text)
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_synthetic_profile_equivalence(profile):
+    """Every synthetic complexity profile parses identically."""
+    workload = load_workload(f"synthetic:{profile}:n=12", seed=1)
+    assert workload.queries
+    for query in workload.queries:
+        assert_text_equivalent(query.text)
+
+
+def test_structural_corruption_equivalence():
+    """The three structural corruption classes round-trip identically.
+
+    Corrupted texts are exactly where the pipelines' *failure* behaviour
+    must agree — the syntax_error task labels depend on what parses.
+    """
+    workload = load_workload("synthetic:default:n=40", seed=2)
+    rng = random.Random(7)
+    covered: set[str] = set()
+    for query in workload.queries:
+        statement = query.statement
+        if statement is None:
+            continue
+        for error_type in STRUCTURAL_TYPES:
+            corruption = inject_structural_error(
+                statement, rng, error_type=error_type
+            )
+            if corruption is None:
+                continue
+            covered.add(error_type)
+            assert_text_equivalent(corruption.text)
+    assert covered == set(STRUCTURAL_TYPES), f"classes not exercised: {covered}"
+
+
+def test_syntax_error_corruption_equivalence():
+    """The paper's six semantic corruption classes parse identically."""
+    workload = load_workload("sdss", seed=0)
+    rng = random.Random(11)
+    covered: set[str] = set()
+    for query in workload.queries:
+        statement = query.statement
+        if statement is None:
+            continue
+        schema = workload.schemas[query.schema_name]
+        for error_type in ERROR_TYPES:
+            corruption = inject_syntax_error(
+                statement, schema, rng, error_type=error_type
+            )
+            if corruption is None:
+                continue
+            covered.add(error_type)
+            assert_text_equivalent(corruption.text)
+    assert covered == set(ERROR_TYPES), f"classes not exercised: {covered}"
+
+
+def test_missing_token_corruption_equivalence():
+    """Token-removal corpora (often unparsable by design) agree exactly."""
+    workload = load_workload("sqlshare", seed=0)
+    rng = random.Random(13)
+    covered: set[str] = set()
+    for query in workload.queries:
+        for token_type in TOKEN_TYPES:
+            removal = remove_token(query.text, rng, token_type=token_type)
+            if removal is None:
+                continue
+            covered.add(token_type)
+            assert_text_equivalent(removal.text)
+    assert covered == set(TOKEN_TYPES), f"types not exercised: {covered}"
+
+
+_FRAGMENTS = st.sampled_from(
+    [
+        "SELECT", "select", "Select", "FROM", "WHERE", "GROUP", "BY",
+        "ORDER", "HAVING", "JOIN", "LEFT", "ON", "AND", "OR", "NOT",
+        "IN", "BETWEEN", "LIKE", "IS", "NULL", "UNION", "ALL", "TOP",
+        "CASE", "WHEN", "THEN", "END", "CAST", "AS", "EXISTS",
+        "t", "u", "objid", "ra", "dec", "name", "dbo.fGetNearbyObjEq",
+        "@maxZ", "[bracketed name]", "*", ",", "(", ")", ".", ";",
+        "=", "<>", "<=", "||", "+", "-", "/", "%",
+        "1", "2.5", ".5", "1e9", "-3", "'text'", "'it''s'", '"a ""b"""',
+        "-- comment\n", "/* block */", "'unterminated", "/*", "[", "@", "$",
+    ]
+)
+
+
+@given(st.lists(_FRAGMENTS, min_size=0, max_size=12))
+@settings(max_examples=300, deadline=None)
+def test_fuzzed_token_soup_equivalence(fragments):
+    """Random token soup — valid, broken, and pathological — never makes
+    the pipelines disagree, not even on which error they raise."""
+    assert_text_equivalent(" ".join(fragments))

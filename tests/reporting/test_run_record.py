@@ -170,6 +170,48 @@ class TestStore:
         assert store.latest().run_id == newer.run_id
 
 
+class TestAnalysisCacheStats:
+    def test_stats_round_trip(self, fixture_record):
+        import dataclasses
+
+        stats = {"raw_parses": 123, "parse_hits": 4567, "parse_misses": 123}
+        record = dataclasses.replace(
+            fixture_record, analysis_cache_stats=stats
+        )
+        revived = RunRecord.from_dict(record.to_dict())
+        assert revived.analysis_cache_stats == stats
+        assert revived == record
+        assert RunRecord.from_json(record.to_json()) == record
+
+    def test_absent_stats_default_to_empty(self, fixture_record):
+        data = fixture_record.to_dict()
+        data.pop("analysis_cache_stats", None)
+        assert RunRecord.from_dict(data).analysis_cache_stats == {}
+
+    def test_record_from_engine_snapshots_live_counters(self, tmp_path):
+        from repro.sql import analysis_cache
+
+        analysis_cache.clear_caches()
+        texts = [f"SELECT c{i} FROM t{i}" for i in range(3)]
+        for text in texts + texts:  # 3 misses, then 3 hits
+            analysis_cache.try_parse_cached(text)
+        runner = ExperimentRunner(max_instances=4, cache_dir=tmp_path / "c")
+        runner.run_cell("gpt4", "syntax_error", "sdss")
+        record = runner.run_record()
+        runner.close()
+        stats = record.analysis_cache_stats
+        assert set(stats) == set(
+            analysis_cache.CacheCounters().as_dict()
+        )
+        # The record snapshots this process's live memo counters.
+        assert stats["raw_parses"] >= len(texts)
+        assert stats["parse_hits"] >= len(texts)
+        # Every memo miss runs exactly one raw parse — the provenance
+        # counters must agree with each other.
+        assert stats["parse_misses"] == stats["raw_parses"]
+        analysis_cache.clear_caches()
+
+
 class TestRecordFromEngine:
     def test_runner_snapshot_and_cached_provenance(self, tmp_path):
         cache_dir = tmp_path / "cache"
