@@ -12,10 +12,24 @@ single-core container the worker pool can at best tie the serial path,
 while the warm-cache run is hardware-independent — it skips both
 dataset construction and cell evaluation entirely.
 
+The ``streaming`` section is the memory-scaling curve for the chunked
+data path: one streamed cell (gpt4 x syntax_error) at each instance
+count, each point measured in a *fresh* subprocess so ``ru_maxrss`` is
+that point's true peak RSS rather than a high-water mark inherited from
+an earlier, larger point.  The headline number is ``rss_flat_ratio`` —
+peak RSS of the largest point over the smallest of the top three — which
+stays under 1.5 because memory is bounded by the chunk size, not the
+instance count.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py \
-        [--task query_equiv] [--workers 4] [--max-instances N]
+        [--task query_equiv] [--workers 4] [--max-instances N] \
+        [--stream-points 1000,10000,100000,1000000]
+
+    # CI modes (no BENCH rewrite):
+    ... bench_engine_scaling.py --check-baseline   # RSS regression gate
+    ... bench_engine_scaling.py --scale-smoke      # 2-worker streaming smoke
 """
 
 from __future__ import annotations
@@ -24,6 +38,8 @@ import argparse
 import json
 import os
 import shutil
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -31,6 +47,20 @@ from pathlib import Path
 from repro.evalfw.runner import ExperimentRunner, metrics_table
 
 OUT = Path(__file__).resolve().parent / "BENCH_engine_scaling.json"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Chunk size the streaming curve (and its CI gates) measures at.
+STREAM_CHUNK_SIZE = 2000
+
+#: Instance counts for the committed streaming curve.
+STREAM_POINTS = (1_000, 10_000, 100_000, 1_000_000)
+
+#: Fresh peak RSS may exceed the committed baseline by this factor
+#: before ``--check-baseline`` fails (allocator and platform noise).
+RSS_BUDGET_FACTOR = 1.5
+
+#: Fallback RSS budget (MB) when no committed baseline point exists.
+RSS_FALLBACK_BUDGET_MB = 1000.0
 
 
 def _timed_grid(runner: ExperimentRunner, task: str):
@@ -166,16 +196,254 @@ def bench_dispatcher(
     }
 
 
+def stream_point(
+    n: int, chunk_size: int, workers: int, seed: int
+) -> dict:
+    """Measure one streamed cell in *this* process: time + peak RSS.
+
+    Peak RSS is the max of this process's ``ru_maxrss`` and its
+    children's (the queue workers) — the number that would OOM a
+    container.  Meaningful only in a process that has done no larger
+    work beforehand; use :func:`stream_point_subprocess` from a driver.
+    """
+    import resource
+
+    from repro.engine.core import EngineConfig, ExperimentEngine
+    from repro.llm.profiles import MODEL_PROFILES
+
+    profile = next(p for p in MODEL_PROFILES if p.name == "gpt4")
+    started = time.perf_counter()
+    config = EngineConfig(
+        seed=seed, workers=workers, chunk_size=chunk_size, max_instances=n
+    )
+    with ExperimentEngine(config, (profile,)) as engine:
+        result = engine.run_cell(
+            "gpt4", "syntax_error", f"synthetic:default:n={n}"
+        )
+        stats = engine.stream_stats()
+    seconds = time.perf_counter() - started
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {
+        "n": n,
+        "instances": result.instance_count,
+        "chunks": result.chunk_count,
+        "seconds": round(seconds, 3),
+        "instances_per_s": round(result.instance_count / seconds, 1)
+        if seconds
+        else None,
+        "maxrss_self_mb": round(self_kb / 1024, 1),
+        "maxrss_children_mb": round(child_kb / 1024, 1),
+        "maxrss_mb": round(max(self_kb, child_kb) / 1024, 1),
+        "workers_used": stats["workers_used"] if stats else None,
+    }
+
+
+def stream_point_subprocess(
+    n: int, chunk_size: int, workers: int, seed: int
+) -> dict:
+    """Run one streaming measurement in a fresh interpreter.
+
+    Fresh matters: ``ru_maxrss`` is a process-lifetime high-water mark,
+    so measuring successive points in one process would report every
+    point at the largest point's peak.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--point",
+            str(n),
+            "--chunk-size",
+            str(chunk_size),
+            "--workers",
+            str(workers),
+            "--seed",
+            str(seed),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"stream point n={n} failed (exit {proc.returncode}):\n"
+            f"{proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_streaming(
+    points: tuple[int, ...], chunk_size: int, workers: int, seed: int
+) -> dict:
+    """The instances-vs-RSS-vs-wallclock curve for the streamed path."""
+    measured = []
+    for n in points:
+        point = stream_point_subprocess(n, chunk_size, workers, seed)
+        measured.append(point)
+        print(
+            f"stream n={n:>9,} : {point['seconds']:>9.3f}s  "
+            f"peak RSS {point['maxrss_mb']:.1f} MB  "
+            f"({point['instances_per_s']} inst/s)"
+        )
+    top = sorted(measured, key=lambda p: p["n"])[-3:]
+    rss_values = [p["maxrss_mb"] for p in top]
+    ratio = (
+        round(max(rss_values) / min(rss_values), 3)
+        if len(rss_values) > 1 and min(rss_values)
+        else None
+    )
+    return {
+        "task": "syntax_error",
+        "model": "gpt4",
+        "workload_pattern": "synthetic:default:n=<n>",
+        "chunk_size": chunk_size,
+        "workers": workers,
+        "points": measured,
+        "rss_flat_ratio": ratio,
+        "rss_flat": ratio is not None and ratio <= 1.5,
+    }
+
+
+def _committed_baseline_mb(n: int) -> float | None:
+    """Peak RSS of the committed streaming point for ``n``, if any."""
+    if not OUT.is_file():
+        return None
+    try:
+        committed = json.loads(OUT.read_text())
+        for point in committed.get("streaming", {}).get("points", ()):
+            if point.get("n") == n:
+                return float(point["maxrss_mb"])
+    except (ValueError, KeyError, TypeError):
+        return None
+    return None
+
+
+def check_baseline(seed: int) -> int:
+    """Bounded-memory regression gate: n=100k must fit the tracked budget."""
+    n = 100_000
+    baseline = _committed_baseline_mb(n)
+    budget = (
+        baseline * RSS_BUDGET_FACTOR
+        if baseline is not None
+        else RSS_FALLBACK_BUDGET_MB
+    )
+    point = stream_point_subprocess(n, STREAM_CHUNK_SIZE, 1, seed)
+    source = (
+        f"{RSS_BUDGET_FACTOR}x committed baseline {baseline:.1f} MB"
+        if baseline is not None
+        else "fallback budget (no committed baseline)"
+    )
+    print(
+        f"stream n={n:,}: peak RSS {point['maxrss_mb']:.1f} MB, "
+        f"budget {budget:.1f} MB ({source})"
+    )
+    if point["maxrss_mb"] > budget:
+        print(
+            f"FAIL: streamed peak RSS {point['maxrss_mb']:.1f} MB exceeds "
+            f"the {budget:.1f} MB budget — the chunked data path is no "
+            "longer bounding memory"
+        )
+        return 1
+    print("OK: streamed peak RSS within budget")
+    return 0
+
+
+def scale_smoke(seed: int) -> int:
+    """CI smoke: a 2-worker streamed run completes in bounded memory.
+
+    On a multi-CPU host the work queue must actually spread chunks over
+    more than one worker process; on a 1-CPU host that assertion is
+    skipped with a notice (pool scheduling may legitimately serialise).
+    """
+    n = 20_000
+    baseline = _committed_baseline_mb(100_000)
+    budget = (
+        baseline * RSS_BUDGET_FACTOR
+        if baseline is not None
+        else RSS_FALLBACK_BUDGET_MB
+    )
+    cpus = _cpus_available()
+    point = stream_point_subprocess(n, STREAM_CHUNK_SIZE, 2, seed)
+    print(
+        f"scale-smoke n={n:,} workers=2: {point['seconds']:.3f}s, "
+        f"peak RSS {point['maxrss_mb']:.1f} MB (budget {budget:.1f} MB), "
+        f"workers_used={point['workers_used']} on {cpus} CPU(s)"
+    )
+    if point["instances"] != n:
+        print(f"FAIL: expected {n} instances, streamed {point['instances']}")
+        return 1
+    if point["maxrss_mb"] > budget:
+        print(f"FAIL: peak RSS {point['maxrss_mb']:.1f} MB over budget")
+        return 1
+    if cpus is not None and cpus > 1:
+        if not point["workers_used"] or point["workers_used"] < 2:
+            print(
+                "FAIL: multi-CPU host but the streamed run used "
+                f"{point['workers_used']} worker process(es) — the work "
+                "queue is not distributing chunks"
+            )
+            return 1
+    else:
+        print(
+            "NOTICE: 1 CPU available — skipping the workers_used>1 "
+            "assertion (queue scheduling may serialise on one core)"
+        )
+    print("OK: scale smoke passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--task", default="query_equiv")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--max-instances", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--stream-points",
+        default=",".join(str(n) for n in STREAM_POINTS),
+        help="comma-separated instance counts for the streaming curve",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=STREAM_CHUNK_SIZE,
+        help="chunk size for streaming measurements",
+    )
+    parser.add_argument(
+        "--point", type=int, default=None,
+        help="internal: measure one streaming point in this process",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="RSS regression gate against the committed BENCH JSON",
+    )
+    parser.add_argument(
+        "--scale-smoke", action="store_true",
+        help="CI smoke: 2-worker streamed run, bounded RSS",
+    )
     args = parser.parse_args(argv)
+
+    if args.point is not None:
+        print(
+            json.dumps(
+                stream_point(args.point, args.chunk_size, args.workers, args.seed)
+            )
+        )
+        return 0
+    if args.check_baseline:
+        return check_baseline(args.seed)
+    if args.scale_smoke:
+        return scale_smoke(args.seed)
 
     results = run(args.task, args.workers, args.max_instances, args.seed)
     results["dispatcher"] = bench_dispatcher()
+    points = tuple(
+        int(part) for part in args.stream_points.split(",") if part
+    )
+    results["streaming"] = bench_streaming(
+        points, args.chunk_size, workers=1, seed=args.seed
+    )
     OUT.write_text(json.dumps(results, indent=2) + "\n")
 
     print(f"grid            : {args.task}, {results['cells']} cells on "
@@ -203,10 +471,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{dispatcher['simulated_latency_s'] * 1000:.0f}ms fake latency — "
         f"{rendered}"
     )
+    streaming = results["streaming"]
+    print(
+        f"streaming       : {len(streaming['points'])} points @ chunk "
+        f"{streaming['chunk_size']} — peak-RSS flat ratio "
+        f"{streaming['rss_flat_ratio']} (flat: {streaming['rss_flat']})"
+    )
     print(f"wrote {OUT}")
     if not (results["identical"] and results["cache_identical"]):
         return 1
     if results["cache_recomputed_cells"]:
+        return 1
+    if not streaming["rss_flat"]:
         return 1
     return 0
 

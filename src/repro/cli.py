@@ -110,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="instances per dispatched shard (default: engine default)",
     )
     run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream cells in N-instance chunks (bounded memory); 0 forces "
+            "the materialised path; default: auto — large synthetic "
+            "workloads stream, everything else materialises"
+        ),
+    )
+    run_parser.add_argument(
         "--cache-dir",
         type=Path,
         default=DEFAULT_CACHE_DIR,
@@ -377,6 +388,13 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chunk_size is not None and args.chunk_size < 0:
+        print(
+            f"--chunk-size must be >= 0, got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+    chunk_size = _resolve_chunk_size(args.chunk_size, workload_name)
     try:
         backend_spec = spec_from_cli(
             args.backend,
@@ -405,6 +423,7 @@ def _cmd_run(args) -> int:
         backend=backend_spec,
         max_concurrency=args.max_concurrency or DEFAULT_MAX_CONCURRENCY,
         rps=args.rps,
+        chunk_size=chunk_size,
     )
     artifact_seconds: dict[str, float] = {}
     run_started = time.perf_counter()
@@ -437,6 +456,7 @@ def _cmd_run(args) -> int:
     finally:
         runner.close()
     engine = runner.engine
+    stream_stats = engine.stream_stats()
     print(
         f"[engine] workers={args.workers} backend={backend_spec.name} "
         f"cells computed={engine.computed_cells} "
@@ -444,6 +464,15 @@ def _cmd_run(args) -> int:
         + ("" if args.no_cache else f" (cache: {args.cache_dir})"),
         file=sys.stderr,
     )
+    if stream_stats is not None:
+        print(
+            f"[stream] chunk_size={chunk_size} "
+            f"chunks={stream_stats['chunks']} "
+            f"instances={stream_stats['instances']} "
+            f"workers_effective={stream_stats['workers_used']} "
+            f"redispatched={stream_stats['redispatched']}",
+            file=sys.stderr,
+        )
     if not args.no_record:
         record = runner.run_record(
             artifacts=() if workload_name is not None else tuple(wanted),
@@ -459,6 +488,34 @@ def _cmd_run(args) -> int:
         path = RunRecordStore(args.runs_dir).save(record)
         print(f"[run-record] {record.run_id} -> {path}", file=sys.stderr)
     return 0
+
+
+def _resolve_chunk_size(flag: int | None, workload_name: str | None) -> int | None:
+    """Resolve ``--chunk-size`` into an engine chunk size (None = off).
+
+    ``--chunk-size N`` forces streaming with N-instance chunks and
+    ``--chunk-size 0`` forces the materialised path.  The default (no
+    flag) is automatic: a synthetic ``--workload`` too large to
+    materialise comfortably streams at the default chunk size, so
+    ``repro run --workload synthetic:default:n=1000000`` runs in bounded
+    memory without any extra flags, while the paper workloads (a few
+    hundred queries) keep the materialised path they always had.
+    """
+    from repro.workloads.streaming import (
+        DEFAULT_CHUNK_SIZE,
+        STREAM_AUTO_THRESHOLD,
+        streamable_total,
+    )
+    from repro.workloads.synthetic import is_synthetic
+
+    if flag is not None:
+        return None if flag == 0 else flag
+    if workload_name is None or not is_synthetic(workload_name):
+        return None
+    total = streamable_total(workload_name)
+    if total is not None and total > STREAM_AUTO_THRESHOLD:
+        return DEFAULT_CHUNK_SIZE
+    return None
 
 
 def _workload_grid_text(runner, task: str, workload_name: str) -> str:

@@ -43,6 +43,16 @@ from repro.tasks.base import ModelAnswer, TaskDataset
 CACHE_VERSION = 1
 
 
+class CacheSegmentError(Exception):
+    """A segmented cache entry is unreadable or inconsistent mid-stream.
+
+    Raised by the segment iterators (not the monolithic getters, which
+    translate problems into misses) because a streamed read may already
+    have handed out earlier segments when the problem surfaces; the
+    streaming engine catches this and falls back to a clean recompute.
+    """
+
+
 @functools.lru_cache(maxsize=1)
 def source_fingerprint() -> str:
     """Hash of the whole ``repro`` package source, computed once.
@@ -242,14 +252,30 @@ class ResultCache:
             if payload.get("version") != CACHE_VERSION:
                 raise ValueError("cache version mismatch")
             answers = [answer_from_dict(item) for item in payload["answers"]]
-            if expected_ids is not None and [
-                answer.instance_id for answer in answers
-            ] != list(expected_ids):
-                raise ValueError("cache entry does not match dataset instances")
         except (OSError, ValueError, KeyError, TypeError):
+            # Warm-path reassembly: a cell written by a streaming run
+            # lives as segments; materialised readers stitch them back.
+            answers = self._reassemble_cell(key)
+            if answers is None:
+                self.stats.misses += 1
+                return None
+        if expected_ids is not None and [
+            answer.instance_id for answer in answers
+        ] != list(expected_ids):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        return answers
+
+    def _reassemble_cell(self, key: str) -> Optional[list[ModelAnswer]]:
+        if self.get_cell_manifest(key) is None:
+            return None
+        answers: list[ModelAnswer] = []
+        try:
+            for segment in self.iter_cell_segments(key):
+                answers.extend(segment)
+        except CacheSegmentError:
+            return None
         return answers
 
     def put(
@@ -281,9 +307,29 @@ class ResultCache:
                 raise ValueError("not a TaskDataset")
         except (OSError, ValueError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError, IndexError):
-            self.stats.dataset_misses += 1
-            return None
+            # Warm-path reassembly from a streaming run's segments.
+            dataset = self._reassemble_dataset(key)
+            if dataset is None:
+                self.stats.dataset_misses += 1
+                return None
         self.stats.dataset_hits += 1
+        return dataset
+
+    def _reassemble_dataset(self, key: str) -> Optional[TaskDataset]:
+        manifest = self.get_dataset_manifest(key)
+        if manifest is None:
+            return None
+        meta = manifest.get("meta", {})
+        task = meta.get("task")
+        workload = meta.get("workload")
+        if not task or not workload:
+            return None
+        dataset = TaskDataset(task=task, workload=workload)
+        try:
+            for segment in self.iter_dataset_segments(key):
+                dataset.instances.extend(segment)
+        except CacheSegmentError:
+            return None
         return dataset
 
     def put_dataset(self, key: str, dataset: TaskDataset) -> Path:
@@ -323,6 +369,187 @@ class ResultCache:
         temporary.replace(path)
         return path
 
+    # -- segmented entries -------------------------------------------------
+    #
+    # Chunked storage for streaming runs: one directory per key holding
+    # fixed-size segments plus a manifest.  The manifest is written LAST
+    # (after every segment landed via temp+rename), so it doubles as the
+    # commit record — a crash mid-run leaves segments without a
+    # manifest, which readers treat as "entry absent".  No partial entry
+    # is ever visible.
+
+    def _dataset_segment_dir(self, key: str) -> Path:
+        return self.root / "datasets" / key
+
+    def _cell_segment_dir(self, key: str) -> Path:
+        return self.root / "cells" / key[:2] / key
+
+    @staticmethod
+    def _segment_name(index: int, suffix: str) -> str:
+        return f"seg-{index:05d}{suffix}"
+
+    def _write_atomic_bytes(self, path: Path, data: bytes) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        temporary.write_bytes(data)
+        temporary.replace(path)
+        return path
+
+    def _read_manifest(self, directory: Path, kind: str) -> Optional[dict]:
+        try:
+            manifest = json.loads((directory / "manifest.json").read_text())
+            if manifest.get("version") != CACHE_VERSION:
+                raise ValueError("segment manifest version mismatch")
+            if manifest.get("kind") != kind:
+                raise ValueError("segment manifest kind mismatch")
+            counts = manifest["counts"]
+            if not isinstance(counts, list) or manifest["total"] != sum(counts):
+                raise ValueError("segment manifest counts inconsistent")
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return manifest
+
+    def _commit_manifest(
+        self,
+        directory: Path,
+        kind: str,
+        chunk_size: int,
+        counts: Sequence[int],
+        meta: Optional[dict],
+    ) -> Path:
+        manifest = {
+            "version": CACHE_VERSION,
+            "kind": kind,
+            "chunk_size": chunk_size,
+            "counts": list(counts),
+            "total": sum(counts),
+            "meta": meta or {},
+        }
+        return self._write_atomic_bytes(
+            directory / "manifest.json", json.dumps(manifest).encode("utf-8")
+        )
+
+    def put_dataset_segment(self, key: str, index: int, instances: list) -> Path:
+        """Store one dataset segment (a list of TaskInstance) atomically."""
+        path = self._dataset_segment_dir(key) / self._segment_name(index, ".pkl")
+        return self._write_atomic_bytes(
+            path, pickle.dumps(instances, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def commit_dataset_segments(
+        self,
+        key: str,
+        chunk_size: int,
+        counts: Sequence[int],
+        meta: Optional[dict] = None,
+    ) -> Path:
+        """Write the dataset manifest — the commit point for the entry."""
+        return self._commit_manifest(
+            self._dataset_segment_dir(key),
+            "dataset-segments",
+            chunk_size,
+            counts,
+            meta,
+        )
+
+    def get_dataset_manifest(self, key: str) -> Optional[dict]:
+        """The committed dataset-segment manifest, or None."""
+        return self._read_manifest(
+            self._dataset_segment_dir(key), "dataset-segments"
+        )
+
+    def iter_dataset_segments(self, key: str):
+        """Yield committed dataset segments in order.
+
+        Raises :class:`CacheSegmentError` when a segment is missing,
+        truncated, or the wrong length — callers recompute from scratch.
+        """
+        manifest = self.get_dataset_manifest(key)
+        if manifest is None:
+            raise CacheSegmentError(f"no committed dataset segments for {key}")
+        directory = self._dataset_segment_dir(key)
+        for index, count in enumerate(manifest["counts"]):
+            path = directory / self._segment_name(index, ".pkl")
+            try:
+                with path.open("rb") as handle:
+                    instances = pickle.load(handle)
+                if not isinstance(instances, list) or len(instances) != count:
+                    raise ValueError("segment length mismatch")
+            except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError) as error:
+                raise CacheSegmentError(
+                    f"dataset segment {index} of {key} unreadable: {error}"
+                ) from error
+            yield instances
+
+    def put_cell_segment(
+        self, key: str, index: int, answers: list[ModelAnswer]
+    ) -> Path:
+        """Store one cell segment (a list of answers) atomically."""
+        path = self._cell_segment_dir(key) / self._segment_name(index, ".json")
+        payload = json.dumps([answer_to_dict(answer) for answer in answers])
+        return self._write_atomic_bytes(path, payload.encode("utf-8"))
+
+    def commit_cell_segments(
+        self,
+        key: str,
+        chunk_size: int,
+        counts: Sequence[int],
+        meta: Optional[dict] = None,
+    ) -> Path:
+        """Write the cell manifest — the commit point for the entry."""
+        self.stats.writes += 1
+        return self._commit_manifest(
+            self._cell_segment_dir(key), "cell-segments", chunk_size, counts, meta
+        )
+
+    def get_cell_manifest(self, key: str) -> Optional[dict]:
+        """The committed cell-segment manifest, or None."""
+        return self._read_manifest(self._cell_segment_dir(key), "cell-segments")
+
+    def iter_cell_segments(self, key: str):
+        """Yield committed cell answer segments in order.
+
+        Raises :class:`CacheSegmentError` when a segment is missing,
+        truncated, or the wrong length — callers recompute from scratch.
+        """
+        manifest = self.get_cell_manifest(key)
+        if manifest is None:
+            raise CacheSegmentError(f"no committed cell segments for {key}")
+        directory = self._cell_segment_dir(key)
+        for index, count in enumerate(manifest["counts"]):
+            path = directory / self._segment_name(index, ".json")
+            try:
+                items = json.loads(path.read_text())
+                answers = [answer_from_dict(item) for item in items]
+                if len(answers) != count:
+                    raise ValueError("segment length mismatch")
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                raise CacheSegmentError(
+                    f"cell segment {index} of {key} unreadable: {error}"
+                ) from error
+            yield answers
+
+    def discard_segments(self, key: str) -> None:
+        """Drop any (possibly uncommitted) segment files for ``key``.
+
+        Used by failed streamed cells so orphaned segments don't linger;
+        removing the manifest first keeps the entry invisible throughout.
+        """
+        for directory in (
+            self._cell_segment_dir(key),
+            self._dataset_segment_dir(key),
+        ):
+            if not directory.is_dir():
+                continue
+            (directory / "manifest.json").unlink(missing_ok=True)
+            for path in sorted(directory.glob("seg-*")):
+                path.unlink(missing_ok=True)
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+
     # -- maintenance -------------------------------------------------------
 
     def entries(self) -> list[Path]:
@@ -340,6 +567,19 @@ class ResultCache:
             return []
         return sorted(self.root.glob("workloads/*.pkl"))
 
+    def segment_entries(self) -> list[Path]:
+        """Every segment file and manifest across both namespaces."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            [
+                *self.root.glob("datasets/*/seg-*.pkl"),
+                *self.root.glob("datasets/*/manifest.json"),
+                *self.root.glob("cells/*/*/seg-*.json"),
+                *self.root.glob("cells/*/*/manifest.json"),
+            ]
+        )
+
     def size_bytes(self) -> int:
         return sum(
             path.stat().st_size
@@ -347,6 +587,7 @@ class ResultCache:
                 *self.entries(),
                 *self.dataset_entries(),
                 *self.workload_entries(),
+                *self.segment_entries(),
             )
         )
 
@@ -362,6 +603,7 @@ class ResultCache:
             *self.entries(),
             *self.dataset_entries(),
             *self.workload_entries(),
+            *self.segment_entries(),
         ):
             path.unlink(missing_ok=True)
             removed += 1

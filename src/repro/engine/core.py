@@ -70,6 +70,7 @@ from repro.workloads import load_workload
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, see below
+    from repro.engine.streaming import StreamingEvaluator
     from repro.evalfw.runner import CellResult
 
 
@@ -82,6 +83,11 @@ class EngineConfig:
     shard_size: int = DEFAULT_SHARD_SIZE
     cache_dir: Optional[Path] = None  # None disables the result cache
     max_instances: Optional[int] = None
+    #: Streamed chunk size; None keeps the materialised data path.  When
+    #: set, cells flow chunk-by-chunk through the work-queue pool
+    #: (:mod:`repro.engine.streaming`) with memory bounded by the chunk
+    #: size instead of the dataset size.
+    chunk_size: Optional[int] = None
     #: Which model backend answers requests (default: the simulator).
     backend: BackendSpec = SIMULATED_SPEC
     #: Dispatcher knobs: in-flight bound and sustained requests/second
@@ -94,6 +100,8 @@ class EngineConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.max_concurrency < 1:
             raise ValueError(
                 f"max_concurrency must be >= 1, got {self.max_concurrency}"
@@ -164,6 +172,7 @@ class ExperimentEngine:
         self._backend_state_memo: Optional[str] = None
         self._by_name = {profile.name: profile for profile in models}
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._streaming: Optional["StreamingEvaluator"] = None
 
     # -- shared state ------------------------------------------------------
 
@@ -263,8 +272,29 @@ class ExperimentEngine:
             self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
         return self._pool
 
+    @property
+    def streaming(self) -> "StreamingEvaluator":
+        """The streamed data path (active when ``chunk_size`` is set)."""
+        if self._streaming is None:
+            # Imported lazily: streaming pulls in evalfw.accumulate,
+            # whose package __init__ imports evalfw.runner -> this module.
+            from repro.engine.streaming import StreamingEvaluator
+
+            self._streaming = StreamingEvaluator(self)
+        return self._streaming
+
+    def stream_stats(self) -> Optional[dict]:
+        """Chunking provenance for the reporting layer (None if unused)."""
+        if self._streaming is None:
+            return None
+        return self._streaming.stats.as_dict()
+
     def close(self) -> None:
         """Shut down the worker pool and backends (idempotent)."""
+        # The evaluator survives close() so its stats stay readable for
+        # the run record; only its worker pool is torn down.
+        if self._streaming is not None:
+            self._streaming.close()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -322,6 +352,8 @@ class ExperimentEngine:
         # Imported lazily: evalfw.runner imports this module at top level.
         from repro.evalfw.runner import CellResult
 
+        if self.config.chunk_size is not None:
+            return self._evaluate_cells_streamed(cells, prompt)
         grid: dict[tuple[str, str], "CellResult"] = {}
         pending: list[tuple[ModelProfile, str, str, TaskDataset, Optional[str]]] = []
         if self.config.workers > 1:
@@ -426,6 +458,32 @@ class ExperimentEngine:
                 )
         return grid
 
+    def _evaluate_cells_streamed(
+        self,
+        cells: Sequence[tuple[ModelProfile, str, str]],
+        prompt: Optional[PromptTemplate],
+    ) -> dict[tuple[str, str], "CellResult"]:
+        """The chunked data path: cells stream through the work queue.
+
+        Each cell's instances are produced, evaluated, merged and
+        persisted in ``chunk_size``-sized segments; the grid result is a
+        :class:`~repro.evalfw.accumulate.StreamedCellResult`, which
+        quacks like a CellResult for every metrics consumer but holds
+        counts instead of the data.
+        """
+        grid: dict[tuple[str, str], "CellResult"] = {}
+        for profile, task, workload_name in cells:
+            result, cached, seconds = self.streaming.evaluate_cell(
+                profile, task, workload_name, prompt
+            )
+            if cached:
+                self.cached_cells += 1
+            else:
+                self.computed_cells += 1
+            grid[(profile.name, workload_name)] = result
+            self._record_cell(result, cached=cached, seconds=seconds, prompt=prompt)
+        return grid
+
     def _record_cell(
         self,
         result: "CellResult",
@@ -435,13 +493,15 @@ class ExperimentEngine:
         shard_seconds_max: Optional[float] = None,
     ) -> None:
         """Accumulate a served cell for the reporting layer."""
+        from repro.evalfw.accumulate import result_instance_count
+
         self.results[(result.model, result.task, result.workload)] = result
         self.cell_log.append(
             CellLog(
                 model=result.model,
                 task=result.task,
                 workload=result.workload,
-                instances=len(result.dataset.instances),
+                instances=result_instance_count(result),
                 cached=cached,
                 seconds=seconds,
                 prompt=prompt_fingerprint(result.task, prompt),

@@ -1,0 +1,617 @@
+"""Streaming work-queue evaluation: bounded memory at any instance count.
+
+This is the engine's second data path, active when
+``EngineConfig.chunk_size`` is set.  Instead of materialising a cell's
+dataset and fanning static shards across a ``ProcessPoolExecutor``, the
+cell flows through fixed-size chunks end to end:
+
+* **produce** — task instances come from the same lazy generators the
+  materialised builders drain (:mod:`repro.tasks.streaming`), re-chunked
+  from the segmented dataset cache on warm runs;
+* **evaluate** — chunks are dispatched to a pool of queue workers
+  (:func:`repro.engine.worker.stream_worker_main`).  Dispatch is
+  pull-based with bounded in-flight work: a worker holds at most
+  ``PREFETCH`` pending chunks, so total in-flight state (and therefore
+  parent memory) is capped at ``workers x PREFETCH`` chunks regardless
+  of dataset size — that bound IS the backpressure, because the chunk
+  producer only advances when a slot frees up;
+* **merge** — results are reordered into chunk order and folded into a
+  :class:`~repro.evalfw.accumulate.CellAccumulator`; the chunk's
+  instances and answers are dropped immediately after.  Metrics come
+  out byte-identical to the materialised path because both share the
+  count-based constructors in :mod:`repro.evalfw.metrics`;
+* **persist** — answers land in the segmented cell cache as they merge
+  (atomic temp+rename per segment), with the manifest written only
+  after the last chunk: a failed or killed run leaves no visible entry.
+
+Fault model: a worker that dies mid-chunk is detected via its exit
+code; its assigned chunks are re-dispatched to a fresh worker up to
+``MAX_ATTEMPTS`` times, after which the run fails loudly with
+:class:`StreamWorkerCrash`.  A worker that *reports* an exception
+(poisoned chunk) fails the run immediately with
+:class:`StreamChunkError` after draining in-flight chunks.  Either way
+the failed cell's cache segments are discarded — no partial writes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import chain, islice
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.engine.cache import CacheSegmentError, cell_key
+from repro.engine.worker import ChunkTask, ShardSpec, evaluate_shard, stream_worker_main
+from repro.evalfw.accumulate import CellAccumulator, StreamedCellResult
+from repro.llm.profiles import ModelProfile
+from repro.prompts.templates import PromptTemplate
+from repro.tasks.streaming import iter_instance_chunks
+from repro.workloads.streaming import stream_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExperimentEngine
+
+#: Pending chunks a queue worker may hold (1 running + 1 prefetched).
+PREFETCH = 2
+
+#: Total dispatch attempts per chunk before the run fails loudly.
+MAX_ATTEMPTS = 3
+
+#: Seconds between liveness checks while waiting for results.
+POLL_SECONDS = 0.1
+
+
+class StreamError(RuntimeError):
+    """Base class for streaming-engine failures."""
+
+
+class StreamChunkError(StreamError):
+    """A worker reported an exception evaluating a chunk (poisoned task)."""
+
+
+class StreamWorkerCrash(StreamError):
+    """A chunk killed its worker repeatedly; re-dispatch gave up."""
+
+
+@dataclass
+class StreamFault:
+    """Test-only fault injection: applied to one chunk of one cell.
+
+    ``once=True`` (the default) arms the fault for the first dispatch
+    only, so a crash is followed by a clean re-dispatch; ``once=False``
+    keeps the fault on every dispatch of that chunk, which exhausts the
+    re-dispatch budget and must surface as a named error.
+    """
+
+    kind: str  # "crash" | "poison"
+    chunk: int = 0
+    once: bool = True
+    fired: int = field(default=0, repr=False)
+
+
+@dataclass
+class StreamStats:
+    """Aggregate streaming provenance for one engine lifetime."""
+
+    cells: int = 0
+    chunks: int = 0
+    instances: int = 0
+    redispatched: int = 0
+    worker_pids: set = field(default_factory=set)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "cells": self.cells,
+            "chunks": self.chunks,
+            "instances": self.instances,
+            "redispatched": self.redispatched,
+            "workers_used": len(self.worker_pids),
+        }
+
+
+class _QueueWorker:
+    """One queue worker process plus its parent-side bookkeeping."""
+
+    def __init__(self, ctx, result_queue) -> None:
+        self.task_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=stream_worker_main,
+            args=(self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+        #: Dispatched-but-unfinished chunks, in dispatch order.
+        self.assigned: deque[ChunkTask] = deque()
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def dispatch(self, item: ChunkTask) -> None:
+        self.assigned.append(item)
+        self.task_queue.put(item)
+
+    def is_dead(self) -> bool:
+        return self.process.exitcode is not None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self.is_dead():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.task_queue.close()
+
+
+class StreamPool:
+    """A set of queue workers sharing one result queue."""
+
+    def __init__(self, workers: int) -> None:
+        self.ctx = multiprocessing.get_context()
+        self.result_queue = self.ctx.Queue()
+        self.workers: dict[int, _QueueWorker] = {}
+        for _ in range(workers):
+            self._spawn()
+
+    def _spawn(self) -> _QueueWorker:
+        worker = _QueueWorker(self.ctx, self.result_queue)
+        self.workers[worker.pid] = worker
+        return worker
+
+    def replace(self, dead: _QueueWorker) -> _QueueWorker:
+        """Replace a crashed worker with a fresh one (fresh task queue).
+
+        The dead worker's queue may still hold undelivered items; a
+        fresh queue guarantees the replacement never double-pulls them.
+        """
+        self.workers.pop(dead.pid, None)
+        dead.process.join(timeout=1.0)
+        return self._spawn()
+
+    def live_workers(self) -> list[_QueueWorker]:
+        return [w for w in self.workers.values() if not w.is_dead()]
+
+    def close(self) -> None:
+        """Graceful shutdown: poison pills, join, terminate stragglers."""
+        for worker in list(self.workers.values()):
+            worker.stop()
+        self.workers.clear()
+        self.result_queue.close()
+        self.result_queue.join_thread()
+
+
+def _rechunk(segments: Iterator[list], chunk_size: int) -> Iterator[list]:
+    """Re-slice a stream of lists into ``chunk_size``-sized lists."""
+    flat = chain.from_iterable(segments)
+    while True:
+        chunk = list(islice(flat, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class StreamingEvaluator:
+    """Runs grid cells through the chunked work-queue data path."""
+
+    def __init__(self, engine: "ExperimentEngine") -> None:
+        self.engine = engine
+        self.stats = StreamStats()
+        #: Test-only injected fault; cleared responsibility is the test's.
+        self.fault: Optional[StreamFault] = None
+        self._pool: Optional[StreamPool] = None
+        self._cell_counter = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _get_pool(self) -> StreamPool:
+        if self._pool is None:
+            self._pool = StreamPool(self.engine.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- cell evaluation ---------------------------------------------------
+
+    def evaluate_cell(
+        self,
+        profile: ModelProfile,
+        task: str,
+        workload_name: str,
+        prompt: Optional[PromptTemplate],
+    ) -> tuple[StreamedCellResult, bool, float]:
+        """One streamed cell: ``(result, served_from_cache, seconds)``."""
+        engine = self.engine
+        key: Optional[str] = None
+        if engine.cache is not None and not engine._backend_is_recording():
+            key = cell_key(
+                engine.config.seed,
+                profile,
+                task,
+                workload_name,
+                engine.config.max_instances,
+                prompt,
+                backend=engine.config.backend,
+                backend_state=engine._backend_state(),
+            )
+            warm = self._serve_warm(profile, task, workload_name, key)
+            if warm is not None:
+                return warm, True, 0.0
+        started = time.perf_counter()
+        try:
+            result = self._evaluate_cold(profile, task, workload_name, prompt, key)
+        except CacheSegmentError:
+            # A dataset segment went bad mid-generation read: drop the
+            # entry and recompute from a clean generator pass.
+            if engine.cache is not None:
+                engine.cache.discard_segments(
+                    engine._dataset_disk_key(task, workload_name)
+                )
+            result = self._evaluate_cold(profile, task, workload_name, prompt, key)
+        return result, False, round(time.perf_counter() - started, 6)
+
+    # -- warm path ---------------------------------------------------------
+
+    def _serve_warm(
+        self,
+        profile: ModelProfile,
+        task: str,
+        workload_name: str,
+        key: str,
+    ) -> Optional[StreamedCellResult]:
+        """Serve a cell from committed answer segments, or None.
+
+        Validation is id-for-id while streaming, the same alignment
+        guarantee the materialised cache gives: any mismatch, truncated
+        segment, or length drift aborts to a clean recompute.
+        """
+        cache = self.engine.cache
+        chunk_size = self.engine.config.chunk_size
+        manifest = cache.get_cell_manifest(key)
+        if manifest is not None:
+            answer_chunks = cache.iter_cell_segments(key)
+        else:
+            # A materialised run may have cached this cell monolithically;
+            # stream the answer list in chunks (answers are small — the
+            # instances, which dominate memory, stay streamed).
+            answers = cache.get(key)
+            if answers is None:
+                return None  # get() counted the miss
+            answer_chunks = iter(
+                [answers[i : i + chunk_size] for i in range(0, len(answers), chunk_size)]
+                or [[]]
+            )
+        acc = CellAccumulator(model=profile.name, task=task, workload=workload_name)
+        try:
+            instance_chunks, _ = self._instance_chunks(task, workload_name)
+            instance_iter = chain.from_iterable(instance_chunks)
+            for answers in answer_chunks:
+                instances = list(islice(instance_iter, len(answers)))
+                if len(instances) != len(answers) or any(
+                    a.instance_id != i.instance_id
+                    for a, i in zip(answers, instances)
+                ):
+                    if manifest is not None:
+                        cache.stats.misses += 1
+                    return None
+                acc.add_chunk(instances, answers)
+            if next(instance_iter, None) is not None:
+                # The dataset has more instances than the entry answered.
+                if manifest is not None:
+                    cache.stats.misses += 1
+                return None
+        except CacheSegmentError:
+            if manifest is not None:
+                cache.stats.misses += 1
+            return None
+        if manifest is not None:
+            cache.stats.hits += 1
+        self.stats.cells += 1
+        self.stats.chunks += acc.chunks
+        self.stats.instances += acc.instances
+        return acc.result(chunk_size)
+
+    # -- instance production ----------------------------------------------
+
+    def _instance_chunks(
+        self, task: str, workload_name: str
+    ) -> tuple[Iterator[list], bool]:
+        """The cell's instance stream: ``(chunk iterator, from_cache)``.
+
+        Warm: committed dataset segments (re-chunked to the configured
+        chunk size), else a monolithic dataset entry.  Cold: the lazy
+        task-instance generators, persisting segments as they pass so
+        sibling cells (other models, warm reruns) stream from disk.
+        """
+        engine = self.engine
+        cache = engine.cache
+        chunk_size = engine.config.chunk_size
+        dkey = engine._dataset_disk_key(task, workload_name)
+        if cache is not None:
+            manifest = cache.get_dataset_manifest(dkey)
+            if manifest is not None:
+                cache.stats.dataset_hits += 1
+                return _rechunk(cache.iter_dataset_segments(dkey), chunk_size), True
+            dataset = cache.get_dataset(dkey)
+            if dataset is not None:
+                return _rechunk(iter([dataset.instances]), chunk_size), True
+
+        def generate() -> Iterator[list]:
+            source = stream_workload(workload_name, engine.config.seed)
+            counts: list[int] = []
+            for chunk in iter_instance_chunks(
+                task,
+                source,
+                seed=engine.config.seed,
+                chunk_size=chunk_size,
+                max_instances=engine.config.max_instances,
+            ):
+                if cache is not None:
+                    cache.put_dataset_segment(dkey, len(counts), chunk)
+                    counts.append(len(chunk))
+                yield chunk
+            if cache is not None:
+                cache.commit_dataset_segments(
+                    dkey,
+                    chunk_size,
+                    counts,
+                    meta={"task": task, "workload": workload_name},
+                )
+
+        if cache is not None:
+            cache.stats.dataset_misses += 1
+        return generate(), False
+
+    # -- cold path ---------------------------------------------------------
+
+    def _evaluate_cold(
+        self,
+        profile: ModelProfile,
+        task: str,
+        workload_name: str,
+        prompt: Optional[PromptTemplate],
+        key: Optional[str],
+    ) -> StreamedCellResult:
+        engine = self.engine
+        cache = engine.cache if key is not None else None
+        chunk_size = engine.config.chunk_size
+        self._cell_counter += 1
+        cell_no = self._cell_counter
+        acc = CellAccumulator(model=profile.name, task=task, workload=workload_name)
+        counts: list[int] = []
+
+        def make_task(chunk_index: int, instances: list) -> ChunkTask:
+            fault = None
+            if (
+                self.fault is not None
+                and self.fault.chunk == chunk_index
+                and (not self.fault.once or self.fault.fired == 0)
+            ):
+                fault = self.fault.kind
+                self.fault.fired += 1
+            return ChunkTask(
+                cell=cell_no,
+                chunk=chunk_index,
+                fault=fault,
+                spec=ShardSpec(
+                    profile=profile,
+                    task=task,
+                    workload=workload_name,
+                    index=chunk_index,
+                    start=0,
+                    stop=len(instances),
+                    seed=engine.config.seed,
+                    max_instances=engine.config.max_instances,
+                    instances=tuple(instances),
+                    prompt=prompt,
+                    backend=engine.config.backend,
+                    max_concurrency=engine.config.max_concurrency,
+                    rps=engine.config.rps,
+                ),
+            )
+
+        def on_merged(chunk_index: int, instances: list, answers: list) -> None:
+            acc.add_chunk(instances, answers)
+            if cache is not None:
+                cache.put_cell_segment(key, chunk_index, answers)
+                counts.append(len(answers))
+
+        instance_chunks, _ = self._instance_chunks(task, workload_name)
+        try:
+            if engine.config.workers == 1:
+                self._run_serial(instance_chunks, make_task, on_merged)
+            else:
+                self._run_queued(instance_chunks, make_task, on_merged)
+        except BaseException:
+            # No partial cache writes: the manifest was never written,
+            # so the entry is already invisible — drop the orphaned
+            # segments too.
+            if cache is not None:
+                cache.discard_segments(key)
+            raise
+        if cache is not None:
+            cache.commit_cell_segments(
+                key,
+                chunk_size,
+                counts,
+                meta={
+                    "model": profile.name,
+                    "task": task,
+                    "workload": workload_name,
+                    "seed": engine.config.seed,
+                    "max_instances": engine.config.max_instances,
+                },
+            )
+        self.stats.cells += 1
+        self.stats.chunks += acc.chunks
+        self.stats.instances += acc.instances
+        return acc.result(chunk_size)
+
+    def _run_serial(self, instance_chunks, make_task, on_merged) -> None:
+        """In-process chunk loop (workers=1): no pool, same code path."""
+        for chunk_index, instances in enumerate(instance_chunks):
+            item = make_task(chunk_index, instances)
+            if item.fault == "crash":
+                raise StreamWorkerCrash(
+                    f"chunk {chunk_index} crashed its worker (serial mode)"
+                )
+            if item.fault == "poison":
+                raise StreamChunkError(
+                    f"chunk {chunk_index} failed: RuntimeError: injected poison fault"
+                )
+            _, answers, _ = evaluate_shard(item.spec)
+            on_merged(chunk_index, instances, answers)
+            self.stats.worker_pids.add(multiprocessing.current_process().pid)
+
+    # -- work-queue scheduling ---------------------------------------------
+
+    def _run_queued(self, instance_chunks, make_task, on_merged) -> None:
+        """Dispatch chunks to queue workers; merge results in order.
+
+        In-flight work is bounded at ``workers x PREFETCH`` chunks: the
+        producer (which holds each dispatched chunk's instances for the
+        merge) only advances when a worker slot frees up, which is the
+        backpressure that keeps parent memory flat.
+        """
+        pool = self._get_pool()
+        producer = enumerate(instance_chunks)
+        exhausted = False
+        inflight: dict[int, list] = {}  # chunk -> instances (for the merge)
+        attempts: dict[int, int] = {}
+        completed: set[int] = set()
+        buffered: dict[int, list] = {}  # chunk -> answers, out-of-order
+        next_merge = 0
+        pending_error: Optional[StreamError] = None
+
+        def dispatch_capacity() -> list[_QueueWorker]:
+            return [
+                w
+                for w in pool.live_workers()
+                if len(w.assigned) < PREFETCH
+            ]
+
+        def top_up() -> None:
+            nonlocal exhausted
+            while not exhausted:
+                free = dispatch_capacity()
+                if not free:
+                    return
+                try:
+                    chunk_index, instances = next(producer)
+                except StopIteration:
+                    exhausted = True
+                    return
+                item = make_task(chunk_index, instances)
+                inflight[chunk_index] = instances
+                attempts[chunk_index] = attempts.get(chunk_index, 0) + 1
+                min(free, key=lambda w: len(w.assigned)).dispatch(item)
+
+        def handle_dead_workers() -> None:
+            nonlocal pending_error
+            for worker in [w for w in pool.workers.values() if w.is_dead()]:
+                orphaned = list(worker.assigned)
+                worker.assigned.clear()
+                replacement = pool.replace(worker)
+                for item in orphaned:
+                    if item.chunk in completed:
+                        continue
+                    attempts[item.chunk] = attempts.get(item.chunk, 0) + 1
+                    if attempts[item.chunk] > MAX_ATTEMPTS:
+                        pending_error = StreamWorkerCrash(
+                            f"chunk {item.chunk} killed its worker "
+                            f"{MAX_ATTEMPTS} times; giving up"
+                        )
+                        return
+                    self.stats.redispatched += 1
+                    refault = None
+                    if (
+                        self.fault is not None
+                        and not self.fault.once
+                        and self.fault.chunk == item.chunk
+                    ):
+                        refault = self.fault.kind
+                    replacement.dispatch(
+                        ChunkTask(
+                            cell=item.cell,
+                            chunk=item.chunk,
+                            spec=item.spec,
+                            fault=refault,
+                        )
+                    )
+
+        try:
+            top_up()
+            while inflight or not exhausted:
+                if pending_error is not None:
+                    raise pending_error
+                if not inflight:
+                    top_up()
+                    if not inflight and exhausted:
+                        break
+                    continue
+                try:
+                    kind, pid, _cell, chunk, payload = pool.result_queue.get(
+                        timeout=POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    handle_dead_workers()
+                    continue
+                worker = pool.workers.get(pid)
+                if worker is not None and worker.assigned:
+                    # Per-worker results arrive in dispatch order.
+                    if worker.assigned[0].chunk == chunk:
+                        worker.assigned.popleft()
+                if kind == "error":
+                    raise StreamChunkError(f"chunk {chunk} failed: {payload}")
+                if chunk in completed:
+                    continue  # a re-dispatch raced a slow original
+                answers, _seconds = payload
+                completed.add(chunk)
+                self.stats.worker_pids.add(pid)
+                buffered[chunk] = answers
+                while next_merge in buffered:
+                    on_merged(
+                        next_merge, inflight.pop(next_merge), buffered.pop(next_merge)
+                    )
+                    next_merge += 1
+                top_up()
+        except BaseException:
+            self._drain(pool)
+            raise
+
+    def _drain(self, pool: StreamPool, timeout: float = 10.0) -> None:
+        """Graceful shutdown of in-flight chunks after a failure.
+
+        Live workers finish (and we discard) what they already pulled,
+        so they end at a clean queue boundary; then every worker gets
+        its poison pill and the pool is torn down.  The next cold cell
+        starts a fresh pool.
+        """
+        deadline = time.monotonic() + timeout
+        while any(w.assigned for w in pool.live_workers()):
+            if time.monotonic() > deadline:
+                break
+            try:
+                _kind, pid, _cell, chunk, _payload = pool.result_queue.get(
+                    timeout=POLL_SECONDS
+                )
+            except queue_module.Empty:
+                for worker in pool.workers.values():
+                    if worker.is_dead():
+                        worker.assigned.clear()
+                continue
+            worker = pool.workers.get(pid)
+            if worker is not None and worker.assigned:
+                if worker.assigned[0].chunk == chunk:
+                    worker.assigned.popleft()
+        pool.close()
+        self._pool = None

@@ -234,6 +234,58 @@ def build_workload_datasets_remote(
     ]
 
 
+@dataclass(frozen=True)
+class ChunkTask:
+    """One chunk of a streamed cell, travelling through the work queue.
+
+    ``spec`` is an inline-instances :class:`ShardSpec` whose ``index``
+    is the chunk's position in the cell; ``fault`` is the test-only
+    injection channel ("crash" hard-kills the worker mid-chunk, "poison"
+    raises inside the evaluation) — it rides in the descriptor so a
+    re-dispatched chunk is clean by construction unless the test asked
+    for a persistent fault.
+    """
+
+    cell: int
+    chunk: int
+    spec: ShardSpec
+    fault: Optional[str] = None
+
+
+def stream_worker_main(task_queue, result_queue) -> None:
+    """Queue-worker loop: pull chunk descriptors until the None pill.
+
+    Each result message is ``(kind, pid, cell, chunk, payload)`` with
+    kind ``ok`` (payload ``(answers, seconds)``) or ``error`` (payload
+    the formatted exception).  A crashed worker sends nothing — the
+    parent notices the dead process and re-dispatches its assignments.
+    """
+    import os
+
+    pid = os.getpid()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        try:
+            if item.fault == "crash":
+                os._exit(43)
+            if item.fault == "poison":
+                raise RuntimeError("injected poison fault")
+            _, answers, seconds = evaluate_shard(item.spec)
+            result_queue.put(("ok", pid, item.cell, item.chunk, (answers, seconds)))
+        except Exception as error:  # noqa: BLE001 - reported to the parent
+            result_queue.put(
+                (
+                    "error",
+                    pid,
+                    item.cell,
+                    item.chunk,
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+
+
 def reset_worker_caches() -> None:
     """Drop the process-global caches (test isolation hook)."""
     _WORKLOADS.clear()

@@ -69,6 +69,63 @@ CHECKER_SETTINGS: dict[str, dict[str, object]] = {
 }
 
 
+def iter_equivalence_pairs(
+    source,
+    seed: int = 0,
+    max_pairs: Optional[int] = None,
+    verify: bool = True,
+    rows_per_table: int = 80,
+    dangling_fraction: float = 0.08,
+):
+    """Yield verified pairs lazily from eligible SELECT queries.
+
+    ``source`` is a :class:`Workload` or
+    :class:`~repro.workloads.streaming.WorkloadStream`.  Pair generation
+    is inherently sequential — the rng state and the alternating
+    equivalent/non-equivalent polarity both carry across accepted pairs
+    — so this generator IS the single source of truth: the materialised
+    :func:`generate_equivalence_pairs` drains it, and the streaming
+    engine chunks it, with identical output by construction.  Checker
+    databases are closed when the generator is exhausted or closed.
+    """
+    rng = derive_rng("equivalence-pairs", source.name, seed)
+    overrides = CHECKER_SETTINGS.get(source.name, {})
+    rows_per_table = int(overrides.get("rows_per_table", rows_per_table))
+    dangling_fraction = float(
+        overrides.get("dangling_fraction", dangling_fraction)
+    )
+    checkers: dict[str, EquivalenceChecker] = {}
+    try:
+        produced = 0
+        want_equivalent = True
+        for query in source:
+            if max_pairs is not None and produced >= max_pairs:
+                break
+            if query.properties.query_type not in ("SELECT", "WITH"):
+                continue
+            if not _eligible(query):
+                continue
+            schema = source.schema_for(query)
+            if verify and query.schema_name not in checkers:
+                checkers[query.schema_name] = EquivalenceChecker(
+                    schema,
+                    rows_per_table=rows_per_table,
+                    dangling_fraction=dangling_fraction,
+                )
+            checker = checkers.get(query.schema_name)
+            pair = _build_pair(query, source, checker, rng, want_equivalent)
+            if pair is None:  # try the other polarity before giving up
+                pair = _build_pair(query, source, checker, rng, not want_equivalent)
+            if pair is None:
+                continue
+            yield pair
+            produced += 1
+            want_equivalent = not want_equivalent
+    finally:
+        for checker in checkers.values():
+            checker.close()
+
+
 def generate_equivalence_pairs(
     workload: Workload,
     seed: int = 0,
@@ -78,38 +135,16 @@ def generate_equivalence_pairs(
     dangling_fraction: float = 0.08,
 ) -> list[QueryPair]:
     """Build verified pairs from a workload's eligible SELECT queries."""
-    rng = derive_rng("equivalence-pairs", workload.name, seed)
-    overrides = CHECKER_SETTINGS.get(workload.name, {})
-    rows_per_table = int(overrides.get("rows_per_table", rows_per_table))
-    dangling_fraction = float(
-        overrides.get("dangling_fraction", dangling_fraction)
+    return list(
+        iter_equivalence_pairs(
+            workload,
+            seed=seed,
+            max_pairs=max_pairs,
+            verify=verify,
+            rows_per_table=rows_per_table,
+            dangling_fraction=dangling_fraction,
+        )
     )
-    checkers: dict[str, EquivalenceChecker] = {}
-    pairs: list[QueryPair] = []
-    want_equivalent = True
-    for query in workload.select_queries():
-        if max_pairs is not None and len(pairs) >= max_pairs:
-            break
-        if not _eligible(query):
-            continue
-        schema = workload.schema_for(query)
-        if verify and query.schema_name not in checkers:
-            checkers[query.schema_name] = EquivalenceChecker(
-                schema,
-                rows_per_table=rows_per_table,
-                dangling_fraction=dangling_fraction,
-            )
-        checker = checkers.get(query.schema_name)
-        pair = _build_pair(query, workload, checker, rng, want_equivalent)
-        if pair is None:  # try the other polarity before giving up
-            pair = _build_pair(query, workload, checker, rng, not want_equivalent)
-        if pair is None:
-            continue
-        pairs.append(pair)
-        want_equivalent = not want_equivalent
-    for checker in checkers.values():
-        checker.close()
-    return pairs
 
 
 #: Non-equivalence types that are semantics-changing *by construction*:

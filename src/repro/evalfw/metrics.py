@@ -34,23 +34,13 @@ class BinaryMetrics:
         return (self.tp + self.tn) / total if total else 0.0
 
 
-def binary_metrics(
-    truths: Sequence[bool], predictions: Sequence[Optional[bool]]
-) -> BinaryMetrics:
-    """Compute binary metrics; None predictions are counted as incorrect."""
-    if len(truths) != len(predictions):
-        raise ValueError("truths and predictions must have equal length")
-    tp = tn = fp = fn = 0
-    for truth, prediction in zip(truths, predictions):
-        effective = prediction if prediction is not None else (not truth)
-        if truth and effective:
-            tp += 1
-        elif truth and not effective:
-            fn += 1
-        elif not truth and effective:
-            fp += 1
-        else:
-            tn += 1
+def binary_metrics_from_counts(tp: int, tn: int, fp: int, fn: int) -> BinaryMetrics:
+    """Binary metrics from confusion counts.
+
+    The streaming engine accumulates counts chunk by chunk and finalises
+    through this function; :func:`binary_metrics` delegates here, so the
+    two paths share every float operation and agree exactly.
+    """
     precision = tp / (tp + fp) if tp + fp else 0.0
     recall = tp / (tp + fn) if tp + fn else 0.0
     f1 = (
@@ -69,6 +59,30 @@ def binary_metrics(
     )
 
 
+def classify_binary(truth: bool, prediction: Optional[bool]) -> str:
+    """One instance's confusion-cell name (``tp``/``tn``/``fp``/``fn``).
+
+    None predictions count as incorrect (the automated post-processing
+    rule): an unextractable answer is treated as the opposite of truth.
+    """
+    effective = prediction if prediction is not None else (not truth)
+    if truth:
+        return "tp" if effective else "fn"
+    return "fp" if effective else "tn"
+
+
+def binary_metrics(
+    truths: Sequence[bool], predictions: Sequence[Optional[bool]]
+) -> BinaryMetrics:
+    """Compute binary metrics; None predictions are counted as incorrect."""
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    counts = {"tp": 0, "tn": 0, "fp": 0, "fn": 0}
+    for truth, prediction in zip(truths, predictions):
+        counts[classify_binary(truth, prediction)] += 1
+    return binary_metrics_from_counts(**counts)
+
+
 @dataclass(frozen=True)
 class WeightedMetrics:
     """Support-weighted multi-class precision / recall / F1."""
@@ -78,6 +92,50 @@ class WeightedMetrics:
     f1: float
     per_class: dict[str, BinaryMetrics]
     support: dict[str, int]
+
+
+def weighted_metrics_from_counts(
+    pair_counts: Counter[tuple[str, Optional[str]]]
+) -> WeightedMetrics:
+    """Weighted metrics from ``(truth, prediction)`` pair counts.
+
+    ``pair_counts`` covers labeled pairs only (truth is never None).  The
+    streaming engine accumulates one Counter per cell; the materialised
+    :func:`weighted_metrics` delegates here so both paths share every
+    float operation (per-class iteration in sorted order, identical
+    weighted accumulation) and agree exactly.
+    """
+    support: Counter[str] = Counter()
+    for (truth, _), count in pair_counts.items():
+        support[truth] += count
+    per_class: dict[str, BinaryMetrics] = {}
+    total = sum(support.values())
+    avg_precision = avg_recall = avg_f1 = 0.0
+    for cls, count in sorted(support.items()):
+        tp = tn = fp = fn = 0
+        for (truth, prediction), pairs in pair_counts.items():
+            if truth == cls:
+                if prediction == cls:
+                    tp += pairs
+                else:
+                    fn += pairs
+            elif prediction == cls:
+                fp += pairs
+            else:
+                tn += pairs
+        metrics = binary_metrics_from_counts(tp=tp, tn=tn, fp=fp, fn=fn)
+        per_class[cls] = metrics
+        weight = count / total
+        avg_precision += weight * metrics.precision
+        avg_recall += weight * metrics.recall
+        avg_f1 += weight * metrics.f1
+    return WeightedMetrics(
+        precision=round(avg_precision, 4),
+        recall=round(avg_recall, 4),
+        f1=round(avg_f1, 4),
+        per_class=per_class,
+        support=dict(support),
+    )
 
 
 def weighted_metrics(
@@ -91,31 +149,12 @@ def weighted_metrics(
     """
     if len(truths) != len(predictions):
         raise ValueError("truths and predictions must have equal length")
-    labeled = [
+    pair_counts: Counter[tuple[str, Optional[str]]] = Counter(
         (truth, prediction)
         for truth, prediction in zip(truths, predictions)
         if truth is not None
-    ]
-    support = Counter(truth for truth, _ in labeled)
-    per_class: dict[str, BinaryMetrics] = {}
-    total = sum(support.values())
-    avg_precision = avg_recall = avg_f1 = 0.0
-    for cls, count in sorted(support.items()):
-        cls_truths = [truth == cls for truth, _ in labeled]
-        cls_predictions = [prediction == cls for _, prediction in labeled]
-        metrics = binary_metrics(cls_truths, cls_predictions)
-        per_class[cls] = metrics
-        weight = count / total
-        avg_precision += weight * metrics.precision
-        avg_recall += weight * metrics.recall
-        avg_f1 += weight * metrics.f1
-    return WeightedMetrics(
-        precision=round(avg_precision, 4),
-        recall=round(avg_recall, 4),
-        f1=round(avg_f1, 4),
-        per_class=per_class,
-        support=dict(support),
     )
+    return weighted_metrics_from_counts(pair_counts)
 
 
 @dataclass(frozen=True)
@@ -138,27 +177,45 @@ def location_metrics(
     """
     if len(truths) != len(predictions):
         raise ValueError("truths and predictions must have equal length")
-    pairs = [
-        (truth, prediction)
-        for truth, prediction in zip(truths, predictions)
-        if truth is not None
-    ]
-    if not pairs:
-        return LocationMetrics(mae=0.0, hit_rate=0.0, evaluated=0)
-    mean_truth = sum(truth for truth, _ in pairs) / len(pairs)
-    errors = []
-    hits = 0
-    for truth, prediction in pairs:
-        if prediction is None:
-            errors.append(mean_truth)
+    n_pairs = truth_sum = abs_error_sum = hits = misses = 0
+    for truth, prediction in zip(truths, predictions):
+        if truth is None:
             continue
-        errors.append(abs(prediction - truth))
+        n_pairs += 1
+        truth_sum += truth
+        if prediction is None:
+            misses += 1
+            continue
+        abs_error_sum += abs(prediction - truth)
         if prediction == truth:
             hits += 1
+    return location_metrics_from_counts(
+        n_pairs=n_pairs,
+        truth_sum=truth_sum,
+        abs_error_sum=abs_error_sum,
+        hits=hits,
+        misses=misses,
+    )
+
+
+def location_metrics_from_counts(
+    *, n_pairs: int, truth_sum: int, abs_error_sum: int, hits: int, misses: int
+) -> LocationMetrics:
+    """Location metrics from integer running totals.
+
+    ``misses`` (None predictions) each contribute the mean true position
+    as their error; because the raw totals are integers the float math
+    here is order-free, so streamed chunk accumulation and the
+    materialised path agree exactly.
+    """
+    if not n_pairs:
+        return LocationMetrics(mae=0.0, hit_rate=0.0, evaluated=0)
+    mean_truth = truth_sum / n_pairs
+    mae = (abs_error_sum + misses * mean_truth) / n_pairs
     return LocationMetrics(
-        mae=round(sum(errors) / len(errors), 2),
-        hit_rate=round(hits / len(pairs), 4),
-        evaluated=len(pairs),
+        mae=round(mae, 2),
+        hit_rate=round(hits / n_pairs, 4),
+        evaluated=n_pairs,
     )
 
 

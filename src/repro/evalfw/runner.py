@@ -80,12 +80,14 @@ class ExperimentRunner:
         backend: BackendSpec = SIMULATED_SPEC,
         max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
         rps: Optional[float] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         config = EngineConfig(
             seed=seed,
             workers=workers,
             cache_dir=cache_dir,
             max_instances=max_instances,
+            chunk_size=chunk_size,
             backend=backend,
             max_concurrency=max_concurrency,
             rps=rps,

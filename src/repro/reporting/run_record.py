@@ -91,10 +91,47 @@ def cell_record_from_result(
     ``location.*`` positions, and ``explanation.*`` (overlap F1 and
     flawed-response rate) gold explanation texts — so a record never
     reports a vacuous zero for a metric the task does not define.
+
+    Accepts a materialised :class:`CellResult` or a
+    :class:`~repro.evalfw.accumulate.StreamedCellResult`: the streamed
+    variant carries the same gates as counts, so the record comes out
+    identical without the dataset ever being in memory.
     """
+    from repro.evalfw.accumulate import StreamedCellResult
+
     metrics: dict[str, float] = {}
     confusion: dict[str, int] = {}
-    if any(i.label is not None for i in result.dataset.instances):
+    explanation: Optional[tuple[float, float]] = None
+    if isinstance(result, StreamedCellResult):
+        instances = result.instance_count
+        has_labels = result.has_labels
+        has_types = bool(result.types_present())
+        has_positions = result.has_positions
+        if result.has_gold and result.instance_count:
+            explanation = (result.explanation_overlap_f1, result.flawed_rate)
+    else:
+        instances = len(result.dataset.instances)
+        has_labels = any(i.label is not None for i in result.dataset.instances)
+        has_types = bool(result.dataset.types_present())
+        has_positions = any(
+            i.position is not None for i in result.dataset.instances
+        )
+        if any(i.gold_text for i in result.dataset.instances):
+            from repro.tasks.explanation import explanation_overlap_f1
+
+            scores = [
+                explanation_overlap_f1(instance.gold_text, answer.explanation)
+                for instance, answer in zip(
+                    result.dataset.instances, result.answers
+                )
+            ]
+            if scores:
+                explanation = (
+                    sum(scores) / len(scores),
+                    sum(1 for answer in result.answers if answer.flaws)
+                    / len(result.answers),
+                )
+    if has_labels:
         binary = result.binary
         metrics["binary.precision"] = binary.precision
         metrics["binary.recall"] = binary.recall
@@ -106,33 +143,24 @@ def cell_record_from_result(
             "fp": binary.fp,
             "fn": binary.fn,
         }
-    if result.dataset.types_present():
+    if has_types:
         typed = result.typed
         metrics["typed.precision"] = typed.precision
         metrics["typed.recall"] = typed.recall
         metrics["typed.f1"] = typed.f1
-    if any(i.position is not None for i in result.dataset.instances):
+    if has_positions:
         location = result.location
         metrics["location.mae"] = location.mae
         metrics["location.hit_rate"] = location.hit_rate
-    if any(i.gold_text for i in result.dataset.instances):
-        from repro.tasks.explanation import explanation_overlap_f1
-
-        scores = [
-            explanation_overlap_f1(instance.gold_text, answer.explanation)
-            for instance, answer in zip(result.dataset.instances, result.answers)
-        ]
-        if scores:
-            metrics["explanation.overlap_f1"] = sum(scores) / len(scores)
-            metrics["explanation.flawed_rate"] = sum(
-                1 for answer in result.answers if answer.flaws
-            ) / len(result.answers)
+    if explanation is not None:
+        metrics["explanation.overlap_f1"] = explanation[0]
+        metrics["explanation.flawed_rate"] = explanation[1]
     return CellRecord(
         model=result.model,
         model_display=model_display,
         task=result.task,
         workload=result.workload,
-        instances=len(result.dataset.instances),
+        instances=instances,
         cached=cached,
         seconds=seconds,
         metrics={k: round(v, 6) for k, v in metrics.items()},
@@ -166,6 +194,11 @@ class RunRecord:
     #: the run actually did versus how much the memo layer absorbed.
     #: Worker-process caches are per-process and not aggregated here.
     analysis_cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Streaming provenance: the chunk size the run streamed with (None
+    #: = materialised data path) and the work-queue counters (chunks,
+    #: instances, workers_used, redispatched) when streaming was active.
+    chunk_size: Optional[int] = None
+    stream_stats: dict[str, int] = field(default_factory=dict)
     cells: tuple[CellRecord, ...] = ()
     notes: str = ""
 
@@ -215,6 +248,8 @@ class RunRecord:
             artifacts=other.artifacts,
             artifact_seconds=dict(other.artifact_seconds),
             total_seconds=other.total_seconds,
+            chunk_size=other.chunk_size,
+            stream_stats=dict(other.stream_stats),
             notes=other.notes,
         )
 
@@ -264,6 +299,10 @@ class RunRecord:
             analysis_cache_stats={
                 k: int(v)
                 for k, v in data.get("analysis_cache_stats", {}).items()
+            },
+            chunk_size=data.get("chunk_size"),
+            stream_stats={
+                k: int(v) for k, v in data.get("stream_stats", {}).items()
             },
             cells=tuple(
                 CellRecord.from_dict(cell) for cell in data.get("cells", ())
@@ -374,6 +413,8 @@ def record_from_engine(
         cached_cells=cached_count,
         cache_stats=cache_stats,
         analysis_cache_stats=analysis_counters().as_dict(),
+        chunk_size=config.chunk_size,
+        stream_stats=engine.stream_stats() or {},
         cells=tuple(cells),
         notes=notes,
     )

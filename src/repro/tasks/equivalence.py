@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.equivalence.counter_transforms import NON_EQUIVALENCE_TYPES
-from repro.equivalence.pairs import generate_equivalence_pairs
+from repro.equivalence.pairs import iter_equivalence_pairs
 from repro.equivalence.transforms import EQUIVALENCE_TYPES
 from repro.llm.simulated import SimulatedLLM
 from repro.parsing import extract_equivalence, extract_label
@@ -18,6 +18,36 @@ from repro.workloads.base import Workload
 ALL_PAIR_TYPES: tuple[str, ...] = EQUIVALENCE_TYPES + NON_EQUIVALENCE_TYPES
 
 
+def iter_query_equiv_instances(
+    source,
+    seed: int = 0,
+    max_pairs: Optional[int] = None,
+    verify: bool = True,
+):
+    """Yield query_equiv instances lazily from the sequential pair stream.
+
+    ``source`` is a :class:`Workload` or ``WorkloadStream``; both the
+    materialised builder and the streaming engine consume this
+    generator, so their instances are identical by construction.
+    """
+    for pair in iter_equivalence_pairs(
+        source, seed=seed, max_pairs=max_pairs, verify=verify
+    ):
+        props = extract_properties(pair.first_text)
+        yield TaskInstance(
+            instance_id=pair.pair_id,
+            task=QUERY_EQUIV,
+            workload=source.name,
+            schema_name=pair.schema_name,
+            payload={"query_1": pair.first_text, "query_2": pair.second_text},
+            label=pair.equivalent,
+            label_type=pair.pair_type,
+            source_query_id=pair.source_query_id,
+            props=props,
+            detail=pair.detail,
+        )
+
+
 def build_query_equiv_dataset(
     workload: Workload,
     seed: int = 0,
@@ -26,25 +56,11 @@ def build_query_equiv_dataset(
 ) -> TaskDataset:
     """Build the labeled pair dataset via verified transforms."""
     dataset = TaskDataset(task=QUERY_EQUIV, workload=workload.name)
-    pairs = generate_equivalence_pairs(
-        workload, seed=seed, max_pairs=max_pairs, verify=verify
-    )
-    for pair in pairs:
-        props = extract_properties(pair.first_text)
-        dataset.instances.append(
-            TaskInstance(
-                instance_id=pair.pair_id,
-                task=QUERY_EQUIV,
-                workload=workload.name,
-                schema_name=pair.schema_name,
-                payload={"query_1": pair.first_text, "query_2": pair.second_text},
-                label=pair.equivalent,
-                label_type=pair.pair_type,
-                source_query_id=pair.source_query_id,
-                props=props,
-                detail=pair.detail,
-            )
+    dataset.instances.extend(
+        iter_query_equiv_instances(
+            workload, seed=seed, max_pairs=max_pairs, verify=verify
         )
+    )
     return dataset
 
 

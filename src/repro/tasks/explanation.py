@@ -23,22 +23,30 @@ _STOPWORDS = frozenset(
 )
 
 
+def iter_query_exp_instances(source):
+    """Yield query_exp instances lazily, one per query.
+
+    ``source`` is a :class:`Workload` or ``WorkloadStream``; both the
+    materialised builder and the streaming engine consume this
+    generator, so their instances are identical by construction.
+    """
+    for query in source:
+        yield TaskInstance(
+            instance_id=f"{query.query_id}-exp",
+            task=QUERY_EXP,
+            workload=source.name,
+            schema_name=query.schema_name,
+            payload={"query": query.text},
+            gold_text=query.description,
+            source_query_id=query.query_id,
+            props=query.properties,
+        )
+
+
 def build_query_exp_dataset(workload: Workload) -> TaskDataset:
     """One instance per Spider query, gold description attached."""
     dataset = TaskDataset(task=QUERY_EXP, workload=workload.name)
-    for query in workload.queries:
-        dataset.instances.append(
-            TaskInstance(
-                instance_id=f"{query.query_id}-exp",
-                task=QUERY_EXP,
-                workload=workload.name,
-                schema_name=query.schema_name,
-                payload={"query": query.text},
-                gold_text=query.description,
-                source_query_id=query.query_id,
-                props=query.properties,
-            )
-        )
+    dataset.instances.extend(iter_query_exp_instances(workload))
     return dataset
 
 

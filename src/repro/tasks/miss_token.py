@@ -17,42 +17,48 @@ from repro.workloads.base import Workload
 INTACT_FRACTION = 0.3
 
 
-def build_miss_token_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
-    """Remove one token from a random ~70% of queries; keep the rest intact."""
-    dataset = TaskDataset(task=MISS_TOKEN, workload=workload.name)
-    for query in workload.queries:
+def iter_miss_token_instances(source, seed: int = 0):
+    """Yield miss_token instances lazily, one per query.
+
+    ``source`` is a :class:`Workload` or ``WorkloadStream``; both the
+    materialised builder and the streaming engine consume this
+    generator, so their instances are identical by construction.
+    """
+    for query in source:
         rng = derive_rng("miss-token-dataset", seed, query.query_id)
         corrupt = rng.random() >= INTACT_FRACTION
         removal = remove_token(query.text, rng) if corrupt else None
         if removal is not None:
-            dataset.instances.append(
-                TaskInstance(
-                    instance_id=f"{query.query_id}-tok",
-                    task=MISS_TOKEN,
-                    workload=workload.name,
-                    schema_name=query.schema_name,
-                    payload={"query": removal.text},
-                    label=True,
-                    label_type=removal.token_type,
-                    position=removal.position,
-                    removed_token=removal.removed,
-                    source_query_id=query.query_id,
-                    props=query.properties,
-                )
+            yield TaskInstance(
+                instance_id=f"{query.query_id}-tok",
+                task=MISS_TOKEN,
+                workload=source.name,
+                schema_name=query.schema_name,
+                payload={"query": removal.text},
+                label=True,
+                label_type=removal.token_type,
+                position=removal.position,
+                removed_token=removal.removed,
+                source_query_id=query.query_id,
+                props=query.properties,
             )
         else:
-            dataset.instances.append(
-                TaskInstance(
-                    instance_id=f"{query.query_id}-tok",
-                    task=MISS_TOKEN,
-                    workload=workload.name,
-                    schema_name=query.schema_name,
-                    payload={"query": query.text},
-                    label=False,
-                    source_query_id=query.query_id,
-                    props=query.properties,
-                )
+            yield TaskInstance(
+                instance_id=f"{query.query_id}-tok",
+                task=MISS_TOKEN,
+                workload=source.name,
+                schema_name=query.schema_name,
+                payload={"query": query.text},
+                label=False,
+                source_query_id=query.query_id,
+                props=query.properties,
             )
+
+
+def build_miss_token_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
+    """Remove one token from a random ~70% of queries; keep the rest intact."""
+    dataset = TaskDataset(task=MISS_TOKEN, workload=workload.name)
+    dataset.instances.extend(iter_miss_token_instances(workload, seed))
     return dataset
 
 

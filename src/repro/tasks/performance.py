@@ -22,25 +22,33 @@ from repro.tasks.base import (
 from repro.workloads.base import Workload
 
 
+def iter_performance_instances(source):
+    """Yield performance_pred instances lazily, one per logged query.
+
+    ``source`` is a :class:`Workload` or ``WorkloadStream``; both the
+    materialised builder and the streaming engine consume this
+    generator, so their instances are identical by construction.
+    """
+    for query in source:
+        if query.elapsed_ms is None:
+            continue
+        yield TaskInstance(
+            instance_id=f"{query.query_id}-perf",
+            task=PERFORMANCE_PRED,
+            workload=source.name,
+            schema_name=query.schema_name,
+            payload={"query": query.text},
+            label=is_high_cost(query.elapsed_ms),
+            source_query_id=query.query_id,
+            props=query.properties,
+            detail=f"elapsed_ms={query.elapsed_ms}",
+        )
+
+
 def build_performance_dataset(workload: Workload) -> TaskDataset:
     """Label every logged query as costly (>200 ms) or cheap."""
     dataset = TaskDataset(task=PERFORMANCE_PRED, workload=workload.name)
-    for query in workload.queries:
-        if query.elapsed_ms is None:
-            continue
-        dataset.instances.append(
-            TaskInstance(
-                instance_id=f"{query.query_id}-perf",
-                task=PERFORMANCE_PRED,
-                workload=workload.name,
-                schema_name=query.schema_name,
-                payload={"query": query.text},
-                label=is_high_cost(query.elapsed_ms),
-                source_query_id=query.query_id,
-                props=query.properties,
-                detail=f"elapsed_ms={query.elapsed_ms}",
-            )
-        )
+    dataset.instances.extend(iter_performance_instances(workload))
     return dataset
 
 

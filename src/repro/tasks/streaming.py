@@ -1,0 +1,82 @@
+"""Streaming task-instance production.
+
+The chunked counterpart of :func:`repro.tasks.registry.build_dataset`:
+one generator per task family, each consuming a query stream
+(:class:`~repro.workloads.streaming.WorkloadStream` or a materialised
+:class:`~repro.workloads.base.Workload`) and yielding
+:class:`TaskInstance` values lazily.  Every generator here is the SAME
+code the materialised builders drain, so chunking a stream and slicing
+a built dataset cannot disagree.
+
+Capping semantics mirror ``build_dataset`` exactly: non-equivalence
+tasks truncate the instance stream after ``max_instances`` (the
+materialised path slices after building — same prefix), query_equiv
+caps during generation via ``max_pairs``.  The streaming win is that
+truncation stops the *producer*: ``synthetic:default:n=1000000`` with
+``--max-instances 1000000`` generates one million queries and then
+stops, instead of materialising all twelve million the spec describes.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterator, Optional
+
+from repro.tasks.base import (
+    MISS_TOKEN,
+    PERFORMANCE_PRED,
+    PRIMARY_TASKS,
+    QUERY_EQUIV,
+    QUERY_EXP,
+    SYNTAX_ERROR,
+    TaskInstance,
+)
+from repro.tasks.equivalence import iter_query_equiv_instances
+from repro.tasks.explanation import iter_query_exp_instances
+from repro.tasks.miss_token import iter_miss_token_instances
+from repro.tasks.performance import iter_performance_instances
+from repro.tasks.syntax_error import iter_syntax_error_instances
+
+
+def iter_task_instances(
+    task: str,
+    source,
+    seed: int = 0,
+    max_instances: Optional[int] = None,
+) -> Iterator[TaskInstance]:
+    """Yield one cell's task instances lazily, capped like build_dataset."""
+    if task == SYNTAX_ERROR:
+        instances = iter_syntax_error_instances(source, seed)
+    elif task == MISS_TOKEN:
+        instances = iter_miss_token_instances(source, seed)
+    elif task == QUERY_EQUIV:
+        # max_pairs caps during generation (identical to build_dataset);
+        # no outer islice needed.
+        return iter_query_equiv_instances(source, seed, max_pairs=max_instances)
+    elif task == PERFORMANCE_PRED:
+        instances = iter_performance_instances(source)
+    elif task == QUERY_EXP:
+        instances = iter_query_exp_instances(source)
+    else:
+        raise KeyError(f"unknown task {task!r}; expected one of {PRIMARY_TASKS}")
+    if max_instances is not None:
+        return islice(instances, max_instances)
+    return instances
+
+
+def iter_instance_chunks(
+    task: str,
+    source,
+    seed: int = 0,
+    chunk_size: int = 2000,
+    max_instances: Optional[int] = None,
+) -> Iterator[list[TaskInstance]]:
+    """Yield the instance stream in fixed-size segments (last may be short)."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    instances = iter_task_instances(task, source, seed, max_instances)
+    while True:
+        chunk = list(islice(instances, chunk_size))
+        if not chunk:
+            return
+        yield chunk

@@ -34,19 +34,19 @@ STRUCTURAL_FRACTION = 0.3
 ALL_ERROR_TYPES: tuple[str, ...] = ERROR_TYPES + STRUCTURAL_TYPES
 
 
-def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
-    """Inject errors into a random ~70% of queries; leave the rest clean.
+def iter_syntax_error_instances(source, seed: int = 0):
+    """Yield syntax_error instances lazily, one per parseable query.
 
-    The error type for each corrupted query is drawn uniformly from the
-    types applicable to that query, mirroring the paper's generation.
-    Synthetic workloads additionally devote ``STRUCTURAL_FRACTION`` of
-    their corrupted instances to the structural error classes.
+    ``source`` is a :class:`Workload` or
+    :class:`~repro.workloads.streaming.WorkloadStream` — anything with
+    ``name``, ``schema_for`` and query iteration.  Both the materialised
+    builder and the streaming engine consume this generator, so their
+    instances are identical by construction.
     """
     from repro.workloads.synthetic import is_synthetic
 
-    structural_eligible = is_synthetic(workload.name)
-    dataset = TaskDataset(task=SYNTAX_ERROR, workload=workload.name)
-    for query in workload.queries:
+    structural_eligible = is_synthetic(source.name)
+    for query in source:
         statement = query.statement
         if statement is None:
             continue
@@ -59,39 +59,47 @@ def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset
             if corruption is None:
                 corruption = inject_syntax_error(
                     statement,
-                    workload.schema_for(query),
+                    source.schema_for(query),
                     rng,
-                    type_weights=TYPE_WEIGHTS.get(workload.name),
+                    type_weights=TYPE_WEIGHTS.get(source.name),
                 )
         if corruption is not None:
-            dataset.instances.append(
-                TaskInstance(
-                    instance_id=f"{query.query_id}-syn",
-                    task=SYNTAX_ERROR,
-                    workload=workload.name,
-                    schema_name=query.schema_name,
-                    payload={"query": corruption.text},
-                    label=True,
-                    label_type=corruption.error_type,
-                    source_query_id=query.query_id,
-                    props=query.properties,
-                    detail=corruption.detail,
-                )
+            yield TaskInstance(
+                instance_id=f"{query.query_id}-syn",
+                task=SYNTAX_ERROR,
+                workload=source.name,
+                schema_name=query.schema_name,
+                payload={"query": corruption.text},
+                label=True,
+                label_type=corruption.error_type,
+                source_query_id=query.query_id,
+                props=query.properties,
+                detail=corruption.detail,
             )
         else:
-            dataset.instances.append(
-                TaskInstance(
-                    instance_id=f"{query.query_id}-syn",
-                    task=SYNTAX_ERROR,
-                    workload=workload.name,
-                    schema_name=query.schema_name,
-                    payload={"query": query.text},
-                    label=False,
-                    label_type=None,
-                    source_query_id=query.query_id,
-                    props=query.properties,
-                )
+            yield TaskInstance(
+                instance_id=f"{query.query_id}-syn",
+                task=SYNTAX_ERROR,
+                workload=source.name,
+                schema_name=query.schema_name,
+                payload={"query": query.text},
+                label=False,
+                label_type=None,
+                source_query_id=query.query_id,
+                props=query.properties,
             )
+
+
+def build_syntax_error_dataset(workload: Workload, seed: int = 0) -> TaskDataset:
+    """Inject errors into a random ~70% of queries; leave the rest clean.
+
+    The error type for each corrupted query is drawn uniformly from the
+    types applicable to that query, mirroring the paper's generation.
+    Synthetic workloads additionally devote ``STRUCTURAL_FRACTION`` of
+    their corrupted instances to the structural error classes.
+    """
+    dataset = TaskDataset(task=SYNTAX_ERROR, workload=workload.name)
+    dataset.instances.extend(iter_syntax_error_instances(workload, seed))
     return dataset
 
 

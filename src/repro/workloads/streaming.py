@@ -1,0 +1,97 @@
+"""Chunked workload streaming.
+
+:class:`WorkloadStream` is the generator → engine boundary for runs that
+never materialise a whole workload: it looks like a
+:class:`~repro.workloads.base.Workload` to consumers (``name``,
+``schemas``, ``schema_for``, iteration over queries) but produces
+queries lazily from a restartable factory.  Synthetic specs stream
+straight out of :func:`iter_synthetic_queries`; the four paper
+workloads are a few hundred queries each, so they materialise once and
+stream from the list — one code path downstream either way.
+
+Restartability matters: a warm cache read that turns out to be corrupt
+falls back to a clean recompute, which needs a second pass over the
+same query stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.schema.model import Schema
+from repro.workloads import _GENERATORS, resolve_workload_name
+from repro.workloads.base import WorkloadQuery
+
+#: Queries per chunk when streaming is on and no size was given.
+DEFAULT_CHUNK_SIZE = 2000
+
+#: Workload size above which ``repro run`` streams by default.
+STREAM_AUTO_THRESHOLD = 25_000
+
+
+@dataclass
+class WorkloadStream:
+    """A workload produced in segments instead of one in-memory list."""
+
+    name: str
+    schemas: dict[str, Schema]
+    total: Optional[int]
+    factory: Callable[[], Iterator[WorkloadQuery]]
+
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return self.factory()
+
+    def schema_for(self, query: WorkloadQuery) -> Schema:
+        """The schema a given query runs against."""
+        return self.schemas[query.schema_name]
+
+
+def stream_workload(name: str, seed: int = 0) -> WorkloadStream:
+    """Open a workload as a restartable query stream.
+
+    The stream yields exactly the queries :func:`load_workload` would
+    materialise, in the same order — the synthetic branch delegates to
+    the same ``iter_synthetic_queries`` generator the materialised path
+    consumes, so the two are byte-identical by construction.
+    """
+    canonical = resolve_workload_name(name)
+    if canonical in _GENERATORS:
+        workload = _GENERATORS[canonical](seed)
+        return WorkloadStream(
+            name=canonical,
+            schemas=workload.schemas,
+            total=len(workload.queries),
+            factory=lambda: iter(workload.queries),
+        )
+    from repro.workloads.synthetic import parse_spec
+    from repro.workloads.synthetic.generator import (
+        build_schema,
+        iter_synthetic_queries,
+        synthetic_total,
+    )
+
+    spec = parse_spec(canonical)
+    schema = build_schema(spec.schema_source)
+    return WorkloadStream(
+        name=canonical,
+        schemas={schema.name: schema},
+        total=synthetic_total(spec),
+        factory=lambda: iter_synthetic_queries(spec, seed, schema=schema),
+    )
+
+
+def streamable_total(name: str) -> Optional[int]:
+    """Workload size without generating queries (None when unknown)."""
+    try:
+        canonical = resolve_workload_name(name)
+    except (KeyError, ValueError):
+        return None
+    if canonical in _GENERATORS:
+        from repro.workloads.base import SAMPLED_SIZES
+
+        return SAMPLED_SIZES.get(canonical)
+    from repro.workloads.synthetic import parse_spec
+    from repro.workloads.synthetic.generator import synthetic_total
+
+    return synthetic_total(parse_spec(canonical))

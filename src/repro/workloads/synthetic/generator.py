@@ -300,25 +300,30 @@ def to_parser_normal_form(statement: n.Statement) -> None:
                         )
 
 
-def generate_synthetic(spec: SyntheticSpec, seed: int = 0) -> Workload:
-    """Generate the deterministic workload a spec describes.
+def synthetic_total(spec: SyntheticSpec) -> int:
+    """Number of queries the spec yields, without generating any."""
+    return sum(stratum.instances for stratum in spec.selected_strata())
 
-    Query ids are ``syn-<stratum>-<index>`` (the stratum rides along for
-    the reporting layer's accuracy-vs-complexity breakdown and is also
-    kept in ``WorkloadQuery.archetype``).  Every query carries a
-    simulated elapsed-time log entry (so ``performance_pred`` applies)
-    and a gold natural-language description (so ``query_exp`` applies).
+
+def iter_synthetic_queries(
+    spec: SyntheticSpec, seed: int = 0, schema: Schema | None = None
+):
+    """Yield the spec's queries lazily, in workload order.
+
+    This is the single source of truth for synthetic query generation:
+    :func:`generate_synthetic` materialises this exact stream, and the
+    streaming engine consumes it chunk by chunk — so the two paths are
+    byte-identical by construction.  The elapsed-ms runtime model draws
+    from ONE sequential rng across the whole workload (its internal
+    state, including ``gauss`` carry-over, spans query boundaries), which
+    is why queries can only be produced front-to-back, never by random
+    access into a chunk.
     """
-    schema = build_schema(spec.schema_source)
+    if schema is None:
+        schema = build_schema(spec.schema_source)
     canonical = spec.canonical()
-    workload = Workload(name=canonical, schemas={schema.name: schema})
     runtime_rng = derive_rng("synthetic-runtimes", canonical, seed)
-    strata = spec.selected_strata()
-    # Size the process memo layer to the run before the first text is
-    # parsed: a default-sized LRU thrashes at n=1M (every entry evicted
-    # before its first reuse), turning the cache into pure overhead.
-    ensure_capacity(sum(stratum.instances for stratum in strata))
-    for stratum in strata:
+    for stratum in spec.selected_strata():
         for index in range(stratum.instances):
             rng = derive_rng("synthetic", canonical, stratum.name, index, seed)
             statement = StratumBuilder(schema, stratum, rng).build()
@@ -336,5 +341,25 @@ def generate_synthetic(spec: SyntheticSpec, seed: int = 0) -> Workload:
             )
             query._statement = statement
             query._properties = props
-            workload.queries.append(query)
+            yield query
+
+
+def generate_synthetic(spec: SyntheticSpec, seed: int = 0) -> Workload:
+    """Generate the deterministic workload a spec describes.
+
+    Query ids are ``syn-<stratum>-<index>`` (the stratum rides along for
+    the reporting layer's accuracy-vs-complexity breakdown and is also
+    kept in ``WorkloadQuery.archetype``).  Every query carries a
+    simulated elapsed-time log entry (so ``performance_pred`` applies)
+    and a gold natural-language description (so ``query_exp`` applies).
+    """
+    schema = build_schema(spec.schema_source)
+    workload = Workload(name=spec.canonical(), schemas={schema.name: schema})
+    # Size the process memo layer to the run before the first text is
+    # parsed: a default-sized LRU thrashes at n=1M (every entry evicted
+    # before its first reuse), turning the cache into pure overhead.
+    # Only the materialised path does this — the streaming path keeps the
+    # default capacity precisely so memory stays bounded by chunk size.
+    ensure_capacity(synthetic_total(spec))
+    workload.queries.extend(iter_synthetic_queries(spec, seed, schema=schema))
     return workload

@@ -1,0 +1,110 @@
+"""Work-queue fault injection: crashes, poisoned chunks, clean shutdown.
+
+A streamed run must end exactly one of two ways: complete with results
+byte-identical to a fault-free run (crashed workers replaced, their
+chunks re-dispatched), or fail loudly with a *named* error and no
+partial cache writes.  Faults are injected through the chunk descriptor
+(:class:`~repro.engine.streaming.StreamFault`), so a re-dispatched
+chunk is clean by construction unless the test pins the fault on.
+"""
+
+import pytest
+
+from repro.engine import EngineConfig, ExperimentEngine
+from repro.engine.streaming import (
+    StreamChunkError,
+    StreamFault,
+    StreamWorkerCrash,
+)
+from repro.llm.profiles import MODEL_PROFILES
+
+SEED = 11
+WORKLOAD = "synthetic:default:n=8"
+TASK = "syntax_error"
+
+
+def _gpt4():
+    return next(p for p in MODEL_PROFILES if p.name == "gpt4")
+
+
+def _config(tmp_path, workers=2):
+    return EngineConfig(
+        seed=SEED, chunk_size=20, workers=workers, cache_dir=tmp_path / "cache"
+    )
+
+
+def _reference(tmp_path):
+    with ExperimentEngine(
+        EngineConfig(seed=SEED, chunk_size=20, cache_dir=tmp_path / "ref"),
+        (_gpt4(),),
+    ) as engine:
+        return engine.run_cell("gpt4", TASK, WORKLOAD)
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_chunk_is_redispatched(self, tmp_path):
+        reference = _reference(tmp_path)
+        with ExperimentEngine(_config(tmp_path), (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(kind="crash", chunk=2)
+            result = engine.run_cell("gpt4", TASK, WORKLOAD)
+            stats = engine.stream_stats()
+        assert stats["redispatched"] >= 1
+        assert (result.binary, result.typed) == (
+            reference.binary,
+            reference.typed,
+        )
+        assert result.instance_count == reference.instance_count
+
+    def test_persistent_crash_fails_with_named_error(self, tmp_path):
+        with ExperimentEngine(_config(tmp_path), (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(
+                kind="crash", chunk=1, once=False
+            )
+            with pytest.raises(StreamWorkerCrash):
+                engine.run_cell("gpt4", TASK, WORKLOAD)
+        # Nothing half-written: the failed cell left no cache entry.
+        assert list((tmp_path / "cache").glob("cells/**/manifest.json")) == []
+        assert list((tmp_path / "cache").glob("cells/**/seg-*.json")) == []
+
+
+class TestPoisonedChunk:
+    def test_poison_fails_loudly_with_no_partial_writes(self, tmp_path):
+        with ExperimentEngine(_config(tmp_path), (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(kind="poison", chunk=2)
+            with pytest.raises(StreamChunkError, match="injected poison"):
+                engine.run_cell("gpt4", TASK, WORKLOAD)
+        assert list((tmp_path / "cache").glob("cells/**/manifest.json")) == []
+        assert list((tmp_path / "cache").glob("cells/**/seg-*.json")) == []
+
+    def test_engine_recovers_after_poisoned_run(self, tmp_path):
+        reference = _reference(tmp_path)
+        config = _config(tmp_path)
+        with ExperimentEngine(config, (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(kind="poison", chunk=0)
+            with pytest.raises(StreamChunkError):
+                engine.run_cell("gpt4", TASK, WORKLOAD)
+            # Same engine, fault cleared: in-flight shards were drained
+            # at a clean boundary and a fresh pool serves the retry.
+            engine.streaming.fault = None
+            result = engine.run_cell("gpt4", TASK, WORKLOAD)
+        assert (result.binary, result.typed) == (
+            reference.binary,
+            reference.typed,
+        )
+
+
+class TestSerialFaultPath:
+    """workers=1 streams in-process; faults surface as the same errors."""
+
+    def test_serial_poison(self, tmp_path):
+        with ExperimentEngine(_config(tmp_path, workers=1), (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(kind="poison", chunk=1)
+            with pytest.raises(StreamChunkError):
+                engine.run_cell("gpt4", TASK, WORKLOAD)
+        assert list((tmp_path / "cache").glob("cells/**/seg-*.json")) == []
+
+    def test_serial_crash(self, tmp_path):
+        with ExperimentEngine(_config(tmp_path, workers=1), (_gpt4(),)) as engine:
+            engine.streaming.fault = StreamFault(kind="crash", chunk=0)
+            with pytest.raises(StreamWorkerCrash):
+                engine.run_cell("gpt4", TASK, WORKLOAD)
