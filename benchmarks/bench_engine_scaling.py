@@ -12,6 +12,12 @@ single-core container the worker pool can at best tie the serial path,
 while the warm-cache run is hardware-independent — it skips both
 dataset construction and cell evaluation entirely.
 
+The ``resilience`` section prices crash-safety: the write-ahead run
+journal's overhead on a straight-through run, and the wall-clock cost
+of an interrupt (chaos SIGTERM after 2 committed cells) plus
+``--resume`` round-trip against never having been interrupted — with
+the resumed metrics required to be identical.
+
 The ``streaming`` section is the memory-scaling curve for the chunked
 data path: one streamed cell (gpt4 x syntax_error) at each instance
 count, each point measured in a *fresh* subprocess so ``ru_maxrss`` is
@@ -193,6 +199,116 @@ def bench_dispatcher(
         "requests": requests,
         "simulated_latency_s": latency_s,
         "by_max_concurrency": throughput,
+    }
+
+
+def bench_resilience(seed: int) -> dict:
+    """Journal overhead and the interrupt → resume round-trip cost.
+
+    Runs one small 5-cell grid (``syntax_error`` x all models over a
+    synthetic workload) through the real CLI four ways: unjournalled
+    (``--no-record``), journalled, interrupted after 2 committed cells
+    (a chaos-plan SIGTERM), and resumed.  Publishes two headline
+    numbers: ``journal_overhead_pct`` (the write-ahead journal's cost
+    on a straight-through run) and ``resume_round_trip_overhead_pct``
+    (interrupt + resume wall clock vs never having been interrupted —
+    the price of crash-safety when the crash actually happens).  The
+    resumed metrics must be identical to the uninterrupted run's.
+    """
+    import contextlib
+    import io
+
+    from repro.cli import main as cli_main
+    from repro.lifecycle import EXIT_INTERRUPTED
+    from repro.reporting.run_record import RunRecordStore
+
+    spec = "synthetic:setops:n=8"
+    base = Path(tempfile.mkdtemp(prefix="repro-bench-resilience-"))
+
+    def timed_run(label: str, *extra: str) -> tuple[float, int]:
+        root = base / label
+        argv = [
+            "run",
+            "syntax_error",
+            "--workload",
+            spec,
+            "--max-instances",
+            "8",
+            "--cache-dir",
+            str(root / "cache"),
+            "--runs-dir",
+            str(root / "runs"),
+            *extra,
+        ]
+        sink = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(sink), contextlib.redirect_stderr(sink):
+            code = cli_main(argv)
+        return time.perf_counter() - start, code
+
+    def metrics_of(label: str) -> dict:
+        record = RunRecordStore(base / label / "runs").latest()
+        return {
+            (c.model, c.task, c.workload): dict(c.metrics)
+            for c in record.cells
+        }
+
+    try:
+        # Discarded warmup: the first grid in a process pays the
+        # analysis-cache misses; timing it would bias the comparison.
+        timed_run("warmup", "--no-record")
+        no_journal_s, code = timed_run("plain", "--no-record")
+        assert code == 0, f"unjournalled run exited {code}"
+        journal_s, code = timed_run("journalled")
+        assert code == 0, f"journalled run exited {code}"
+
+        interrupted_s, code = timed_run(
+            "resumed", "--chaos", "sigterm:after-cells=2"
+        )
+        assert code == EXIT_INTERRUPTED, f"interrupted run exited {code}"
+        (manifest,) = (base / "resumed" / "runs").glob(
+            "*/journal/manifest.json"
+        )
+        run_id = manifest.parent.parent.name
+        sink = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(sink), contextlib.redirect_stderr(sink):
+            code = cli_main(
+                [
+                    "run",
+                    "--resume",
+                    run_id,
+                    "--runs-dir",
+                    str(base / "resumed" / "runs"),
+                ]
+            )
+        resume_s = time.perf_counter() - start
+        assert code == 0, f"resume exited {code}"
+        record = RunRecordStore(base / "resumed" / "runs").latest()
+        identical = metrics_of("resumed") == metrics_of("journalled")
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    return {
+        "grid": f"syntax_error x all models over {spec}",
+        "cells": len(record.cells),
+        "no_journal_s": round(no_journal_s, 3),
+        "journal_s": round(journal_s, 3),
+        "journal_overhead_pct": round(
+            (journal_s - no_journal_s) / no_journal_s * 100, 1
+        )
+        if no_journal_s
+        else None,
+        "interrupted_s": round(interrupted_s, 3),
+        "resume_s": round(resume_s, 3),
+        "resume_cached_cells": record.cached_cells,
+        "resume_computed_cells": record.computed_cells,
+        "resume_round_trip_overhead_pct": round(
+            (interrupted_s + resume_s - journal_s) / journal_s * 100, 1
+        )
+        if journal_s
+        else None,
+        "resume_identical": identical,
     }
 
 
@@ -438,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run(args.task, args.workers, args.max_instances, args.seed)
     results["dispatcher"] = bench_dispatcher()
+    results["resilience"] = bench_resilience(args.seed)
     points = tuple(
         int(part) for part in args.stream_points.split(",") if part
     )
@@ -471,6 +588,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{dispatcher['simulated_latency_s'] * 1000:.0f}ms fake latency — "
         f"{rendered}"
     )
+    resilience = results["resilience"]
+    print(
+        f"resilience      : journal overhead "
+        f"{resilience['journal_overhead_pct']}% "
+        f"({resilience['journal_s']:.3f}s vs {resilience['no_journal_s']:.3f}s); "
+        f"interrupt+resume {resilience['resume_round_trip_overhead_pct']}% "
+        f"({resilience['interrupted_s']:.3f}s + {resilience['resume_s']:.3f}s, "
+        f"{resilience['resume_cached_cells']} cells resumed warm, "
+        f"identical: {resilience['resume_identical']})"
+    )
     streaming = results["streaming"]
     print(
         f"streaming       : {len(streaming['points'])} points @ chunk "
@@ -483,6 +610,8 @@ def main(argv: list[str] | None = None) -> int:
     if results["cache_recomputed_cells"]:
         return 1
     if not streaming["rss_flat"]:
+        return 1
+    if not resilience["resume_identical"]:
         return 1
     return 0
 

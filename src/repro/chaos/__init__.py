@@ -1,0 +1,33 @@
+"""Chaos-injection harness: deliberately torture the run lifecycle.
+
+A chaos plan is a small composable fault schedule — flaky backend
+calls, a worker killed at chunk *k*, a poisoned chunk, a signal
+delivered after *N* committed cells, a corrupted cache segment — parsed
+from a compact string (``repro run --chaos PLAN``) and armed against
+one engine run.  Every fault is seeded and deterministic, so a chaos
+run either *recovers to byte-identical metrics* (transient faults are
+retried/re-dispatched/recomputed) or *fails loudly with a named error*
+— never a partial cache write, never a silently wrong answer.  The CI
+chaos-smoke job asserts exactly that over a small plan matrix.
+"""
+
+from repro.chaos.backend import CHAOS_OPTION_KEYS, ChaosBackend
+from repro.chaos.plan import (
+    ChaosEvent,
+    ChaosPlan,
+    ChaosPlanError,
+    apply_chaos,
+    corrupt_cache_segment,
+    wrap_backend_spec,
+)
+
+__all__ = [
+    "ChaosBackend",
+    "CHAOS_OPTION_KEYS",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosPlanError",
+    "apply_chaos",
+    "corrupt_cache_segment",
+    "wrap_backend_spec",
+]

@@ -1,0 +1,115 @@
+"""Fault-injecting backend wrapper: deterministic flaky transport.
+
+``ChaosBackend`` decorates any registered backend: a seeded fraction of
+requests fail their first ``fail_attempts`` attempts with a chosen
+fault kind (429, 500, or timeout), then recover.  Because the fault
+schedule is a pure function of ``(chaos_seed, request_id, attempt)``
+and the *answers* always come from the deterministic inner backend, a
+flaky run that survives its retry ladders produces metrics
+byte-identical to a clean run — which is exactly the invariant the
+chaos harness asserts.
+
+``fail_attempts`` picks the failure depth: ``1`` (default) means every
+faulty request succeeds on its first retry; a value above the
+dispatcher's retry budget makes faulty requests terminal, exercising
+the ``--on-cell-error`` policy and the circuit breaker instead.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.llm.backends.base import (
+    BackendSpec,
+    BaseBackend,
+    ModelRequest,
+    TransientBackendError,
+)
+from repro.llm.base import LLMResponse
+from repro.llm.profiles import ModelProfile
+
+#: Options consumed by the wrapper itself; everything else is handed
+#: through to the inner backend's spec.
+CHAOS_OPTION_KEYS = frozenset(
+    {"inner", "rate", "kind", "fail_attempts", "chaos_seed"}
+)
+
+
+class ChaosBackend(BaseBackend):
+    """Wraps an inner backend with seeded transient faults."""
+
+    name = "chaos"
+
+    def __init__(self, profile: ModelProfile, spec: BackendSpec) -> None:
+        from repro.llm.backends.registry import create_backend
+
+        inner_name = spec.option("inner", "simulated")
+        if inner_name == "chaos":
+            raise ValueError("chaos backend cannot wrap itself")
+        inner_options = {
+            key: value
+            for key, value in spec.as_dict().items()
+            if key not in CHAOS_OPTION_KEYS
+        }
+        self.inner = create_backend(
+            BackendSpec.build(inner_name, inner_options), profile
+        )
+        self.blocking_io = getattr(self.inner, "blocking_io", False)
+        self.rate = float(spec.option("rate", "0.2"))
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"chaos rate must be in (0, 1], got {self.rate}")
+        self.kind = spec.option("kind", "500")
+        if self.kind not in ("429", "500", "timeout"):
+            raise ValueError(
+                f"chaos kind must be 429, 500 or timeout, got {self.kind!r}"
+            )
+        self.fail_attempts = int(spec.option("fail_attempts", "1"))
+        if self.fail_attempts < 1:
+            raise ValueError(
+                f"chaos fail_attempts must be >= 1, got {self.fail_attempts}"
+            )
+        self.chaos_seed = spec.option("chaos_seed", "0")
+        #: Per-request attempt counter (per process; retries of one
+        #: request land on the same backend instance via the memo).
+        self._attempts: dict[str, int] = {}
+        #: Observability: how many faults this instance injected.
+        self.injected = 0
+
+    def _maybe_fault(self, request: ModelRequest) -> None:
+        attempt = self._attempts.get(request.request_id, 0) + 1
+        self._attempts[request.request_id] = attempt
+        # Whether this request is faulty is decided once, per request,
+        # by the seeded RNG — not per attempt — so the schedule is
+        # reproducible no matter how the dispatcher interleaves retries.
+        faulty = (
+            Random(f"chaos:{self.chaos_seed}:{request.request_id}").random()
+            < self.rate
+        )
+        if not faulty or attempt > self.fail_attempts:
+            return
+        self.injected += 1
+        if self.kind == "429":
+            raise TransientBackendError(
+                f"chaos: injected HTTP 429 for {request.request_id} "
+                f"(attempt {attempt})"
+            )
+        if self.kind == "timeout":
+            raise TransientBackendError(
+                f"chaos: injected timeout for {request.request_id} "
+                f"(attempt {attempt})"
+            )
+        raise TransientBackendError(
+            f"chaos: injected HTTP 500 for {request.request_id} "
+            f"(attempt {attempt})"
+        )
+
+    def complete(self, request: ModelRequest) -> LLMResponse:
+        self._maybe_fault(request)
+        return self.inner.complete(request)
+
+    async def acomplete(self, request: ModelRequest) -> LLMResponse:
+        self._maybe_fault(request)
+        return await self.inner.acomplete(request)
+
+    def close(self) -> None:
+        self.inner.close()

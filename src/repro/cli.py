@@ -8,7 +8,14 @@ Subcommands:
   fans instance shards across N processes (byte-identical output);
   cells are cached under ``--cache-dir`` unless ``--no-cache`` is given.
   Every run that evaluates grid cells also persists a RunRecord under
-  ``--runs-dir`` (``results/runs/`` by default; ``--no-record`` skips);
+  ``--runs-dir`` (``results/runs/`` by default; ``--no-record`` skips)
+  plus a write-ahead journal, so an interrupted run (Ctrl-C, SIGTERM,
+  crash — exit code 4) continues with ``run --resume RUN_ID`` to
+  byte-identical metrics.  ``--on-cell-error skip|degrade`` completes a
+  grid around failing cells, ``--request-timeout`` / ``--cell-deadline``
+  bound a hung endpoint, ``--breaker-threshold`` tunes the backend
+  circuit breaker, and ``--chaos PLAN`` arms the fault-injection
+  harness (see docs/RESILIENCE.md);
 * ``workloads`` — print the Table 2 overview for all four workloads;
 * ``backends list`` — show the registered model backends.  ``run``
   selects one with ``--backend NAME`` (plus ``--backend-opt KEY=VALUE``
@@ -183,6 +190,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay backend records through its inner backend",
     )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help=(
+            "resume an interrupted run from its journal under --runs-dir; "
+            "the grid, backend and seed come from the journal manifest, so "
+            "no other grid flags are allowed"
+        ),
+    )
+    run_parser.add_argument(
+        "--on-cell-error",
+        choices=("fail", "skip", "degrade"),
+        default="fail",
+        help=(
+            "policy when one grid cell cannot be evaluated: fail aborts the "
+            "run (default), skip/degrade record a structured failure and "
+            "continue with the remaining cells"
+        ),
+    )
+    run_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock timeout (HTTP transport + dispatcher "
+            "safety net); default: backend default (60s for openai_compat)"
+        ),
+    )
+    run_parser.add_argument(
+        "--cell-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per grid cell (default: unbounded)",
+    )
+    run_parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "circuit breaker trips after N consecutive backend failures "
+            "(0 disables; default: auto — on for openai_compat, off for "
+            "the in-process backends)"
+        ),
+    )
+    run_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "arm a fault-injection plan against this run, e.g. "
+            "'flaky:rate=0.3:kind=429;sigterm:after-cells=2' "
+            "(see docs/RESILIENCE.md)"
+        ),
+    )
 
     subparsers.add_parser("workloads", help="print the Table 2 overview")
 
@@ -308,13 +373,86 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
-    from repro.llm.backends import (
-        DEFAULT_MAX_CONCURRENCY,
-        backend_names,
-        spec_from_cli,
+def _resume_from_journal(args):
+    """Load a journal and overwrite *args* grid flags from its manifest.
+
+    Returns ``(journal, wanted, workload_name, chunk_size, backend_spec)``
+    or an ``int`` exit code on error.  The manifest is authoritative:
+    resuming under different settings would change cell cache keys and
+    silently recompute instead of resuming.
+    """
+    from repro.lifecycle import JournalError, RunJournal
+    from repro.llm.backends import BackendSpec
+
+    if args.artifacts or args.workload is not None or args.strata is not None:
+        print(
+            "--resume reconstructs the grid from the journal manifest; "
+            "drop the artifact/--workload/--strata arguments",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chaos is not None:
+        print(
+            "--resume does not re-arm --chaos: resume is the recovery "
+            "path (flaky-backend chaos persists via the journalled "
+            "backend spec)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_record:
+        print("--resume conflicts with --no-record", file=sys.stderr)
+        return 2
+    try:
+        journal = RunJournal.load(args.runs_dir, args.resume)
+    except JournalError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    cfg = journal.config
+    wanted = list(cfg.get("artifacts") or ())
+    workload_name = cfg.get("workload")
+    chunk_size = cfg.get("chunk_size")
+    args.seed = cfg.get("seed", 0)
+    args.workers = cfg.get("workers", 1)
+    args.shard_size = cfg.get("shard_size")
+    cache_dir = cfg.get("cache_dir")
+    args.no_cache = cache_dir is None
+    if cache_dir is not None:
+        args.cache_dir = Path(cache_dir)
+    args.max_instances = cfg.get("max_instances")
+    args.max_concurrency = cfg.get("max_concurrency")
+    args.rps = cfg.get("rps")
+    args.on_cell_error = cfg.get("on_cell_error", "fail")
+    args.request_timeout = cfg.get("request_timeout")
+    args.cell_deadline = cfg.get("cell_deadline")
+    args.breaker_threshold = cfg.get("breaker_threshold")
+    backend_cfg = cfg.get("backend", {})
+    backend_spec = BackendSpec.build(
+        backend_cfg.get("name", "simulated"),
+        dict(backend_cfg.get("options", {})),
     )
-    from repro.reporting.run_record import RunRecordStore
+    states = journal.states()
+    rendered = ", ".join(f"{state}={n}" for state, n in sorted(states.items()))
+    print(
+        f"[resume] {journal.run_id}: {rendered or 'no journalled cells'}",
+        file=sys.stderr,
+    )
+    return (journal, wanted, workload_name, chunk_size, backend_spec)
+
+
+def _cmd_run(args) -> int:
+    from repro.lifecycle import RunJournal
+    from repro.llm.backends import backend_names, spec_from_cli
+
+    if args.resume is not None:
+        resumed = _resume_from_journal(args)
+        if isinstance(resumed, int):
+            return resumed
+        journal, wanted, workload_name, chunk_size, backend_spec = resumed
+        chaos_plan = None
+        return _execute_run(
+            args, journal, wanted, workload_name, chunk_size, backend_spec,
+            chaos_plan,
+        )
 
     wanted = list(args.artifacts)
     workload_name: str | None = None
@@ -394,6 +532,24 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        print(
+            f"--request-timeout must be > 0, got {args.request_timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cell_deadline is not None and args.cell_deadline <= 0:
+        print(
+            f"--cell-deadline must be > 0, got {args.cell_deadline}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.breaker_threshold is not None and args.breaker_threshold < 0:
+        print(
+            f"--breaker-threshold must be >= 0, got {args.breaker_threshold}",
+            file=sys.stderr,
+        )
+        return 2
     chunk_size = _resolve_chunk_size(args.chunk_size, workload_name)
     try:
         backend_spec = spec_from_cli(
@@ -414,6 +570,84 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+
+    chaos_plan = None
+    if args.chaos is not None:
+        from repro.chaos import ChaosPlanError, ChaosPlan, wrap_backend_spec
+
+        try:
+            chaos_plan = ChaosPlan.parse(args.chaos)
+            backend_spec = wrap_backend_spec(backend_spec, chaos_plan, args.seed)
+        except ChaosPlanError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+
+    # The per-request timeout also folds into the openai_compat HTTP
+    # transport (an explicit timeout= backend option wins): the
+    # dispatcher's asyncio.wait_for is only the safety net.
+    if (
+        args.request_timeout is not None
+        and backend_spec.name == "openai_compat"
+        and backend_spec.option("timeout") is None
+    ):
+        from repro.llm.backends import BackendSpec
+
+        options = dict(backend_spec.as_dict())
+        options["timeout"] = str(args.request_timeout)
+        backend_spec = BackendSpec.build(backend_spec.name, options)
+
+    journal = None
+    if not args.no_record:
+        manifest_config = {
+            "artifacts": list(wanted),
+            "workload": workload_name,
+            "seed": args.seed,
+            "workers": args.workers,
+            "shard_size": args.shard_size,
+            "chunk_size": chunk_size,
+            "cache_dir": None if args.no_cache else str(args.cache_dir),
+            "max_instances": args.max_instances,
+            "backend": {
+                "name": backend_spec.name,
+                "options": backend_spec.as_dict(),
+            },
+            "max_concurrency": args.max_concurrency,
+            "rps": args.rps,
+            "on_cell_error": args.on_cell_error,
+            "request_timeout": args.request_timeout,
+            "cell_deadline": args.cell_deadline,
+            "breaker_threshold": args.breaker_threshold,
+            "chaos": args.chaos,
+        }
+        journal = RunJournal.begin(args.runs_dir, manifest_config)
+    return _execute_run(
+        args, journal, wanted, workload_name, chunk_size, backend_spec,
+        chaos_plan,
+    )
+
+
+def _run_errors() -> tuple:
+    """Error classes a run can fail with by *cause*, not by *bug*."""
+    from repro.engine.streaming import StreamError
+    from repro.llm.backends import BackendError
+
+    return (BackendError, StreamError)
+
+
+def _execute_run(
+    args, journal, wanted, workload_name, chunk_size, backend_spec, chaos_plan
+) -> int:
+    """Evaluate one (possibly resumed) run under journal + interrupt latch."""
+    import dataclasses
+
+    from repro.lifecycle import (
+        EXIT_INTERRUPTED,
+        GracefulInterrupt,
+        RunInterrupted,
+    )
+    from repro.llm.backends import DEFAULT_MAX_CONCURRENCY
+    from repro.reporting.run_record import RunRecordStore
+
     runner = ExperimentRunner(
         seed=args.seed,
         workers=args.workers,
@@ -424,38 +658,84 @@ def _cmd_run(args) -> int:
         max_concurrency=args.max_concurrency or DEFAULT_MAX_CONCURRENCY,
         rps=args.rps,
         chunk_size=chunk_size,
+        on_cell_error=args.on_cell_error,
+        request_timeout=args.request_timeout,
+        cell_deadline=args.cell_deadline,
+        breaker_threshold=args.breaker_threshold,
     )
+    engine = runner.engine
+    engine.journal = journal
+    if chaos_plan is not None:
+        from repro.chaos import apply_chaos, corrupt_cache_segment
+
+        apply_chaos(chaos_plan, engine)
+        if chaos_plan.corrupts_segment and not args.no_cache:
+            corrupted = corrupt_cache_segment(args.cache_dir, seed=args.seed)
+            if corrupted is not None:
+                print(f"[chaos] corrupted cache segment {corrupted}", file=sys.stderr)
+    interrupt = GracefulInterrupt()
+    engine.interrupt = interrupt
     artifact_seconds: dict[str, float] = {}
     run_started = time.perf_counter()
     try:
-        if workload_name is not None:
-            for task in wanted:
-                started = time.perf_counter()
-                text = _workload_grid_text(runner, task, workload_name)
-                artifact_seconds[task] = round(time.perf_counter() - started, 3)
-                title = f"Task {task} over workload {workload_name}"
-                print(f"\n=== {title} ===\n")
-                print(text)
-                if args.out is not None:
-                    args.out.mkdir(parents=True, exist_ok=True)
-                    (args.out / f"{task}.txt").write_text(
-                        f"{title}\n\n{text}\n", encoding="utf-8"
+        with interrupt:
+            if workload_name is not None:
+                for task in wanted:
+                    started = time.perf_counter()
+                    text = _workload_grid_text(runner, task, workload_name)
+                    artifact_seconds[task] = round(
+                        time.perf_counter() - started, 3
                     )
-        else:
-            for artifact in wanted:
-                started = time.perf_counter()
-                result = run_experiment(artifact, runner)
-                artifact_seconds[artifact] = round(time.perf_counter() - started, 3)
-                print(f"\n=== {result.title} ===\n")
-                print(result.text)
-                if args.out is not None:
-                    args.out.mkdir(parents=True, exist_ok=True)
-                    (args.out / f"{artifact}.txt").write_text(
-                        f"{result.title}\n\n{result.text}\n", encoding="utf-8"
+                    title = f"Task {task} over workload {workload_name}"
+                    print(f"\n=== {title} ===\n")
+                    print(text)
+                    if args.out is not None:
+                        args.out.mkdir(parents=True, exist_ok=True)
+                        (args.out / f"{task}.txt").write_text(
+                            f"{title}\n\n{text}\n", encoding="utf-8"
+                        )
+            else:
+                for artifact in wanted:
+                    started = time.perf_counter()
+                    result = run_experiment(artifact, runner)
+                    artifact_seconds[artifact] = round(
+                        time.perf_counter() - started, 3
                     )
+                    print(f"\n=== {result.title} ===\n")
+                    print(result.text)
+                    if args.out is not None:
+                        args.out.mkdir(parents=True, exist_ok=True)
+                        (args.out / f"{artifact}.txt").write_text(
+                            f"{result.title}\n\n{result.text}\n", encoding="utf-8"
+                        )
+    except RunInterrupted as stop:
+        hint = (
+            f"; resume with 'repro run --resume {journal.run_id}'"
+            if journal is not None
+            else " (not resumable: run started with --no-record)"
+        )
+        print(
+            f"interrupted by {stop.signal_name} — drained cleanly{hint}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except _run_errors() as error:
+        # A named failure, not a traceback: the journal keeps the cells
+        # committed so far, so the run is resumable after the cause
+        # (dead endpoint, poisoned chunk ...) is fixed.
+        hint = (
+            f" — committed cells are journalled; resume with "
+            f"'repro run --resume {journal.run_id}'"
+            if journal is not None
+            else ""
+        )
+        print(
+            f"run failed: {type(error).__name__}: {error}{hint}",
+            file=sys.stderr,
+        )
+        return 1
     finally:
         runner.close()
-    engine = runner.engine
     stream_stats = engine.stream_stats()
     print(
         f"[engine] workers={args.workers} backend={backend_spec.name} "
@@ -485,6 +765,15 @@ def _cmd_run(args) -> int:
                 else ""
             ),
         )
+        if journal is not None:
+            # The record shares the journal's id (and start stamp), so
+            # an interrupted-then-resumed run lands on the same record
+            # path as an uninterrupted one.
+            record = dataclasses.replace(
+                record,
+                run_id=journal.run_id,
+                created_at=journal.created_at or record.created_at,
+            )
         path = RunRecordStore(args.runs_dir).save(record)
         print(f"[run-record] {record.run_id} -> {path}", file=sys.stderr)
     return 0
@@ -599,6 +888,36 @@ def _cmd_runs(args) -> int:
         f"cells    : {len(record.cells)} "
         f"({record.cached_cells} cached, {record.computed_cells} computed)"
     )
+    if record.on_cell_error != "fail" or record.failures:
+        print(
+            f"policy   : --on-cell-error {record.on_cell_error} "
+            f"({len(record.failures)} cell(s) absorbed)"
+        )
+    from repro.lifecycle import JournalError, RunJournal
+
+    try:
+        journal = RunJournal.load(args.runs_dir, record.run_id)
+    except JournalError:
+        journal = None
+    if journal is not None:
+        states = journal.states()
+        rendered = ", ".join(
+            f"{state}={n}" for state, n in sorted(states.items())
+        )
+        print(f"journal  : {rendered or '(no journalled cells)'}")
+    if record.failures:
+        rows = [
+            {
+                "model": failure.model,
+                "task": failure.task,
+                "workload": failure.workload,
+                "error": failure.error_class,
+                "attempts": failure.attempts,
+            }
+            for failure in record.failures
+        ]
+        print()
+        print(render_table(rows, "Degraded / skipped cells"))
     if record.cells:
         rows = [
             {

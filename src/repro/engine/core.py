@@ -47,12 +47,30 @@ from repro.engine.worker import (
     ShardSpec,
     build_workload_datasets_remote,
     evaluate_shard,
+    init_worker_process,
 )
+from repro.lifecycle import (
+    CELL_COMMITTED,
+    CELL_DEGRADED,
+    CELL_FAILED,
+    CELL_IN_FLIGHT,
+    CELL_PENDING,
+    CELL_SKIPPED,
+    CellFailure,
+    GracefulInterrupt,
+    RunJournal,
+)
+from repro.lifecycle.journal import cell_descriptor
 from repro.llm.backends import (
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_MAX_CONCURRENCY,
     SIMULATED_SPEC,
     AsyncDispatcher,
+    BackendError,
     BackendSpec,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineExceededError,
     ModelBackend,
     create_backend,
 )
@@ -94,6 +112,26 @@ class EngineConfig:
     #: (None = unthrottled; the simulator needs no throttle).
     max_concurrency: int = DEFAULT_MAX_CONCURRENCY
     rps: Optional[float] = None
+    #: What to do when one cell cannot be evaluated: "fail" aborts the
+    #: run (the historical behaviour), "skip"/"degrade" journal a
+    #: structured CellFailure and continue with the rest of the grid.
+    on_cell_error: str = "fail"
+    #: Per-request wall-clock timeout in seconds (None = no timeout).
+    #: Enforced both in the HTTP transport (openai_compat) and as an
+    #: ``asyncio.wait_for`` safety net in the dispatcher.
+    request_timeout: Optional[float] = None
+    #: Per-cell wall-clock budget in seconds (None = unbounded).  The
+    #: serial path spends it cumulatively across the cell's shards;
+    #: pool paths grant each shard/chunk batch the full budget (coarser,
+    #: but still bounds a hung endpoint per dispatch).
+    cell_deadline: Optional[float] = None
+    #: Circuit-breaker trip threshold (consecutive transient failures).
+    #: None = auto: on for remote backends (openai_compat), off for the
+    #: in-process simulator and replay fixtures.  0 disables explicitly.
+    breaker_threshold: Optional[int] = None
+
+    #: Valid ``on_cell_error`` policies.
+    CELL_ERROR_POLICIES = ("fail", "skip", "degrade")
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -108,6 +146,33 @@ class EngineConfig:
             )
         if self.rps is not None and self.rps <= 0:
             raise ValueError(f"rps must be > 0, got {self.rps}")
+        if self.on_cell_error not in self.CELL_ERROR_POLICIES:
+            raise ValueError(
+                f"on_cell_error must be one of {self.CELL_ERROR_POLICIES}, "
+                f"got {self.on_cell_error!r}"
+            )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+        if self.cell_deadline is not None and self.cell_deadline <= 0:
+            raise ValueError(
+                f"cell_deadline must be > 0, got {self.cell_deadline}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+
+    def resolved_breaker_threshold(self) -> Optional[int]:
+        """The effective trip threshold, or None when the breaker is off."""
+        if self.breaker_threshold is None:
+            return (
+                DEFAULT_BREAKER_THRESHOLD
+                if self.backend.name == "openai_compat"
+                else None
+            )
+        return self.breaker_threshold if self.breaker_threshold > 0 else None
 
 
 @dataclass(frozen=True)
@@ -168,6 +233,21 @@ class ExperimentEngine:
         #: Shared token-bucket fill level for the serial path, so --rps
         #: is sustained across cells instead of re-bursting per cell.
         self._bucket_state = None
+        #: Shared circuit-breaker health for the serial path: a backend
+        #: that tripped during one cell stays tripped for the next.
+        self._breaker_state: Optional[BreakerState] = None
+        #: Lifecycle hooks, wired by the CLI: a write-ahead journal for
+        #: crash-safe resume, a graceful-interrupt latch polled at the
+        #: engine's checkpoints, and an optional per-commit callback
+        #: (the chaos harness uses it to deliver signals at exact,
+        #: reproducible points in the grid).
+        self.journal: Optional[RunJournal] = None
+        self.interrupt: Optional[GracefulInterrupt] = None
+        self.on_cell_commit = None
+        #: Structured failures of cells absorbed under
+        #: ``on_cell_error=skip|degrade`` — the reporting layer renders
+        #: these as explicit gaps.
+        self.failures: list[CellFailure] = []
         #: Memoised fixtures-content hash (replay mode; one IO pass).
         self._backend_state_memo: Optional[str] = None
         self._by_name = {profile.name: profile for profile in models}
@@ -265,11 +345,86 @@ class ExperimentEngine:
                 f"unknown model {model_name!r}; engine has {sorted(self._by_name)}"
             ) from None
 
+    # -- resilience --------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        """Raise :class:`RunInterrupted` if a graceful drain was requested.
+
+        Called between cells (materialised path) and between chunks
+        (streaming path) — the points where everything already served
+        is durable and nothing is half-written.
+        """
+        if self.interrupt is not None:
+            self.interrupt.check()
+
+    def _journal_cell(
+        self,
+        model: str,
+        task: str,
+        workload: str,
+        state: str,
+        failure: Optional[CellFailure] = None,
+    ) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                cell_descriptor(model, task, workload), state, failure=failure
+            )
+
+    def _after_cell_commit(self) -> None:
+        if self.on_cell_commit is not None:
+            self.on_cell_commit()
+
+    def _is_cell_error(self, error: BaseException) -> bool:
+        """Errors the ``on_cell_error`` policy may absorb.
+
+        Backend failures (retry exhaustion, open circuits, deadlines)
+        and streaming failures (worker crashes, poisoned chunks) poison
+        *one cell*; anything else — including
+        :class:`~repro.lifecycle.RunInterrupted` — is about the run and
+        always propagates.
+        """
+        from repro.engine.streaming import StreamError
+
+        return isinstance(error, (BackendError, StreamError))
+
+    def _absorb_cell_error(
+        self, model: str, task: str, workload: str, error: BaseException
+    ) -> bool:
+        """Apply the cell-error policy; True if the grid should continue."""
+        failure = CellFailure.from_exception(model, task, workload, error)
+        if self.config.on_cell_error == "fail":
+            self._journal_cell(model, task, workload, CELL_FAILED, failure)
+            return False
+        state = (
+            CELL_SKIPPED
+            if self.config.on_cell_error == "skip"
+            else CELL_DEGRADED
+        )
+        self.failures.append(failure)
+        self._journal_cell(model, task, workload, state, failure)
+        return True
+
+    def _serial_breaker(self) -> Optional[CircuitBreaker]:
+        """The serial path's circuit breaker (shared health across cells)."""
+        threshold = self.config.resolved_breaker_threshold()
+        if threshold is None:
+            return None
+        if self._breaker_state is None:
+            self._breaker_state = BreakerState()
+        return CircuitBreaker(
+            threshold=threshold,
+            state=self._breaker_state,
+            backend_name=self.config.backend.name,
+        )
+
     # -- lifecycle ---------------------------------------------------------
 
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=init_worker_process,
+            )
         return self._pool
 
     @property
@@ -359,6 +514,7 @@ class ExperimentEngine:
         if self.config.workers > 1:
             self._prefetch_datasets({(task, workload) for _, task, workload in cells})
         for profile, task, workload_name in cells:
+            self._checkpoint()
             dataset = self.dataset(task, workload_name)
             key: Optional[str] = None
             if self.cache is not None:
@@ -394,69 +550,108 @@ class ExperimentEngine:
                     )
                     grid[(profile.name, workload_name)] = result
                     self._record_cell(result, cached=True, seconds=0.0, prompt=prompt)
+                    self._journal_cell(
+                        profile.name, task, workload_name, CELL_COMMITTED
+                    )
+                    self._after_cell_commit()
                     continue
+            self._journal_cell(profile.name, task, workload_name, CELL_PENDING)
             pending.append((profile, task, workload_name, dataset, key))
 
-        if pending:
-            cell_seconds: list[Optional[float]]
-            cell_max_shard: list[Optional[float]]
-            if self.config.workers == 1:
-                evaluated = []
-                cell_seconds = []
-                for profile, task, _, dataset, _ in pending:
-                    started = time.perf_counter()
-                    evaluated.append(
-                        self._evaluate_serial(profile, task, dataset, prompt)
-                    )
-                    cell_seconds.append(round(time.perf_counter() - started, 6))
-                cell_max_shard = [None] * len(pending)
-            else:
-                # Parallel cells overlap in wall time, so per-cell time
-                # comes from the workers' own clocks: the sum of a
-                # cell's shard times is its compute cost, the max its
-                # critical path.
-                evaluated, cell_seconds, cell_max_shard = self._evaluate_parallel(
-                    pending, prompt
+        if not pending:
+            return grid
+        if self.config.workers == 1:
+            for entry in pending:
+                profile, task, workload_name, dataset, key = entry
+                self._checkpoint()
+                self._journal_cell(
+                    profile.name, task, workload_name, CELL_IN_FLIGHT
                 )
-            for (
-                (profile, task, workload_name, dataset, key),
-                answers,
-                seconds,
-                max_shard,
-            ) in zip(pending, evaluated, cell_seconds, cell_max_shard):
-                self.computed_cells += 1
-                if (
-                    self.cache is not None
-                    and key is not None
-                    and not self._backend_is_recording()
-                ):
-                    self.cache.put(
-                        key,
-                        answers,
-                        meta={
-                            "model": profile.name,
-                            "task": task,
-                            "workload": workload_name,
-                            "seed": self.config.seed,
-                            "max_instances": self.config.max_instances,
-                        },
-                    )
-                result = CellResult(
-                    model=profile.name,
-                    task=task,
-                    workload=workload_name,
-                    dataset=dataset,
-                    answers=answers,
+                started = time.perf_counter()
+                try:
+                    answers = self._evaluate_serial(profile, task, dataset, prompt)
+                except Exception as error:
+                    if not self._is_cell_error(error) or not self._absorb_cell_error(
+                        profile.name, task, workload_name, error
+                    ):
+                        raise
+                    continue
+                seconds = round(time.perf_counter() - started, 6)
+                self._commit_cell(grid, entry, answers, seconds, None, prompt)
+        else:
+            # Parallel cells overlap in wall time, so per-cell time
+            # comes from the workers' own clocks: the sum of a cell's
+            # shard times is its compute cost, the max its critical path.
+            futures = self._submit_parallel(pending, prompt)
+            for entry, cell_futures in zip(pending, futures):
+                profile, task, workload_name, dataset, key = entry
+                self._checkpoint()
+                try:
+                    parts = [future.result() for future in cell_futures]
+                except Exception as error:
+                    if not self._is_cell_error(error) or not self._absorb_cell_error(
+                        profile.name, task, workload_name, error
+                    ):
+                        raise
+                    continue
+                answers = merge_shards(
+                    (index, items) for index, items, _ in parts
                 )
-                grid[(profile.name, workload_name)] = result
-                self._record_cell(
-                    result,
-                    cached=False,
-                    seconds=seconds,
-                    prompt=prompt,
-                    shard_seconds_max=max_shard,
+                shard_seconds = [seconds for _, _, seconds in parts]
+                seconds = round(sum(shard_seconds), 6)
+                max_shard = (
+                    round(max(shard_seconds), 6) if shard_seconds else 0.0
                 )
+                self._commit_cell(grid, entry, answers, seconds, max_shard, prompt)
         return grid
+
+    def _commit_cell(
+        self,
+        grid: dict,
+        entry: tuple[ModelProfile, str, str, TaskDataset, Optional[str]],
+        answers: list[ModelAnswer],
+        seconds: Optional[float],
+        max_shard: Optional[float],
+        prompt: Optional[PromptTemplate],
+    ) -> None:
+        """Persist and record one computed cell (cache, log, journal)."""
+        from repro.evalfw.runner import CellResult
+
+        profile, task, workload_name, dataset, key = entry
+        self.computed_cells += 1
+        if (
+            self.cache is not None
+            and key is not None
+            and not self._backend_is_recording()
+        ):
+            self.cache.put(
+                key,
+                answers,
+                meta={
+                    "model": profile.name,
+                    "task": task,
+                    "workload": workload_name,
+                    "seed": self.config.seed,
+                    "max_instances": self.config.max_instances,
+                },
+            )
+        result = CellResult(
+            model=profile.name,
+            task=task,
+            workload=workload_name,
+            dataset=dataset,
+            answers=answers,
+        )
+        grid[(profile.name, workload_name)] = result
+        self._record_cell(
+            result,
+            cached=False,
+            seconds=seconds,
+            prompt=prompt,
+            shard_seconds_max=max_shard,
+        )
+        self._journal_cell(profile.name, task, workload_name, CELL_COMMITTED)
+        self._after_cell_commit()
 
     def _evaluate_cells_streamed(
         self,
@@ -473,15 +668,26 @@ class ExperimentEngine:
         """
         grid: dict[tuple[str, str], "CellResult"] = {}
         for profile, task, workload_name in cells:
-            result, cached, seconds = self.streaming.evaluate_cell(
-                profile, task, workload_name, prompt
-            )
+            self._checkpoint()
+            self._journal_cell(profile.name, task, workload_name, CELL_IN_FLIGHT)
+            try:
+                result, cached, seconds = self.streaming.evaluate_cell(
+                    profile, task, workload_name, prompt
+                )
+            except Exception as error:
+                if not self._is_cell_error(error) or not self._absorb_cell_error(
+                    profile.name, task, workload_name, error
+                ):
+                    raise
+                continue
             if cached:
                 self.cached_cells += 1
             else:
                 self.computed_cells += 1
             grid[(profile.name, workload_name)] = result
             self._record_cell(result, cached=cached, seconds=seconds, prompt=prompt)
+            self._journal_cell(profile.name, task, workload_name, CELL_COMMITTED)
+            self._after_cell_commit()
         return grid
 
     def _record_cell(
@@ -589,15 +795,30 @@ class ExperimentEngine:
             max_concurrency=self.config.max_concurrency,
             rps=self.config.rps,
             bucket_state=self._bucket_state,
+            request_timeout=self.config.request_timeout,
+            breaker=self._serial_breaker(),
         )
+        cell_started = time.monotonic()
         parts: list[tuple[int, list[ModelAnswer]]] = []
         for shard in plan_shards(len(dataset.instances), self.config.shard_size):
             instances = shard.slice(dataset.instances)
+            remaining: Optional[float] = None
+            if self.config.cell_deadline is not None:
+                remaining = self.config.cell_deadline - (
+                    time.monotonic() - cell_started
+                )
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"cell deadline of {self.config.cell_deadline}s "
+                        f"exceeded before shard {shard.index} "
+                        f"({profile.name}/{task})"
+                    )
             responses = dispatcher.run_sync(
                 [
                     build_request(task, profile.name, instance, prompt)
                     for instance in instances
-                ]
+                ],
+                deadline_seconds=remaining,
             )
             parts.append(
                 (
@@ -609,11 +830,11 @@ class ExperimentEngine:
             self._bucket_state = dispatcher.bucket_state
         return merge_shards(parts)
 
-    def _evaluate_parallel(
+    def _submit_parallel(
         self,
         pending: Sequence[tuple[ModelProfile, str, str, TaskDataset, Optional[str]]],
         prompt: Optional[PromptTemplate],
-    ) -> tuple[list[list[ModelAnswer]], list[float], list[float]]:
+    ) -> list[list[Future]]:
         """Fan every shard of every pending cell across the pool at once.
 
         With a cache directory configured, dispatch is zero-copy: a
@@ -623,9 +844,9 @@ class ExperimentEngine:
         not scale with instance payload size.  Without a cache the shard
         carries its instance slice inline, as before.
 
-        Returns, per pending cell: the merged answers, the summed
-        per-shard worker seconds (the cell's compute time), and the
-        slowest shard's seconds (the cell's critical path).
+        Returns one future list per pending cell; the caller collects
+        them cell by cell so the ``on_cell_error`` policy and interrupt
+        checkpoints apply per cell.
         """
         pool = self._executor()
         cache_root = (
@@ -633,6 +854,7 @@ class ExperimentEngine:
         )
         futures: list[list[Future]] = []
         for profile, task, workload_name, dataset, _ in pending:
+            self._journal_cell(profile.name, task, workload_name, CELL_IN_FLIGHT)
             shards: list[Shard] = plan_shards(
                 len(dataset.instances), self.config.shard_size
             )
@@ -670,22 +892,14 @@ class ExperimentEngine:
                             backend=self.config.backend,
                             max_concurrency=self.config.max_concurrency,
                             rps=self.config.rps,
+                            request_timeout=self.config.request_timeout,
+                            deadline=self.config.cell_deadline,
+                            breaker_threshold=(
+                                self.config.resolved_breaker_threshold() or 0
+                            ),
                         ),
                     )
                     for shard in shards
                 ]
             )
-        answers: list[list[ModelAnswer]] = []
-        sums: list[float] = []
-        maxes: list[float] = []
-        for cell_futures in futures:
-            parts = [future.result() for future in cell_futures]
-            answers.append(
-                merge_shards((index, items) for index, items, _ in parts)
-            )
-            shard_seconds = [seconds for _, _, seconds in parts]
-            sums.append(round(sum(shard_seconds), 6))
-            maxes.append(
-                round(max(shard_seconds), 6) if shard_seconds else 0.0
-            )
-        return answers, sums, maxes
+        return futures

@@ -416,6 +416,11 @@ class StreamingEvaluator:
                     backend=engine.config.backend,
                     max_concurrency=engine.config.max_concurrency,
                     rps=engine.config.rps,
+                    request_timeout=engine.config.request_timeout,
+                    deadline=engine.config.cell_deadline,
+                    breaker_threshold=(
+                        engine.config.resolved_breaker_threshold() or 0
+                    ),
                 ),
             )
 
@@ -459,6 +464,11 @@ class StreamingEvaluator:
     def _run_serial(self, instance_chunks, make_task, on_merged) -> None:
         """In-process chunk loop (workers=1): no pool, same code path."""
         for chunk_index, instances in enumerate(instance_chunks):
+            # Chunk boundaries are the streaming path's interrupt
+            # checkpoints: everything merged so far is in segments, and
+            # the BaseException handler in _evaluate_cold discards them
+            # — no partial cache entry ever becomes visible.
+            self.engine._checkpoint()
             item = make_task(chunk_index, instances)
             if item.fault == "crash":
                 raise StreamWorkerCrash(
@@ -551,6 +561,10 @@ class StreamingEvaluator:
         try:
             top_up()
             while inflight or not exhausted:
+                # Interrupt checkpoint: raising here lands in the
+                # BaseException handler below, which drains the pool's
+                # in-flight chunks before the caller discards segments.
+                self.engine._checkpoint()
                 if pending_error is not None:
                     raise pending_error
                 if not inflight:

@@ -43,7 +43,7 @@ from repro.llm.backends import (
     ModelBackend,
     create_backend,
 )
-from repro.llm.backends.dispatch import BucketState
+from repro.llm.backends.dispatch import BreakerState, BucketState, CircuitBreaker
 from repro.llm.profiles import ModelProfile
 from repro.prompts.templates import PromptTemplate
 from repro.sql.analysis_cache import ensure_capacity
@@ -59,6 +59,24 @@ _BACKENDS: dict[tuple[BackendSpec, str], tuple[ModelProfile, ModelBackend]] = {}
 #: so ``rps`` is a sustained per-process rate (aggregate rate across a
 #: pool is ~``workers x rps``; size --rps accordingly).
 _BUCKET_STATES: dict[tuple[BackendSpec, float], BucketState] = {}
+#: Circuit-breaker health per backend, shared across this process's
+#: shard batches: a backend that tripped during one shard stays tripped
+#: for the next instead of re-earning a full retry ladder.
+_BREAKER_STATES: dict[BackendSpec, BreakerState] = {}
+
+
+def init_worker_process() -> None:
+    """Pool-worker initializer: leave interrupt handling to the parent.
+
+    Ctrl-C delivers SIGINT to the whole foreground process group; the
+    parent turns it into a graceful drain (journal flush + resume hint),
+    so workers must not race it with their own ``KeyboardInterrupt``
+    tracebacks — they ignore SIGINT and exit when the parent tears the
+    pool down.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 @dataclass(frozen=True)
@@ -87,6 +105,13 @@ class ShardSpec:
     backend: BackendSpec = SIMULATED_SPEC
     max_concurrency: int = DEFAULT_MAX_CONCURRENCY
     rps: Optional[float] = None
+    #: Per-request wall-clock timeout (dispatcher ``asyncio.wait_for``).
+    request_timeout: Optional[float] = None
+    #: Wall-clock budget for this dispatch batch (the cell deadline,
+    #: granted per shard — worker clocks don't compare across processes).
+    deadline: Optional[float] = None
+    #: Circuit-breaker trip threshold; 0 disables the breaker.
+    breaker_threshold: int = 0
 
 
 def _backend(spec: BackendSpec, profile: ModelProfile) -> ModelBackend:
@@ -155,6 +180,13 @@ def evaluate_shard(spec: ShardSpec) -> tuple[int, list[ModelAnswer], float]:
         instances = _materialize_dataset(spec).instances[spec.start : spec.stop]
     backend = _backend(spec.backend, spec.profile)
     bucket_key = (spec.backend, spec.rps or 0.0)
+    breaker = None
+    if spec.breaker_threshold > 0:
+        breaker = CircuitBreaker(
+            threshold=spec.breaker_threshold,
+            state=_BREAKER_STATES.setdefault(spec.backend, BreakerState()),
+            backend_name=spec.backend.name,
+        )
     dispatcher = AsyncDispatcher(
         backend,
         max_concurrency=spec.max_concurrency,
@@ -162,12 +194,15 @@ def evaluate_shard(spec: ShardSpec) -> tuple[int, list[ModelAnswer], float]:
         bucket_state=(
             _BUCKET_STATES.get(bucket_key) if spec.rps is not None else None
         ),
+        request_timeout=spec.request_timeout,
+        breaker=breaker,
     )
     responses = dispatcher.run_sync(
         [
             build_request(spec.task, spec.profile.name, instance, spec.prompt)
             for instance in instances
-        ]
+        ],
+        deadline_seconds=spec.deadline,
     )
     if spec.rps is not None and dispatcher.bucket_state is not None:
         _BUCKET_STATES[bucket_key] = dispatcher.bucket_state
@@ -262,6 +297,7 @@ def stream_worker_main(task_queue, result_queue) -> None:
     """
     import os
 
+    init_worker_process()
     pid = os.getpid()
     while True:
         item = task_queue.get()
@@ -292,3 +328,4 @@ def reset_worker_caches() -> None:
     _DATASETS.clear()
     _BACKENDS.clear()
     _BUCKET_STATES.clear()
+    _BREAKER_STATES.clear()

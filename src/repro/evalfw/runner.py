@@ -81,6 +81,10 @@ class ExperimentRunner:
         max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
         rps: Optional[float] = None,
         chunk_size: Optional[int] = None,
+        on_cell_error: str = "fail",
+        request_timeout: Optional[float] = None,
+        cell_deadline: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
     ) -> None:
         config = EngineConfig(
             seed=seed,
@@ -91,6 +95,10 @@ class ExperimentRunner:
             backend=backend,
             max_concurrency=max_concurrency,
             rps=rps,
+            on_cell_error=on_cell_error,
+            request_timeout=request_timeout,
+            cell_deadline=cell_deadline,
+            breaker_threshold=breaker_threshold,
             **({"shard_size": shard_size} if shard_size is not None else {}),
         )
         self.engine = ExperimentEngine(config, models=models)

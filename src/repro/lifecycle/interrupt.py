@@ -1,0 +1,120 @@
+"""Graceful SIGINT/SIGTERM handling for in-flight grid runs.
+
+First signal: latch a flag the engine polls at its checkpoints (between
+cells on the materialised path, between chunks on the streaming path).
+The engine raises :class:`RunInterrupted`, the run drains — in-flight
+work finishes or is discarded atomically, the journal is flushed — and
+the CLI prints a one-line resume hint and exits with
+:data:`EXIT_INTERRUPTED`.  Second signal: the default handler is
+restored and the signal re-delivered, so a stuck drain can always be
+killed the ordinary way.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Optional
+
+#: Dedicated exit code for an interrupted-but-resumable run (2 = usage
+#: error, 3 = comparison regression, 4 = interrupted).
+EXIT_INTERRUPTED = 4
+
+
+class RunInterrupted(RuntimeError):
+    """The run stopped at a checkpoint after SIGINT/SIGTERM.
+
+    Not an error: everything journalled/cached so far is durable, and
+    the run can be continued with ``repro run --resume <run_id>``.
+    """
+
+    def __init__(self, signal_name: str = "SIGINT") -> None:
+        super().__init__(f"run interrupted by {signal_name}")
+        self.signal_name = signal_name
+
+
+class GracefulInterrupt:
+    """Latching signal flag with second-signal escape hatch.
+
+    Use as a context manager around the run::
+
+        with GracefulInterrupt() as interrupt:
+            engine.interrupt = interrupt
+            ...  # engine calls interrupt.check() at checkpoints
+
+    ``check()`` raises :class:`RunInterrupted` once a signal has been
+    latched; ``triggered`` is the poll-only variant for code that wants
+    to drain without unwinding.  Handlers are installed in the parent
+    process only — worker processes ignore SIGINT (see
+    :mod:`repro.engine.worker`) so the pool never spews
+    ``KeyboardInterrupt`` tracebacks while the parent drains.
+    """
+
+    #: Signals that trigger a graceful drain.
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.signal_name: Optional[str] = None
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    # -- signal plumbing ---------------------------------------------------
+
+    def _handle(self, signum: int, frame: object) -> None:
+        if self.signal_name is not None:
+            # Second signal: stop being graceful.  Restore the default
+            # disposition and re-deliver, so the process dies with the
+            # conventional signal exit status.
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        self.signal_name = signal.Signals(signum).name
+
+    def install(self) -> "GracefulInterrupt":
+        for sig in self.SIGNALS:
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except (ValueError, OSError):
+                # Not the main thread (tests, embedded use): stay
+                # poll-only; trigger() still works.
+                continue
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)  # type: ignore[arg-type]
+            except (ValueError, OSError):
+                continue
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "GracefulInterrupt":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+    # -- engine-facing surface ---------------------------------------------
+
+    def trigger(self, signal_name: str = "SIGINT") -> None:
+        """Latch programmatically (tests, chaos plans)."""
+        if self.signal_name is None:
+            self.signal_name = signal_name
+
+    @property
+    def triggered(self) -> bool:
+        return self.signal_name is not None
+
+    def check(self) -> None:
+        """Raise :class:`RunInterrupted` if a signal has been latched.
+
+        Engine checkpoints call this between units of work; in-flight
+        units always finish (or discard) atomically before the raise
+        propagates.
+        """
+        if self.signal_name is not None:
+            raise RunInterrupted(self.signal_name)

@@ -9,6 +9,8 @@ from repro.llm.backends.base import (
     BackendError,
     BackendSpec,
     BaseBackend,
+    CircuitOpenError,
+    DeadlineExceededError,
     DispatchStats,
     ModelBackend,
     ModelRequest,
@@ -16,8 +18,12 @@ from repro.llm.backends.base import (
     TransientBackendError,
 )
 from repro.llm.backends.dispatch import (
+    DEFAULT_BREAKER_COOLDOWN,
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_MAX_CONCURRENCY,
     AsyncDispatcher,
+    BreakerState,
+    CircuitBreaker,
     TokenBucket,
     dispatch_requests,
 )
@@ -32,6 +38,12 @@ from repro.llm.backends.registry import (
 __all__ = [
     "BackendError",
     "TransientBackendError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_BREAKER_COOLDOWN",
     "BackendSpec",
     "SIMULATED_SPEC",
     "BaseBackend",

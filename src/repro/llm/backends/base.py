@@ -41,6 +41,25 @@ class TransientBackendError(BackendError):
     """A request failed in a retryable way (timeouts, 429s, 5xx...)."""
 
 
+class CircuitOpenError(BackendError):
+    """The backend's circuit breaker is open: fail fast, do not retry.
+
+    Raised by the dispatcher *before* a request is issued when the
+    backend has failed enough recent calls that further attempts would
+    only burn the retry ladder against a dead endpoint.  Terminal by
+    design — the run surfaces it immediately (or degrades the cell,
+    under ``--on-cell-error degrade``) instead of grinding through
+    per-request backoff schedules.
+    """
+
+
+class DeadlineExceededError(BackendError):
+    """A wall-clock deadline (per request or per cell) expired.
+
+    Terminal: the time budget is gone, so retrying cannot help.
+    """
+
+
 @dataclass(frozen=True)
 class ModelRequest:
     """One model invocation, addressed to one simulated/hosted model.
@@ -179,6 +198,8 @@ class DispatchStats:
     retries: int = 0
     failures: int = 0
     rate_waits: int = 0
+    timeouts: int = 0
+    breaker_rejections: int = 0
     seconds: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
@@ -188,6 +209,8 @@ class DispatchStats:
             "retries": self.retries,
             "failures": self.failures,
             "rate_waits": self.rate_waits,
+            "timeouts": self.timeouts,
+            "breaker_rejections": self.breaker_rejections,
             "seconds": round(self.seconds, 6),
         }
 
@@ -196,6 +219,8 @@ class DispatchStats:
 __all__ = [
     "BackendError",
     "TransientBackendError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "ModelRequest",
     "ModelBackend",
     "BaseBackend",

@@ -25,9 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Optional, Sequence
 
+from collections import deque
 from repro.llm.base import LLMResponse
 from repro.llm.backends.base import (
     BackendError,
+    CircuitOpenError,
+    DeadlineExceededError,
     DispatchStats,
     ModelBackend,
     ModelRequest,
@@ -41,6 +44,16 @@ DEFAULT_MAX_CONCURRENCY = 8
 DEFAULT_MAX_RETRIES = 3
 DEFAULT_BACKOFF_BASE = 0.1
 DEFAULT_BACKOFF_CAP = 5.0
+
+#: Circuit-breaker defaults: trip after this many consecutive transient
+#: failures, or when the failure rate over the rolling window crosses
+#: the rate threshold (only once the window holds ``min_calls`` calls).
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_WINDOW = 20
+DEFAULT_BREAKER_RATE = 0.5
+DEFAULT_BREAKER_MIN_CALLS = 10
+#: Seconds an open breaker waits before letting one probe through.
+DEFAULT_BREAKER_COOLDOWN = 30.0
 
 
 @dataclass
@@ -113,6 +126,155 @@ class TokenBucket:
                 await self._sleep(deficit / self.rps + self.EPSILON)
 
 
+@dataclass
+class BreakerState:
+    """Persistent circuit-breaker health, shareable across dispatchers.
+
+    Mirrors :class:`BucketState`: asyncio-free plain data, so the same
+    breaker memory outlives any one dispatcher/event loop.  The engine
+    threads one ``BreakerState`` per backend through successive
+    per-shard dispatch batches — a backend that died during shard 3
+    stays tripped for shard 4 instead of re-earning a fresh retry
+    ladder.
+    """
+
+    #: "closed" (healthy), "open" (fail fast), or "half_open" (probing).
+    state: str = "closed"
+    consecutive_failures: int = 0
+    #: Clock value when the breaker last tripped open.
+    opened_at: float = 0.0
+    #: True while the single half-open probe is in flight.
+    probe_in_flight: bool = False
+    #: Rolling call outcomes (True = success) for the rate trip.
+    window: deque = None  # type: ignore[assignment]
+    #: How many times this breaker has tripped open (observability).
+    trips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window is None:
+            self.window = deque(maxlen=DEFAULT_BREAKER_WINDOW)
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker guarding one backend.
+
+    * **closed** — requests flow; every outcome is recorded.  Trips to
+      *open* on ``threshold`` consecutive transient failures, or when
+      the failure rate over the rolling window reaches ``rate`` (once
+      at least ``min_calls`` outcomes are in the window).
+    * **open** — :meth:`admit` fails fast with
+      :class:`CircuitOpenError` until ``cooldown`` seconds (by the
+      injected ``clock``) have passed, then transitions to *half-open*.
+    * **half-open** — exactly one probe request is admitted; its
+      success closes the breaker (window reset), its failure re-opens
+      it and restarts the cooldown timer.
+
+    Like the token bucket, the clock is injectable so tests drive the
+    cooldown with virtual time, and the mutable health lives in a
+    shareable :class:`BreakerState`.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        rate: float = DEFAULT_BREAKER_RATE,
+        min_calls: int = DEFAULT_BREAKER_MIN_CALLS,
+        cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        clock: Callable[[], float] = time.monotonic,
+        state: Optional[BreakerState] = None,
+        backend_name: str = "backend",
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.threshold = threshold
+        self.rate = rate
+        self.min_calls = min_calls
+        self.cooldown = cooldown
+        self.backend_name = backend_name
+        self._clock = clock
+        self.state = state if state is not None else BreakerState()
+
+    def admit(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` if shut.
+
+        In the *open* state the first caller after the cooldown elapses
+        becomes the half-open probe; everyone else fails fast.  In the
+        *half-open* state only that single probe is in flight — all
+        other callers fail fast until its outcome is known.
+        """
+        s = self.state
+        if s.state == "closed":
+            return
+        if s.state == "open":
+            elapsed = self._clock() - s.opened_at
+            if elapsed < self.cooldown:
+                remaining = self.cooldown - elapsed
+                raise CircuitOpenError(
+                    f"circuit open for backend {self.backend_name!r}: "
+                    f"failing fast ({s.trips} trip(s); next probe in "
+                    f"{remaining:.1f}s)"
+                )
+            s.state = "half_open"
+            s.probe_in_flight = True
+            return
+        # half_open: admit exactly one probe.
+        if s.probe_in_flight:
+            raise CircuitOpenError(
+                f"circuit half-open for backend {self.backend_name!r}: "
+                "probe already in flight"
+            )
+        s.probe_in_flight = True
+
+    def on_success(self) -> None:
+        """Record a successful call; a half-open probe closes the breaker."""
+        s = self.state
+        s.consecutive_failures = 0
+        if s.state == "half_open":
+            s.state = "closed"
+            s.probe_in_flight = False
+            s.window.clear()
+            return
+        s.window.append(True)
+
+    def on_failure(self) -> None:
+        """Record a transient failure; may trip the breaker open."""
+        s = self.state
+        s.consecutive_failures += 1
+        if s.state == "half_open":
+            # The probe failed: re-open and restart the cooldown.
+            self._trip()
+            return
+        if s.state == "open":
+            return
+        s.window.append(False)
+        failures = sum(1 for ok in s.window if not ok)
+        rate_tripped = (
+            len(s.window) >= self.min_calls
+            and failures / len(s.window) >= self.rate
+        )
+        if s.consecutive_failures >= self.threshold or rate_tripped:
+            self._trip()
+
+    def release_probe(self) -> None:
+        """Abandon an admitted half-open probe without an outcome.
+
+        Called when the probe request is *cancelled* (graceful drain)
+        rather than completing — otherwise ``probe_in_flight`` would
+        stay latched and the breaker could never re-probe.
+        """
+        if self.state.state == "half_open":
+            self.state.probe_in_flight = False
+
+    def _trip(self) -> None:
+        s = self.state
+        s.state = "open"
+        s.opened_at = self._clock()
+        s.probe_in_flight = False
+        s.trips += 1
+
+
 def _jitter_rng(request: ModelRequest, attempt: int) -> random.Random:
     """Deterministic per-(request, attempt) jitter source."""
     return random.Random(f"backoff:{request.request_id}:{attempt}")
@@ -133,6 +295,8 @@ class AsyncDispatcher:
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
         clock: Callable[[], float] = time.monotonic,
         bucket_state: Optional[BucketState] = None,
+        request_timeout: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(
@@ -140,6 +304,10 @@ class AsyncDispatcher:
             )
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
         self.backend = backend
         self.max_concurrency = max_concurrency
         self.rps = rps
@@ -150,6 +318,8 @@ class AsyncDispatcher:
         self._sleep = sleep
         self._clock = clock
         self.bucket_state = bucket_state
+        self.request_timeout = request_timeout
+        self.breaker = breaker
         self.stats = DispatchStats()
 
     def backoff_delay(self, request: ModelRequest, attempt: int) -> float:
@@ -163,38 +333,105 @@ class AsyncDispatcher:
         jitter = 1.0 + _jitter_rng(request, attempt).random()
         return min(raw * jitter, self.backoff_cap)
 
+    def _attempt_timeout(self, deadline: Optional[float]) -> Optional[float]:
+        """Seconds this attempt may run: min(request_timeout, remaining).
+
+        Raises :class:`DeadlineExceededError` if the batch deadline has
+        already passed — checked *before* issuing, so a deadline that
+        expires during backoff never launches another doomed attempt.
+        """
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "cell deadline exceeded before request could be issued"
+                )
+        if self.request_timeout is None:
+            return remaining
+        if remaining is None:
+            return self.request_timeout
+        return min(self.request_timeout, remaining)
+
     async def _complete_with_retry(
-        self, request: ModelRequest, bucket: Optional[TokenBucket]
+        self,
+        request: ModelRequest,
+        bucket: Optional[TokenBucket],
+        deadline: Optional[float] = None,
     ) -> LLMResponse:
         attempt = 0
         while True:
+            timeout = self._attempt_timeout(deadline)
+            if self.breaker is not None:
+                try:
+                    self.breaker.admit()
+                except CircuitOpenError:
+                    self.stats.breaker_rejections += 1
+                    self.stats.failures += 1
+                    raise
             if bucket is not None:
                 self.stats.rate_waits += await bucket.acquire()
             try:
-                response = await self.backend.acomplete(request)
-            except TransientBackendError:
+                if timeout is not None:
+                    response = await asyncio.wait_for(
+                        self.backend.acomplete(request), timeout=timeout
+                    )
+                else:
+                    response = await self.backend.acomplete(request)
+            except (TransientBackendError, asyncio.TimeoutError) as exc:
+                timed_out = isinstance(exc, asyncio.TimeoutError)
+                if timed_out:
+                    self.stats.timeouts += 1
+                if self.breaker is not None:
+                    self.breaker.on_failure()
                 attempt += 1
                 if attempt > self.max_retries:
                     self.stats.failures += 1
+                    if timed_out:
+                        raise TransientBackendError(
+                            f"request {request.request_id} timed out after "
+                            f"{timeout:.3f}s (attempt {attempt})"
+                        ) from exc
                     raise
                 self.stats.retries += 1
                 await self._sleep(self.backoff_delay(request, attempt))
                 continue
+            except asyncio.CancelledError:
+                if self.breaker is not None:
+                    self.breaker.release_probe()
+                raise
             except BackendError:
+                # Terminal protocol errors (bad request, auth) are the
+                # request's fault, not evidence the endpoint is down —
+                # they do not feed the breaker.
                 self.stats.failures += 1
                 raise
+            if self.breaker is not None:
+                self.breaker.on_success()
             self.stats.completed += 1
             return response
 
-    async def run(self, requests: Sequence[ModelRequest]) -> list[LLMResponse]:
+    async def run(
+        self,
+        requests: Sequence[ModelRequest],
+        deadline_seconds: Optional[float] = None,
+    ) -> list[LLMResponse]:
         """Answer every request; results align index-for-index.
 
         Any request that exhausts its retries (or fails terminally)
         propagates its exception — the caller decides whether a partial
         cell is acceptable (the engine: it is not).
+
+        ``deadline_seconds`` bounds the whole batch by wall clock: once
+        it elapses, not-yet-issued attempts fail with
+        :class:`DeadlineExceededError` and in-flight attempts have their
+        per-attempt timeout clipped to the remaining budget.
         """
         self.stats.requests += len(requests)
         started = self._clock()
+        deadline = (
+            started + deadline_seconds if deadline_seconds is not None else None
+        )
         semaphore = asyncio.Semaphore(self.max_concurrency)
         bucket = None
         if self.rps is not None:
@@ -212,7 +449,9 @@ class AsyncDispatcher:
 
         async def bounded(request: ModelRequest) -> LLMResponse:
             async with semaphore:
-                return await self._complete_with_retry(request, bucket)
+                return await self._complete_with_retry(
+                    request, bucket, deadline
+                )
 
         try:
             results = await asyncio.gather(
@@ -222,9 +461,13 @@ class AsyncDispatcher:
             self.stats.seconds += self._clock() - started
         return list(results)
 
-    def run_sync(self, requests: Sequence[ModelRequest]) -> list[LLMResponse]:
+    def run_sync(
+        self,
+        requests: Sequence[ModelRequest],
+        deadline_seconds: Optional[float] = None,
+    ) -> list[LLMResponse]:
         """``run`` from synchronous code (one private event loop)."""
-        return asyncio.run(self.run(requests))
+        return asyncio.run(self.run(requests, deadline_seconds))
 
 
 def dispatch_requests(

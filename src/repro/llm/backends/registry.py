@@ -32,6 +32,12 @@ def _make_replay(profile: ModelProfile, spec: BackendSpec) -> ModelBackend:
     return ReplayBackend(profile, spec)
 
 
+def _make_chaos(profile: ModelProfile, spec: BackendSpec) -> ModelBackend:
+    from repro.chaos.backend import ChaosBackend
+
+    return ChaosBackend(profile, spec)
+
+
 BACKENDS: dict[str, tuple[str, _FactoryT]] = {
     "simulated": (
         "in-process calibrated simulator (default; offline, deterministic)",
@@ -47,6 +53,11 @@ BACKENDS: dict[str, tuple[str, _FactoryT]] = {
         "(options: dir, mode=replay|record, inner)",
         _make_replay,
     ),
+    "chaos": (
+        "fault-injection wrapper around another backend "
+        "(options: inner, rate, kind=429|500|timeout, fail_attempts, chaos_seed)",
+        _make_chaos,
+    ),
 }
 
 #: Option keys each backend understands.  ``spec_from_cli`` rejects
@@ -58,15 +69,17 @@ BACKEND_OPTION_KEYS: dict[str, frozenset[str]] = {
         {"base_url", "model", "model_map", "api_key_env", "temperature", "timeout"}
     ),
     "replay": frozenset({"dir", "mode", "inner"}),
+    "chaos": frozenset({"inner", "rate", "kind", "fail_attempts", "chaos_seed"}),
 }
 
 
 def allowed_option_keys(backend: str, options: dict[str, str]) -> frozenset[str]:
-    """Keys valid for *backend* — replay also accepts its inner's keys
-    (they ride the same spec so recording can configure the inner
-    transport, e.g. ``inner=openai_compat`` plus ``base_url=...``)."""
+    """Keys valid for *backend* — wrappers (replay, chaos) also accept
+    their inner backend's keys (they ride the same spec so the wrapper
+    can configure the inner transport, e.g. ``inner=openai_compat``
+    plus ``base_url=...``)."""
     keys = BACKEND_OPTION_KEYS.get(backend, frozenset())
-    if backend == "replay":
+    if backend in ("replay", "chaos"):
         inner = options.get("inner", "simulated")
         keys = keys | BACKEND_OPTION_KEYS.get(inner, frozenset())
     return keys

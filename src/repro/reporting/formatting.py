@@ -36,7 +36,7 @@ def run_metadata_rows(record) -> list[tuple[str, str]]:
     max_instances = (
         record.max_instances if record.max_instances is not None else "unbounded"
     )
-    return [
+    rows = [
         ("created", record.created_at),
         ("seed", str(record.seed)),
         ("workers", str(record.workers)),
@@ -50,6 +50,14 @@ def run_metadata_rows(record) -> list[tuple[str, str]]:
         ),
         ("wall time", f"{record.total_seconds:.2f}s"),
     ]
+    if record.on_cell_error != "fail" or record.failures:
+        rows.append(
+            (
+                "cell-error policy",
+                f"{record.on_cell_error} ({len(record.failures)} cell(s) absorbed)",
+            )
+        )
+    return rows
 
 
 def format_location_pair(cell: Optional[CellRecord]) -> str:

@@ -163,6 +163,28 @@ def render_markdown_report(record: RunRecord) -> str:
             lines += _location_table(record, task)
             lines.append("")
 
+    if record.failures:
+        verb = "skipped" if record.on_cell_error == "skip" else "degraded"
+        lines.append("## Degraded cells")
+        lines.append("")
+        lines.append(
+            f"{len(record.failures)} cell(s) {verb} under "
+            f"`--on-cell-error {record.on_cell_error}` — the tables above "
+            "have explicit gaps for these cells; they are **not** zeros."
+        )
+        lines.append("")
+        lines.append("| model | task | workload | error | attempts | message |")
+        lines.append("|---|---|---|---|---|---|")
+        for failure in record.failures:
+            message = failure.message.replace("|", "\\|").replace("\n", " ")
+            if len(message) > 120:
+                message = message[:117] + "..."
+            lines.append(
+                f"| {failure.model} | {failure.task} | {failure.workload} "
+                f"| `{failure.error_class}` | {failure.attempts} | {message} |"
+            )
+        lines.append("")
+
     lines.append("## Engine & cache")
     lines.append("")
     lines.append("| counter | value |")

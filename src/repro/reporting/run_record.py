@@ -23,6 +23,8 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from repro.lifecycle import CellFailure
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.core import ExperimentEngine
     from repro.evalfw.runner import CellResult
@@ -200,6 +202,11 @@ class RunRecord:
     chunk_size: Optional[int] = None
     stream_stats: dict[str, int] = field(default_factory=dict)
     cells: tuple[CellRecord, ...] = ()
+    #: Cell-error policy the run executed under, and the structured
+    #: failures of cells it absorbed (skip/degrade) — the report layer
+    #: renders these as explicit gaps, never silently missing rows.
+    on_cell_error: str = "fail"
+    failures: tuple[CellFailure, ...] = ()
     notes: str = ""
 
     # -- accessors ---------------------------------------------------------
@@ -250,6 +257,8 @@ class RunRecord:
             total_seconds=other.total_seconds,
             chunk_size=other.chunk_size,
             stream_stats=dict(other.stream_stats),
+            on_cell_error=other.on_cell_error,
+            failures=other.failures,
             notes=other.notes,
         )
 
@@ -260,6 +269,7 @@ class RunRecord:
         data["version"] = RECORD_VERSION
         data["artifacts"] = list(self.artifacts)
         data["cells"] = [cell.as_dict() for cell in self.cells]
+        data["failures"] = [failure.as_dict() for failure in self.failures]
         return data
 
     def to_json(self) -> str:
@@ -306,6 +316,11 @@ class RunRecord:
             },
             cells=tuple(
                 CellRecord.from_dict(cell) for cell in data.get("cells", ())
+            ),
+            on_cell_error=data.get("on_cell_error", "fail"),
+            failures=tuple(
+                CellFailure.from_dict(failure)
+                for failure in data.get("failures", ())
             ),
             notes=data.get("notes", ""),
         )
@@ -416,6 +431,8 @@ def record_from_engine(
         chunk_size=config.chunk_size,
         stream_stats=engine.stream_stats() or {},
         cells=tuple(cells),
+        on_cell_error=config.on_cell_error,
+        failures=tuple(engine.failures),
         notes=notes,
     )
     content = json.dumps(record.to_dict(), sort_keys=True)

@@ -1,0 +1,196 @@
+"""Chaos plan parsing/validation and the deterministic flaky backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosBackend,
+    ChaosPlan,
+    ChaosPlanError,
+    corrupt_cache_segment,
+    wrap_backend_spec,
+)
+from repro.llm.backends.base import (
+    BackendSpec,
+    ModelRequest,
+    TransientBackendError,
+)
+from repro.llm.profiles import MODEL_PROFILES
+from repro.tasks.registry import build_dataset, build_request
+from repro.workloads import load_workload
+
+GPT4 = MODEL_PROFILES[0]
+
+_DATASET = build_dataset("syntax_error", load_workload("sdss", 0))
+
+
+def request(index: int) -> ModelRequest:
+    instance = _DATASET.instances[index % len(_DATASET.instances)]
+    req = build_request("syntax_error", GPT4.name, instance)
+    # A distinct id per test index keeps the fault schedule per-request
+    # even when indices wrap onto the same dataset instance.
+    return ModelRequest(
+        request_id=f"req-{index}",
+        task=req.task,
+        model=req.model,
+        prompt_text=req.prompt_text,
+        prompt_quality=req.prompt_quality,
+        instance=req.instance,
+    )
+
+
+class TestParse:
+    def test_full_plan(self):
+        plan = ChaosPlan.parse(
+            "flaky:rate=0.3:kind=429;kill-worker:chunk=2;sigterm:after-cells=3"
+        )
+        assert [e.kind for e in plan.events] == [
+            "flaky",
+            "kill-worker",
+            "sigterm",
+        ]
+        assert plan.flaky.param("rate") == "0.3"
+        assert plan.stream_fault.int_param("chunk", 0) == 2
+        assert plan.signal_event.int_param("after-cells", 1) == 3
+        assert not plan.corrupts_segment
+
+    def test_corrupt_segment_event(self):
+        assert ChaosPlan.parse("corrupt-segment").corrupts_segment
+
+    @pytest.mark.parametrize(
+        ("text", "message"),
+        [
+            ("", "empty chaos plan"),
+            ("explode", "unknown chaos event"),
+            ("flaky:rate", "expected key=value"),
+            ("flaky:chunk=1", "unknown param"),
+            ("flaky:rate=2.0", "rate must be in"),
+            ("flaky:rate=x", "not a number"),
+            ("flaky:kind=404", "not in"),
+            ("kill-worker:chunk=x", "not an integer"),
+            ("kill-worker:once=maybe", "expected true or false"),
+            ("sigterm:after-cells=0", "must be >= 1"),
+        ],
+    )
+    def test_invalid_plans_fail_loudly(self, text, message):
+        with pytest.raises(ChaosPlanError, match=message):
+            ChaosPlan.parse(text)
+
+
+class TestWrapBackendSpec:
+    def test_flaky_wraps_and_keeps_inner_options(self):
+        spec = BackendSpec.build("replay", {"dir": "fx", "mode": "replay"})
+        wrapped = wrap_backend_spec(
+            spec, ChaosPlan.parse("flaky:rate=0.5:kind=timeout"), seed=7
+        )
+        assert wrapped.name == "chaos"
+        assert wrapped.option("inner") == "replay"
+        assert wrapped.option("dir") == "fx"
+        assert wrapped.option("rate") == "0.5"
+        assert wrapped.option("chaos_seed") == "7"
+
+    def test_no_flaky_event_returns_spec_unchanged(self):
+        spec = BackendSpec.build("simulated")
+        assert wrap_backend_spec(spec, ChaosPlan.parse("sigint"), 0) is spec
+
+    def test_double_wrap_rejected(self):
+        spec = BackendSpec.build("chaos", {"inner": "simulated"})
+        with pytest.raises(ChaosPlanError, match="already"):
+            wrap_backend_spec(spec, ChaosPlan.parse("flaky:rate=0.5"), 0)
+
+    def test_fingerprint_differs_from_clean_backend(self):
+        clean = BackendSpec.build("simulated")
+        wrapped = wrap_backend_spec(clean, ChaosPlan.parse("flaky:rate=0.5"), 0)
+        assert wrapped.fingerprint() != clean.fingerprint()
+
+
+class TestChaosBackend:
+    def _backend(self, **options) -> ChaosBackend:
+        merged = {"inner": "simulated", "rate": "0.5", **options}
+        return ChaosBackend(GPT4, BackendSpec.build("chaos", merged))
+
+    def test_fault_schedule_is_deterministic(self):
+        first = self._backend()
+        second = self._backend()
+        outcomes = []
+        for backend in (first, second):
+            seen = []
+            for i in range(32):
+                try:
+                    backend.complete(request(i))
+                    seen.append(True)
+                except TransientBackendError:
+                    seen.append(False)
+            outcomes.append(seen)
+        assert outcomes[0] == outcomes[1]
+        assert False in outcomes[0] and True in outcomes[0]
+
+    def test_faulty_request_recovers_after_fail_attempts(self):
+        backend = self._backend(rate="1.0", fail_attempts="2")
+        req = request(0)
+        for _ in range(2):
+            with pytest.raises(TransientBackendError):
+                backend.complete(req)
+        response = backend.complete(req)
+        assert response.text  # third attempt reaches the inner simulator
+        assert backend.injected == 2
+
+    def test_answers_match_clean_inner_backend(self):
+        from repro.llm.backends.simulated import SimulatedBackend
+
+        chaos = self._backend(rate="1.0", fail_attempts="1")
+        clean = SimulatedBackend(GPT4)
+        req = request(3)
+        with pytest.raises(TransientBackendError):
+            chaos.complete(req)
+        assert chaos.complete(req).text == clean.complete(req).text
+
+    def test_seed_changes_schedule(self):
+        a = self._backend(chaos_seed="0")
+        b = self._backend(chaos_seed="1")
+
+        def schedule(backend):
+            out = []
+            for i in range(64):
+                try:
+                    backend.complete(request(i))
+                    out.append(True)
+                except TransientBackendError:
+                    out.append(False)
+            return out
+
+        assert schedule(a) != schedule(b)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            self._backend(rate="1.5")
+        with pytest.raises(ValueError, match="kind"):
+            self._backend(kind="404")
+        with pytest.raises(ValueError, match="fail_attempts"):
+            self._backend(fail_attempts="0")
+        with pytest.raises(ValueError, match="wrap itself"):
+            self._backend(inner="chaos")
+
+
+class TestCorruptSegment:
+    def test_empty_cache_returns_none(self, tmp_path):
+        assert corrupt_cache_segment(tmp_path) is None
+
+    def test_corrupts_one_seeded_segment(self, tmp_path):
+        seg_dir = tmp_path / "cells" / "ab" / "abcd"
+        seg_dir.mkdir(parents=True)
+        paths = []
+        for i in range(3):
+            path = seg_dir / f"seg-{i:05d}.json"
+            path.write_text('{"answers": [1, 2, 3]}')
+            paths.append(path)
+        first = corrupt_cache_segment(tmp_path, seed=3)
+        assert first in paths
+        import json
+
+        # The flip breaks the payload as JSON (possibly as UTF-8 too).
+        with pytest.raises((json.JSONDecodeError, UnicodeDecodeError)):
+            json.loads(first.read_text())
+        # Seeded choice: the same seed picks the same victim.
+        assert corrupt_cache_segment(tmp_path, seed=3) == first

@@ -1,0 +1,56 @@
+"""GracefulInterrupt tests: latch, check, real-signal delivery."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.lifecycle import EXIT_INTERRUPTED, GracefulInterrupt, RunInterrupted
+
+
+class TestLatch:
+    def test_exit_code_is_distinct(self):
+        # 2 = usage error, 3 = compare regression; interrupted must not
+        # collide with either.
+        assert EXIT_INTERRUPTED == 4
+
+    def test_check_passes_until_triggered(self):
+        interrupt = GracefulInterrupt()
+        interrupt.check()
+        assert not interrupt.triggered
+        interrupt.trigger("SIGTERM")
+        assert interrupt.triggered
+        with pytest.raises(RunInterrupted) as info:
+            interrupt.check()
+        assert info.value.signal_name == "SIGTERM"
+
+    def test_first_trigger_wins(self):
+        interrupt = GracefulInterrupt()
+        interrupt.trigger("SIGINT")
+        interrupt.trigger("SIGTERM")
+        assert interrupt.signal_name == "SIGINT"
+
+    def test_run_interrupted_is_not_a_backend_error(self):
+        # The engine's on_cell_error policy absorbs backend/stream
+        # errors but must always propagate an interrupt.
+        from repro.llm.backends import BackendError
+
+        assert not issubclass(RunInterrupted, BackendError)
+
+
+class TestRealSignals:
+    def test_sigterm_latches_without_killing(self):
+        with GracefulInterrupt() as interrupt:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert interrupt.signal_name == "SIGTERM"
+            with pytest.raises(RunInterrupted):
+                interrupt.check()
+        # Handlers restored after the context exits.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+    def test_sigint_latches_without_raising_keyboard_interrupt(self):
+        with GracefulInterrupt() as interrupt:
+            os.kill(os.getpid(), signal.SIGINT)
+            assert interrupt.signal_name == "SIGINT"

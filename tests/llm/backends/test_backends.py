@@ -309,7 +309,7 @@ class TestOpenAICompatBackend:
 
 class TestRegistryAndSpecs:
     def test_registry_names(self):
-        assert backend_names() == ["simulated", "openai_compat", "replay"]
+        assert backend_names() == ["simulated", "openai_compat", "replay", "chaos"]
         assert [name for name, _ in describe_backends()] == backend_names()
 
     def test_unknown_backend(self):
