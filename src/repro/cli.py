@@ -17,6 +17,9 @@ Subcommands:
   circuit breaker, and ``--chaos PLAN`` arms the fault-injection
   harness (see docs/RESILIENCE.md);
 * ``workloads`` — print the Table 2 overview for all four workloads;
+* ``rewrite list|apply`` — inspect the semantics-preserving rewrite
+  catalog or apply it to a SQL statement (``--name``, ``--families``,
+  ``--steps``, ``--schema``);
 * ``backends list`` — show the registered model backends.  ``run``
   selects one with ``--backend NAME`` (plus ``--backend-opt KEY=VALUE``
   for endpoint options, ``--max-concurrency`` / ``--rps`` for the
@@ -250,6 +253,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("workloads", help="print the Table 2 overview")
+
+    rewrite_parser = subparsers.add_parser(
+        "rewrite",
+        help="inspect or apply the semantics-preserving rewrite catalog",
+    )
+    rewrite_sub = rewrite_parser.add_subparsers(dest="action", required=True)
+    rewrite_sub.add_parser("list", help="show the rewrite catalog")
+    apply_parser = rewrite_sub.add_parser(
+        "apply", help="apply catalog rewrites to a SQL statement"
+    )
+    apply_parser.add_argument("sql", help="the SELECT statement to rewrite")
+    apply_parser.add_argument(
+        "--name",
+        default=None,
+        help="apply one specific transform by catalog name",
+    )
+    apply_parser.add_argument(
+        "--families",
+        default=None,
+        metavar="F1+F2",
+        help="restrict to these '+'-separated transform families",
+    )
+    apply_parser.add_argument(
+        "--steps",
+        type=int,
+        default=1,
+        help="maximum chain length (default 1)",
+    )
+    apply_parser.add_argument(
+        "--schema",
+        default=None,
+        choices=("sdss", "imdb"),
+        help="resolve columns against this schema (enables "
+        "schema-dependent transforms such as star expansion)",
+    )
 
     backends_parser = subparsers.add_parser(
         "backends", help="list the registered model backends"
@@ -833,6 +871,82 @@ def _workload_grid_text(runner, task: str, workload_name: str) -> str:
     return render_table(rows, f"{task} metrics on {workload_name}")
 
 
+def _cmd_rewrite(args) -> int:
+    from repro.evalfw.report import render_table
+    from repro.rewrite import CATALOG, catalog_fingerprint
+
+    if args.action == "list":
+        rows = [
+            {
+                "name": transform.name,
+                "family": transform.family,
+                "description": transform.description,
+            }
+            for transform in CATALOG
+        ]
+        print(render_table(rows, "Semantics-preserving rewrite catalog"))
+        print(f"catalog fingerprint: {catalog_fingerprint()[:12]}")
+        return 0
+
+    from repro.rewrite import apply_rewrite, apply_rewrite_chain
+    from repro.sql import try_parse
+    from repro.util import derive_rng
+
+    if args.steps < 1:
+        print(f"--steps must be >= 1, got {args.steps}", file=sys.stderr)
+        return 2
+    if args.name is not None and args.families is not None:
+        print("--name conflicts with --families", file=sys.stderr)
+        return 2
+    statement = try_parse(args.sql)
+    if statement is None:
+        print(f"could not parse SQL: {args.sql!r}", file=sys.stderr)
+        return 2
+    schema = None
+    if args.schema is not None:
+        from repro.workloads.synthetic import build_schema
+
+        schema = build_schema(args.schema)
+    families = (
+        tuple(part for part in args.families.split("+") if part)
+        if args.families is not None
+        else None
+    )
+    rng = derive_rng("rewrite-cli", args.seed)
+    try:
+        if args.name is not None:
+            applied = apply_rewrite(
+                statement, schema, rng, name=args.name, original_text=args.sql
+            )
+            if applied is None:
+                print(
+                    f"no applicable site for {args.name!r} in this statement",
+                    file=sys.stderr,
+                )
+                return 1
+            print(applied.text)
+            print(f"-- {applied.name}: {applied.detail}", file=sys.stderr)
+            return 0
+        chain = apply_rewrite_chain(
+            statement,
+            schema,
+            rng,
+            max_steps=args.steps,
+            families=families,
+            original_text=args.sql,
+        )
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    if chain is None:
+        print("no catalog transform applies to this statement", file=sys.stderr)
+        return 1
+    print(chain.text)
+    for step in chain.steps:
+        print(f"-- {step.name}: {step.detail}", file=sys.stderr)
+    return 0
+
+
 def _cmd_runs(args) -> int:
     from repro.evalfw.report import render_table
     from repro.reporting.run_record import RunRecordStore
@@ -1088,6 +1202,8 @@ def main(argv: list[str] | None = None) -> int:
             check=args.check,
             check_baseline=args.check_baseline,
         )
+    if args.command == "rewrite":
+        return _cmd_rewrite(args)
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "report":

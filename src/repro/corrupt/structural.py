@@ -15,8 +15,10 @@ family generates ASTs directly):
   off-by-one every hand-edited nested query risks), making the text
   unparseable.
 
-Each injector works on a clone of the statement and returns corrupted
-*text* plus labels, mirroring :mod:`repro.corrupt.syntax_errors`.
+Each injector runs through the shared transform layer
+(:mod:`repro.sql.transform`): it receives a clone, mutates or
+re-renders, and returns corrupted *text* plus labels, mirroring
+:mod:`repro.corrupt.syntax_errors`.
 """
 
 from __future__ import annotations
@@ -25,8 +27,15 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.schema.model import Schema
 from repro.sql import nodes as n
 from repro.sql.render import Renderer, render
+from repro.sql.transform import (
+    applicable_types,
+    apply_typed_transform,
+    outer_core,
+    sample_order,
+)
 
 CLAUSE_ORDER = "clause-order"
 DANGLING_ALIAS = "dangling-alias"
@@ -46,18 +55,11 @@ class StructuralCorruption:
     original_text: str
 
 
-def _outer_core(statement: n.Statement) -> Optional[n.SelectCore]:
-    if not isinstance(statement, n.SelectStatement):
-        return None
-    body = statement.query.body
-    return body if isinstance(body, n.SelectCore) else None
-
-
 def _corrupt_clause_order(
-    statement: n.Statement, rng: random.Random
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
 ) -> Optional[tuple[str, str]]:
     """Render the outer core with two clauses swapped."""
-    core = _outer_core(statement)
+    core = outer_core(statement)
     if core is None or not core.from_items:
         return None
     renderer = Renderer()
@@ -107,7 +109,7 @@ def _corrupt_clause_order(
 
 
 def _corrupt_dangling_alias(
-    statement: n.Statement, rng: random.Random
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
 ) -> Optional[tuple[str, str]]:
     """Drop one alias definition whose qualified references remain."""
     used_aliases = {
@@ -135,7 +137,7 @@ def _corrupt_dangling_alias(
 
 
 def _corrupt_paren_imbalance(
-    statement: n.Statement, rng: random.Random
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
 ) -> Optional[tuple[str, str]]:
     """Remove the closing parenthesis of one subquery."""
     has_subquery = any(
@@ -169,7 +171,10 @@ def _corrupt_paren_imbalance(
 
 
 _INJECTORS: dict[
-    str, Callable[[n.Statement, random.Random], Optional[tuple[str, str]]]
+    str,
+    Callable[
+        [n.Statement, Optional[Schema], random.Random], Optional[tuple[str, str]]
+    ],
 ] = {
     CLAUSE_ORDER: _corrupt_clause_order,
     DANGLING_ALIAS: _corrupt_dangling_alias,
@@ -181,12 +186,7 @@ def applicable_structural_types(
     statement: n.Statement, rng: random.Random
 ) -> list[str]:
     """Structural types whose injector succeeds on (a copy of) this statement."""
-    applicable = []
-    for error_type in STRUCTURAL_TYPES:
-        trial = n.clone(statement)
-        if _INJECTORS[error_type](trial, random.Random(rng.random())) is not None:
-            applicable.append(error_type)
-    return applicable
+    return applicable_types(statement, None, rng, _INJECTORS, STRUCTURAL_TYPES)
 
 
 def inject_structural_error(
@@ -200,26 +200,24 @@ def inject_structural_error(
     None when no injector applies (e.g. a flat query has no subquery to
     unbalance and no alias to dangle).
     """
-    original_text = render(statement)
     order = (
         [error_type]
         if error_type is not None
-        else rng.sample(list(STRUCTURAL_TYPES), k=len(STRUCTURAL_TYPES))
+        else sample_order(rng, STRUCTURAL_TYPES)
     )
-    for candidate in order:
-        if candidate not in _INJECTORS:
-            raise KeyError(f"unknown structural error type {candidate!r}")
-        mutated = n.clone(statement)
-        result = _INJECTORS[candidate](mutated, rng)
-        if result is None:
-            continue
-        text, detail = result
-        if text == original_text:
-            continue
-        return StructuralCorruption(
-            text=text,
-            error_type=candidate,
-            detail=detail,
-            original_text=original_text,
-        )
-    return None
+    applied = apply_typed_transform(
+        statement,
+        None,
+        rng,
+        _INJECTORS,
+        order,
+        kind="structural error",
+    )
+    if applied is None:
+        return None
+    return StructuralCorruption(
+        text=applied.text,
+        error_type=applied.name,
+        detail=applied.detail,
+        original_text=applied.original_text,
+    )

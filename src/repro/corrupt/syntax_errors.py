@@ -24,7 +24,13 @@ from repro.analysis.semantics import (
 from repro.schema.model import ColType, Schema
 from repro.sql import nodes as n
 from repro.sql.keywords import AGGREGATE_FUNCTIONS
-from repro.sql.render import render
+from repro.sql.transform import (
+    applicable_types,
+    apply_typed_transform,
+    named_tables,
+    replace_expr,
+    select_cores,
+)
 
 #: Error-type labels, re-exported in the paper's order.
 ERROR_TYPES: tuple[str, ...] = PAPER_ERROR_TYPES
@@ -40,30 +46,6 @@ class SyntaxCorruption:
     original_text: str
 
 
-def _select_cores(statement: n.Statement) -> list[n.SelectCore]:
-    """All SELECT cores in the statement, outermost first."""
-    cores: list[n.SelectCore] = []
-    for node in n.walk(statement):
-        if isinstance(node, n.SelectCore):
-            cores.append(node)
-    return cores
-
-
-def _named_tables(core: n.SelectCore) -> list[n.NamedTable]:
-    tables: list[n.NamedTable] = []
-
-    def visit(ref: n.TableRef) -> None:
-        if isinstance(ref, n.NamedTable):
-            tables.append(ref)
-        elif isinstance(ref, n.Join):
-            visit(ref.left)
-            visit(ref.right)
-
-    for item in core.from_items:
-        visit(item)
-    return tables
-
-
 def _source_label(table: n.NamedTable) -> str:
     return table.alias or table.name
 
@@ -72,8 +54,8 @@ def _pick_core_with_tables(
     statement: n.Statement, schema: Schema, rng: random.Random
 ) -> Optional[tuple[n.SelectCore, list[n.NamedTable]]]:
     candidates = []
-    for core in _select_cores(statement):
-        tables = [t for t in _named_tables(core) if schema.has_table(t.name)]
+    for core in select_cores(statement):
+        tables = [t for t in named_tables(core) if schema.has_table(t.name)]
         if tables:
             candidates.append((core, tables))
     if not candidates:
@@ -184,7 +166,7 @@ def _inject_nested_mismatch(
         replacement = n.Binary(
             op="=", left=target.expr, right=n.ScalarSubquery(query=target.query)
         )
-        if multi_row and _replace_expr(statement, target, replacement):
+        if multi_row and replace_expr(statement, target, replacement):
             return "IN-subquery degraded to scalar '=' comparison"
     # Fallback: append `key = (SELECT key FROM other)` to a core's WHERE.
     picked = _pick_core_with_tables(statement, schema, rng)
@@ -351,8 +333,8 @@ def _inject_alias_ambiguous(
     shared = set(schema.shared_column_names())
     if not shared:
         return None
-    for core in _select_cores(statement):
-        tables = [t for t in _named_tables(core) if schema.has_table(t.name)]
+    for core in select_cores(statement):
+        tables = [t for t in named_tables(core) if schema.has_table(t.name)]
         if len(tables) < 2:
             continue
         # Column names shared by at least two sources of this core.
@@ -409,22 +391,6 @@ def _join_condition_refs(core: n.SelectCore) -> set[int]:
     return {id_ for id_ in refs}
 
 
-def _replace_expr(root: n.Node, target: n.Expr, replacement: n.Expr) -> bool:
-    """Replace *target* (by identity) anywhere under *root*."""
-    for node in n.walk(root):
-        for field_name in getattr(node, "__dataclass_fields__", {}):
-            value = getattr(node, field_name)
-            if value is target:
-                setattr(node, field_name, replacement)
-                return True
-            if isinstance(value, list):
-                for index, item in enumerate(value):
-                    if item is target:
-                        value[index] = replacement
-                        return True
-    return False
-
-
 _INJECTORS: dict[str, Callable] = {
     AGGR_ATTR: _inject_aggr_attr,
     AGGR_HAVING: _inject_aggr_having,
@@ -439,12 +405,7 @@ def applicable_error_types(
     statement: n.Statement, schema: Schema, rng: random.Random
 ) -> list[str]:
     """Error types whose injector succeeds on (a copy of) this statement."""
-    applicable = []
-    for error_type in ERROR_TYPES:
-        trial = n.clone(statement)
-        if _INJECTORS[error_type](trial, schema, random.Random(rng.random())) is not None:
-            applicable.append(error_type)
-    return applicable
+    return applicable_types(statement, schema, rng, _INJECTORS, ERROR_TYPES)
 
 
 def _weighted_order(
@@ -485,23 +446,25 @@ def inject_syntax_error(
     type is used.  Returns None when no injector applies (e.g. DECLARE
     statements).
     """
-    original_text = render(statement)
     order = (
         [error_type]
         if error_type is not None
         else _weighted_order(rng, type_weights)
     )
-    for candidate in order:
-        if candidate not in _INJECTORS:
-            raise KeyError(f"unknown error type {candidate!r}")
-        mutated = n.clone(statement)
-        detail = _INJECTORS[candidate](mutated, schema, rng)
-        if detail is None:
-            continue
-        return SyntaxCorruption(
-            text=render(mutated),
-            error_type=candidate,
-            detail=detail,
-            original_text=original_text,
-        )
-    return None
+    applied = apply_typed_transform(
+        statement,
+        schema,
+        rng,
+        _INJECTORS,
+        order,
+        require_change=False,
+        kind="error",
+    )
+    if applied is None:
+        return None
+    return SyntaxCorruption(
+        text=applied.text,
+        error_type=applied.name,
+        detail=applied.detail,
+        original_text=applied.original_text,
+    )

@@ -92,6 +92,29 @@ def prompt_fingerprint(task: str, prompt: Optional[PromptTemplate]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def rewrite_fingerprint(task: str, workload: str) -> str:
+    """Rewrite-catalog fingerprint for a cell, "" for non-rewrite cells.
+
+    Rewrite-task answers depend on the transform catalog (which families
+    exist, what each one does) and on the workload's family restriction;
+    folding the catalog fingerprint into the key gives rewrite cells an
+    explicit provenance line instead of leaning on the whole-source
+    hash alone — the same fingerprint lands in the RunRecord.
+    """
+    from repro.tasks.base import REWRITE_TASKS
+
+    if task not in REWRITE_TASKS:
+        return ""
+    from repro.rewrite.catalog import catalog_fingerprint
+    from repro.workloads.synthetic import rewrite_families_of
+
+    try:
+        families = rewrite_families_of(workload) or None
+    except ValueError:
+        families = None
+    return catalog_fingerprint(families)
+
+
 def cell_key(
     seed: int,
     profile: ModelProfile,
@@ -126,6 +149,7 @@ def cell_key(
             "prompt": prompt_fingerprint(task, prompt),
             "backend": spec.fingerprint(),
             "backend_state": backend_state,
+            "rewrite_catalog": rewrite_fingerprint(task, workload),
         },
         sort_keys=True,
     )
@@ -145,6 +169,7 @@ def dataset_key(
             "workload": workload,
             "seed": seed,
             "max_instances": max_instances,
+            "rewrite_catalog": rewrite_fingerprint(task, workload),
         },
         sort_keys=True,
     )

@@ -16,6 +16,13 @@ from repro.schema.model import ColType, Schema
 from repro.sql import nodes as n
 from repro.sql.keywords import AGGREGATE_FUNCTIONS
 from repro.sql.render import render
+from repro.sql.transform import (
+    and_leaves,
+    apply_typed_transform,
+    named_tables_with_labels,
+    rebuild_and,
+    sample_order,
+)
 
 AGG_FUNCTION = "agg-function"
 CHANGE_JOIN_CONDITION = "change-join-condition"
@@ -152,14 +159,12 @@ def _t_comparison_op(
 def _t_drop_condition(
     statement: n.SelectStatement, schema: Schema, rng: random.Random
 ) -> Optional[str]:
-    from repro.equivalence.transforms import _and_leaves, _rebuild_and
-
     cores = [c for c in n.walk(statement) if isinstance(c, n.SelectCore)]
     candidates = []
     for core in cores:
         if core.where is None:
             continue
-        leaves = _and_leaves(core.where)
+        leaves = and_leaves(core.where)
         droppable = [
             leaf
             for leaf in leaves
@@ -172,7 +177,7 @@ def _t_drop_condition(
     core, leaves, droppable = rng.choice(candidates)
     victim = rng.choice(droppable)
     remaining = [leaf for leaf in leaves if leaf is not victim]
-    core.where = _rebuild_and(remaining)
+    core.where = rebuild_and(remaining)
     return f"dropped condition {render(victim)!r}"
 
 
@@ -192,7 +197,7 @@ def _t_column_swap(
     body = statement.query.body
     if not isinstance(body, n.SelectCore):
         return None
-    sources = _named_tables_with_labels(body)
+    sources = named_tables_with_labels(body)
     swappable: list[n.ColumnRef] = []
     for item in body.items:
         if isinstance(item.expr, n.ColumnRef):
@@ -226,21 +231,6 @@ def _t_column_swap(
             ref.name = replacement.name
             return f"selected column {old_name!r} swapped for {replacement.name!r}"
     return None
-
-
-def _named_tables_with_labels(core: n.SelectCore) -> list[tuple[str, str]]:
-    result: list[tuple[str, str]] = []
-
-    def visit(ref: n.TableRef) -> None:
-        if isinstance(ref, n.NamedTable):
-            result.append((ref.alias or ref.name, ref.name))
-        elif isinstance(ref, n.Join):
-            visit(ref.left)
-            visit(ref.right)
-
-    for item in core.from_items:
-        visit(item)
-    return result
 
 
 def _t_distinct_change(
@@ -284,28 +274,26 @@ def apply_non_equivalence_transform(
     Callers retrying many types for one statement can pass the
     pre-rendered *original_text* to skip the per-attempt re-render.
     """
-    if original_text is None:
-        original_text = render(statement)
     order = (
         [pair_type]
         if pair_type is not None
-        else rng.sample(list(NON_EQUIVALENCE_TYPES), k=len(NON_EQUIVALENCE_TYPES))
+        else sample_order(rng, NON_EQUIVALENCE_TYPES)
     )
-    for candidate in order:
-        if candidate not in _TRANSFORMS:
-            raise KeyError(f"unknown non-equivalence type {candidate!r}")
-        mutated = n.clone(statement)
-        detail = _TRANSFORMS[candidate](mutated, schema, rng)
-        if detail is None:
-            continue
-        text = render(mutated)
-        if text == original_text:
-            continue
-        return NonEquivalentRewrite(
-            text=text,
-            pair_type=candidate,
-            detail=detail,
-            original_text=original_text,
-            statement=mutated,
-        )
-    return None
+    applied = apply_typed_transform(
+        statement,
+        schema,
+        rng,
+        _TRANSFORMS,
+        order,
+        original_text=original_text,
+        kind="non-equivalence",
+    )
+    if applied is None:
+        return None
+    return NonEquivalentRewrite(
+        text=applied.text,
+        pair_type=applied.name,
+        detail=applied.detail,
+        original_text=applied.original_text,
+        statement=applied.statement,
+    )

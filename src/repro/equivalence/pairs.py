@@ -47,7 +47,8 @@ class QueryPair:
     detail: str = ""
 
 
-def _eligible(query: WorkloadQuery) -> bool:
+def eligible_for_pairing(query: WorkloadQuery) -> bool:
+    """SELECT statements without TOP/LIMIT (shared with the rewrite pairs)."""
     statement = query.statement
     if statement is None or not isinstance(statement, n.SelectStatement):
         return False
@@ -103,7 +104,7 @@ def iter_equivalence_pairs(
                 break
             if query.properties.query_type not in ("SELECT", "WITH"):
                 continue
-            if not _eligible(query):
+            if not eligible_for_pairing(query):
                 continue
             schema = source.schema_for(query)
             if verify and query.schema_name not in checkers:

@@ -16,7 +16,16 @@ from typing import Callable, Optional
 
 from repro.schema.model import Schema
 from repro.sql import nodes as n
-from repro.sql.render import render
+from repro.sql.transform import (
+    and_leaves,
+    apply_typed_transform,
+    outer_core,
+    qualify_core_refs,
+    qualify_shallow,
+    rebuild_and,
+    replace_expr,
+    sample_order,
+)
 
 SWAP_SUBQUERIES = "swap-subqueries"
 JOIN_NESTED = "join-nested"
@@ -61,93 +70,9 @@ class EquivalentRewrite:
 
 
 # ---------------------------------------------------------------------------
-# Shared helpers
+# Shared helpers (tree walking/rebuilding and scope qualification live in
+# repro.sql.transform; only precondition probes are local to this module)
 # ---------------------------------------------------------------------------
-
-
-def _outer_core(statement: n.SelectStatement) -> Optional[n.SelectCore]:
-    body = statement.query.body
-    return body if isinstance(body, n.SelectCore) else None
-
-
-def _and_leaves(expr: n.Expr) -> list[n.Expr]:
-    """Flatten a conjunction into its leaves."""
-    if isinstance(expr, n.Binary) and expr.op == "AND":
-        return _and_leaves(expr.left) + _and_leaves(expr.right)
-    return [expr]
-
-
-def _rebuild_and(leaves: list[n.Expr]) -> Optional[n.Expr]:
-    if not leaves:
-        return None
-    combined = leaves[0]
-    for leaf in leaves[1:]:
-        combined = n.Binary(op="AND", left=combined, right=leaf)
-    return combined
-
-
-def _replace_expr(root: n.Node, target: n.Expr, replacement: n.Expr) -> bool:
-    for node in n.walk(root):
-        for field_name in getattr(node, "__dataclass_fields__", {}):
-            value = getattr(node, field_name)
-            if value is target:
-                setattr(node, field_name, replacement)
-                return True
-            if isinstance(value, list):
-                for index, item in enumerate(value):
-                    if item is target:
-                        value[index] = replacement
-                        return True
-                    if isinstance(item, tuple):
-                        for sub_index, sub in enumerate(item):
-                            if sub is target:
-                                new_tuple = list(item)
-                                new_tuple[sub_index] = replacement
-                                value[index] = tuple(new_tuple)
-                                return True
-    return False
-
-
-def _qualify_shallow(expr: n.Expr, alias: str) -> None:
-    """Qualify unqualified column refs at this scope level (not subqueries)."""
-    stack: list[n.Expr] = [expr]
-    while stack:
-        current = stack.pop()
-        if isinstance(current, n.ColumnRef):
-            if current.table is None:
-                current.table = alias
-        elif isinstance(current, (n.ScalarSubquery, n.Exists)):
-            continue
-        elif isinstance(current, n.InSubquery):
-            stack.append(current.expr)
-        else:
-            for child in current.children():
-                if isinstance(child, n.Expr):
-                    stack.append(child)
-
-
-def _qualify_core_refs(core: n.SelectCore, alias: str) -> None:
-    """Qualify every unqualified level-0 ref of a single-source core."""
-    select_aliases = {item.alias.lower() for item in core.items if item.alias}
-    for item in core.items:
-        if isinstance(item.expr, n.Star):
-            continue
-        _qualify_shallow(item.expr, alias)
-    if core.where is not None:
-        _qualify_shallow(core.where, alias)
-    for expr in core.group_by:
-        _qualify_shallow(expr, alias)
-    if core.having is not None:
-        _qualify_shallow(core.having, alias)
-    for item in core.order_by:
-        # ORDER BY may name a select alias; qualifying that would break it.
-        if (
-            isinstance(item.expr, n.ColumnRef)
-            and item.expr.table is None
-            and item.expr.name.lower() in select_aliases
-        ):
-            continue
-        _qualify_shallow(item.expr, alias)
 
 
 def _membership_conjuncts(core: n.SelectCore) -> list[n.InSubquery]:
@@ -156,7 +81,7 @@ def _membership_conjuncts(core: n.SelectCore) -> list[n.InSubquery]:
         return []
     return [
         leaf
-        for leaf in _and_leaves(core.where)
+        for leaf in and_leaves(core.where)
         if isinstance(leaf, n.InSubquery) and not leaf.negated
     ]
 
@@ -206,12 +131,12 @@ def _t_reorder_conditions(
     candidates = [
         core
         for core in cores
-        if core.where is not None and len(_and_leaves(core.where)) >= 2
+        if core.where is not None and len(and_leaves(core.where)) >= 2
     ]
     if not candidates:
         return None
     core = rng.choice(candidates)
-    leaves = _and_leaves(core.where)
+    leaves = and_leaves(core.where)
     original = list(leaves)
     for _ in range(6):
         rng.shuffle(leaves)
@@ -219,7 +144,7 @@ def _t_reorder_conditions(
             break
     else:
         leaves.reverse()
-    core.where = _rebuild_and(leaves)
+    core.where = rebuild_and(leaves)
     return f"shuffled {len(leaves)} WHERE conjuncts"
 
 
@@ -243,7 +168,7 @@ def _t_cte(
 def _t_join_nested(
     statement: n.SelectStatement, schema: Schema, rng: random.Random
 ) -> Optional[str]:
-    core = _outer_core(statement)
+    core = outer_core(statement)
     if core is None or len(core.from_items) != 1:
         return None
     join = core.from_items[0]
@@ -310,7 +235,7 @@ def _refs_outside_join_condition(
 def _t_nested_join(
     statement: n.SelectStatement, schema: Schema, rng: random.Random
 ) -> Optional[str]:
-    core = _outer_core(statement)
+    core = outer_core(statement)
     if core is None:
         return None
     outer_table = _single_named_table(core)
@@ -323,7 +248,7 @@ def _t_nested_join(
             continue
         sub_core, sub_table = simple
         if sub_core.where is not None and any(
-            isinstance(leaf, n.InSubquery) for leaf in _and_leaves(sub_core.where)
+            isinstance(leaf, n.InSubquery) for leaf in and_leaves(sub_core.where)
         ):
             continue  # deeper nests stay as nests; keep the rewrite local
         inner_schema_table = schema.table(sub_table.name)
@@ -338,7 +263,7 @@ def _t_nested_join(
         # Qualify the outer level so the new source cannot capture refs.
         outer_alias = outer_table.alias or "t0"
         outer_table.alias = outer_alias
-        _qualify_core_refs(core, outer_alias)
+        qualify_core_refs(core, outer_alias)
         join_alias = "jt"
         condition = n.Binary(
             op="=",
@@ -347,7 +272,7 @@ def _t_nested_join(
         )
         inner_where = sub_core.where
         if inner_where is not None:
-            _qualify_shallow(inner_where, join_alias)
+            qualify_shallow(inner_where, join_alias)
         core.from_items[0] = n.Join(
             left=n.NamedTable(name=outer_table.name, alias=outer_alias),
             right=n.NamedTable(name=sub_table.name, alias=join_alias),
@@ -355,11 +280,11 @@ def _t_nested_join(
             condition=condition,
         )
         leaves = [
-            leaf for leaf in _and_leaves(core.where) if leaf is not membership
+            leaf for leaf in and_leaves(core.where) if leaf is not membership
         ]
         if inner_where is not None:
             leaves.append(inner_where)
-        core.where = _rebuild_and(leaves)
+        core.where = rebuild_and(leaves)
         return f"IN-subquery on {sub_table.name!r} rewritten as join"
     return None
 
@@ -373,7 +298,7 @@ def _t_swap_subqueries(
         outer_table = _single_named_table(core)
         if outer_table is None or core.where is None:
             continue
-        for membership in _and_leaves(core.where):
+        for membership in and_leaves(core.where):
             if not isinstance(membership, n.InSubquery):
                 continue
             simple = _simple_subquery(membership.query)
@@ -384,7 +309,7 @@ def _t_swap_subqueries(
                 continue
             outer_alias = outer_table.alias or "t0"
             outer_table.alias = outer_alias
-            _qualify_core_refs(core, outer_alias)
+            qualify_core_refs(core, outer_alias)
             inner_label = sub_table.alias or sub_table.name
             inner_key = sub_core.items[0].expr
             correlation = n.Binary(
@@ -406,11 +331,11 @@ def _t_swap_subqueries(
                 ),
             )
             if sub_core.where is not None:
-                _qualify_shallow(sub_core.where, inner_label)
+                qualify_shallow(sub_core.where, inner_label)
             replacement = n.Exists(
                 query=n.Query(body=new_core), negated=membership.negated
             )
-            if _replace_expr(core, membership, replacement):
+            if replace_expr(core, membership, replacement):
                 return (
                     f"IN over {sub_table.name!r} swapped to correlated EXISTS"
                 )
@@ -440,7 +365,7 @@ def _t_between_split(
                 op="<=", left=n.clone(target.expr), right=target.high
             ),
         )
-    if _replace_expr(statement, target, replacement):
+    if replace_expr(statement, target, replacement):
         return "BETWEEN split into two comparisons"
     return None
 
@@ -465,7 +390,7 @@ def _t_in_expansion(
     combined = parts[0]
     for part in parts[1:]:
         combined = n.Binary(op=joiner, left=combined, right=part)
-    if _replace_expr(statement, target, combined):
+    if replace_expr(statement, target, combined):
         return f"IN list expanded into {joiner} chain of {len(parts)}"
     return None
 
@@ -574,28 +499,26 @@ def apply_equivalence_transform(
     one statement can pass the pre-rendered *original_text* to skip the
     per-attempt re-render.
     """
-    if original_text is None:
-        original_text = render(statement)
     order = (
         [pair_type]
         if pair_type is not None
-        else rng.sample(list(EQUIVALENCE_TYPES), k=len(EQUIVALENCE_TYPES))
+        else sample_order(rng, EQUIVALENCE_TYPES)
     )
-    for candidate in order:
-        if candidate not in _TRANSFORMS:
-            raise KeyError(f"unknown equivalence type {candidate!r}")
-        mutated = n.clone(statement)
-        detail = _TRANSFORMS[candidate](mutated, schema, rng)
-        if detail is None:
-            continue
-        text = render(mutated)
-        if text == original_text:
-            continue
-        return EquivalentRewrite(
-            text=text,
-            pair_type=candidate,
-            detail=detail,
-            original_text=original_text,
-            statement=mutated,
-        )
-    return None
+    applied = apply_typed_transform(
+        statement,
+        schema,
+        rng,
+        _TRANSFORMS,
+        order,
+        original_text=original_text,
+        kind="equivalence",
+    )
+    if applied is None:
+        return None
+    return EquivalentRewrite(
+        text=applied.text,
+        pair_type=applied.name,
+        detail=applied.detail,
+        original_text=applied.original_text,
+        statement=applied.statement,
+    )

@@ -24,6 +24,8 @@ _MISS_TOKEN = "miss_token"
 _QUERY_EQUIV = "query_equiv"
 _PERFORMANCE_PRED = "performance_pred"
 _QUERY_EXP = "query_exp"
+_REWRITE_EQUIVALENCE = "rewrite_equivalence"
+_REWRITE_SPEEDUP = "rewrite_speedup"
 
 
 class SimulatedBackend(BaseBackend):
@@ -67,7 +69,7 @@ class SimulatedBackend(BaseBackend):
                 truth_position=instance.position,
                 prompt_quality=quality,
             )
-        if task == _QUERY_EQUIV:
+        if task in (_QUERY_EQUIV, _REWRITE_EQUIVALENCE):
             return self.client.answer_equivalence(
                 instance.instance_id,
                 instance.payload["query_1"],
@@ -84,6 +86,15 @@ class SimulatedBackend(BaseBackend):
                 instance.payload["query"],
                 instance.props,
                 truth_costly=bool(instance.label),
+                prompt_quality=quality,
+            )
+        if task == _REWRITE_SPEEDUP:
+            return self.client.answer_speedup(
+                instance.instance_id,
+                instance.payload["query_1"],
+                instance.payload["query_2"],
+                instance.props,
+                truth_faster=bool(instance.label),
                 prompt_quality=quality,
             )
         if task == _QUERY_EXP:

@@ -254,6 +254,63 @@ class SimulatedLLM:
             metadata={"says_costly": says_costly},
         )
 
+    # -- rewrite_speedup --------------------------------------------------------
+
+    def answer_speedup(
+        self,
+        instance_id: str,
+        first_text: str,
+        second_text: str,
+        props: QueryProperties,
+        truth_faster: bool,
+        prompt_quality: float = 1.0,
+    ) -> LLMResponse:
+        """Judge whether a semantics-preserving rewrite speeds the query up.
+
+        Reuses the performance skill: the same cost intuition that decides
+        "slow or fast" decides "did this rewrite help", with the same
+        complexity-driven false-positive mode — busy-looking rewrites of
+        complex queries *look* like optimisations.
+        """
+        skill = self.profile.skill(PERFORMANCE)
+        rng = self._rng("rewrite_speedup", instance_id)
+        complexity = complexity_score(props)
+        if truth_faster:
+            tpr = _clamp(
+                (
+                    skill.competence
+                    - skill.complexity_sensitivity * _excess(complexity)
+                )
+                * prompt_quality
+            )
+            says_faster = rng.random() < tpr
+        else:
+            fpr = _clamp(
+                skill.false_alarm + skill.fp_complexity * complexity, 0.0, 0.95
+            )
+            says_faster = rng.random() < fpr
+        reason_faster = (
+            "The rewritten form avoids redundant work the original performs.",
+            "The transformation simplifies the plan, so it should run faster.",
+            "Collapsing the predicate structure reduces evaluation cost.",
+        )
+        reason_same = (
+            "The rewrite is cosmetic; the engine would plan both the same way.",
+            "Both forms scan the same data, so runtime should not improve.",
+            "The optimizer already normalises this pattern; no speedup.",
+        )
+        text = verbalize.yes_no_response(
+            says_faster,
+            rng,
+            self.profile.verbosity,
+            rng.choice(reason_faster if says_faster else reason_same),
+        )
+        return LLMResponse(
+            text=text,
+            model=self.profile.name,
+            metadata={"says_faster": says_faster},
+        )
+
     # -- query_equiv -------------------------------------------------------------
 
     def answer_equivalence(

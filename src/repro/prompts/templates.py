@@ -17,6 +17,8 @@ MISS_TOKEN = "miss_token"
 QUERY_EQUIV = "query_equiv"
 PERFORMANCE_PRED = "performance_pred"
 QUERY_EXP = "query_exp"
+REWRITE_EQUIVALENCE = "rewrite_equivalence"
+REWRITE_SPEEDUP = "rewrite_speedup"
 
 TASK_NAMES: tuple[str, ...] = (
     SYNTAX_ERROR,
@@ -24,6 +26,8 @@ TASK_NAMES: tuple[str, ...] = (
     QUERY_EQUIV,
     PERFORMANCE_PRED,
     QUERY_EXP,
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
 )
 
 
@@ -91,6 +95,27 @@ TUNED_PROMPTS: dict[str, PromptTemplate] = {
         text="Provide a single statement describing this query: {query}",
         quality=1.0,
     ),
+    REWRITE_EQUIVALENCE: PromptTemplate(
+        task=REWRITE_EQUIVALENCE,
+        name="tuned",
+        text=(
+            "The second query was produced by rewriting the first. "
+            "Is the rewrite semantics-preserving (do both queries produce "
+            "the same results on the same database schema)? "
+            "If yes, name the rewrite applied. {query_1} {query_2}"
+        ),
+        quality=1.0,
+    ),
+    REWRITE_SPEEDUP: PromptTemplate(
+        task=REWRITE_SPEEDUP,
+        name="tuned",
+        text=(
+            "The second query is a semantics-preserving rewrite of the "
+            "first. Would the rewritten form run faster than the original "
+            "on a typical engine? {query_1} {query_2}"
+        ),
+        quality=1.0,
+    ),
 }
 
 #: Weaker variants the tuning harness must reject.
@@ -148,6 +173,24 @@ VARIANT_PROMPTS: dict[str, list[PromptTemplate]] = {
             name="terse",
             text="Explain: {query}",
             quality=0.93,
+        ),
+    ],
+    REWRITE_EQUIVALENCE: [
+        TUNED_PROMPTS[REWRITE_EQUIVALENCE],
+        PromptTemplate(
+            task=REWRITE_EQUIVALENCE,
+            name="terse",
+            text="Valid rewrite? {query_1} {query_2}",
+            quality=0.9,
+        ),
+    ],
+    REWRITE_SPEEDUP: [
+        TUNED_PROMPTS[REWRITE_SPEEDUP],
+        PromptTemplate(
+            task=REWRITE_SPEEDUP,
+            name="terse",
+            text="Is the rewrite faster? {query_1} {query_2}",
+            quality=0.9,
         ),
     ],
 }

@@ -33,6 +33,7 @@ from repro.reporting.complexity import (
     render_complexity_section,
     stratum_rows,
 )
+from repro.reporting.rewrite import family_rows, render_rewrite_section
 from repro.reporting.html import write_html_dashboard
 from repro.reporting.markdown import render_markdown_report
 from repro.reporting.paper_refs import (
@@ -75,9 +76,11 @@ __all__ = [
     "paper_typed",
     "property_rows",
     "record_from_engine",
+    "family_rows",
     "render_comparison",
     "render_complexity_section",
     "render_markdown_report",
+    "render_rewrite_section",
     "stratum_rows",
     "report_json_payload",
     "write_html_dashboard",

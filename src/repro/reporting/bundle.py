@@ -24,6 +24,7 @@ from repro.reporting.complexity import render_complexity_section
 from repro.reporting.html import GridMap, write_html_dashboard
 from repro.reporting.markdown import render_markdown_report
 from repro.reporting.paper_refs import paper_f1_delta
+from repro.reporting.rewrite import render_rewrite_section
 from repro.reporting.run_record import RunRecord
 
 
@@ -81,6 +82,10 @@ def write_report_bundle(
         complexity = render_complexity_section(grids)
         if complexity:
             markdown = markdown.rstrip() + "\n\n" + "\n".join(complexity).rstrip() + "\n"
+        # Rewrite grids additionally get per-family accuracy tables.
+        rewrite = render_rewrite_section(grids)
+        if rewrite:
+            markdown = markdown.rstrip() + "\n\n" + "\n".join(rewrite).rstrip() + "\n"
     markdown_path.write_text(markdown, encoding="utf-8")
 
     json_path = root / "report.json"

@@ -201,6 +201,10 @@ class RunRecord:
     #: instances, workers_used, redispatched) when streaming was active.
     chunk_size: Optional[int] = None
     stream_stats: dict[str, int] = field(default_factory=dict)
+    #: Rewrite provenance: the transform-catalog fingerprint rewrite
+    #: cells were evaluated against ("" when the run had none) — the
+    #: same value folded into their cache keys.
+    rewrite_catalog: str = ""
     cells: tuple[CellRecord, ...] = ()
     #: Cell-error policy the run executed under, and the structured
     #: failures of cells it absorbed (skip/degrade) — the report layer
@@ -314,6 +318,7 @@ class RunRecord:
             stream_stats={
                 k: int(v) for k, v in data.get("stream_stats", {}).items()
             },
+            rewrite_catalog=data.get("rewrite_catalog", ""),
             cells=tuple(
                 CellRecord.from_dict(cell) for cell in data.get("cells", ())
             ),
@@ -410,6 +415,13 @@ def record_from_engine(
     cache_stats = (
         engine.cache.stats.as_dict() if engine.cache is not None else {}
     )
+    from repro.tasks.base import REWRITE_TASKS
+
+    rewrite_catalog = ""
+    if any(cell.task in REWRITE_TASKS for cell in cells):
+        from repro.rewrite.catalog import catalog_fingerprint
+
+        rewrite_catalog = catalog_fingerprint()
     record = RunRecord(
         run_id="",
         created_at=created,
@@ -430,6 +442,7 @@ def record_from_engine(
         analysis_cache_stats=analysis_counters().as_dict(),
         chunk_size=config.chunk_size,
         stream_stats=engine.stream_stats() or {},
+        rewrite_catalog=rewrite_catalog,
         cells=tuple(cells),
         on_cell_error=config.on_cell_error,
         failures=tuple(engine.failures),

@@ -1,0 +1,42 @@
+"""Semantics-preserving rewrite layer (tentpole of the rewrite tasks).
+
+``repro.rewrite.catalog`` holds the transform catalog — eight families
+of execution-validated, semantics-preserving rewrites built on the
+generic :mod:`repro.sql.transform` primitives — and
+``repro.rewrite.pairs`` turns workload queries into labeled
+original/rewritten pairs (multi-step chains as hard positives,
+counter-transforms as hard negatives) for the ``rewrite_equivalence``
+and ``rewrite_speedup`` tasks.
+"""
+
+from repro.rewrite.catalog import (
+    CATALOG,
+    REWRITE_FAMILIES,
+    RewriteChain,
+    RewriteStep,
+    RewriteTransform,
+    apply_rewrite,
+    apply_rewrite_chain,
+    catalog_fingerprint,
+    transforms_for,
+)
+from repro.rewrite.pairs import (
+    RewritePair,
+    generate_rewrite_pairs,
+    iter_rewrite_pairs,
+)
+
+__all__ = [
+    "CATALOG",
+    "REWRITE_FAMILIES",
+    "RewriteChain",
+    "RewritePair",
+    "RewriteStep",
+    "RewriteTransform",
+    "apply_rewrite",
+    "apply_rewrite_chain",
+    "catalog_fingerprint",
+    "generate_rewrite_pairs",
+    "iter_rewrite_pairs",
+    "transforms_for",
+]

@@ -1,0 +1,701 @@
+"""The semantics-preserving rewrite catalog.
+
+Nine transforms across eight families, each a mutation function over the
+shared transform layer (:mod:`repro.sql.transform`): it receives an
+already-cloned statement, mutates it in place, and returns a detail
+string — or ``None`` when its structural precondition fails.  Every
+transform preserves the result bag on all generated database instances
+(the row generator is NULL-free by construction, which is what licenses
+``= NULL`` → ``IS NULL``), and the property suite verifies exactly that
+by execution on seeded SQLite instances per family.
+
+Transforms keep output ASTs in parser normal form, so
+``parse(render(t(ast))) == t(ast)`` holds exactly — the same invariant
+the synthetic generator upholds — and chains of transforms compose
+without drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.schema.model import Schema
+from repro.sql import nodes as n
+from repro.sql.keywords import AGGREGATE_FUNCTIONS
+from repro.sql.render import render
+from repro.sql.transform import (
+    and_leaves,
+    apply_typed_transform,
+    named_tables,
+    outer_core,
+    qualify_core_refs,
+    rebuild_and,
+    replace_expr,
+    sample_order,
+    select_cores,
+    walk,
+)
+
+# -- family names ------------------------------------------------------------
+
+OR_IN = "or-in"
+NULL_NORMALIZE = "null-normalize"
+STAR_EXPANSION = "star-expansion"
+SUBQUERY_CTE = "subquery-cte"
+SETOP_EXISTS = "setop-exists"
+PUSHDOWN = "pushdown"
+DISTINCT_ELIM = "distinct-elim"
+CONST_FOLD = "const-fold"
+
+
+@dataclass(frozen=True)
+class RewriteTransform:
+    """One catalog entry: a named, family-tagged mutation function."""
+
+    name: str
+    family: str
+    description: str
+    fn: Callable[
+        [n.Statement, Optional[Schema], random.Random], Optional[str]
+    ] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One applied chain step (for provenance and per-family reporting)."""
+
+    name: str
+    family: str
+    detail: str
+
+
+@dataclass
+class RewriteChain:
+    """A multi-step rewrite: original text, final text, and the steps.
+
+    ``statement`` is the AST ``text`` was rendered from, so downstream
+    consumers (the execution checker, the cost model) never re-parse.
+    """
+
+    text: str
+    original_text: str
+    steps: tuple[RewriteStep, ...]
+    statement: n.Statement
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        return tuple(step.family for step in self.steps)
+
+    @property
+    def chain_label(self) -> str:
+        """The per-family reporting key: families joined in step order."""
+        return "+".join(step.family for step in self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Transform implementations
+# ---------------------------------------------------------------------------
+
+
+def _or_leaves(expr: n.Expr) -> list[n.Expr]:
+    if isinstance(expr, n.Binary) and expr.op == "OR":
+        return _or_leaves(expr.left) + _or_leaves(expr.right)
+    return [expr]
+
+
+def _maximal_or_roots(statement: n.Statement) -> list[n.Binary]:
+    """OR nodes that are not themselves a branch of a larger OR tree."""
+    ors = [
+        node
+        for node in walk(statement)
+        if isinstance(node, n.Binary) and node.op == "OR"
+    ]
+    branch_ids = set()
+    for node in ors:
+        for side in (node.left, node.right):
+            if isinstance(side, n.Binary) and side.op == "OR":
+                branch_ids.add(id(side))
+    return [node for node in ors if id(node) not in branch_ids]
+
+
+def _common_eq_column(leaves: list[n.Expr]) -> Optional[n.ColumnRef]:
+    """The shared left-hand column when every leaf is ``col = literal``."""
+    key: Optional[tuple[str, str]] = None
+    first: Optional[n.ColumnRef] = None
+    for leaf in leaves:
+        if not (
+            isinstance(leaf, n.Binary)
+            and leaf.op == "="
+            and isinstance(leaf.left, n.ColumnRef)
+            and isinstance(leaf.right, n.Literal)
+            and leaf.right.kind in ("number", "string")
+        ):
+            return None
+        leaf_key = (leaf.left.name.lower(), (leaf.left.table or "").lower())
+        if key is None:
+            key, first = leaf_key, leaf.left
+        elif leaf_key != key:
+            return None
+    return first
+
+
+def _t_or_chain_to_in(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """``c = v1 OR c = v2 [OR ...]`` → ``c IN (v1, v2, ...)``."""
+    candidates = []
+    for root in _maximal_or_roots(statement):
+        leaves = _or_leaves(root)
+        if len(leaves) >= 2 and _common_eq_column(leaves) is not None:
+            candidates.append((root, leaves))
+    if not candidates:
+        return None
+    root, leaves = rng.choice(candidates)
+    column = _common_eq_column(leaves)
+    in_list = n.InList(
+        expr=column, items=[leaf.right for leaf in leaves]
+    )
+    replace_expr(statement, root, in_list)
+    return f"OR chain of {len(leaves)} equalities on {column.name} collapsed to IN"
+
+
+def _t_eq_null_to_is_null(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """``expr = NULL`` → ``expr IS NULL``.
+
+    ``= NULL`` never matches (the comparison yields NULL); ``IS NULL``
+    matches exactly the NULL rows — and generated instances are NULL-free
+    by construction (:mod:`repro.data.generator`), so both predicates are
+    constant-false on every instance the checker executes.  Only ``=`` is
+    rewritten: ``<> NULL`` → ``IS NOT NULL`` would flip from empty to
+    everything.
+    """
+    candidates = []
+    for node in walk(statement):
+        if isinstance(node, n.Binary) and node.op == "=":
+            if isinstance(node.right, n.Literal) and node.right.kind == "null":
+                candidates.append((node, node.left))
+            elif isinstance(node.left, n.Literal) and node.left.kind == "null":
+                candidates.append((node, node.right))
+    if not candidates:
+        return None
+    target, operand = rng.choice(candidates)
+    replace_expr(statement, target, n.IsNull(expr=operand))
+    return "comparison with NULL normalised to IS NULL"
+
+
+def _t_select_star_expand(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """``SELECT *`` / ``SELECT t.*`` → the explicit schema column list."""
+    if schema is None:
+        return None
+    core = outer_core(statement)
+    if core is None:
+        return None
+    if any(isinstance(node, n.DerivedTable) for ref in core.from_items for node in walk(ref)):
+        return None  # schema does not know derived-table output columns
+    sources = [
+        (table.alias or table.name, schema.table(table.name))
+        for table in named_tables(core)
+    ]
+    if not sources or any(table is None for _, table in sources):
+        return None
+    star_items = [
+        (index, item)
+        for index, item in enumerate(core.items)
+        if isinstance(item.expr, n.Star)
+    ]
+    if not star_items:
+        return None
+    index, item = rng.choice(star_items)
+    star = item.expr
+    qualify = len(sources) > 1
+    if star.table is not None:
+        matches = [
+            (label, table)
+            for label, table in sources
+            if label.lower() == star.table.lower()
+        ]
+        if not matches:
+            return None
+        label, table = matches[0]
+        expansion = [
+            n.SelectItem(expr=n.ColumnRef(name=column.name, table=label))
+            for column in table.columns
+        ]
+    else:
+        expansion = [
+            n.SelectItem(
+                expr=n.ColumnRef(
+                    name=column.name, table=label if qualify else None
+                )
+            )
+            for label, table in sources
+            for column in table.columns
+        ]
+    core.items[index : index + 1] = expansion
+    return f"* expanded to {len(expansion)} explicit columns"
+
+
+def _hoistable(query: n.Query) -> bool:
+    """Uncorrelated single-core subquery safe to hoist into a CTE."""
+    if query.ctes:
+        return False
+    if not isinstance(query.body, n.SelectCore):
+        return False
+    if len(query.body.items) != 1 or isinstance(query.body.items[0].expr, n.Star):
+        return False
+    inner_labels = {
+        (table.alias or table.name).lower()
+        for table in walk(query)
+        if isinstance(table, n.NamedTable)
+    }
+    for ref in walk(query):
+        if isinstance(ref, n.ColumnRef) and ref.table is not None:
+            if ref.table.lower() not in inner_labels:
+                return False  # correlated: references an outer alias
+    return True
+
+
+def _t_in_subquery_to_cte(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """Hoist one uncorrelated IN-subquery into a named CTE."""
+    if not isinstance(statement, n.SelectStatement):
+        return None
+    candidates = [
+        node
+        for node in walk(statement)
+        if isinstance(node, n.InSubquery) and _hoistable(node.query)
+    ]
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    taken = {cte.name.lower() for cte in statement.query.ctes}
+    taken |= {
+        table.name.lower()
+        for table in walk(statement)
+        if isinstance(table, n.NamedTable)
+    }
+    if schema is not None:
+        taken |= {name.lower() for name in schema.table_names}
+    name, counter = "rewrite_cte", 0
+    while name.lower() in taken:
+        counter += 1
+        name = f"rewrite_cte_{counter}"
+    column = "member_value"
+    statement.query.ctes.append(
+        n.CommonTableExpr(name=name, query=target.query, columns=[column])
+    )
+    target.query = n.Query(
+        body=n.SelectCore(
+            items=[n.SelectItem(expr=n.ColumnRef(name=column))],
+            from_items=[n.NamedTable(name=name)],
+        )
+    )
+    return f"IN-subquery hoisted into CTE {name!r}"
+
+
+def _plain_single_table_core(core: n.SelectCore) -> Optional[n.NamedTable]:
+    """The core's sole named table when the core is set-op-branch simple."""
+    if core.group_by or core.having is not None or core.order_by:
+        return None
+    if core.distinct or core.top is not None or core.limit is not None:
+        return None
+    if len(core.from_items) != 1 or not isinstance(core.from_items[0], n.NamedTable):
+        return None
+    if any(not isinstance(item.expr, n.ColumnRef) for item in core.items):
+        return None
+    if any(
+        isinstance(node, n.FuncCall)
+        and node.name.upper() in AGGREGATE_FUNCTIONS
+        for node in walk(core)
+    ):
+        return None
+    return core.from_items[0]
+
+
+def _fresh_label(base: str, taken: set[str]) -> str:
+    label, counter = base, 0
+    while label.lower() in taken:
+        counter += 1
+        label = f"{base}{counter}"
+    taken.add(label.lower())
+    return label
+
+
+def _setop_to_exists(statement: n.Statement, rng: random.Random, op: str) -> Optional[str]:
+    """INTERSECT → EXISTS / EXCEPT → NOT EXISTS over matching simple cores.
+
+    ``L op R`` with set semantics equals ``SELECT DISTINCT cols FROM L
+    WHERE [NOT] EXISTS (matching R row)`` — row matching is plain ``=``
+    per column, sound on the NULL-free generated instances.
+    """
+    if not isinstance(statement, n.SelectStatement):
+        return None
+    body = statement.query.body
+    if not isinstance(body, n.Compound) or body.op != op or body.all:
+        return None
+    if body.order_by or body.limit is not None:
+        return None
+    left, right = body.left, body.right
+    if not isinstance(left, n.SelectCore) or not isinstance(right, n.SelectCore):
+        return None
+    left_table = _plain_single_table_core(left)
+    right_table = _plain_single_table_core(right)
+    if left_table is None or right_table is None:
+        return None
+    if len(left.items) != len(right.items):
+        return None
+    taken = {
+        (table.alias or table.name).lower()
+        for table in walk(statement)
+        if isinstance(table, n.NamedTable)
+    }
+    left_label = left_table.alias or _fresh_label("lhs", taken)
+    right_label = right_table.alias or _fresh_label("rhs", taken)
+    left_table.alias = left_label
+    right_table.alias = right_label
+    qualify_core_refs(left, left_label)
+    qualify_core_refs(right, right_label)
+    correlations: list[n.Expr] = [
+        n.Binary(
+            op="=",
+            left=n.clone(right_item.expr),
+            right=n.clone(left_item.expr),
+        )
+        for left_item, right_item in zip(left.items, right.items)
+    ]
+    inner_leaves = ([right.where] if right.where is not None else []) + correlations
+    inner_core = n.SelectCore(
+        items=[n.SelectItem(expr=n.Literal(value=1, kind="number", text="1"))],
+        from_items=[right_table],
+        where=rebuild_and(inner_leaves),
+    )
+    # Parser normal form for "NOT EXISTS" is a NOT-unary over a plain
+    # EXISTS (the renderer emits the same text for Exists(negated=True),
+    # but reparsing would not reproduce that tree).
+    exists: n.Expr = n.Exists(query=n.Query(body=inner_core))
+    if op == "EXCEPT":
+        exists = n.Unary(op="NOT", operand=exists)
+    left.where = (
+        exists
+        if left.where is None
+        else n.Binary(op="AND", left=left.where, right=exists)
+    )
+    left.distinct = True
+    statement.query.body = left
+    keyword = "NOT EXISTS" if op == "EXCEPT" else "EXISTS"
+    return f"{op} branch folded into a correlated {keyword} predicate"
+
+
+def _t_intersect_to_exists(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    return _setop_to_exists(statement, rng, "INTERSECT")
+
+
+def _t_except_to_not_exists(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    return _setop_to_exists(statement, rng, "EXCEPT")
+
+
+def _pushable(leaf: n.Expr, group_keys: set[tuple[str, str]]) -> bool:
+    """A HAVING conjunct that only constrains grouping columns."""
+    refs = 0
+    for node in walk(leaf):
+        if isinstance(node, (n.FuncCall, n.InSubquery, n.Exists, n.ScalarSubquery)):
+            return False
+        if isinstance(node, n.ColumnRef):
+            refs += 1
+            key = (node.name.lower(), (node.table or "").lower())
+            if key not in group_keys:
+                return False
+    return refs > 0
+
+
+def _t_having_pushdown(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """Move a grouping-column HAVING conjunct into WHERE.
+
+    Rows in a group share the group key by definition, so filtering
+    groups on a key predicate equals filtering rows before aggregation.
+    """
+    candidates = []
+    for core in select_cores(statement):
+        if not core.group_by or core.having is None:
+            continue
+        group_keys = {
+            (expr.name.lower(), (expr.table or "").lower())
+            for expr in core.group_by
+            if isinstance(expr, n.ColumnRef)
+        }
+        leaves = and_leaves(core.having)
+        movable = [leaf for leaf in leaves if _pushable(leaf, group_keys)]
+        if movable:
+            candidates.append((core, leaves, movable))
+    if not candidates:
+        return None
+    core, leaves, movable = rng.choice(candidates)
+    victim = rng.choice(movable)
+    core.having = rebuild_and([leaf for leaf in leaves if leaf is not victim])
+    core.where = (
+        victim
+        if core.where is None
+        else n.Binary(op="AND", left=core.where, right=victim)
+    )
+    return f"HAVING predicate {render(victim)!r} pushed down into WHERE"
+
+
+def _t_subquery_distinct_elim(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """Drop DISTINCT inside IN/EXISTS subqueries (membership is set-based)."""
+    candidates = []
+    for node in walk(statement):
+        if isinstance(node, (n.InSubquery, n.Exists)):
+            body = node.query.body
+            if (
+                isinstance(body, n.SelectCore)
+                and body.distinct
+                and body.top is None
+                and body.limit is None
+            ):
+                candidates.append(body)
+    if not candidates:
+        return None
+    rng.choice(candidates).distinct = False
+    return "redundant DISTINCT dropped from a membership subquery"
+
+
+_FOLDS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def _t_fold_constant_arith(
+    statement: n.Statement, schema: Optional[Schema], rng: random.Random
+) -> Optional[str]:
+    """Fold integer literal arithmetic: ``10 + 5`` → ``15``.
+
+    Restricted to non-negative integer results so the folded literal
+    stays in parser normal form (negative literals parse as unary minus).
+    """
+    folded = []
+    for node in walk(statement):
+        if (
+            isinstance(node, n.Binary)
+            and node.op in _FOLDS
+            and isinstance(node.left, n.Literal)
+            and node.left.kind == "number"
+            and isinstance(node.left.value, int)
+            and isinstance(node.right, n.Literal)
+            and node.right.kind == "number"
+            and isinstance(node.right.value, int)
+        ):
+            value = _FOLDS[node.op](node.left.value, node.right.value)
+            if value >= 0:
+                folded.append((node, value))
+    if not folded:
+        return None
+    target, value = rng.choice(folded)
+    original = f"{target.left.text} {target.op} {target.right.text}"
+    replace_expr(
+        statement, target, n.Literal(value=value, kind="number", text=str(value))
+    )
+    return f"constant expression {original} folded to {value}"
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+#: The catalog, in presentation order.  Every entry is validated by
+#: execution in the property suite (tests/rewrite/).
+CATALOG: tuple[RewriteTransform, ...] = (
+    RewriteTransform(
+        "or-chain-to-in",
+        OR_IN,
+        "Collapse an OR chain of equalities on one column into IN",
+        _t_or_chain_to_in,
+    ),
+    RewriteTransform(
+        "eq-null-to-is-null",
+        NULL_NORMALIZE,
+        "Normalise = NULL comparisons to IS NULL",
+        _t_eq_null_to_is_null,
+    ),
+    RewriteTransform(
+        "select-star-expand",
+        STAR_EXPANSION,
+        "Expand SELECT * to the explicit schema column list",
+        _t_select_star_expand,
+    ),
+    RewriteTransform(
+        "in-subquery-to-cte",
+        SUBQUERY_CTE,
+        "Hoist an uncorrelated IN-subquery into a named CTE",
+        _t_in_subquery_to_cte,
+    ),
+    RewriteTransform(
+        "intersect-to-exists",
+        SETOP_EXISTS,
+        "Fold INTERSECT into a correlated EXISTS over the left branch",
+        _t_intersect_to_exists,
+    ),
+    RewriteTransform(
+        "except-to-not-exists",
+        SETOP_EXISTS,
+        "Fold EXCEPT into a correlated NOT EXISTS over the left branch",
+        _t_except_to_not_exists,
+    ),
+    RewriteTransform(
+        "having-pushdown",
+        PUSHDOWN,
+        "Push a grouping-column HAVING predicate down into WHERE",
+        _t_having_pushdown,
+    ),
+    RewriteTransform(
+        "subquery-distinct-elim",
+        DISTINCT_ELIM,
+        "Drop redundant DISTINCT inside IN/EXISTS subqueries",
+        _t_subquery_distinct_elim,
+    ),
+    RewriteTransform(
+        "fold-constant-arith",
+        CONST_FOLD,
+        "Fold integer literal arithmetic into a single literal",
+        _t_fold_constant_arith,
+    ),
+)
+
+_BY_NAME: dict[str, RewriteTransform] = {t.name: t for t in CATALOG}
+
+#: Families in catalog order (deduplicated; setop-exists has two entries).
+REWRITE_FAMILIES: tuple[str, ...] = tuple(dict.fromkeys(t.family for t in CATALOG))
+
+
+def transform(name: str) -> RewriteTransform:
+    """Look up one catalog entry by name (KeyError on unknown names)."""
+    entry = _BY_NAME.get(name)
+    if entry is None:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown rewrite transform {name!r} (have: {known})")
+    return entry
+
+
+def transforms_for(
+    families: Optional[Sequence[str]] = None,
+) -> tuple[RewriteTransform, ...]:
+    """Catalog entries restricted to *families* (all when None/empty)."""
+    if not families:
+        return CATALOG
+    wanted = set(families)
+    unknown = wanted - set(REWRITE_FAMILIES)
+    if unknown:
+        known = ", ".join(REWRITE_FAMILIES)
+        raise ValueError(
+            f"unknown rewrite families {sorted(unknown)!r} (have: {known})"
+        )
+    return tuple(t for t in CATALOG if t.family in wanted)
+
+
+def catalog_fingerprint(families: Optional[Sequence[str]] = None) -> str:
+    """Deterministic identity of the (selected) catalog for provenance.
+
+    Hashed into engine cache keys and recorded on RunRecords so that a
+    changed catalog can never silently reuse stale rewrite datasets.
+    """
+    lines = [
+        f"{t.name}|{t.family}|{t.description}" for t in transforms_for(families)
+    ]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def apply_rewrite(
+    statement: n.Statement,
+    schema: Optional[Schema],
+    rng: random.Random,
+    name: Optional[str] = None,
+    families: Optional[Sequence[str]] = None,
+    original_text: Optional[str] = None,
+):
+    """Apply one catalog transform to a copy of *statement*.
+
+    With *name* the specific transform is tried; otherwise all (family-
+    filtered) transforms are tried in seeded random order.  Returns the
+    :class:`~repro.sql.transform.AppliedTransform` or None.
+    """
+    selected = transforms_for(families)
+    registry = {t.name: t.fn for t in selected}
+    if name is not None:
+        if name not in _BY_NAME:
+            transform(name)  # raises with the known-names message
+        order = [name]
+        registry = {name: _BY_NAME[name].fn}
+    else:
+        order = sample_order(rng, [t.name for t in selected])
+    return apply_typed_transform(
+        statement,
+        schema,
+        rng,
+        registry,
+        order,
+        original_text=original_text,
+        kind="rewrite",
+    )
+
+
+def apply_rewrite_chain(
+    statement: n.Statement,
+    schema: Optional[Schema],
+    rng: random.Random,
+    max_steps: int = 2,
+    families: Optional[Sequence[str]] = None,
+    original_text: Optional[str] = None,
+) -> Optional[RewriteChain]:
+    """Chain up to *max_steps* catalog transforms on a copy of *statement*.
+
+    Each step applies to the previous step's output tree, so the chain's
+    final text is a genuine multi-step rewrite of the original — the
+    "hard positive" the rewrite_equivalence task feeds to models.
+    Returns None when no transform applies at all.
+    """
+    if original_text is None:
+        original_text = render(statement)
+    current = statement
+    current_text = original_text
+    steps: list[RewriteStep] = []
+    for _ in range(max(1, max_steps)):
+        applied = apply_rewrite(
+            current, schema, rng, families=families, original_text=current_text
+        )
+        if applied is None:
+            break
+        assert applied.statement is not None  # catalog fns always mutate the tree
+        steps.append(
+            RewriteStep(
+                name=applied.name,
+                family=_BY_NAME[applied.name].family,
+                detail=applied.detail,
+            )
+        )
+        current = applied.statement
+        current_text = applied.text
+    if not steps:
+        return None
+    return RewriteChain(
+        text=current_text,
+        original_text=original_text,
+        steps=tuple(steps),
+        statement=current,
+    )

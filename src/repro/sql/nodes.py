@@ -19,8 +19,15 @@ detection in :mod:`repro.sql.analysis_cache`).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional, Union
+
+#: Armed by ``REPRO_DEBUG_SHARED_AST=1`` (the same switch that arms the
+#: analysis-cache mutation guard): every clone() asserts the copy starts
+#: with no ``_shash``, so a stale structural hash can never ride across
+#: a mutating transform.
+_DEBUG_CLONE_SHASH = os.environ.get("REPRO_DEBUG_SHARED_AST", "") not in ("", "0")
 
 
 #: Per-class field-name cache: ``dataclasses.fields`` is surprisingly
@@ -125,6 +132,11 @@ def clone(node: Node) -> Node:
     copy = cls.__new__(cls)
     for name in _field_names(cls):
         setattr(copy, name, _clone_value(getattr(node, name)))
+    if _DEBUG_CLONE_SHASH:
+        assert not hasattr(copy, "_shash"), (
+            f"clone() must never carry the _shash cache across a mutating "
+            f"transform (got a pre-hashed {cls.__name__})"
+        )
     return copy
 
 

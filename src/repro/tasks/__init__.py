@@ -6,6 +6,9 @@ from repro.tasks.base import (
     PRIMARY_TASKS,
     QUERY_EQUIV,
     QUERY_EXP,
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
+    REWRITE_TASKS,
     SECONDARY_TASKS,
     SYNTAX_ERROR,
     ModelAnswer,
@@ -21,6 +24,12 @@ from repro.tasks.explanation import (
 from repro.tasks.miss_token import ask_miss_token, build_miss_token_dataset
 from repro.tasks.performance import ask_performance_pred, build_performance_dataset
 from repro.tasks.registry import TASK_WORKLOADS, ask, build_dataset
+from repro.tasks.rewrite import (
+    ask_rewrite_equivalence,
+    ask_rewrite_speedup,
+    build_rewrite_equivalence_dataset,
+    build_rewrite_speedup_dataset,
+)
 from repro.tasks.skills import SKILL_TASK_MAP, render_skill_table, skill_marks
 from repro.tasks.syntax_error import ask_syntax_error, build_syntax_error_dataset
 
@@ -35,6 +44,9 @@ __all__ = [
     "QUERY_EQUIV",
     "PERFORMANCE_PRED",
     "QUERY_EXP",
+    "REWRITE_EQUIVALENCE",
+    "REWRITE_SPEEDUP",
+    "REWRITE_TASKS",
     "TASK_WORKLOADS",
     "build_dataset",
     "ask",
@@ -48,6 +60,10 @@ __all__ = [
     "ask_performance_pred",
     "build_query_exp_dataset",
     "ask_query_exp",
+    "build_rewrite_equivalence_dataset",
+    "ask_rewrite_equivalence",
+    "build_rewrite_speedup_dataset",
+    "ask_rewrite_speedup",
     "explanation_overlap_f1",
     "SKILL_TASK_MAP",
     "skill_marks",

@@ -39,6 +39,19 @@ SECONDARY_TASKS: tuple[str, ...] = (
     "query_equiv_type",
 )
 
+#: Rewrite tasks (extension): judged only on ``synthetic:rewrite``
+#: workloads, whose pairs come from the semantics-preserving rewrite
+#: catalog (:mod:`repro.rewrite`) instead of the paper's equivalence
+#: transforms.  Kept out of ``PRIMARY_TASKS`` so the paper grid is
+#: unchanged.
+REWRITE_EQUIVALENCE = "rewrite_equivalence"
+REWRITE_SPEEDUP = "rewrite_speedup"
+
+REWRITE_TASKS: tuple[str, ...] = (
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
+)
+
 
 @dataclass
 class TaskInstance:

@@ -14,6 +14,9 @@ from repro.tasks.base import (
     PRIMARY_TASKS,
     QUERY_EQUIV,
     QUERY_EXP,
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
+    REWRITE_TASKS,
     SYNTAX_ERROR,
     ModelAnswer,
     TaskDataset,
@@ -39,6 +42,14 @@ from repro.tasks.performance import (
     build_performance_dataset,
     parse_performance_pred_response,
 )
+from repro.tasks.rewrite import (
+    ask_rewrite_equivalence,
+    ask_rewrite_speedup,
+    build_rewrite_equivalence_dataset,
+    build_rewrite_speedup_dataset,
+    parse_rewrite_equivalence_response,
+    parse_rewrite_speedup_response,
+)
 from repro.tasks.syntax_error import (
     ask_syntax_error,
     build_syntax_error_dataset,
@@ -57,17 +68,20 @@ TASK_WORKLOADS: dict[str, tuple[str, ...]] = {
 
 
 def tasks_for_workload(workload_name: str) -> tuple[str, ...]:
-    """The primary tasks a workload carries ground truth for.
+    """The tasks a workload carries ground truth for.
 
     Paper workloads follow the Table 2 usage note (inverted from
-    ``TASK_WORKLOADS``); synthetic workloads support all five tasks —
-    generated queries carry elapsed-time labels and gold descriptions in
-    addition to being corruptible and pairable.  The CLI's
-    ``run --workload`` grid mode uses this to avoid building datasets
-    that would come out empty.
+    ``TASK_WORKLOADS``); synthetic workloads support all five primary
+    tasks — generated queries carry elapsed-time labels and gold
+    descriptions in addition to being corruptible and pairable — and
+    ``synthetic:rewrite`` workloads additionally carry the two rewrite
+    tasks.  The CLI's ``run --workload`` grid mode uses this to avoid
+    building datasets that would come out empty.
     """
-    from repro.workloads.synthetic import is_synthetic
+    from repro.workloads.synthetic import is_rewrite_workload, is_synthetic
 
+    if is_rewrite_workload(workload_name):
+        return PRIMARY_TASKS + REWRITE_TASKS
     if is_synthetic(workload_name):
         return PRIMARY_TASKS
     return tuple(
@@ -82,6 +96,8 @@ ASK_FUNCTIONS: dict[str, Callable] = {
     QUERY_EQUIV: ask_query_equiv,
     PERFORMANCE_PRED: ask_performance_pred,
     QUERY_EXP: ask_query_exp,
+    REWRITE_EQUIVALENCE: ask_rewrite_equivalence,
+    REWRITE_SPEEDUP: ask_rewrite_speedup,
 }
 
 
@@ -99,9 +115,24 @@ def build_dataset(
         dataset = build_performance_dataset(workload)
     elif task == QUERY_EXP:
         dataset = build_query_exp_dataset(workload)
+    elif task == REWRITE_EQUIVALENCE:
+        dataset = build_rewrite_equivalence_dataset(
+            workload, seed, max_pairs=max_instances
+        )
+    elif task == REWRITE_SPEEDUP:
+        dataset = build_rewrite_speedup_dataset(
+            workload, seed, max_instances=max_instances
+        )
     else:
-        raise KeyError(f"unknown task {task!r}; expected one of {PRIMARY_TASKS}")
-    if max_instances is not None and task != QUERY_EQUIV:
+        raise KeyError(
+            f"unknown task {task!r}; expected one of "
+            f"{PRIMARY_TASKS + REWRITE_TASKS}"
+        )
+    if max_instances is not None and task not in (
+        QUERY_EQUIV,
+        REWRITE_EQUIVALENCE,
+        REWRITE_SPEEDUP,
+    ):
         dataset.instances = dataset.instances[:max_instances]
     return dataset
 
@@ -123,6 +154,8 @@ PARSE_FUNCTIONS: dict[str, Callable[..., ModelAnswer]] = {
     QUERY_EQUIV: parse_query_equiv_response,
     PERFORMANCE_PRED: parse_performance_pred_response,
     QUERY_EXP: parse_query_exp_response,
+    REWRITE_EQUIVALENCE: parse_rewrite_equivalence_response,
+    REWRITE_SPEEDUP: parse_rewrite_speedup_response,
 }
 
 

@@ -28,6 +28,9 @@ from repro.tasks.base import (
     PRIMARY_TASKS,
     QUERY_EQUIV,
     QUERY_EXP,
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
+    REWRITE_TASKS,
     SYNTAX_ERROR,
     TaskInstance,
 )
@@ -35,6 +38,10 @@ from repro.tasks.equivalence import iter_query_equiv_instances
 from repro.tasks.explanation import iter_query_exp_instances
 from repro.tasks.miss_token import iter_miss_token_instances
 from repro.tasks.performance import iter_performance_instances
+from repro.tasks.rewrite import (
+    iter_rewrite_equivalence_instances,
+    iter_rewrite_speedup_instances,
+)
 from repro.tasks.syntax_error import iter_syntax_error_instances
 
 
@@ -57,8 +64,21 @@ def iter_task_instances(
         instances = iter_performance_instances(source)
     elif task == QUERY_EXP:
         instances = iter_query_exp_instances(source)
+    elif task == REWRITE_EQUIVALENCE:
+        # max_pairs caps during generation (identical to build_dataset).
+        return iter_rewrite_equivalence_instances(
+            source, seed, max_pairs=max_instances
+        )
+    elif task == REWRITE_SPEEDUP:
+        # the generator caps emitted instances itself (post-filter count).
+        return iter_rewrite_speedup_instances(
+            source, seed, max_instances=max_instances
+        )
     else:
-        raise KeyError(f"unknown task {task!r}; expected one of {PRIMARY_TASKS}")
+        raise KeyError(
+            f"unknown task {task!r}; expected one of "
+            f"{PRIMARY_TASKS + REWRITE_TASKS}"
+        )
     if max_instances is not None:
         return islice(instances, max_instances)
     return instances

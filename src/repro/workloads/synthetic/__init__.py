@@ -23,12 +23,15 @@ from repro.workloads.synthetic.generator import (
 from repro.workloads.synthetic.profiles import (
     DEFAULT_INSTANCES_PER_STRATUM,
     PROFILES,
+    REWRITE_PROFILE,
     SYNTHETIC_FAMILY,
     ComplexityProfile,
     Stratum,
     SyntheticSpec,
+    is_rewrite_workload,
     is_synthetic,
     parse_spec,
+    rewrite_families_of,
     stratum_of_query_id,
 )
 
@@ -36,13 +39,16 @@ __all__ = [
     "SYNTHETIC_FAMILY",
     "DEFAULT_INSTANCES_PER_STRATUM",
     "PROFILES",
+    "REWRITE_PROFILE",
     "SCHEMA_SOURCES",
     "ComplexityProfile",
     "Stratum",
     "SyntheticSpec",
     "build_schema",
     "generate_synthetic",
+    "is_rewrite_workload",
     "is_synthetic",
     "parse_spec",
+    "rewrite_families_of",
     "stratum_of_query_id",
 ]

@@ -29,6 +29,7 @@ from repro.sql import nodes as n
 from repro.sql.analysis_cache import ensure_capacity
 from repro.sql.properties import extract_statement_properties
 from repro.sql.render import render
+from repro.sql.transform import rewrite_leaves
 from repro.util import derive_rng
 from repro.workloads.base import Workload, WorkloadQuery
 from repro.workloads.builders import (
@@ -284,20 +285,7 @@ def to_parser_normal_form(statement: n.Statement) -> None:
     them is what makes ``parse(render(ast)) == ast`` hold *exactly*, not
     merely up to a render fixed point.
     """
-    for node in n.walk(statement):
-        for field_name in getattr(node, "__dataclass_fields__", {}):
-            value = getattr(node, field_name)
-            if _is_negative_number(value):
-                setattr(node, field_name, _negated_literal(value))
-            elif isinstance(value, list):
-                for index, item in enumerate(value):
-                    if _is_negative_number(item):
-                        value[index] = _negated_literal(item)
-                    elif isinstance(item, tuple):
-                        value[index] = tuple(
-                            _negated_literal(sub) if _is_negative_number(sub) else sub
-                            for sub in item
-                        )
+    rewrite_leaves(statement, _is_negative_number, _negated_literal)
 
 
 def synthetic_total(spec: SyntheticSpec) -> int:

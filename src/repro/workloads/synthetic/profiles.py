@@ -28,6 +28,25 @@ SYNTHETIC_FAMILY = "synthetic"
 #: Default instances per stratum (overridable per spec with ``n=``).
 DEFAULT_INSTANCES_PER_STRATUM = 48
 
+#: The profile whose workloads run the rewrite tasks instead of the
+#: five primary tasks (see ``repro.tasks.registry.tasks_for_workload``).
+REWRITE_PROFILE = "rewrite"
+
+
+def is_rewrite_workload(workload_name: str) -> bool:
+    """Whether a workload name addresses the synthetic rewrite profile."""
+    if not is_synthetic(workload_name):
+        return False
+    prefix = f"{SYNTHETIC_FAMILY}:{REWRITE_PROFILE}"
+    return workload_name == prefix or workload_name.startswith(prefix + ":")
+
+
+def rewrite_families_of(workload_name: str) -> tuple[str, ...]:
+    """The family filter a rewrite workload name selects (empty = all)."""
+    if not is_rewrite_workload(workload_name):
+        return ()
+    return parse_spec(workload_name).families
+
 
 def is_synthetic(workload_name: str) -> bool:
     """Whether a workload name addresses the synthetic family."""
@@ -138,6 +157,26 @@ PROFILES: dict[str, ComplexityProfile] = {
             description="Aggregation on/off, alone and over join trees",
         ),
         ComplexityProfile(
+            name="rewrite",
+            strata=(
+                Stratum("flat", joins=0, predicates=2, select_width=3),
+                Stratum("wide", joins=0, predicates=3, select_width=5, order_by=True),
+                Stratum("join2", joins=2, predicates=2, select_width=4),
+                Stratum("nest1", nesting=1, predicates=2),
+                Stratum("nest2", nesting=2, predicates=2),
+                Stratum("agg", aggregate=True, predicates=1, select_width=2),
+                Stratum("aggjoin", joins=1, aggregate=True, predicates=2, select_width=2),
+                Stratum("intersect", set_op="INTERSECT", predicates=2),
+                Stratum("exceptop", set_op="EXCEPT", predicates=2),
+            ),
+            description=(
+                "Rewrite-opportunity mix: every catalog family has eligible "
+                "base queries (set-op strata for setop-exists, nesting for "
+                "subquery-cte/distinct-elim, aggregation for pushdown; the "
+                "remaining families are opportunity-seeded at pair time)"
+            ),
+        ),
+        ComplexityProfile(
             name="setops",
             strata=(
                 Stratum("plain", predicates=2),
@@ -160,6 +199,7 @@ class SyntheticSpec:
     strata: tuple[str, ...] = ()  # empty selects the whole profile
     instances: Optional[int] = None  # per-stratum override
     schema: Optional[str] = None  # schema-source override
+    families: tuple[str, ...] = ()  # rewrite-family filter (rewrite profile)
 
     def __post_init__(self) -> None:
         profile = PROFILES.get(self.profile)
@@ -170,6 +210,19 @@ class SyntheticSpec:
             )
         for name in self.strata:
             profile.stratum(name)  # raises KeyError on unknown strata
+        if self.families:
+            if self.profile != REWRITE_PROFILE:
+                raise ValueError(
+                    "families= only applies to the rewrite profile, "
+                    f"not {self.profile!r}"
+                )
+            if len(set(self.families)) != len(self.families):
+                raise ValueError(f"duplicate families in {self.families!r}")
+            # Validate against the catalog (imported lazily: the catalog
+            # sits above the workload layer in the import graph).
+            from repro.rewrite.catalog import transforms_for
+
+            transforms_for(self.families)
         if len(set(self.strata)) != len(self.strata):
             # A repeated stratum would generate duplicate query ids and
             # silently double that stratum's weight in every metric.
@@ -208,6 +261,10 @@ class SyntheticSpec:
             parts.append(f"n={self.instances}")
         if self.schema is not None:
             parts.append(f"schema={self.schema}")
+        if self.families:
+            # Sorted: family selection is a set, so both spellings of
+            # families=a+b share one cache identity.
+            parts.append("families=" + "+".join(sorted(self.families)))
         return ":".join(parts)
 
 
@@ -226,6 +283,7 @@ def parse_spec(name: str) -> SyntheticSpec:
     strata: tuple[str, ...] = ()
     instances: Optional[int] = None
     schema: Optional[str] = None
+    families: tuple[str, ...] = ()
     seen_keys: set[str] = set()
     for segment in segments:
         key, separator, value = segment.partition("=")
@@ -247,14 +305,22 @@ def parse_spec(name: str) -> SyntheticSpec:
                 raise ValueError(f"n must be an integer in {name!r}") from None
         elif key == "schema":
             schema = value
+        elif key == "families":
+            families = tuple(part for part in value.split("+") if part)
+            if not families:
+                raise ValueError(f"empty families list in {name!r}")
         else:
             raise ValueError(
                 f"unknown spec key {key!r} in {name!r} "
-                "(expected strata=, n= or schema=)"
+                "(expected strata=, n=, schema= or families=)"
             )
     try:
         return SyntheticSpec(
-            profile=profile, strata=strata, instances=instances, schema=schema
+            profile=profile,
+            strata=strata,
+            instances=instances,
+            schema=schema,
+            families=families,
         )
     except KeyError as error:
         # str(KeyError) would re-quote the message; unwrap args[0].

@@ -83,7 +83,40 @@ class TestCheckAgainstBaseline:
             ("lexer", "cached_texts_per_s"),
             ("parser", "raw_texts_per_s"),
             ("parser", "cached_texts_per_s"),
+            ("rewrite", "rewrites_per_s"),
         }
+
+
+class TestMeasureRewrite:
+    def test_reports_applied_chain_throughput(self, monkeypatch):
+        from repro.perf import bench
+
+        monkeypatch.setattr(
+            bench, "REWRITE_CORPUS_WORKLOAD", "synthetic:rewrite:n=4"
+        )
+        result = bench.measure_rewrite(seed=0, repeats=1)
+        assert result["queries"] > 0
+        assert 0 < result["chains"] <= result["queries"]
+        assert result["steps"] >= result["chains"]
+        assert result["rewrites_per_s"] > 0
+        assert result["chains_per_s"] > 0
+
+    def test_sweeps_are_deterministic(self, monkeypatch):
+        """Every timed repetition must perform identical work, or the
+        best-of timing (and the gated throughput) measures a moving
+        target."""
+        from repro.perf import bench
+
+        monkeypatch.setattr(
+            bench, "REWRITE_CORPUS_WORKLOAD", "synthetic:rewrite:n=4"
+        )
+        first = bench.measure_rewrite(seed=0, repeats=1)
+        second = bench.measure_rewrite(seed=0, repeats=1)
+        assert (first["queries"], first["chains"], first["steps"]) == (
+            second["queries"],
+            second["chains"],
+            second["steps"],
+        )
 
 
 class TestVerifyRawWork:

@@ -1,0 +1,133 @@
+"""Catalog transform property suite: round-trip and execution equality.
+
+Every rewrite family must, on a fixed seeded corpus of synthetic
+queries (>= 50 applications per family):
+
+* keep its output in parser normal form — ``parse(render(t(ast)))``
+  is *exactly* ``t(ast)``, the invariant that lets chains compose
+  without drift; and
+* preserve the result set — original and rewritten text execute to
+  equal results on seeded SQLite instances.
+
+A Hypothesis sweep additionally drives multi-step chains from random
+(query, seed) combinations through the same two checks.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.equivalence import EquivalenceChecker
+from repro.equivalence.pairs import eligible_for_pairing
+from repro.rewrite.catalog import (
+    CATALOG,
+    apply_rewrite,
+    apply_rewrite_chain,
+)
+from repro.rewrite.pairs import seed_rewrite_sites
+from repro.sql.parser import parse_statement
+from repro.sql.render import render
+from repro.sql.transform import clone
+from repro.workloads import load_workload
+
+#: Minimum verified applications per catalog transform (a stricter
+#: floor than the per-*family* one: setop-exists has two transforms and
+#: each must be exercised on its own).
+QUERIES_PER_TRANSFORM = 50
+
+_WORKLOAD = load_workload("synthetic:rewrite:n=60", seed=0)
+_QUERIES = [
+    query
+    for query in _WORKLOAD.select_queries()
+    if eligible_for_pairing(query)
+]
+
+_CHECKERS: dict[str, EquivalenceChecker] = {}
+
+
+def _checker(schema_name: str) -> EquivalenceChecker:
+    if schema_name not in _CHECKERS:
+        _CHECKERS[schema_name] = EquivalenceChecker(
+            _WORKLOAD.schemas[schema_name], rows_per_table=32
+        )
+    return _CHECKERS[schema_name]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_checkers():
+    yield
+    for checker in _CHECKERS.values():
+        checker.close()
+    _CHECKERS.clear()
+
+
+def _transform_applications(transform):
+    """Seeded single-step applications of *transform* across the corpus."""
+    applications = []
+    for index, query in enumerate(_QUERIES):
+        if len(applications) >= QUERIES_PER_TRANSFORM:
+            break
+        rng = random.Random(7_000 + index)
+        schema = _WORKLOAD.schema_for(query)
+        base = clone(query.statement)
+        seed_rewrite_sites(base, schema, rng, families=(transform.family,))
+        base_text = render(base)
+        applied = apply_rewrite(
+            base, schema, rng, name=transform.name, original_text=base_text
+        )
+        if applied is not None:
+            applications.append((query.schema_name, base_text, applied))
+    return applications
+
+
+@pytest.mark.parametrize("transform", CATALOG, ids=lambda t: t.name)
+def test_transform_round_trips_and_preserves_results(transform):
+    applications = _transform_applications(transform)
+    # Coverage floor: every transform — including distinct-elim, whose
+    # sites only exist after seeding — must actually be exercisable.
+    assert len(applications) >= QUERIES_PER_TRANSFORM, (
+        transform.name,
+        len(applications),
+    )
+    for schema_name, base_text, applied in applications:
+        assert parse_statement(applied.text) == applied.statement, (
+            applied.name,
+            applied.text,
+        )
+        verdict = _checker(schema_name).verdict(
+            base_text,
+            applied.text,
+            second_statement=applied.statement,
+        )
+        assert verdict is True, (applied.name, base_text, applied.text)
+
+
+@given(
+    st.integers(min_value=0, max_value=len(_QUERIES) - 1),
+    st.integers(min_value=0, max_value=5_000),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_rewrite_chains_round_trip_and_preserve_results(index, seed):
+    query = _QUERIES[index]
+    rng = random.Random(seed)
+    schema = _WORKLOAD.schema_for(query)
+    base = clone(query.statement)
+    seed_rewrite_sites(base, schema, rng)
+    base_text = render(base)
+    chain = apply_rewrite_chain(
+        base, schema, rng, max_steps=3, original_text=base_text
+    )
+    if chain is None:
+        return
+    assert parse_statement(chain.text) == chain.statement, chain.text
+    verdict = _checker(query.schema_name).verdict(
+        base_text, chain.text, second_statement=chain.statement
+    )
+    # None = execution failure (e.g. budget); anything decidable must agree.
+    assert verdict is not False, (chain.chain_label, base_text, chain.text)

@@ -1,0 +1,112 @@
+"""Regression: ``_shash`` is never carried across a mutating transform.
+
+``clone()`` deliberately drops the cached structural hash (a clone
+exists to be mutated; a carried hash would immediately go stale), and
+``REPRO_DEBUG_SHARED_AST=1`` arms an assertion inside ``clone()`` that
+enforces exactly that.  These tests pin the invariant at three layers:
+the clone primitive itself, every catalog transform applied to a
+pre-hashed statement, and the environment-variable wiring in a child
+process.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.rewrite.catalog import CATALOG, apply_rewrite
+from repro.rewrite.pairs import seed_rewrite_sites
+from repro.sql import nodes as n
+from repro.sql.nodes import structural_hash
+from repro.sql.parser import parse_statement
+from repro.workloads import load_workload
+
+_QUERY = (
+    "SELECT name FROM star WHERE type = 1 OR type = 2 OR type = 3"
+)
+
+
+def test_clone_of_a_hashed_tree_carries_no_cached_hash():
+    statement = parse_statement(_QUERY)
+    structural_hash(statement)  # memoizes _shash on the whole subtree
+    for node in n.walk(statement):
+        assert hasattr(node, "_shash")
+    for node in n.walk(n.clone(statement)):
+        assert not hasattr(node, "_shash")
+
+
+def test_armed_guard_accepts_clones_of_pre_hashed_trees(monkeypatch):
+    monkeypatch.setattr(n, "_DEBUG_CLONE_SHASH", True)
+    statement = parse_statement(_QUERY)
+    structural_hash(statement)
+    cloned = n.clone(statement)  # must not trip the assertion
+    assert cloned == statement
+
+
+@pytest.mark.parametrize("transform", CATALOG, ids=lambda t: t.name)
+def test_catalog_transforms_rederive_hashes_after_mutation(
+    transform, monkeypatch
+):
+    """With the guard armed, transforms on pre-hashed trees stay clean.
+
+    A stale hash carried across the mutation would make the cached and
+    freshly computed hashes of the mutated tree disagree.
+    """
+    monkeypatch.setattr(n, "_DEBUG_CLONE_SHASH", True)
+    workload = load_workload("synthetic:rewrite:n=6", seed=0)
+    for index, query in enumerate(workload.select_queries()):
+        rng = random.Random(index)
+        schema = workload.schema_for(query)
+        base = n.clone(query.statement)
+        seed_rewrite_sites(base, schema, rng, families=(transform.family,))
+        structural_hash(base)
+        applied = apply_rewrite(
+            base, schema, rng, name=transform.name
+        )
+        if applied is None:
+            continue
+        before = structural_hash(base, fresh=True)
+        assert structural_hash(base) == before, transform.name
+        mutated = structural_hash(applied.statement)
+        assert (
+            structural_hash(applied.statement, fresh=True) == mutated
+        ), transform.name
+        return
+    pytest.fail(f"no applicable site for {transform.name} in the sample")
+
+
+def test_env_switch_arms_the_clone_assertion_end_to_end():
+    """REPRO_DEBUG_SHARED_AST=1 must arm the guard in a fresh process."""
+    script = (
+        "import random\n"
+        "from repro.rewrite.catalog import apply_rewrite\n"
+        "from repro.sql import nodes as n\n"
+        "from repro.sql.nodes import structural_hash\n"
+        "from repro.sql.parser import parse_statement\n"
+        "assert n._DEBUG_CLONE_SHASH\n"
+        f"statement = parse_statement({_QUERY!r})\n"
+        "structural_hash(statement)\n"
+        "applied = apply_rewrite(statement, None, random.Random(0),\n"
+        "                        name='or-chain-to-in')\n"
+        "assert applied is not None and 'IN' in applied.text\n"
+        "print('guard-ok')\n"
+    )
+    env = dict(os.environ)
+    env["REPRO_DEBUG_SHARED_AST"] = "1"
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "guard-ok" in result.stdout

@@ -1,0 +1,144 @@
+"""The rewrite_equivalence / rewrite_speedup task wiring.
+
+Covers registry dispatch, dataset construction, the ask/parse path
+(direct vs. backend dispatch must be byte-identical), and build-vs-
+streaming instance identity.
+"""
+
+import pytest
+
+from repro.llm import SimulatedLLM
+from repro.llm.backends import BackendSpec, create_backend
+from repro.llm.profiles import get_profile
+from repro.tasks import (
+    PRIMARY_TASKS,
+    REWRITE_EQUIVALENCE,
+    REWRITE_SPEEDUP,
+    REWRITE_TASKS,
+    ask_rewrite_equivalence,
+    ask_rewrite_speedup,
+    build_dataset,
+)
+from repro.tasks.registry import build_request, parse_answer, tasks_for_workload
+from repro.tasks.streaming import iter_task_instances
+from repro.workloads import load_workload
+
+WORKLOAD_NAME = "synthetic:rewrite:n=4"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload(WORKLOAD_NAME, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SimulatedLLM("gpt35")
+
+
+class TestRegistry:
+    def test_rewrite_workloads_get_the_rewrite_tasks(self):
+        tasks = tasks_for_workload(WORKLOAD_NAME)
+        assert tasks == PRIMARY_TASKS + REWRITE_TASKS
+
+    def test_plain_synthetic_workloads_do_not(self):
+        assert REWRITE_EQUIVALENCE not in tasks_for_workload(
+            "synthetic:default:n=4"
+        )
+
+
+class TestDatasets:
+    def test_equivalence_dataset_has_both_classes(self, workload):
+        dataset = build_dataset(
+            REWRITE_EQUIVALENCE, workload, seed=0, max_instances=16
+        )
+        assert dataset.positives and dataset.negatives
+        assert len(dataset.instances) == 16
+        for instance in dataset.instances:
+            assert instance.payload["query_1"] != instance.payload["query_2"]
+            assert instance.label_type
+
+    def test_speedup_dataset_carries_cost_detail_not_types(self, workload):
+        dataset = build_dataset(
+            REWRITE_SPEEDUP, workload, seed=0, max_instances=16
+        )
+        assert dataset.instances
+        assert dataset.types_present() == []
+        labels = {bool(i.label) for i in dataset.instances}
+        assert labels == {True, False}
+        for instance in dataset.instances:
+            assert "families=" in instance.detail
+            assert "cost_original=" in instance.detail
+
+    def test_streaming_matches_build(self, workload):
+        for task in REWRITE_TASKS:
+            built = build_dataset(task, workload, seed=0, max_instances=12)
+            streamed = list(
+                iter_task_instances(task, workload, seed=0, max_instances=12)
+            )
+            assert [
+                (i.instance_id, i.payload, i.label, i.label_type)
+                for i in built.instances
+            ] == [
+                (i.instance_id, i.payload, i.label, i.label_type)
+                for i in streamed
+            ]
+
+
+class TestAskPath:
+    def test_equivalence_extraction_matches_internal_decision(
+        self, workload, model
+    ):
+        dataset = build_dataset(
+            REWRITE_EQUIVALENCE, workload, seed=0, max_instances=12
+        )
+        for instance in dataset.instances:
+            answer = ask_rewrite_equivalence(model, instance)
+            response = model.answer_equivalence(
+                instance.instance_id,
+                instance.payload["query_1"],
+                instance.payload["query_2"],
+                instance.workload,
+                instance.props,
+                truth_equivalent=bool(instance.label),
+                truth_pair_type=instance.label_type,
+            )
+            assert answer.predicted == response.metadata["says_equivalent"]
+
+    def test_speedup_extraction_matches_internal_decision(
+        self, workload, model
+    ):
+        dataset = build_dataset(
+            REWRITE_SPEEDUP, workload, seed=0, max_instances=12
+        )
+        for instance in dataset.instances:
+            answer = ask_rewrite_speedup(model, instance)
+            response = model.answer_speedup(
+                instance.instance_id,
+                instance.payload["query_1"],
+                instance.payload["query_2"],
+                instance.props,
+                truth_faster=bool(instance.label),
+            )
+            assert answer.predicted == response.metadata["says_faster"]
+
+    def test_backend_dispatch_is_byte_identical_to_direct(
+        self, workload, model
+    ):
+        backend = create_backend(
+            BackendSpec(name="simulated"), get_profile(model.name)
+        )
+        direct = {
+            REWRITE_EQUIVALENCE: ask_rewrite_equivalence,
+            REWRITE_SPEEDUP: ask_rewrite_speedup,
+        }
+        for task, ask_fn in direct.items():
+            dataset = build_dataset(task, workload, seed=0, max_instances=8)
+            for instance in dataset.instances:
+                request = build_request(task, model.name, instance)
+                response = backend.complete(request)
+                via_backend = parse_answer(task, instance, response, model.name)
+                directly = ask_fn(model, instance)
+                assert via_backend.response_text == directly.response_text
+                assert via_backend.predicted == directly.predicted
+                assert via_backend.predicted_type == directly.predicted_type
