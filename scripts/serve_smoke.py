@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI smoke for the evaluation service (`repro serve`).
+
+Boots the real server as a subprocess, then drives the acceptance
+loop end to end over HTTP:
+
+1. submit the offline replay-backend table6 grid (2 workers) through
+   :class:`repro.server.client.ServiceClient` and poll it to ``done``;
+2. fetch the regenerated report bundle and check it exists on disk and
+   cost **zero** recomputed cells (warm cache);
+3. submit the identical grid again and check it is served from dedup —
+   same job id, no second evaluation, no extra model calls;
+4. SIGTERM the server and check it drains and exits 0.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.server import ServiceClient  # noqa: E402
+
+GRID = {
+    "artifacts": ["table6"],
+    "backend": "replay",
+    "fixtures_dir": "tests/fixtures/replay",
+    "workers": 2,
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(state: Path) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--jobs-dir",
+            str(state / "jobs"),
+            "--runs-dir",
+            str(state / "runs"),
+            "--cache-dir",
+            str(state / "cache"),
+            "--reports-dir",
+            str(state / "reports"),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = proc.stderr.readline()
+        if "[serve] listening on " in line:
+            return proc, line.split("[serve] listening on ", 1)[1].strip()
+        if proc.poll() is not None or time.monotonic() > deadline:
+            fail(f"server never came up (rc={proc.poll()}): {line!r}")
+
+
+def main() -> int:
+    state = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    proc, url = start_server(state)
+    print(f"[smoke] server up at {url}")
+    try:
+        client = ServiceClient(url, client_id="ci-smoke")
+
+        job = client.submit(GRID)
+        if job["deduped"]:
+            fail("first submission reported as deduped")
+        done = client.wait(job["job_id"], timeout=300)
+        if done["state"] != "done":
+            fail(f"job finished as {done['state']}: {done.get('error')}")
+        stats = client.health()["stats"]
+        if stats["jobs_executed"] != 1:
+            fail(f"expected 1 executed job, saw {stats['jobs_executed']}")
+        computed = stats["cells_computed"]
+        if computed < 1:
+            fail("replay grid computed no cells")
+        print(
+            f"[smoke] job {done['job_id']} done: run {done['run_id']}, "
+            f"{computed} cells computed"
+        )
+
+        report = client.report(done["job_id"])
+        if report["computed_cells"] != 0:
+            fail(
+                "report recomputed cells on a warm cache: "
+                f"{report['computed_cells']}"
+            )
+        for name, path in report["paths"].items():
+            if not Path(path).exists():
+                fail(f"report bundle {name} missing on disk: {path}")
+        if not report["markdown"].strip():
+            fail("report markdown is empty")
+        print(f"[smoke] report bundle OK ({report['cached_cells']} cached cells)")
+
+        duplicate = client.submit(GRID)
+        if not duplicate["deduped"]:
+            fail("identical resubmission was not deduped")
+        if duplicate["job_id"] != done["job_id"]:
+            fail("duplicate attached to a different job")
+        after = client.health()["stats"]
+        if after["jobs_executed"] != 1:
+            fail("duplicate submission triggered a second evaluation")
+        if after["cells_computed"] != computed:
+            fail(
+                "duplicate submission cost model calls: "
+                f"{after['cells_computed']} != {computed}"
+            )
+        if after["dedup_hits"] != 1:
+            fail(f"expected 1 dedup hit, saw {after['dedup_hits']}")
+        print("[smoke] duplicate served from dedup, zero extra model calls")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        _stdout, stderr = proc.communicate(timeout=60)
+
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode} on SIGTERM:\n{stderr}")
+    if "drained on SIGTERM" not in stderr:
+        fail(f"no drain summary in server stderr:\n{stderr}")
+    print("[smoke] SIGTERM drain: clean exit 0")
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

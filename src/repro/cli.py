@@ -42,11 +42,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
-from repro.evalfw.runner import ExperimentRunner
-from repro.experiments.registry import ARTIFACT_IDS, EXPERIMENTS, run_experiment
+from repro.experiments.registry import ARTIFACT_IDS, EXPERIMENTS
 from repro.reporting.run_record import DEFAULT_RUNS_DIR
 
 #: Where ``run`` caches evaluated cells unless told otherwise.
@@ -59,6 +57,11 @@ _RECORD_ERRORS = (KeyError, OSError, ValueError)
 
 #: Where ``report`` writes bundles unless told otherwise.
 DEFAULT_REPORTS_DIR = Path("reports")
+
+#: Where ``serve`` journals its durable job queue unless told otherwise.
+#: Mirrors :data:`repro.server.jobs.DEFAULT_JOBS_DIR` without importing
+#: the server package at parser-build time.
+DEFAULT_JOBS_DIR = Path("results/jobs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,6 +402,56 @@ def build_parser() -> argparse.ArgumentParser:
         "committed BENCH JSON baseline",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service (HTTP API over a durable job queue)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 binds an ephemeral port, printed on stderr)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrent-jobs",
+        type=int,
+        default=1,
+        help="evaluation jobs executed in parallel",
+    )
+    serve_parser.add_argument(
+        "--jobs-dir",
+        type=Path,
+        default=DEFAULT_JOBS_DIR,
+        help="durable job-queue directory",
+    )
+    serve_parser.add_argument(
+        "--runs-dir", type=Path, default=DEFAULT_RUNS_DIR, help="records directory"
+    )
+    serve_parser.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR, help="cache directory"
+    )
+    serve_parser.add_argument(
+        "--reports-dir",
+        type=Path,
+        default=DEFAULT_REPORTS_DIR,
+        help="directory report bundles are written under",
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client requests per second (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit-burst",
+        type=float,
+        default=None,
+        help="per-client burst allowance (default: max(rate, 1))",
+    )
+
     export_parser = subparsers.add_parser(
         "export", help="export the labeled benchmark datasets to JSON"
     )
@@ -411,464 +464,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resume_from_journal(args):
-    """Load a journal and overwrite *args* grid flags from its manifest.
-
-    Returns ``(journal, wanted, workload_name, chunk_size, backend_spec)``
-    or an ``int`` exit code on error.  The manifest is authoritative:
-    resuming under different settings would change cell cache keys and
-    silently recompute instead of resuming.
-    """
-    from repro.lifecycle import JournalError, RunJournal
-    from repro.llm.backends import BackendSpec
-
-    if args.artifacts or args.workload is not None or args.strata is not None:
-        print(
-            "--resume reconstructs the grid from the journal manifest; "
-            "drop the artifact/--workload/--strata arguments",
-            file=sys.stderr,
-        )
-        return 2
-    if args.chaos is not None:
-        print(
-            "--resume does not re-arm --chaos: resume is the recovery "
-            "path (flaky-backend chaos persists via the journalled "
-            "backend spec)",
-            file=sys.stderr,
-        )
-        return 2
-    if args.no_record:
-        print("--resume conflicts with --no-record", file=sys.stderr)
-        return 2
-    try:
-        journal = RunJournal.load(args.runs_dir, args.resume)
-    except JournalError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    cfg = journal.config
-    wanted = list(cfg.get("artifacts") or ())
-    workload_name = cfg.get("workload")
-    chunk_size = cfg.get("chunk_size")
-    args.seed = cfg.get("seed", 0)
-    args.workers = cfg.get("workers", 1)
-    args.shard_size = cfg.get("shard_size")
-    cache_dir = cfg.get("cache_dir")
-    args.no_cache = cache_dir is None
-    if cache_dir is not None:
-        args.cache_dir = Path(cache_dir)
-    args.max_instances = cfg.get("max_instances")
-    args.max_concurrency = cfg.get("max_concurrency")
-    args.rps = cfg.get("rps")
-    args.on_cell_error = cfg.get("on_cell_error", "fail")
-    args.request_timeout = cfg.get("request_timeout")
-    args.cell_deadline = cfg.get("cell_deadline")
-    args.breaker_threshold = cfg.get("breaker_threshold")
-    backend_cfg = cfg.get("backend", {})
-    backend_spec = BackendSpec.build(
-        backend_cfg.get("name", "simulated"),
-        dict(backend_cfg.get("options", {})),
-    )
-    states = journal.states()
-    rendered = ", ".join(f"{state}={n}" for state, n in sorted(states.items()))
-    print(
-        f"[resume] {journal.run_id}: {rendered or 'no journalled cells'}",
-        file=sys.stderr,
-    )
-    return (journal, wanted, workload_name, chunk_size, backend_spec)
-
-
 def _cmd_run(args) -> int:
-    from repro.lifecycle import RunJournal
-    from repro.llm.backends import backend_names, spec_from_cli
+    """Run (or resume) a grid through the shared execution layer.
+
+    All validation, journaling and evaluation semantics live in
+    :mod:`repro.execution` — the same code path the evaluation service
+    (`repro serve`) executes jobs through — so the CLI only maps flags
+    to a :class:`~repro.execution.RunRequest` and exit codes back out.
+    """
+    from repro import execution
 
     if args.resume is not None:
-        resumed = _resume_from_journal(args)
-        if isinstance(resumed, int):
-            return resumed
-        journal, wanted, workload_name, chunk_size, backend_spec = resumed
-        chaos_plan = None
-        return _execute_run(
-            args, journal, wanted, workload_name, chunk_size, backend_spec,
-            chaos_plan,
-        )
-
-    wanted = list(args.artifacts)
-    workload_name: str | None = None
-    if args.workload is not None:
-        from repro.tasks.registry import tasks_for_workload
-        from repro.workloads import resolve_workload_name
-
-        spec = args.workload
-        if args.strata is not None:
-            if ":strata=" in spec:
-                print(
-                    "--strata conflicts with a strata= segment already in "
-                    "--workload; use one or the other",
-                    file=sys.stderr,
-                )
-                return 2
-            parts = [part for part in args.strata.split(",") if part]
-            if not parts:
-                print("--strata requires at least one stratum name", file=sys.stderr)
-                return 2
-            spec += ":strata=" + "+".join(parts)
         try:
-            workload_name = resolve_workload_name(spec)
-        except (KeyError, ValueError) as error:
-            # str(KeyError) wraps its argument in quotes; print the
-            # message itself for both exception types.
-            print(error.args[0] if error.args else str(error), file=sys.stderr)
-            return 2
-        applicable = tasks_for_workload(workload_name)
-        unknown = [t for t in wanted if t not in applicable]
-        if unknown:
-            print(
-                f"unknown tasks for workload {workload_name!r}: "
-                f"{', '.join(unknown)} "
-                f"(it supports: {', '.join(applicable)})",
-                file=sys.stderr,
+            journal, prepared = execution.prepare_resume(
+                args.runs_dir,
+                args.resume,
+                artifacts=tuple(args.artifacts),
+                workload=args.workload,
+                strata=args.strata,
+                chaos=args.chaos,
+                record=not args.no_record,
             )
-            return 2
-        wanted = wanted or list(applicable)
-    else:
-        if args.strata is not None:
-            print("--strata requires --workload", file=sys.stderr)
-            return 2
-        if not wanted:
-            print("run requires artifact ids or --workload", file=sys.stderr)
-            return 2
-        if wanted == ["all"]:
-            wanted = list(ARTIFACT_IDS)
-        unknown = [a for a in wanted if a not in EXPERIMENTS]
-        if unknown:
-            print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
-            return 2
-    if args.workers < 1:
-        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
-        return 2
-    if args.shard_size is not None and args.shard_size < 1:
-        print(f"--shard-size must be >= 1, got {args.shard_size}", file=sys.stderr)
-        return 2
-    if args.max_concurrency is not None and args.max_concurrency < 1:
-        print(
-            f"--max-concurrency must be >= 1, got {args.max_concurrency}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.rps is not None and args.rps <= 0:
-        print(f"--rps must be > 0, got {args.rps}", file=sys.stderr)
-        return 2
-    if args.max_instances is not None and args.max_instances < 1:
-        print(
-            f"--max-instances must be >= 1, got {args.max_instances}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.chunk_size is not None and args.chunk_size < 0:
-        print(
-            f"--chunk-size must be >= 0, got {args.chunk_size}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.request_timeout is not None and args.request_timeout <= 0:
-        print(
-            f"--request-timeout must be > 0, got {args.request_timeout}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.cell_deadline is not None and args.cell_deadline <= 0:
-        print(
-            f"--cell-deadline must be > 0, got {args.cell_deadline}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.breaker_threshold is not None and args.breaker_threshold < 0:
-        print(
-            f"--breaker-threshold must be >= 0, got {args.breaker_threshold}",
-            file=sys.stderr,
-        )
-        return 2
-    chunk_size = _resolve_chunk_size(args.chunk_size, workload_name)
-    try:
-        backend_spec = spec_from_cli(
-            args.backend,
-            opts=args.backend_opt,
-            fixtures_dir=(
-                str(args.fixtures_dir) if args.fixtures_dir is not None else None
-            ),
-            record_fixtures=args.record_fixtures,
-        )
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    if backend_spec.name not in backend_names():
-        print(
-            f"unknown backend {backend_spec.name!r}; "
-            f"see 'repro backends list'",
-            file=sys.stderr,
-        )
-        return 2
-
-    chaos_plan = None
-    if args.chaos is not None:
-        from repro.chaos import ChaosPlanError, ChaosPlan, wrap_backend_spec
-
-        try:
-            chaos_plan = ChaosPlan.parse(args.chaos)
-            backend_spec = wrap_backend_spec(backend_spec, chaos_plan, args.seed)
-        except ChaosPlanError as error:
+        except execution.RunRequestError as error:
             print(str(error), file=sys.stderr)
             return 2
-
-    # The per-request timeout also folds into the openai_compat HTTP
-    # transport (an explicit timeout= backend option wins): the
-    # dispatcher's asyncio.wait_for is only the safety net.
-    if (
-        args.request_timeout is not None
-        and backend_spec.name == "openai_compat"
-        and backend_spec.option("timeout") is None
-    ):
-        from repro.llm.backends import BackendSpec
-
-        options = dict(backend_spec.as_dict())
-        options["timeout"] = str(args.request_timeout)
-        backend_spec = BackendSpec.build(backend_spec.name, options)
-
-    journal = None
-    if not args.no_record:
-        manifest_config = {
-            "artifacts": list(wanted),
-            "workload": workload_name,
-            "seed": args.seed,
-            "workers": args.workers,
-            "shard_size": args.shard_size,
-            "chunk_size": chunk_size,
-            "cache_dir": None if args.no_cache else str(args.cache_dir),
-            "max_instances": args.max_instances,
-            "backend": {
-                "name": backend_spec.name,
-                "options": backend_spec.as_dict(),
-            },
-            "max_concurrency": args.max_concurrency,
-            "rps": args.rps,
-            "on_cell_error": args.on_cell_error,
-            "request_timeout": args.request_timeout,
-            "cell_deadline": args.cell_deadline,
-            "breaker_threshold": args.breaker_threshold,
-            "chaos": args.chaos,
-        }
-        journal = RunJournal.begin(args.runs_dir, manifest_config)
-    return _execute_run(
-        args, journal, wanted, workload_name, chunk_size, backend_spec,
-        chaos_plan,
-    )
-
-
-def _run_errors() -> tuple:
-    """Error classes a run can fail with by *cause*, not by *bug*."""
-    from repro.engine.streaming import StreamError
-    from repro.llm.backends import BackendError
-
-    return (BackendError, StreamError)
-
-
-def _execute_run(
-    args, journal, wanted, workload_name, chunk_size, backend_spec, chaos_plan
-) -> int:
-    """Evaluate one (possibly resumed) run under journal + interrupt latch."""
-    import dataclasses
-
-    from repro.lifecycle import (
-        EXIT_INTERRUPTED,
-        GracefulInterrupt,
-        RunInterrupted,
-    )
-    from repro.llm.backends import DEFAULT_MAX_CONCURRENCY
-    from repro.reporting.run_record import RunRecordStore
-
-    runner = ExperimentRunner(
-        seed=args.seed,
-        workers=args.workers,
-        shard_size=args.shard_size,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        max_instances=args.max_instances,
-        backend=backend_spec,
-        max_concurrency=args.max_concurrency or DEFAULT_MAX_CONCURRENCY,
-        rps=args.rps,
-        chunk_size=chunk_size,
-        on_cell_error=args.on_cell_error,
-        request_timeout=args.request_timeout,
-        cell_deadline=args.cell_deadline,
-        breaker_threshold=args.breaker_threshold,
-    )
-    engine = runner.engine
-    engine.journal = journal
-    if chaos_plan is not None:
-        from repro.chaos import apply_chaos, corrupt_cache_segment
-
-        apply_chaos(chaos_plan, engine)
-        if chaos_plan.corrupts_segment and not args.no_cache:
-            corrupted = corrupt_cache_segment(args.cache_dir, seed=args.seed)
-            if corrupted is not None:
-                print(f"[chaos] corrupted cache segment {corrupted}", file=sys.stderr)
-    interrupt = GracefulInterrupt()
-    engine.interrupt = interrupt
-    artifact_seconds: dict[str, float] = {}
-    run_started = time.perf_counter()
-    try:
-        with interrupt:
-            if workload_name is not None:
-                for task in wanted:
-                    started = time.perf_counter()
-                    text = _workload_grid_text(runner, task, workload_name)
-                    artifact_seconds[task] = round(
-                        time.perf_counter() - started, 3
-                    )
-                    title = f"Task {task} over workload {workload_name}"
-                    print(f"\n=== {title} ===\n")
-                    print(text)
-                    if args.out is not None:
-                        args.out.mkdir(parents=True, exist_ok=True)
-                        (args.out / f"{task}.txt").write_text(
-                            f"{title}\n\n{text}\n", encoding="utf-8"
-                        )
-            else:
-                for artifact in wanted:
-                    started = time.perf_counter()
-                    result = run_experiment(artifact, runner)
-                    artifact_seconds[artifact] = round(
-                        time.perf_counter() - started, 3
-                    )
-                    print(f"\n=== {result.title} ===\n")
-                    print(result.text)
-                    if args.out is not None:
-                        args.out.mkdir(parents=True, exist_ok=True)
-                        (args.out / f"{artifact}.txt").write_text(
-                            f"{result.title}\n\n{result.text}\n", encoding="utf-8"
-                        )
-    except RunInterrupted as stop:
-        hint = (
-            f"; resume with 'repro run --resume {journal.run_id}'"
-            if journal is not None
-            else " (not resumable: run started with --no-record)"
+        print(prepared.resume_banner, file=sys.stderr)
+    else:
+        try:
+            prepared = execution.prepare_run(execution.request_from_args(args))
+        except execution.RunRequestError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        journal = (
+            None
+            if args.no_record
+            else execution.begin_journal(prepared, args.runs_dir)
         )
-        print(
-            f"interrupted by {stop.signal_name} — drained cleanly{hint}",
-            file=sys.stderr,
-        )
-        return EXIT_INTERRUPTED
-    except _run_errors() as error:
-        # A named failure, not a traceback: the journal keeps the cells
-        # committed so far, so the run is resumable after the cause
-        # (dead endpoint, poisoned chunk ...) is fixed.
-        hint = (
-            f" — committed cells are journalled; resume with "
-            f"'repro run --resume {journal.run_id}'"
-            if journal is not None
-            else ""
-        )
-        print(
-            f"run failed: {type(error).__name__}: {error}{hint}",
-            file=sys.stderr,
-        )
-        return 1
-    finally:
-        runner.close()
-    stream_stats = engine.stream_stats()
-    print(
-        f"[engine] workers={args.workers} backend={backend_spec.name} "
-        f"cells computed={engine.computed_cells} "
-        f"cached={engine.cached_cells}"
-        + ("" if args.no_cache else f" (cache: {args.cache_dir})"),
-        file=sys.stderr,
-    )
-    if stream_stats is not None:
-        print(
-            f"[stream] chunk_size={chunk_size} "
-            f"chunks={stream_stats['chunks']} "
-            f"instances={stream_stats['instances']} "
-            f"workers_effective={stream_stats['workers_used']} "
-            f"redispatched={stream_stats['redispatched']}",
-            file=sys.stderr,
-        )
-    if not args.no_record:
-        record = runner.run_record(
-            artifacts=() if workload_name is not None else tuple(wanted),
-            artifact_seconds=artifact_seconds,
-            total_seconds=time.perf_counter() - run_started,
-            notes=(
-                f"workload grid over `{workload_name}` "
-                f"(tasks: {', '.join(wanted)})"
-                if workload_name is not None
-                else ""
-            ),
-        )
-        if journal is not None:
-            # The record shares the journal's id (and start stamp), so
-            # an interrupted-then-resumed run lands on the same record
-            # path as an uninterrupted one.
-            record = dataclasses.replace(
-                record,
-                run_id=journal.run_id,
-                created_at=journal.created_at or record.created_at,
-            )
-        path = RunRecordStore(args.runs_dir).save(record)
-        print(f"[run-record] {record.run_id} -> {path}", file=sys.stderr)
-    return 0
-
-
-def _resolve_chunk_size(flag: int | None, workload_name: str | None) -> int | None:
-    """Resolve ``--chunk-size`` into an engine chunk size (None = off).
-
-    ``--chunk-size N`` forces streaming with N-instance chunks and
-    ``--chunk-size 0`` forces the materialised path.  The default (no
-    flag) is automatic: a synthetic ``--workload`` too large to
-    materialise comfortably streams at the default chunk size, so
-    ``repro run --workload synthetic:default:n=1000000`` runs in bounded
-    memory without any extra flags, while the paper workloads (a few
-    hundred queries) keep the materialised path they always had.
-    """
-    from repro.workloads.streaming import (
-        DEFAULT_CHUNK_SIZE,
-        STREAM_AUTO_THRESHOLD,
-        streamable_total,
-    )
-    from repro.workloads.synthetic import is_synthetic
-
-    if flag is not None:
-        return None if flag == 0 else flag
-    if workload_name is None or not is_synthetic(workload_name):
-        return None
-    total = streamable_total(workload_name)
-    if total is not None and total > STREAM_AUTO_THRESHOLD:
-        return DEFAULT_CHUNK_SIZE
-    return None
-
-
-def _workload_grid_text(runner, task: str, workload_name: str) -> str:
-    """Evaluate one task over one workload and render its metric table."""
-    from repro.evalfw.report import render_table
-    from repro.reporting.run_record import cell_record_from_result
-
-    grid = runner.run_task(task, workloads=(workload_name,))
-    model_order = {profile.name: i for i, profile in enumerate(runner.models)}
-    rows = []
-    for (model, _), cell in sorted(
-        grid.items(), key=lambda item: model_order.get(item[0][0], 99)
-    ):
-        record = cell_record_from_result(
-            cell,
-            model_display=runner.engine.profile(model).display_name,
-            cached=False,
-            seconds=None,
-        )
-        row: dict[str, object] = {
-            "Model": record.model_display,
-            "n": record.instances,
-        }
-        row.update(record.metrics)
-        rows.append(row)
-    return render_table(rows, f"{task} metrics on {workload_name}")
+    outcome = execution.execute_prepared(prepared, journal, out_dir=args.out)
+    return outcome.exit_code
 
 
 def _cmd_rewrite(args) -> int:
@@ -965,6 +598,7 @@ def _cmd_runs(args) -> int:
             {
                 "run_id": record.run_id,
                 "created": record.created_at,
+                "origin": record.origin,
                 "seed": record.seed,
                 "workers": record.workers,
                 "artifacts": len(record.artifacts),
@@ -987,6 +621,10 @@ def _cmd_runs(args) -> int:
         return 2
     print(f"run_id   : {record.run_id}")
     print(f"created  : {record.created_at}")
+    origin_line = record.origin
+    if record.client_id:
+        origin_line += f" (client: {record.client_id})"
+    print(f"origin   : {origin_line}")
     print(f"seed     : {record.seed}  workers: {record.workers}")
     print(f"source   : {record.source_fingerprint[:12]}")
     backend_line = record.backend
@@ -1050,7 +688,6 @@ def _cmd_runs(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.reporting.bundle import write_report_bundle
     from repro.reporting.compare import (
         DEFAULT_THRESHOLD,
         compare_runs,
@@ -1101,36 +738,15 @@ def _cmd_report(args) -> int:
             )
             return 2
 
-    # Re-read every recorded task's grid through the engine cache, via
-    # the *same backend* the run was recorded with: on a warm cache this
-    # touches no model at all, and the regenerated metrics are
-    # guaranteed consistent with the current code.  A recording run's
-    # 'mode' option is dropped — reporting must replay, never re-record
-    # (record mode bypasses the cell cache and re-invokes the inner
-    # backend).
-    from repro.llm.backends import BackendSpec
+    from repro import execution
 
-    backend_options = dict(stored.backend_options)
-    backend_options.pop("mode", None)
-    runner = ExperimentRunner(
-        seed=stored.seed,
+    bundle, _record, engine = execution.regenerate_report(
+        stored,
+        cache_dir=args.cache_dir,
+        out_dir=args.out,
         workers=args.workers,
         shard_size=args.shard_size,
-        max_instances=stored.max_instances,
-        cache_dir=args.cache_dir,
-        backend=BackendSpec.build(stored.backend, backend_options),
     )
-    try:
-        grids = {
-            task: runner.run_task(task, workloads=tuple(stored.workloads(task)))
-            for task in stored.tasks()
-        }
-        fresh = runner.run_record()
-    finally:
-        runner.close()
-    record = fresh.with_identity(stored)
-    bundle = write_report_bundle(record, args.out, grids)
-    engine = runner.engine
     print(
         f"[report] cells: {engine.cached_cells} cached, "
         f"{engine.computed_cells} computed",
@@ -1138,6 +754,69 @@ def _cmd_report(args) -> int:
     )
     for path in (bundle.markdown, bundle.json_path, bundle.html_index):
         print(path)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the evaluation service until SIGTERM/SIGINT drains it."""
+    import asyncio
+    import signal
+
+    from repro.server import EvalServer, ServerConfig
+
+    if args.max_concurrent_jobs < 1:
+        print(
+            f"--max-concurrent-jobs must be >= 1, got {args.max_concurrent_jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        print(
+            f"--rate-limit must be > 0, got {args.rate_limit}", file=sys.stderr
+        )
+        return 2
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent_jobs=args.max_concurrent_jobs,
+        jobs_dir=args.jobs_dir,
+        runs_dir=args.runs_dir,
+        cache_dir=args.cache_dir,
+        reports_dir=args.reports_dir,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.rate_limit_burst,
+    )
+
+    async def _serve() -> None:
+        server = EvalServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig,
+                lambda name=sig.name: asyncio.ensure_future(
+                    server.shutdown(name)
+                ),
+            )
+        # The tests (and scripts) discover an ephemeral --port 0 from
+        # this line, so its shape is part of the service's contract.
+        print(f"[serve] listening on {server.url}", file=sys.stderr)
+        await server.serve_until_shutdown()
+        counts = server.store.counts()
+        print(
+            f"[serve] drained on {server.shutdown_signal}: "
+            f"{counts.get('queued', 0)} queued, "
+            f"{counts.get('done', 0)} done, "
+            f"{counts.get('failed', 0)} failed",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(_serve())
+    except OSError as error:
+        print(f"serve failed: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1210,6 +889,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 

@@ -603,7 +603,17 @@ class ExperimentEngine:
                     round(max(shard_seconds), 6) if shard_seconds else 0.0
                 )
                 self._commit_cell(grid, entry, answers, seconds, max_shard, prompt)
-        return grid
+        # Cached cells land in ``grid`` during the first pass and
+        # computed ones only after, so on a mixed hit/miss run the
+        # dict's insertion order — which report renderers read as
+        # column order — would depend on cache state.  Re-key in
+        # request order so partially-cached reruns are byte-identical
+        # to cold ones (absorbed degraded cells stay absent).
+        return {
+            (profile.name, workload_name): grid[(profile.name, workload_name)]
+            for profile, _, workload_name in cells
+            if (profile.name, workload_name) in grid
+        }
 
     def _commit_cell(
         self,

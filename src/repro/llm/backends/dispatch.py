@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Optional, Sequence
@@ -61,14 +62,44 @@ class BucketState:
     """Persistent token-bucket fill level.
 
     Split out from :class:`TokenBucket` so the *state* can outlive any
-    one dispatcher/event loop: asyncio primitives (the bucket's lock)
-    must be recreated per loop, but carrying the fill level across
-    per-shard dispatch batches is what makes ``rps`` a sustained
-    per-process rate instead of a fresh burst for every shard.
+    one dispatcher/event loop: asyncio primitives must be recreated per
+    loop, but carrying the fill level across per-shard dispatch batches
+    is what makes ``rps`` a sustained per-process rate instead of a
+    fresh burst for every shard.
+
+    Refill-and-take is atomic under a process-wide (threading) lock:
+    concurrent jobs — each with its own dispatcher, event loop and
+    thread — can share one ``BucketState`` without double-counting the
+    same elapsed interval or granting one token twice.  An asyncio lock
+    cannot provide this (each loop would get its own), and the state
+    never crosses a process boundary (workers keep per-process states),
+    so a plain ``threading.Lock`` is exactly sufficient.
     """
 
     tokens: float
     updated: float
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def take(
+        self, rps: float, capacity: float, now: float, epsilon: float = 0.0
+    ) -> tuple[bool, float]:
+        """Atomically refill to *now* and try to take one token.
+
+        Returns ``(granted, deficit)``: ``deficit`` is how many tokens
+        short the bucket is after the refill (0.0 when granted), which
+        callers turn into a sleep (``deficit / rps``) or a 429
+        ``Retry-After``.
+        """
+        with self._lock:
+            elapsed = max(now - self.updated, 0.0)
+            self.updated = now
+            self.tokens = min(capacity, self.tokens + elapsed * rps)
+            if self.tokens >= 1.0 - epsilon:
+                self.tokens -= 1.0
+                return True, 0.0
+            return False, 1.0 - self.tokens
 
 
 class TokenBucket:
@@ -99,31 +130,40 @@ class TokenBucket:
         )
         self._lock = asyncio.Lock()
 
-    def _refill(self) -> None:
-        now = self._clock()
-        elapsed = max(now - self.state.updated, 0.0)
-        self.state.updated = now
-        self.state.tokens = min(
-            self.capacity, self.state.tokens + elapsed * self.rps
-        )
-
     #: Tolerance against float rounding: sleeping exactly
     #: ``deficit / rps`` can refill to a hair *under* one token, which
     #: without slack would loop forever on ever-tinier sleeps.
     EPSILON = 1e-9
 
     async def acquire(self) -> int:
-        """Take one token; returns how many waits were needed."""
+        """Take one token; returns how many waits were needed.
+
+        The refill-and-take itself is atomic on the (possibly shared)
+        :class:`BucketState`; the asyncio lock only serialises waiters
+        within this event loop so they queue instead of thundering.
+        """
         waits = 0
         async with self._lock:
             while True:
-                self._refill()
-                if self.state.tokens >= 1.0 - self.EPSILON:
-                    self.state.tokens -= 1.0
+                granted, deficit = self.state.take(
+                    self.rps, self.capacity, self._clock(), self.EPSILON
+                )
+                if granted:
                     return waits
                 waits += 1
-                deficit = 1.0 - self.state.tokens
                 await self._sleep(deficit / self.rps + self.EPSILON)
+
+    def try_acquire(self) -> tuple[bool, float]:
+        """Non-blocking take: ``(granted, seconds until next token)``.
+
+        The synchronous entry point for callers that answer "try again
+        later" instead of waiting — the server's per-client rate limit
+        turns the returned delay into a 429 ``Retry-After``.
+        """
+        granted, deficit = self.state.take(
+            self.rps, self.capacity, self._clock(), self.EPSILON
+        )
+        return granted, 0.0 if granted else deficit / self.rps
 
 
 @dataclass

@@ -212,6 +212,12 @@ class RunRecord:
     on_cell_error: str = "fail"
     failures: tuple[CellFailure, ...] = ()
     notes: str = ""
+    #: Submission provenance: ``cli`` for `repro run`, ``service`` for
+    #: grids submitted over the evaluation API (`repro serve`) — plus
+    #: the submitting client's id, so `runs list`/`runs show` tell one
+    #: provenance story across both entry points.
+    origin: str = "cli"
+    client_id: str = ""
 
     # -- accessors ---------------------------------------------------------
 
@@ -264,6 +270,8 @@ class RunRecord:
             on_cell_error=other.on_cell_error,
             failures=other.failures,
             notes=other.notes,
+            origin=other.origin,
+            client_id=other.client_id,
         )
 
     # -- serialisation -----------------------------------------------------
@@ -328,6 +336,8 @@ class RunRecord:
                 for failure in data.get("failures", ())
             ),
             notes=data.get("notes", ""),
+            origin=data.get("origin", "cli"),
+            client_id=data.get("client_id", ""),
         )
 
     @classmethod

@@ -115,6 +115,25 @@ def _int_literal(value: int) -> n.Literal:
     return n.Literal(value=value, kind="number", text=str(value))
 
 
+def _number_literal(value) -> n.Expr:
+    """A number literal in parser normal form.
+
+    The parser derives ``-27.07`` as unary minus over a positive
+    literal, so seeded negative values (SDSS declination ranges below
+    zero) must be built the same way or ``parse(render(ast)) == ast``
+    breaks for every statement they end up in.
+    """
+    if value < 0:
+        positive = -value
+        return n.Unary(
+            op="-",
+            operand=n.Literal(
+                value=positive, kind="number", text=str(positive)
+            ),
+        )
+    return n.Literal(value=value, kind="number", text=str(value))
+
+
 def _seed_or_chain(
     statement: n.Statement, schema: Schema, rng: random.Random
 ) -> bool:
@@ -304,10 +323,9 @@ def _seed_having_group_pred(
     elif column.col_type in (ColType.INT, ColType.FLOAT):
         low, high = (spec.low, spec.high) if spec else (0, 1000)
         if column.col_type is ColType.INT:
-            literal = _int_literal(rng.randint(int(low), int(high)))
+            literal = _number_literal(rng.randint(int(low), int(high)))
         else:
-            value = round(rng.uniform(low, high), 3)
-            literal = n.Literal(value=value, kind="number", text=str(value))
+            literal = _number_literal(round(rng.uniform(low, high), 3))
         op = rng.choice((">", ">=", "<", "<="))
     else:
         return False

@@ -1,0 +1,147 @@
+"""Tiny stdlib client for the evaluation service.
+
+``ServiceClient`` wraps :mod:`urllib.request` with the service's JSON
+conventions: an ``X-Client-Id`` header on every call (the server's
+rate-limit and provenance key), :class:`ServiceError` on non-2xx
+responses, and helpers for the common submit → wait → report flow.
+
+>>> client = ServiceClient("http://127.0.0.1:8642", client_id="ci")
+>>> job = client.submit({"artifacts": ["table6"], "backend": "simulated"})
+>>> done = client.wait(job["job_id"])
+>>> report = client.report(done["job_id"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Iterator, Optional
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        message = payload.get("error") or json.dumps(payload, sort_keys=True)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str = "repro-client",
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        data = None
+        headers = {"X-Client-Id": self.client_id}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = {"error": raw.strip() or error.reason}
+            retry_after = error.headers.get("Retry-After")
+            if retry_after is not None:
+                payload.setdefault("retry_after_header", retry_after)
+            raise ServiceError(error.code, payload) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, grid: dict) -> dict:
+        """POST a grid; returns the job dict (``deduped`` flags attach)."""
+        return self._request("POST", "/v1/runs", grid)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/runs")["jobs"]
+
+    def job(self, job_id: str, since: int = 0) -> dict:
+        """Polling fallback: job state plus events from ``since``."""
+        query = urllib.parse.urlencode({"since": since})
+        return self._request("GET", f"/v1/runs/{job_id}?{query}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/runs/{job_id}")
+
+    def report(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/runs/{job_id}/report")
+
+    def cache_entry(self, key: str) -> dict:
+        return self._request("GET", f"/v1/cache/{key}")
+
+    # -- flows -------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.1,
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Stream SSE frames as dicts until the server's ``end`` event.
+
+        Yields ``{"event": name, "data": parsed-json, "id": seq|None}``.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/runs/{job_id}/events?since={since}",
+            headers={"X-Client-Id": self.client_id},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            frame: dict = {}
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:
+                    if "event" in frame:
+                        yield frame
+                        if frame["event"] == "end":
+                            return
+                    frame = {}
+                    continue
+                key, _, value = line.partition(":")
+                value = value.lstrip(" ")
+                if key == "event":
+                    frame["event"] = value
+                elif key == "data":
+                    frame["data"] = json.loads(value)
+                elif key == "id":
+                    frame["id"] = int(value)

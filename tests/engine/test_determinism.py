@@ -102,6 +102,40 @@ class TestCacheServedRuns:
         assert serial.cached_cells == 1
         assert second.answers == first.answers
 
+    def test_partial_cache_rerun_preserves_grid_order(self, tmp_path):
+        """A mixed hit/miss rerun keeps the cold run's grid order.
+
+        Report renderers read column order off grid insertion order, so
+        a recomputed cell must not migrate to the end of the dict just
+        because its cached entry went bad.
+        """
+        from repro.engine.cache import cell_key
+
+        cold = self._engine(tmp_path)
+        grid_cold = cold.run_task("syntax_error")
+        order = list(grid_cold.keys())
+        first_model, first_workload = order[0]
+        key = cell_key(
+            SEED,
+            cold.models[0],
+            "syntax_error",
+            first_workload,
+            CAP,
+            None,
+            backend=cold.config.backend,
+            backend_state=cold._backend_state(),
+        )
+        cold.cache._path(key).write_text("corrupt", encoding="utf-8")
+
+        warm = self._engine(tmp_path)
+        grid_warm = warm.run_task("syntax_error")
+        assert warm.computed_cells == 1
+        assert warm.cached_cells == len(order) - 1
+        assert list(grid_warm.keys()) == order
+        assert grid_warm[(first_model, first_workload)].answers == grid_cold[
+            (first_model, first_workload)
+        ].answers
+
     def test_changed_seed_misses(self, tmp_path):
         self._engine(tmp_path).run_cell("gpt4", "syntax_error", "sdss")
         other = ExperimentEngine(

@@ -1,0 +1,146 @@
+"""Cross-thread token-bucket sharing: the concurrent-jobs regression.
+
+The evaluation service runs concurrent jobs in threads, each job with
+its own dispatchers and event loops, all sharing one
+:class:`BucketState` so ``rps`` bounds the *process*, not each job.
+Before ``BucketState.take`` existed, each :class:`TokenBucket` did a
+read-modify-write refill on the shared state under a per-loop asyncio
+lock — two loops could observe the same elapsed interval and mint its
+tokens twice.  These tests pin the atomic behavior under real threads
+and virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.llm.backends.dispatch import AsyncDispatcher, BucketState, TokenBucket
+
+from tests.llm.backends.test_dispatch import EchoBackend, request
+
+
+class ThreadSafeClock:
+    """Virtual time advanced by sleeps from any thread."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self.now
+
+    async def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.now += seconds
+        await asyncio.sleep(0)
+
+
+class TestAtomicTake:
+    def test_frozen_clock_grants_exactly_capacity(self):
+        """N threads hammering one state at a frozen instant mint the
+        elapsed interval once: total grants == the refilled capacity."""
+        state = BucketState(tokens=0.0, updated=0.0)
+        rps, capacity, now = 1.0, 5.0, 10.0  # refills to exactly 5 tokens
+        granted = []
+        barrier = threading.Barrier(4)
+
+        def hammer() -> None:
+            barrier.wait()
+            hits = 0
+            for _ in range(25):
+                ok, _ = state.take(rps, capacity, now)
+                hits += ok
+            granted.append(hits)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(granted) == 5
+
+    def test_try_acquire_denies_with_retry_delay(self):
+        clock = ThreadSafeClock()
+        bucket = TokenBucket(rps=1.0, burst=2, clock=clock, sleep=clock.sleep)
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire() == (True, 0.0)
+        ok, retry_after = bucket.try_acquire()
+        assert not ok
+        assert retry_after == pytest.approx(1.0)
+        clock.now = 1.5  # one token refilled
+        ok, retry_after = bucket.try_acquire()
+        assert ok and retry_after == 0.0
+
+
+class TestTwoDispatchersUnderVirtualTime:
+    def test_shared_state_never_double_counts_refills(self):
+        """Two dispatchers in two threads (two event loops) sharing one
+        BucketState: total throughput stays bounded by
+        ``burst + rps * elapsed``.  A racy refill mints the same elapsed
+        interval once per loop, finishing in roughly half the virtual
+        time this asserts."""
+        clock = ThreadSafeClock()
+        state = BucketState(tokens=0.0, updated=0.0)
+        rps, per_thread = 2.0, 10
+        errors = []
+
+        def job() -> None:
+            try:
+                dispatcher = AsyncDispatcher(
+                    EchoBackend(yield_first=False),
+                    max_concurrency=1,
+                    rps=rps,
+                    burst=1.0,
+                    sleep=clock.sleep,
+                    clock=clock,
+                    bucket_state=state,
+                )
+                responses = dispatcher.run_sync(
+                    [request(i) for i in range(per_thread)]
+                )
+                assert len(responses) == per_thread
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=job) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = 2 * per_thread
+        # The shared bucket (capacity 1.0, starting empty) can have
+        # minted at most 1 + rps * elapsed tokens in total, however the
+        # two loops interleaved — so the virtual clock must have
+        # advanced at least (total - 1) / rps seconds.
+        assert clock() >= (total - 1.0) / rps - 1e-6
+
+    def test_sequential_handoff_keeps_fill_level(self):
+        """The service's job-after-job case: a second dispatcher on the
+        same state starts from the drained level, not a fresh burst."""
+        clock = ThreadSafeClock()
+        first = AsyncDispatcher(
+            EchoBackend(yield_first=False),
+            max_concurrency=2,
+            rps=2.0,
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        first.run_sync([request(i) for i in range(4)])
+        drained_at = clock()
+        state = first.bucket_state
+        assert state is not None and state.tokens < 1.0
+        second = AsyncDispatcher(
+            EchoBackend(yield_first=False),
+            max_concurrency=2,
+            rps=2.0,
+            sleep=clock.sleep,
+            clock=clock,
+            bucket_state=state,
+        )
+        second.run_sync([request(i) for i in range(2)])
+        assert clock() - drained_at >= 0.9

@@ -291,3 +291,51 @@ class TestRecordFromEngine:
         assert [cell.model for cell in record.cells] == [
             "gpt4", "gpt35", "llama3", "mistral", "gemini",
         ]
+
+
+class TestProvenance:
+    """origin / client_id: how a run entered the system."""
+
+    def test_defaults_to_cli_with_no_client(self, fixture_record):
+        assert fixture_record.origin == "cli"
+        assert fixture_record.client_id == ""
+
+    def test_service_provenance_round_trips(self, tmp_path):
+        import dataclasses
+
+        record = dataclasses.replace(
+            make_record(), origin="service", client_id="bench-ci"
+        )
+        data = record.to_dict()
+        assert data["origin"] == "service"
+        assert data["client_id"] == "bench-ci"
+        assert RunRecord.from_dict(data) == record
+
+        store = RunRecordStore(tmp_path)
+        path = store.save(record)
+        loaded = store.load(record.run_id)
+        assert loaded.origin == "service"
+        assert loaded.client_id == "bench-ci"
+        assert json.loads(path.read_text())["origin"] == "service"
+
+    def test_legacy_records_read_as_cli(self, fixture_record):
+        data = fixture_record.to_dict()
+        del data["origin"]
+        del data["client_id"]
+        loaded = RunRecord.from_dict(data)
+        assert loaded.origin == "cli" and loaded.client_id == ""
+
+    def test_with_identity_transfers_provenance(self, fixture_record):
+        import dataclasses
+
+        stored = dataclasses.replace(
+            make_record(run_id="20260101T000001-svcsvc00"),
+            origin="service",
+            client_id="alice",
+        )
+        regenerated = fixture_record.with_identity(stored)
+        assert regenerated.run_id == stored.run_id
+        assert regenerated.origin == "service"
+        assert regenerated.client_id == "alice"
+        # Metrics stay the regenerated ones, untouched.
+        assert regenerated.cells == fixture_record.cells

@@ -1,0 +1,110 @@
+"""Shared helpers for the evaluation-service tests.
+
+``serve()`` runs a real :class:`EvalServer` on an ephemeral port in a
+background thread (its own asyncio loop), yields it, and drains it on
+exit — every test in this package talks to the service over an actual
+TCP socket, never through handler internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from pathlib import Path
+
+from repro.server import EvalServer, ServerConfig, ServiceClient
+
+#: The small deterministic grid every service test evaluates: one task
+#: over a synthetic workload — a handful of cells, simulated backend,
+#: no fixtures needed.  Mirrors the chaos-suite reference grid.
+WORKLOAD_SPEC = "synthetic:setops:n=6"
+GRID = {
+    "artifacts": ["syntax_error"],
+    "workload": WORKLOAD_SPEC,
+    "max_instances": 6,
+}
+
+
+def config_for(tmp_path: Path, **overrides) -> ServerConfig:
+    """A ServerConfig with all state dirs under ``tmp_path``."""
+    settings = {
+        "host": "127.0.0.1",
+        "port": 0,
+        "jobs_dir": tmp_path / "jobs",
+        "runs_dir": tmp_path / "runs",
+        "cache_dir": tmp_path / "cache",
+        "reports_dir": tmp_path / "reports",
+    }
+    settings.update(overrides)
+    return ServerConfig(**settings)
+
+
+@contextlib.contextmanager
+def serve(config: ServerConfig):
+    """Run an EvalServer for the duration of a ``with`` block."""
+    ready = threading.Event()
+    holder: dict = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = EvalServer(config)
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to start"
+    server: EvalServer = holder["server"]
+    try:
+        yield server
+    finally:
+        future = asyncio.run_coroutine_threadsafe(
+            server.shutdown("SIGTERM"), holder["loop"]
+        )
+        future.result(timeout=60)
+        thread.join(timeout=30)
+
+
+def client_for(server: EvalServer, client_id: str = "test") -> ServiceClient:
+    return ServiceClient(server.url, client_id=client_id)
+
+
+def metrics_of(runs_dir: Path) -> dict:
+    """The latest record's metrics, keyed by grid cell."""
+    from repro.reporting.run_record import RunRecordStore
+
+    record = RunRecordStore(runs_dir).latest()
+    assert record is not None
+    return {
+        (c.model, c.task, c.workload): dict(c.metrics) for c in record.cells
+    }
+
+
+def cli_reference_metrics(tmp_path: Path) -> dict:
+    """Run the same grid through ``repro run`` for byte-identity checks."""
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "run",
+                "syntax_error",
+                "--workload",
+                WORKLOAD_SPEC,
+                "--max-instances",
+                "6",
+                "--cache-dir",
+                str(tmp_path / "cli-cache"),
+                "--runs-dir",
+                str(tmp_path / "cli-runs"),
+            ]
+        )
+        == 0
+    )
+    return metrics_of(tmp_path / "cli-runs")

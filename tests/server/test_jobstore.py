@@ -1,0 +1,226 @@
+"""The durable job queue: unit behavior plus a property-based sweep.
+
+The hypothesis test drives the store through arbitrary interleavings of
+submit / claim / finish / cancel / crash-recover and checks the
+service's two core promises at every step: **no job is ever lost** and
+**no grid is ever evaluated twice** (at most one queued/running/done
+job per fingerprint, ever).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.jobs import (
+    ATTACHABLE_STATES,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobError,
+    JobStateError,
+    JobStore,
+)
+
+
+class TestSubmitAndDedup:
+    def test_submit_creates_then_attaches(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, created = store.submit("fp-1", {"artifacts": ["table6"]}, "a")
+        assert created and job.state == JOB_QUEUED and job.submissions == 1
+        again, created = store.submit("fp-1", {"artifacts": ["table6"]}, "b")
+        assert not created
+        assert again.job_id == job.job_id and again.submissions == 2
+        # The first submitter's identity sticks; attaches don't steal it.
+        assert again.client_id == "a"
+
+    def test_done_jobs_absorb_submissions(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp-1", {})
+        store.transition(job.job_id, JOB_RUNNING)
+        store.transition(job.job_id, JOB_DONE, run_id="r-1")
+        again, created = store.submit("fp-1", {})
+        assert not created and again.job_id == job.job_id
+
+    def test_failed_jobs_do_not_absorb(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp-1", {})
+        store.transition(job.job_id, JOB_RUNNING)
+        store.transition(job.job_id, JOB_FAILED, error="boom")
+        retry, created = store.submit("fp-1", {})
+        assert created and retry.job_id != job.job_id
+
+    def test_distinct_fingerprints_distinct_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        a, _ = store.submit("fp-1", {})
+        b, _ = store.submit("fp-2", {})
+        assert a.job_id != b.job_id
+
+    def test_same_second_ids_get_suffixes(self, tmp_path):
+        store = JobStore(tmp_path)
+        first, _ = store.submit("fp-1", {})
+        store.transition(first.job_id, JOB_RUNNING)
+        store.transition(first.job_id, JOB_FAILED, error="x")
+        second, created = store.submit("fp-1", {})
+        assert created and second.job_id != first.job_id
+
+
+class TestTransitions:
+    def test_terminal_states_reject_everything(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp", {})
+        store.transition(job.job_id, JOB_RUNNING)
+        store.transition(job.job_id, JOB_DONE)
+        for state in (JOB_QUEUED, JOB_RUNNING, JOB_FAILED, JOB_CANCELLED):
+            with pytest.raises(JobStateError, match="illegal transition"):
+                store.transition(job.job_id, state)
+
+    def test_queued_cannot_jump_to_done(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp", {})
+        with pytest.raises(JobStateError):
+            store.transition(job.job_id, JOB_DONE)
+
+    def test_unknown_state_and_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp", {})
+        with pytest.raises(JobStateError, match="unknown job state"):
+            store.transition(job.job_id, "paused")
+        with pytest.raises(JobError, match="no job"):
+            store.get("nope")
+
+    def test_requeue_keeps_run_id(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp", {})
+        store.transition(job.job_id, JOB_RUNNING, attempts=1)
+        store.update(job.job_id, run_id="run-77")
+        requeued = store.transition(job.job_id, JOB_QUEUED)
+        assert requeued.state == JOB_QUEUED and requeued.run_id == "run-77"
+
+
+class TestClaimAndRecover:
+    def test_claim_is_fifo_and_increments_attempts(self, tmp_path):
+        store = JobStore(tmp_path)
+        a, _ = store.submit("fp-a", {})
+        b, _ = store.submit("fp-b", {})
+        claimed = store.claim_next()
+        assert claimed.job_id == a.job_id
+        assert claimed.state == JOB_RUNNING and claimed.attempts == 1
+        assert store.claim_next().job_id == b.job_id
+        assert store.claim_next() is None
+
+    def test_recover_requeues_running_only(self, tmp_path):
+        store = JobStore(tmp_path)
+        a, _ = store.submit("fp-a", {})
+        b, _ = store.submit("fp-b", {})
+        store.claim_next()
+        store.update(a.job_id, run_id="run-1")
+        requeued = store.recover()
+        assert [j.job_id for j in requeued] == [a.job_id]
+        assert store.get(a.job_id).state == JOB_QUEUED
+        assert store.get(a.job_id).run_id == "run-1"
+        assert store.get(b.job_id).state == JOB_QUEUED
+
+    def test_foreign_files_are_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit("fp", {})
+        (tmp_path / "garbage.json").write_text("{not json", encoding="utf-8")
+        assert len(store.jobs()) == 1
+
+    def test_round_trips_through_disk(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit("fp", {"workers": 2}, client_id="ci")
+        raw = json.loads(
+            (tmp_path / f"{job.job_id}.json").read_text(encoding="utf-8")
+        )
+        assert raw["state"] == JOB_QUEUED and raw["client_id"] == "ci"
+        reloaded = JobStore(tmp_path).get(job.job_id)
+        assert reloaded == job
+
+
+#: One abstract step against the store.  The integer picks both the
+#: fingerprint (for submits) and which running job to finish.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["submit", "claim", "done", "fail", "cancel", "crash"]
+        ),
+        st.integers(min_value=0, max_value=2),
+    ),
+    max_size=30,
+)
+
+
+class TestStateMachineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_no_job_lost_and_no_grid_runs_twice(self, ops):
+        """Any submit/claim/finish/cancel/crash interleaving preserves
+        the queue's invariants.
+
+        - every job id ever created is still on disk afterwards;
+        - per fingerprint there is never more than one job in an
+          attachable (queued/running/done) state — the dedup guarantee
+          that an identical grid cannot be evaluated twice;
+        - in particular at most one ``done`` job per fingerprint, and
+          a terminal job never moves again.
+        """
+        fingerprints = ["fp-a", "fp-b", "fp-c"]
+        with tempfile.TemporaryDirectory() as root:
+            store = JobStore(Path(root))
+            created_ids: set[str] = set()
+            terminal_seen: dict[str, str] = {}
+
+            def check_invariants() -> None:
+                jobs = store.jobs()
+                ids = {j.job_id for j in jobs}
+                assert created_ids <= ids, "a submitted job vanished"
+                for fingerprint in fingerprints:
+                    active = [
+                        j
+                        for j in jobs
+                        if j.fingerprint == fingerprint
+                        and j.state in ATTACHABLE_STATES
+                    ]
+                    assert len(active) <= 1, (
+                        f"{fingerprint} has {len(active)} attachable jobs: "
+                        f"{[(j.job_id, j.state) for j in active]}"
+                    )
+                for job in jobs:
+                    if job.job_id in terminal_seen:
+                        assert job.state == terminal_seen[job.job_id]
+                    if job.terminal:
+                        terminal_seen[job.job_id] = job.state
+
+            for op, pick in ops:
+                if op == "submit":
+                    job, _ = store.submit(fingerprints[pick], {"n": pick})
+                    created_ids.add(job.job_id)
+                elif op == "claim":
+                    store.claim_next()
+                elif op == "crash":
+                    # The restart path: whatever was running requeues.
+                    store.recover()
+                elif op == "cancel":
+                    queued = [
+                        j for j in store.jobs() if j.state == JOB_QUEUED
+                    ]
+                    if queued:
+                        target = queued[pick % len(queued)]
+                        store.transition(target.job_id, JOB_CANCELLED)
+                else:  # done / fail apply to a running job, if any
+                    running = [
+                        j for j in store.jobs() if j.state == JOB_RUNNING
+                    ]
+                    if running:
+                        target = running[pick % len(running)]
+                        state = JOB_DONE if op == "done" else JOB_FAILED
+                        store.transition(target.job_id, state)
+                check_invariants()

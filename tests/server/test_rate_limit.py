@@ -1,0 +1,85 @@
+"""Per-client rate limiting: 429s from the shared token bucket.
+
+The limiter is the dispatcher's :class:`TokenBucket` in non-blocking
+mode, keyed by ``X-Client-Id``, driven here by an injected clock so
+denial and refill are exact, not timing-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import ServiceError
+
+from tests.server.harness import client_for, config_for, serve
+
+
+class FrozenClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRateLimit:
+    def test_burst_then_429_with_retry_after(self, tmp_path):
+        clock = FrozenClock()
+        config = config_for(
+            tmp_path, rate_limit_rps=1.0, rate_limit_burst=2.0, clock=clock
+        )
+        with serve(config) as server:
+            client = client_for(server, client_id="greedy")
+            client.jobs()
+            client.jobs()
+            with pytest.raises(ServiceError) as excinfo:
+                client.jobs()
+            assert excinfo.value.status == 429
+            payload = excinfo.value.payload
+            assert payload["retry_after"] == pytest.approx(1.0)
+            assert float(payload["retry_after_header"]) == pytest.approx(1.0)
+            assert "greedy" in payload["error"]
+
+            # One token refills after one virtual second.
+            clock.now = 1.5
+            client.jobs()
+            with pytest.raises(ServiceError) as excinfo:
+                client.jobs()
+            assert excinfo.value.status == 429
+
+            assert server.stats["rate_limited"] == 2
+
+    def test_clients_have_independent_buckets(self, tmp_path):
+        clock = FrozenClock()
+        config = config_for(
+            tmp_path, rate_limit_rps=1.0, rate_limit_burst=1.0, clock=clock
+        )
+        with serve(config) as server:
+            first = client_for(server, client_id="one")
+            second = client_for(server, client_id="two")
+            first.jobs()
+            with pytest.raises(ServiceError):
+                first.jobs()
+            # A different client id is a different bucket.
+            second.jobs()
+
+    def test_healthz_is_exempt(self, tmp_path):
+        clock = FrozenClock()
+        config = config_for(
+            tmp_path, rate_limit_rps=1.0, rate_limit_burst=1.0, clock=clock
+        )
+        with serve(config) as server:
+            client = client_for(server, client_id="monitor")
+            for _ in range(10):
+                assert client.health()["status"] == "ok"
+            assert server.stats["rate_limited"] == 0
+
+    def test_no_limit_by_default(self, tmp_path):
+        config = config_for(tmp_path)
+        with serve(config) as server:
+            client = client_for(server)
+            for _ in range(20):
+                client.jobs()
+            assert server.stats["rate_limited"] == 0

@@ -1,0 +1,154 @@
+"""Kill the server mid-job; a restarted server resumes byte-identically.
+
+These tests run the real ``python -m repro serve`` subprocess and
+deliver real signals, reusing the chaos harness for determinism: a
+``sigterm:after-cells=N`` / ``sigkill:after-cells=N`` event in the
+submitted grid rides the engine's cell-commit hook, so the kill lands
+at exactly the same grid progress every run.
+
+The contract under test (ISSUE acceptance): SIGTERM drains the
+in-flight cell and requeues the job with its run id (exit 0); SIGKILL
+can leave the job ``running`` on disk; either way, a restarted server
+picks the job up through ``--resume`` semantics and finishes it with
+metrics byte-identical to an uninterrupted ``repro run``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.lifecycle import RunJournal
+from repro.server import ServiceClient
+from repro.server.jobs import JOB_QUEUED, JOB_RUNNING, JobStore
+
+from tests.server.harness import GRID, cli_reference_metrics, metrics_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def start_server(tmp_path: Path) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro serve`` on an ephemeral port; return (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--jobs-dir",
+            str(tmp_path / "jobs"),
+            "--runs-dir",
+            str(tmp_path / "runs"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--reports-dir",
+            str(tmp_path / "reports"),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = proc.stderr.readline()
+        if "[serve] listening on " in line:
+            url = line.split("[serve] listening on ", 1)[1].strip()
+            return proc, url
+        if proc.poll() is not None or time.monotonic() > deadline:
+            raise AssertionError(
+                f"server never came up (rc={proc.poll()}): {line!r}"
+            )
+
+
+def finish_on_fresh_server(tmp_path: Path, job_id: str) -> dict:
+    """Restart the service on the same state dirs and wait the job out."""
+    proc, url = start_server(tmp_path)
+    try:
+        client = ServiceClient(url, client_id="restarted")
+        done = client.wait(job_id, timeout=300)
+        assert done["state"] == "done", done.get("error")
+        return done
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+
+
+class TestSigtermDrain:
+    def test_sigterm_mid_job_requeues_then_restart_resumes(self, tmp_path):
+        """Deterministic mid-job SIGTERM: the chaos event fires after
+        two committed cells, the server drains and exits 0, the job is
+        back to queued with its run id, and a restarted server resumes
+        it to metrics byte-identical to the clean CLI run."""
+        reference = cli_reference_metrics(tmp_path / "ref")
+        state = tmp_path / "svc"
+        proc, url = start_server(state)
+        client = ServiceClient(url, client_id="drain-test")
+        job = client.submit({**GRID, "chaos": "sigterm:after-cells=2"})
+        _stdout, stderr = proc.communicate(timeout=180)
+        assert proc.returncode == 0, stderr
+        assert "drained on SIGTERM" in stderr
+
+        store = JobStore(state / "jobs")
+        parked = store.get(job["job_id"])
+        assert parked.state == JOB_QUEUED
+        assert parked.run_id, "requeued job must keep its run id"
+        journal = RunJournal.load(state / "runs", parked.run_id)
+        states = journal.states()
+        assert states.get("committed", 0) >= 2
+        assert states.get("committed", 0) < len(reference)
+
+        done = finish_on_fresh_server(state, job["job_id"])
+        assert done["run_id"] == parked.run_id
+        assert metrics_of(state / "runs") == reference
+        assert journal.states() == {"committed": len(reference)}
+        # The second attempt went through the resume path, visibly.
+        infos = [
+            e["data"].get("message", "")
+            for e in done["events"]
+            if e["event"] == "info"
+        ]
+        assert any("[resume]" in message for message in infos)
+
+    def test_idle_sigterm_exits_zero(self, tmp_path):
+        proc, url = start_server(tmp_path)
+        ServiceClient(url).health()
+        proc.send_signal(signal.SIGTERM)
+        _stdout, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 0, stderr
+        assert "drained on SIGTERM" in stderr
+
+
+class TestSigkillCrash:
+    def test_sigkill_mid_job_recovers_on_restart(self, tmp_path):
+        """Hard crash: SIGKILL leaves the job ``running`` on disk; the
+        restarted server's recovery requeues it and resumes the same
+        run journal to byte-identical metrics."""
+        reference = cli_reference_metrics(tmp_path / "ref")
+        state = tmp_path / "svc"
+        proc, url = start_server(state)
+        client = ServiceClient(url, client_id="crash-test")
+        job = client.submit({**GRID, "chaos": "sigkill:after-cells=2"})
+        proc.communicate(timeout=180)
+        assert proc.returncode == -signal.SIGKILL
+
+        store = JobStore(state / "jobs")
+        crashed = store.get(job["job_id"])
+        assert crashed.state == JOB_RUNNING, "SIGKILL leaves no drain"
+        assert crashed.run_id
+
+        done = finish_on_fresh_server(state, job["job_id"])
+        assert done["run_id"] == crashed.run_id
+        assert done["attempts"] == 2
+        assert metrics_of(state / "runs") == reference
+        journal = RunJournal.load(state / "runs", crashed.run_id)
+        assert journal.states() == {"committed": len(reference)}
